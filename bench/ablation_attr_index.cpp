@@ -1,0 +1,87 @@
+// A8 — Secondary attribute indexes: selective equality queries through the
+// full TQuel stack with and without `create index`, at growing relation
+// sizes.  Expected shape: indexed lookup flat in relation size, unindexed
+// linear.
+
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_common.h"
+
+using namespace temporadb;
+
+namespace {
+
+bench::ScenarioDb Build(size_t n, bool indexed) {
+  bench::ScenarioDb sdb = bench::OpenScenarioDb();
+  (void)sdb.db->Execute(
+      "create temporal relation emp (name = string, rank = string)");
+  if (indexed) (void)sdb.db->Execute("create index on emp (name)");
+  Result<StoredRelation*> rel = sdb.db->GetRelation("emp");
+  for (size_t i = 0; i < n; ++i) {
+    sdb.clock->SetTime(Chronon(3650 + static_cast<int64_t>(i)));
+    (void)sdb.db->WithTransaction([&](Transaction* txn) {
+      return (*rel)->Append(
+          txn, {Value("e" + std::to_string(i)), Value("staff")},
+          std::nullopt);
+    });
+  }
+  (void)sdb.db->Execute("range of e is emp");
+  return sdb;
+}
+
+void RunPointQuery(benchmark::State& state, bool indexed) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  bench::ScenarioDb sdb = Build(n, indexed);
+  std::string query = "retrieve (e.rank) where e.name = \"e" +
+                      std::to_string(n / 2) + "\"";
+  size_t answer = 0;
+  for (auto _ : state) {
+    Result<Rowset> rows = sdb.db->Query(query);
+    if (!rows.ok()) {
+      state.SkipWithError(rows.status().ToString().c_str());
+      break;
+    }
+    answer = rows->size();
+    benchmark::DoNotOptimize(rows);
+  }
+  state.counters["answer_rows"] = static_cast<double>(answer);
+  state.counters["relation_size"] = static_cast<double>(n);
+}
+
+void BM_PointQuery_Indexed(benchmark::State& state) {
+  RunPointQuery(state, true);
+}
+void BM_PointQuery_Scan(benchmark::State& state) {
+  RunPointQuery(state, false);
+}
+
+// The write-side cost of maintaining the index.
+void RunAppends(benchmark::State& state, bool indexed) {
+  bench::ScenarioDb sdb = bench::OpenScenarioDb();
+  (void)sdb.db->Execute("create temporal relation emp (name = string)");
+  if (indexed) (void)sdb.db->Execute("create index on emp (name)");
+  Result<StoredRelation*> rel = sdb.db->GetRelation("emp");
+  int64_t day = 3650;
+  for (auto _ : state) {
+    sdb.clock->SetTime(Chronon(day++));
+    Status s = sdb.db->WithTransaction([&](Transaction* txn) {
+      return (*rel)->Append(txn, {Value("e" + std::to_string(day))},
+                            std::nullopt);
+    });
+    if (!s.ok()) {
+      state.SkipWithError(s.ToString().c_str());
+      break;
+    }
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+
+void BM_Append_Indexed(benchmark::State& state) { RunAppends(state, true); }
+void BM_Append_NoIndex(benchmark::State& state) { RunAppends(state, false); }
+
+}  // namespace
+
+BENCHMARK(BM_PointQuery_Indexed)->Arg(1000)->Arg(4000)->Arg(16000);
+BENCHMARK(BM_PointQuery_Scan)->Arg(1000)->Arg(4000)->Arg(16000);
+BENCHMARK(BM_Append_Indexed);
+BENCHMARK(BM_Append_NoIndex);

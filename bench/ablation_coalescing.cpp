@@ -1,0 +1,79 @@
+// A6 — Coalescing: temporal DML fragments validity (splits, supersessions);
+// coalescing restores maximal periods.  This bench measures the
+// fragmentation a churn stream produces, the cost of coalescing it, and the
+// query-side benefit (fewer tuples to scan afterwards).
+
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_common.h"
+#include "temporal/coalesce.h"
+
+using namespace temporadb;
+
+namespace {
+
+std::vector<BitemporalTuple> CurrentTuples(const StoredRelation& rel) {
+  std::vector<BitemporalTuple> out;
+  rel.store()->ForEach([&](RowId, const BitemporalTuple& t) {
+    if (t.IsCurrentState()) {
+      BitemporalTuple copy = t;
+      copy.txn = Period::All();  // Coalesce within the current state.
+      out.push_back(std::move(copy));
+    }
+  });
+  return out;
+}
+
+void BM_CoalesceCost(benchmark::State& state) {
+  bench::ScenarioDb sdb = bench::OpenScenarioDb();
+  StoredRelation* rel = bench::PopulateStream(
+      sdb.db.get(), sdb.clock.get(), "r", TemporalClass::kTemporal, 16,
+      static_cast<size_t>(state.range(0)), 23);
+  std::vector<BitemporalTuple> fragments = CurrentTuples(*rel);
+  size_t after = 0;
+  for (auto _ : state) {
+    std::vector<BitemporalTuple> coalesced = Coalesce(fragments);
+    after = coalesced.size();
+    benchmark::DoNotOptimize(coalesced);
+  }
+  state.counters["fragments"] = static_cast<double>(fragments.size());
+  state.counters["coalesced"] = static_cast<double>(after);
+  state.counters["reduction_pct"] =
+      fragments.empty()
+          ? 0.0
+          : 100.0 * (1.0 - static_cast<double>(after) /
+                               static_cast<double>(fragments.size()));
+}
+
+// Query benefit: timeslice scans over fragmented vs coalesced tuple sets.
+void RunSliceScan(benchmark::State& state, bool coalesce_first) {
+  bench::ScenarioDb sdb = bench::OpenScenarioDb();
+  StoredRelation* rel = bench::PopulateStream(
+      sdb.db.get(), sdb.clock.get(), "r", TemporalClass::kTemporal, 16, 4000,
+      23);
+  std::vector<BitemporalTuple> tuples = CurrentTuples(*rel);
+  if (coalesce_first) tuples = Coalesce(tuples);
+  Chronon probe(3650 + 2000);
+  size_t hits = 0;
+  for (auto _ : state) {
+    hits = 0;
+    for (const BitemporalTuple& t : tuples) {
+      if (t.valid.Contains(probe)) ++hits;
+    }
+    benchmark::DoNotOptimize(hits);
+  }
+  state.counters["tuples_scanned"] = static_cast<double>(tuples.size());
+}
+
+void BM_SliceScan_Fragmented(benchmark::State& state) {
+  RunSliceScan(state, false);
+}
+void BM_SliceScan_Coalesced(benchmark::State& state) {
+  RunSliceScan(state, true);
+}
+
+}  // namespace
+
+BENCHMARK(BM_CoalesceCost)->Arg(500)->Arg(2000)->Arg(8000);
+BENCHMARK(BM_SliceScan_Fragmented)->Arg(0);
+BENCHMARK(BM_SliceScan_Coalesced)->Arg(0);

@@ -1,0 +1,67 @@
+// A3 — Rollback (`as of`) latency vs. history depth, with the
+// transaction-time snapshot index on and off.
+//
+// Expected shape: with the index, a rollback to a past instant scales with
+// the answer size (O(log n + k)); without it, with total history size.
+
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_common.h"
+#include "temporal/snapshot.h"
+
+using namespace temporadb;
+
+namespace {
+
+struct Built {
+  bench::ScenarioDb sdb;
+  StoredRelation* rel;
+  Chronon probe;  // An instant in the middle of history.
+};
+
+Built Build(size_t churn, bool indexed) {
+  VersionStoreOptions options;
+  options.index_txn_time = indexed;
+  Built out{bench::OpenScenarioDb(options), nullptr, Chronon(0)};
+  out.rel = bench::PopulateStream(out.sdb.db.get(), out.sdb.clock.get(), "r",
+                                  TemporalClass::kRollback, 64, churn, 99);
+  // Probe the middle of the transaction-time line.
+  std::vector<Chronon> boundaries = TransactionBoundaries(*out.rel->store());
+  out.probe = boundaries[boundaries.size() / 2];
+  return out;
+}
+
+void RunRollback(benchmark::State& state, bool indexed) {
+  Built built = Build(static_cast<size_t>(state.range(0)), indexed);
+  size_t answer = 0;
+  for (auto _ : state) {
+    std::vector<RowId> rows = built.rel->store()->TxnAsOf(built.probe);
+    answer = rows.size();
+    benchmark::DoNotOptimize(rows);
+  }
+  state.counters["answer_rows"] = static_cast<double>(answer);
+  state.counters["history_versions"] =
+      static_cast<double>(built.rel->store()->version_count());
+}
+
+void BM_AsOf_Indexed(benchmark::State& state) { RunRollback(state, true); }
+void BM_AsOf_Scan(benchmark::State& state) { RunRollback(state, false); }
+
+// Rollback to "now" (the common case the SnapshotIndex current-set serves).
+void RunCurrent(benchmark::State& state, bool indexed) {
+  Built built = Build(static_cast<size_t>(state.range(0)), indexed);
+  for (auto _ : state) {
+    std::vector<RowId> rows = built.rel->store()->CurrentRows();
+    benchmark::DoNotOptimize(rows);
+  }
+}
+
+void BM_Current_Indexed(benchmark::State& state) { RunCurrent(state, true); }
+void BM_Current_Scan(benchmark::State& state) { RunCurrent(state, false); }
+
+}  // namespace
+
+BENCHMARK(BM_AsOf_Indexed)->Arg(1000)->Arg(4000)->Arg(16000);
+BENCHMARK(BM_AsOf_Scan)->Arg(1000)->Arg(4000)->Arg(16000);
+BENCHMARK(BM_Current_Indexed)->Arg(1000)->Arg(4000)->Arg(16000);
+BENCHMARK(BM_Current_Scan)->Arg(1000)->Arg(4000)->Arg(16000);

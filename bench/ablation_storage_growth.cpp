@@ -1,0 +1,58 @@
+// A1 — Storage growth by database kind.
+//
+// The paper's §4.2/§4.3 argue the kinds differ in what they must retain:
+// static relations forget, rollback/temporal relations keep every version.
+// This bench applies identical update streams to all four kinds and reports
+// versions retained and approximate bytes.  Expected shape: static stays
+// flat, historical grows slowly (splits only), rollback grows linearly in
+// updates, temporal grows fastest (supersessions + remnants).
+
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_common.h"
+
+using namespace temporadb;
+
+namespace {
+
+void RunGrowth(benchmark::State& state, TemporalClass cls) {
+  const size_t churn = static_cast<size_t>(state.range(0));
+  size_t versions = 0;
+  size_t live = 0;
+  size_t bytes = 0;
+  for (auto _ : state) {
+    bench::ScenarioDb sdb = bench::OpenScenarioDb();
+    StoredRelation* rel = bench::PopulateStream(
+        sdb.db.get(), sdb.clock.get(), "r", cls, /*n_entities=*/64, churn,
+        /*seed=*/42);
+    versions = rel->store()->version_count();
+    live = rel->store()->live_count();
+    bytes = rel->store()->ApproximateBytes();
+    benchmark::DoNotOptimize(rel);
+  }
+  state.counters["versions"] = static_cast<double>(versions);
+  state.counters["live"] = static_cast<double>(live);
+  state.counters["approx_bytes"] = static_cast<double>(bytes);
+  state.counters["bytes_per_op"] =
+      static_cast<double>(bytes) / static_cast<double>(churn);
+}
+
+void BM_Growth_Static(benchmark::State& state) {
+  RunGrowth(state, TemporalClass::kStatic);
+}
+void BM_Growth_Rollback(benchmark::State& state) {
+  RunGrowth(state, TemporalClass::kRollback);
+}
+void BM_Growth_Historical(benchmark::State& state) {
+  RunGrowth(state, TemporalClass::kHistorical);
+}
+void BM_Growth_Temporal(benchmark::State& state) {
+  RunGrowth(state, TemporalClass::kTemporal);
+}
+
+}  // namespace
+
+BENCHMARK(BM_Growth_Static)->Arg(1000)->Arg(4000)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_Growth_Rollback)->Arg(1000)->Arg(4000)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_Growth_Historical)->Arg(1000)->Arg(4000)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_Growth_Temporal)->Arg(1000)->Arg(4000)->Unit(benchmark::kMillisecond);

@@ -1,0 +1,73 @@
+// A4 — Valid timeslice latency with the interval index on and off.
+//
+// Historical queries ("what was true at v?") are the other access path the
+// taxonomy demands; the treap-backed interval index answers stabbing
+// queries in O(log n + k) versus a full scan.
+
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_common.h"
+#include "temporal/snapshot.h"
+
+using namespace temporadb;
+
+namespace {
+
+void RunTimeslice(benchmark::State& state, bool indexed) {
+  VersionStoreOptions options;
+  options.index_valid_time = indexed;
+  bench::ScenarioDb sdb = bench::OpenScenarioDb(options);
+  StoredRelation* rel = bench::PopulateStream(
+      sdb.db.get(), sdb.clock.get(), "r", TemporalClass::kHistorical, 64,
+      static_cast<size_t>(state.range(0)), 17);
+  std::vector<Chronon> boundaries = ValidBoundaries(*rel->store());
+  Chronon probe = boundaries[boundaries.size() / 2];
+  size_t answer = 0;
+  for (auto _ : state) {
+    std::vector<RowId> rows =
+        rel->store()->ValidOverlapping(Period::At(probe));
+    answer = rows.size();
+    benchmark::DoNotOptimize(rows);
+  }
+  state.counters["answer_rows"] = static_cast<double>(answer);
+  state.counters["history_versions"] =
+      static_cast<double>(rel->store()->version_count());
+}
+
+void BM_Timeslice_Indexed(benchmark::State& state) {
+  RunTimeslice(state, true);
+}
+void BM_Timeslice_Scan(benchmark::State& state) {
+  RunTimeslice(state, false);
+}
+
+// Overlap-range queries ("valid some time during [a, b)") of varying width.
+void RunOverlapWindow(benchmark::State& state, bool indexed) {
+  VersionStoreOptions options;
+  options.index_valid_time = indexed;
+  bench::ScenarioDb sdb = bench::OpenScenarioDb(options);
+  StoredRelation* rel = bench::PopulateStream(
+      sdb.db.get(), sdb.clock.get(), "r", TemporalClass::kHistorical, 64,
+      8000, 17);
+  std::vector<Chronon> boundaries = ValidBoundaries(*rel->store());
+  Chronon mid = boundaries[boundaries.size() / 2];
+  Period window(mid, mid + state.range(0));
+  for (auto _ : state) {
+    std::vector<RowId> rows = rel->store()->ValidOverlapping(window);
+    benchmark::DoNotOptimize(rows);
+  }
+}
+
+void BM_OverlapWindow_Indexed(benchmark::State& state) {
+  RunOverlapWindow(state, true);
+}
+void BM_OverlapWindow_Scan(benchmark::State& state) {
+  RunOverlapWindow(state, false);
+}
+
+}  // namespace
+
+BENCHMARK(BM_Timeslice_Indexed)->Arg(1000)->Arg(4000)->Arg(16000);
+BENCHMARK(BM_Timeslice_Scan)->Arg(1000)->Arg(4000)->Arg(16000);
+BENCHMARK(BM_OverlapWindow_Indexed)->Arg(1)->Arg(30)->Arg(365);
+BENCHMARK(BM_OverlapWindow_Scan)->Arg(1)->Arg(30)->Arg(365);

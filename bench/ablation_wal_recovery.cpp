@@ -1,0 +1,154 @@
+// A7 — Durability costs: commit throughput with the WAL (synced and
+// unsynced) vs in-memory, checkpoint cost, and recovery time as a function
+// of WAL length.
+
+#include <benchmark/benchmark.h>
+#include <unistd.h>
+
+#include <filesystem>
+
+#include "bench/bench_common.h"
+
+using namespace temporadb;
+
+namespace {
+
+std::string FreshDir() {
+  static int counter = 0;
+  std::string dir = std::filesystem::temp_directory_path().string() +
+                    "/tdb_bench_" + std::to_string(::getpid()) + "_" +
+                    std::to_string(counter++);
+  std::filesystem::remove_all(dir);
+  return dir;
+}
+
+struct PersistentDb {
+  std::string dir;
+  ManualClock clock;
+  std::unique_ptr<Database> db;
+};
+
+std::unique_ptr<PersistentDb> OpenPersistent(bool sync_commits,
+                                             bool in_memory = false) {
+  auto out = std::make_unique<PersistentDb>();
+  out->dir = FreshDir();
+  DatabaseOptions options;
+  if (!in_memory) options.path = out->dir;
+  options.clock = &out->clock;
+  options.sync_commits = sync_commits;
+  out->db = std::move(*Database::Open(options));
+  (void)out->db->Execute("create temporal relation t (name = string)");
+  out->clock.SetDate("01/01/80").ok();
+  return out;
+}
+
+void RunCommits(benchmark::State& state, bool in_memory, bool synced) {
+  auto pdb = OpenPersistent(synced, in_memory);
+  int64_t day = 3650;
+  for (auto _ : state) {
+    pdb->clock.SetTime(Chronon(day++));
+    Status s = pdb->db->Execute("append to t (name = \"x\")").status();
+    if (!s.ok()) {
+      state.SkipWithError(s.ToString().c_str());
+      break;
+    }
+  }
+  state.SetItemsProcessed(state.iterations());
+  std::filesystem::remove_all(pdb->dir);
+}
+
+void BM_Commit_InMemory(benchmark::State& state) {
+  RunCommits(state, true, false);
+}
+void BM_Commit_WalNoSync(benchmark::State& state) {
+  RunCommits(state, false, false);
+}
+void BM_Commit_WalSynced(benchmark::State& state) {
+  RunCommits(state, false, true);
+}
+
+void BM_Recovery(benchmark::State& state) {
+  // Build a WAL of `n` committed transactions, then measure reopen time.
+  const int n = static_cast<int>(state.range(0));
+  auto pdb = OpenPersistent(/*sync_commits=*/false);
+  int64_t day = 3650;
+  for (int i = 0; i < n; ++i) {
+    pdb->clock.SetTime(Chronon(day++));
+    (void)pdb->db->Execute("append to t (name = \"x\")");
+  }
+  uint64_t wal_bytes = pdb->db->WalBytes();
+  std::string dir = pdb->dir;
+  ManualClock clock;
+  pdb->db.reset();  // "Crash".
+  for (auto _ : state) {
+    DatabaseOptions options;
+    options.path = dir;
+    options.clock = &clock;
+    Result<std::unique_ptr<Database>> db = Database::Open(options);
+    if (!db.ok()) {
+      state.SkipWithError(db.status().ToString().c_str());
+      break;
+    }
+    benchmark::DoNotOptimize(db);
+  }
+  state.counters["wal_bytes"] = static_cast<double>(wal_bytes);
+  state.counters["txns_replayed"] = static_cast<double>(n);
+  std::filesystem::remove_all(dir);
+}
+
+void BM_RecoveryAfterCheckpoint(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  auto pdb = OpenPersistent(/*sync_commits=*/false);
+  int64_t day = 3650;
+  for (int i = 0; i < n; ++i) {
+    pdb->clock.SetTime(Chronon(day++));
+    (void)pdb->db->Execute("append to t (name = \"x\")");
+  }
+  (void)pdb->db->Checkpoint();
+  std::string dir = pdb->dir;
+  ManualClock clock;
+  pdb->db.reset();
+  for (auto _ : state) {
+    DatabaseOptions options;
+    options.path = dir;
+    options.clock = &clock;
+    Result<std::unique_ptr<Database>> db = Database::Open(options);
+    if (!db.ok()) {
+      state.SkipWithError(db.status().ToString().c_str());
+      break;
+    }
+    benchmark::DoNotOptimize(db);
+  }
+  state.counters["txns_in_checkpoint"] = static_cast<double>(n);
+  std::filesystem::remove_all(dir);
+}
+
+void BM_CheckpointCost(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  auto pdb = OpenPersistent(/*sync_commits=*/false);
+  int64_t day = 3650;
+  for (int i = 0; i < n; ++i) {
+    pdb->clock.SetTime(Chronon(day++));
+    (void)pdb->db->Execute("append to t (name = \"x\")");
+  }
+  for (auto _ : state) {
+    Status s = pdb->db->Checkpoint();
+    if (!s.ok()) {
+      state.SkipWithError(s.ToString().c_str());
+      break;
+    }
+  }
+  state.counters["versions"] = static_cast<double>(n);
+  std::filesystem::remove_all(pdb->dir);
+}
+
+}  // namespace
+
+BENCHMARK(BM_Commit_InMemory);
+BENCHMARK(BM_Commit_WalNoSync);
+BENCHMARK(BM_Commit_WalSynced);
+BENCHMARK(BM_Recovery)->Arg(1000)->Arg(8000)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_RecoveryAfterCheckpoint)->Arg(1000)->Arg(8000)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_CheckpointCost)->Arg(1000)->Arg(8000)
+    ->Unit(benchmark::kMillisecond);

@@ -1,0 +1,77 @@
+// A5 — Temporal join scaling: the TQuel `when f1 overlap f2` join evaluated
+// through the full query stack at increasing relation sizes, against the
+// non-temporal equi-join as a baseline.
+
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_common.h"
+
+using namespace temporadb;
+
+namespace {
+
+bench::ScenarioDb BuildPair(size_t per_relation) {
+  bench::ScenarioDb sdb = bench::OpenScenarioDb();
+  Random rng(5);
+  for (const char* name : {"a", "b"}) {
+    Schema schema = *Schema::Make({Attribute{"key", Type::String()},
+                                   Attribute{"payload", Type::String()}});
+    (void)sdb.db->CreateRelation(name, schema, TemporalClass::kHistorical);
+    Result<StoredRelation*> rel = sdb.db->GetRelation(name);
+    for (size_t i = 0; i < per_relation; ++i) {
+      int64_t day = 3650 + static_cast<int64_t>(rng.Uniform(2000));
+      sdb.clock->SetTime(Chronon(3650 + static_cast<int64_t>(i)));
+      Period valid(Chronon(day),
+                   Chronon(day + 1 + static_cast<int64_t>(rng.Uniform(120))));
+      (void)sdb.db->WithTransaction([&](Transaction* txn) {
+        return (*rel)->Append(
+            txn,
+            {Value("k" + std::to_string(rng.Uniform(per_relation / 4 + 1))),
+             Value("p")},
+            valid);
+      });
+    }
+  }
+  (void)sdb.db->Execute("range of x is a");
+  (void)sdb.db->Execute("range of y is b");
+  return sdb;
+}
+
+void BM_WhenJoin(benchmark::State& state) {
+  bench::ScenarioDb sdb = BuildPair(static_cast<size_t>(state.range(0)));
+  size_t answer = 0;
+  for (auto _ : state) {
+    Result<Rowset> rows = sdb.db->Query(
+        "retrieve (x.key) where x.key = y.key when x overlap y");
+    if (!rows.ok()) {
+      state.SkipWithError(rows.status().ToString().c_str());
+      break;
+    }
+    answer = rows->size();
+    benchmark::DoNotOptimize(rows);
+  }
+  state.counters["answer_rows"] = static_cast<double>(answer);
+}
+
+void BM_EquiJoinOnly(benchmark::State& state) {
+  bench::ScenarioDb sdb = BuildPair(static_cast<size_t>(state.range(0)));
+  size_t answer = 0;
+  for (auto _ : state) {
+    Result<Rowset> rows =
+        sdb.db->Query("retrieve (x.key) where x.key = y.key");
+    if (!rows.ok()) {
+      state.SkipWithError(rows.status().ToString().c_str());
+      break;
+    }
+    answer = rows->size();
+    benchmark::DoNotOptimize(rows);
+  }
+  state.counters["answer_rows"] = static_cast<double>(answer);
+}
+
+}  // namespace
+
+BENCHMARK(BM_WhenJoin)->Arg(50)->Arg(200)->Arg(800)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_EquiJoinOnly)->Arg(50)->Arg(200)->Arg(800)
+    ->Unit(benchmark::kMillisecond);

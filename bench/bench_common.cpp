@@ -1,0 +1,93 @@
+#include "bench/bench_common.h"
+
+#include <cstdio>
+
+#include "common/strings.h"
+
+namespace temporadb {
+namespace bench {
+
+ScenarioDb OpenScenarioDb(VersionStoreOptions store_options) {
+  ScenarioDb out;
+  out.clock = std::make_unique<ManualClock>();
+  DatabaseOptions options;
+  options.clock = out.clock.get();
+  options.store_options = store_options;
+  Result<std::unique_ptr<Database>> db = Database::Open(options);
+  if (!db.ok()) {
+    std::fprintf(stderr, "failed to open database: %s\n",
+                 db.status().ToString().c_str());
+    std::abort();
+  }
+  out.db = std::move(*db);
+  return out;
+}
+
+void PrintFigureHeader(const std::string& id, const std::string& title,
+                       const std::string& note) {
+  std::printf("=====================================================\n");
+  std::printf("%s : %s\n", id.c_str(), title.c_str());
+  std::printf("Snodgrass & Ahn, \"A Taxonomy of Time in Databases\", "
+              "SIGMOD 1985\n");
+  if (!note.empty()) std::printf("%s\n", note.c_str());
+  std::printf("=====================================================\n\n");
+}
+
+StoredRelation* PopulateStream(Database* db, ManualClock* clock,
+                               const std::string& relation, TemporalClass cls,
+                               size_t n_entities, size_t churn,
+                               uint64_t seed) {
+  Schema schema = *Schema::Make({Attribute{"name", Type::String()},
+                                 Attribute{"rank", Type::String()}});
+  Result<RelationInfo> info = db->CreateRelation(relation, schema, cls);
+  if (!info.ok()) {
+    std::fprintf(stderr, "create failed: %s\n",
+                 info.status().ToString().c_str());
+    std::abort();
+  }
+  Result<StoredRelation*> rel = db->GetRelation(relation);
+  Random rng(seed);
+  const bool has_valid = SupportsValidTime(cls);
+  const char* ranks[] = {"assistant", "associate", "full", "emeritus"};
+  int64_t day = 3650;  // ~1980.
+  for (size_t op = 0; op < churn; ++op) {
+    day += 1 + static_cast<int64_t>(rng.Uniform(3));
+    clock->SetTime(Chronon(day));
+    std::string name = "e" + std::to_string(rng.Uniform(n_entities));
+    std::string rank = ranks[rng.Uniform(4)];
+    std::optional<Period> valid;
+    if (has_valid) {
+      int64_t from = day - 30 + static_cast<int64_t>(rng.Uniform(60));
+      valid = rng.OneIn(2)
+                  ? Period::From(Chronon(from))
+                  : Period(Chronon(from),
+                           Chronon(from + 1 +
+                                   static_cast<int64_t>(rng.Uniform(90))));
+    }
+    Status s = db->WithTransaction([&](Transaction* txn) -> Status {
+      std::string target = name;
+      TuplePredicate pred = [target](const std::vector<Value>& values) {
+        return values[0].AsString() == target;
+      };
+      uint64_t pick = rng.Uniform(10);
+      if (pick < 5) {
+        return (*rel)->Append(txn, {Value(name), Value(rank)}, valid);
+      }
+      if (pick < 8) {
+        UpdateSpec updates{ConstUpdate(1, Value(rank))};
+        Result<size_t> n = (*rel)->ReplaceWhere(txn, pred, updates, valid);
+        return n.ok() ? Status::OK() : n.status();
+      }
+      Result<size_t> n = (*rel)->DeleteWhere(txn, pred, valid);
+      return n.ok() ? Status::OK() : n.status();
+    });
+    if (!s.ok()) {
+      std::fprintf(stderr, "stream op failed: %s\n", s.ToString().c_str());
+      std::abort();
+    }
+  }
+  return *rel;
+}
+
+}  // namespace bench
+}  // namespace temporadb

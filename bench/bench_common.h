@@ -1,0 +1,43 @@
+#ifndef TEMPORADB_BENCH_BENCH_COMMON_H_
+#define TEMPORADB_BENCH_BENCH_COMMON_H_
+
+#include <memory>
+#include <string>
+
+#include "common/random.h"
+#include "core/database.h"
+#include "core/paper_scenario.h"
+#include "temporal/stored_relation.h"
+#include "txn/clock.h"
+
+namespace temporadb {
+namespace bench {
+
+/// A database with a manual clock, as used by every figure reproducer.
+struct ScenarioDb {
+  std::unique_ptr<ManualClock> clock;
+  std::unique_ptr<Database> db;
+};
+
+/// Opens an in-memory database with a manual clock (optionally with index
+/// toggles, for the ablations).
+ScenarioDb OpenScenarioDb(VersionStoreOptions store_options = {});
+
+/// Prints a figure header in a consistent style.
+void PrintFigureHeader(const std::string& id, const std::string& title,
+                       const std::string& note);
+
+/// A synthetic update stream against one (name, rank) relation: `n_entities`
+/// keys receiving inserts/replaces/deletes with retroactive and postactive
+/// valid periods.  Used by the ablation benches.  Returns the relation.
+///
+/// `churn` ops are applied; transaction days advance by 1..3 per op.
+StoredRelation* PopulateStream(Database* db, ManualClock* clock,
+                               const std::string& relation,
+                               TemporalClass cls, size_t n_entities,
+                               size_t churn, uint64_t seed);
+
+}  // namespace bench
+}  // namespace temporadb
+
+#endif  // TEMPORADB_BENCH_BENCH_COMMON_H_

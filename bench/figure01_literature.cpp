@@ -1,0 +1,11 @@
+// Reproduces Figure 1: the paper's classification of time attributes in the
+// pre-1985 literature, printed from the machine-readable survey table.
+
+#include <cstdio>
+
+#include "core/taxonomy.h"
+
+int main() {
+  std::printf("%s\n", temporadb::RenderFigure1().c_str());
+  return 0;
+}

@@ -1,0 +1,11 @@
+// Reproduces Figure 11: which of the three kinds of time each database kind
+// incorporates, computed from the enforcement predicates.
+
+#include <cstdio>
+
+#include "core/taxonomy.h"
+
+int main() {
+  std::printf("%s\n", temporadb::RenderFigure11().c_str());
+  return 0;
+}

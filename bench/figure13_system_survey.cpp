@@ -1,0 +1,11 @@
+// Reproduces Figure 13: time support in the systems and languages of 1985,
+// from the machine-readable survey table.
+
+#include <cstdio>
+
+#include "core/taxonomy.h"
+
+int main() {
+  std::printf("%s\n", temporadb::RenderFigure13().c_str());
+  return 0;
+}

@@ -1,0 +1,77 @@
+// Engineering release tracking — the paper's "release dates of engineering
+// versions" and "scheduled events that were supposed to occur, yet did not"
+// examples (§2.1), on a temporal event relation with user-defined time.
+//
+// The 'releases' relation records release *events*:
+//   - 'tag'        the version string (plain data),
+//   - 'planned'    user-defined time: the date printed on the roadmap,
+//   - valid at     when the release actually happened in reality,
+//   - transaction  when engineering recorded it.
+
+#include <cstdio>
+
+#include "core/database.h"
+#include "tquel/printer.h"
+
+using namespace temporadb;
+
+int main() {
+  ManualClock clock;
+  DatabaseOptions options;
+  options.clock = &clock;
+  auto db = std::move(*Database::Open(options));
+
+  std::printf("== engineering release tracking ==\n\n");
+
+  clock.SetDate("01/10/84").ok();
+  (void)db->Execute(
+      "create temporal event relation releases "
+      "(tag = string, planned = date)");
+  (void)db->Execute("range of r is releases");
+
+  // v1.0 shipped on schedule.
+  (void)db->Execute(
+      "append to releases (tag = \"v1.0\", planned = \"01/10/84\") "
+      "valid at \"01/10/84\"");
+
+  // v1.1 is *scheduled* (postactive: recorded before it happens).
+  clock.SetDate("02/01/84").ok();
+  (void)db->Execute(
+      "append to releases (tag = \"v1.1\", planned = \"03/01/84\") "
+      "valid at \"03/01/84\"");
+
+  // The schedule slips: v1.1 actually ships 04/15/84.  The event's valid
+  // time is corrected; the roadmap date ('planned') stays as printed —
+  // and the slip itself stays visible through transaction time.
+  clock.SetDate("04/15/84").ok();
+  (void)db->Execute("delete r valid at \"03/01/84\" where r.tag = \"v1.1\"");
+  (void)db->Execute(
+      "append to releases (tag = \"v1.1\", planned = \"03/01/84\") "
+      "valid at \"04/15/84\"");
+
+  Result<tquel::ExecResult> shown = db->Execute("show releases");
+  if (!shown.ok()) return 1;
+  std::printf("%s\n", shown->rows.Render("releases").c_str());
+
+  // Question 1 (current knowledge): when did v1.1 really ship?
+  Result<Rowset> actual = db->Query(
+      "retrieve (r.tag, r.planned) where r.tag = \"v1.1\"");
+  if (actual.ok() && !actual->empty()) {
+    std::printf("v1.1: planned %s, actually shipped %s\n",
+                actual->rows()[0].values[1].ToString().c_str(),
+                actual->rows()[0].valid->begin().ToString().c_str());
+  }
+
+  // Question 2 (the audit): what did the tracker claim on 03/15/84 —
+  // after the planned date, before the correction?
+  Result<Rowset> believed = db->Query(
+      "retrieve (r.tag) where r.tag = \"v1.1\" as of \"03/15/84\"");
+  if (believed.ok()) {
+    std::printf(
+        "As of 03/15/84 the tracker still recorded v1.1 as released "
+        "03/01/84 (%zu event version(s)) — \"a scheduled event that was "
+        "supposed to occur, yet did not.\"\n",
+        believed->size());
+  }
+  return 0;
+}

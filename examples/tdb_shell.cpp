@@ -1,0 +1,146 @@
+// tdb_shell — an interactive TQuel REPL over a temporadb database.
+//
+//   ./build/examples/tdb_shell [data-directory]
+//
+// With a data directory, the database is durable (WAL + checkpoints: try
+// `\checkpoint`, kill the shell, and restart).  Without one it is
+// in-memory.  Meta-commands:
+//
+//   \help                 this text
+//   \relations            list relations and their temporal classes
+//   \checkpoint           write a checkpoint and truncate the WAL
+//   \date MM/DD/YY        set the (manual) transaction clock
+//   \quit                 exit
+//
+// Everything else is TQuel, e.g.:
+//
+//   create temporal relation faculty (name = string, rank = string)
+//   range of f is faculty
+//   append to faculty (name = "Merrie", rank = "associate") valid from
+//       "09/01/77" to "inf"
+//   retrieve (f.rank) where f.name = "Merrie" as of "12/10/82"
+//   show faculty
+
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <string>
+
+#include "common/strings.h"
+#include "core/bulk.h"
+#include "core/database.h"
+#include "tquel/printer.h"
+
+using namespace temporadb;
+
+int main(int argc, char** argv) {
+  ManualClock clock;
+  clock.SetTime(SystemClock().Now());
+  DatabaseOptions options;
+  options.clock = &clock;
+  if (argc > 1) options.path = argv[1];
+  Result<std::unique_ptr<Database>> opened = Database::Open(options);
+  if (!opened.ok()) {
+    std::fprintf(stderr, "open failed: %s\n",
+                 opened.status().ToString().c_str());
+    return 1;
+  }
+  std::unique_ptr<Database> db = std::move(*opened);
+
+  std::printf("temporadb shell — TQuel on a bitemporal store "
+              "(Snodgrass-Ahn taxonomy).  \\help for help.\n");
+  if (argc > 1) std::printf("data directory: %s\n", argv[1]);
+
+  std::string line;
+  while (true) {
+    std::printf("tdb> ");
+    std::fflush(stdout);
+    if (!std::getline(std::cin, line)) break;
+    std::string_view trimmed = Trim(line);
+    if (trimmed.empty()) continue;
+    if (trimmed[0] == '\\') {
+      if (trimmed == "\\quit" || trimmed == "\\q") break;
+      if (trimmed == "\\help") {
+        std::printf(
+            "\\relations  \\checkpoint  \\date MM/DD/YY  \\import <rel> "
+            "<csv>  \\export <rel> <csv>  \\quit — or any TQuel statement "
+            "(create/range/retrieve/append/delete/replace/correct/show/"
+            "destroy/begin transaction/commit/abort).\n");
+        continue;
+      }
+      if (trimmed == "\\relations") {
+        for (const RelationInfo& info : db->ListRelations()) {
+          std::printf("  %-20s %-10s %-8s %s\n", info.name.c_str(),
+                      std::string(TemporalClassName(info.temporal_class))
+                          .c_str(),
+                      std::string(TemporalDataModelName(info.data_model))
+                          .c_str(),
+                      info.schema.ToString().c_str());
+        }
+        continue;
+      }
+      if (trimmed == "\\checkpoint") {
+        Status s = db->Checkpoint();
+        std::printf("%s\n", s.ok() ? "checkpointed" : s.ToString().c_str());
+        continue;
+      }
+      if (trimmed.rfind("\\import", 0) == 0) {
+        // \import <relation> <csv-path>
+        std::vector<std::string> parts =
+            Split(std::string(Trim(trimmed.substr(7))), ' ');
+        if (parts.size() != 2) {
+          std::printf("usage: \\import <relation> <csv-path>\n");
+          continue;
+        }
+        std::ifstream file(parts[1]);
+        if (!file) {
+          std::printf("cannot open %s\n", parts[1].c_str());
+          continue;
+        }
+        Result<size_t> n = bulk::ImportCsv(db.get(), parts[0], file);
+        if (n.ok()) {
+          std::printf("imported %zu tuple(s) into %s\n", *n,
+                      parts[0].c_str());
+        } else {
+          std::printf("%s\n", n.status().ToString().c_str());
+        }
+        continue;
+      }
+      if (trimmed.rfind("\\export", 0) == 0) {
+        // \export <relation> <csv-path>
+        std::vector<std::string> parts =
+            Split(std::string(Trim(trimmed.substr(7))), ' ');
+        if (parts.size() != 2) {
+          std::printf("usage: \\export <relation> <csv-path>\n");
+          continue;
+        }
+        Result<tquel::ExecResult> shown = db->Execute("show " + parts[0]);
+        if (!shown.ok()) {
+          std::printf("%s\n", shown.status().ToString().c_str());
+          continue;
+        }
+        std::ofstream file(parts[1]);
+        Status s = bulk::ExportCsv(shown->rows, file);
+        std::printf("%s\n", s.ok() ? ("wrote " + parts[1]).c_str()
+                                   : s.ToString().c_str());
+        continue;
+      }
+      if (trimmed.rfind("\\date", 0) == 0) {
+        Status s = clock.SetDate(Trim(trimmed.substr(5)));
+        std::printf("%s\n", s.ok()
+                                ? ("clock = " + clock.Now().ToString()).c_str()
+                                : s.ToString().c_str());
+        continue;
+      }
+      std::printf("unknown meta-command; \\help\n");
+      continue;
+    }
+    Result<tquel::ExecResult> result = db->Execute(trimmed);
+    if (!result.ok()) {
+      std::printf("error: %s\n", result.status().ToString().c_str());
+      continue;
+    }
+    std::printf("%s", tquel::FormatResult(*result).c_str());
+  }
+  return 0;
+}

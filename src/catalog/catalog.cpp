@@ -1,0 +1,106 @@
+#include "catalog/catalog.h"
+
+#include "common/coding.h"
+
+namespace temporadb {
+
+Result<RelationInfo> Catalog::CreateRelation(std::string name, Schema schema,
+                                             TemporalClass temporal_class,
+                                             TemporalDataModel data_model,
+                                             bool persistent) {
+  if (name.empty()) {
+    return Status::InvalidArgument("relation name must not be empty");
+  }
+  if (relations_.contains(name)) {
+    return Status::AlreadyExists("relation already exists: " + name);
+  }
+  if (schema.empty()) {
+    return Status::InvalidArgument("relation must have at least one attribute");
+  }
+  if (data_model == TemporalDataModel::kEvent &&
+      !SupportsValidTime(temporal_class)) {
+    return Status::InvalidArgument(
+        "event relations require valid time (historical or temporal class)");
+  }
+  RelationInfo info;
+  info.id = next_id_++;
+  info.name = name;
+  info.schema = std::move(schema);
+  info.temporal_class = temporal_class;
+  info.data_model = data_model;
+  info.persistent = persistent;
+  relations_.emplace(std::move(name), info);
+  return info;
+}
+
+Result<RelationInfo> Catalog::GetRelation(std::string_view name) const {
+  auto it = relations_.find(name);
+  if (it == relations_.end()) {
+    return Status::NotFound("no such relation: " + std::string(name));
+  }
+  return it->second;
+}
+
+bool Catalog::HasRelation(std::string_view name) const {
+  return relations_.find(name) != relations_.end();
+}
+
+Status Catalog::DropRelation(std::string_view name) {
+  auto it = relations_.find(name);
+  if (it == relations_.end()) {
+    return Status::NotFound("no such relation: " + std::string(name));
+  }
+  relations_.erase(it);
+  return Status::OK();
+}
+
+std::vector<RelationInfo> Catalog::ListRelations() const {
+  std::vector<RelationInfo> out;
+  out.reserve(relations_.size());
+  for (const auto& [name, info] : relations_) out.push_back(info);
+  return out;
+}
+
+void Catalog::EncodeTo(std::string* out) const {
+  PutFixed64(out, next_id_);
+  PutFixed32(out, static_cast<uint32_t>(relations_.size()));
+  for (const auto& [name, info] : relations_) {
+    PutFixed64(out, info.id);
+    PutLengthPrefixed(out, info.name);
+    info.schema.EncodeTo(out);
+    PutFixed32(out, static_cast<uint32_t>(info.temporal_class));
+    PutFixed32(out, static_cast<uint32_t>(info.data_model));
+    PutFixed32(out, info.persistent ? 1 : 0);
+  }
+}
+
+Result<Catalog> Catalog::DecodeFrom(std::string_view* in) {
+  Catalog catalog;
+  uint64_t next_id;
+  uint32_t count;
+  if (!GetFixed64(in, &next_id) || !GetFixed32(in, &count)) {
+    return Status::Corruption("catalog: truncated header");
+  }
+  catalog.next_id_ = next_id;
+  for (uint32_t i = 0; i < count; ++i) {
+    RelationInfo info;
+    std::string_view name;
+    if (!GetFixed64(in, &info.id) || !GetLengthPrefixed(in, &name)) {
+      return Status::Corruption("catalog: truncated relation entry");
+    }
+    info.name = std::string(name);
+    TDB_ASSIGN_OR_RETURN(info.schema, Schema::DecodeFrom(in));
+    uint32_t tclass, dmodel, persistent;
+    if (!GetFixed32(in, &tclass) || !GetFixed32(in, &dmodel) ||
+        !GetFixed32(in, &persistent)) {
+      return Status::Corruption("catalog: truncated relation flags");
+    }
+    info.temporal_class = static_cast<TemporalClass>(tclass);
+    info.data_model = static_cast<TemporalDataModel>(dmodel);
+    info.persistent = persistent != 0;
+    catalog.relations_.emplace(info.name, info);
+  }
+  return catalog;
+}
+
+}  // namespace temporadb

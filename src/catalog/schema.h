@@ -1,0 +1,76 @@
+#ifndef TEMPORADB_CATALOG_SCHEMA_H_
+#define TEMPORADB_CATALOG_SCHEMA_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "catalog/type.h"
+#include "common/result.h"
+
+namespace temporadb {
+
+/// A named, typed attribute of a relation schema.
+///
+/// Only *explicit* attributes live in the schema.  The DBMS-maintained
+/// temporal domains (valid time, transaction time) deliberately do **not**
+/// appear here — per the paper (Figures 4/6/8), "the latter domains do not
+/// appear in the schema for the relation, but may rather be considered part
+/// of the overheads associated with each tuple."
+struct Attribute {
+  std::string name;
+  Type type;
+
+  friend bool operator==(const Attribute& a, const Attribute& b) {
+    return a.name == b.name && a.type == b.type;
+  }
+};
+
+/// An ordered list of attributes with by-name lookup.
+class Schema {
+ public:
+  Schema() = default;
+  explicit Schema(std::vector<Attribute> attributes);
+
+  /// Validating factory: rejects duplicate or empty attribute names.
+  static Result<Schema> Make(std::vector<Attribute> attributes);
+
+  const std::vector<Attribute>& attributes() const { return attributes_; }
+  size_t size() const { return attributes_.size(); }
+  bool empty() const { return attributes_.empty(); }
+  const Attribute& at(size_t i) const { return attributes_[i]; }
+
+  /// Index of the attribute named `name`, or nullopt.
+  std::optional<size_t> IndexOf(std::string_view name) const;
+
+  /// Schema of a projection onto the given attribute indexes, renaming each
+  /// to `names[i]` when provided.
+  Schema Project(const std::vector<size_t>& indexes,
+                 const std::vector<std::string>* names = nullptr) const;
+
+  /// Concatenation (for joins); duplicate names get a "rel." prefix applied
+  /// by the caller before concatenating.
+  Schema Concat(const Schema& other) const;
+
+  /// "(name: string, rank: string)".
+  std::string ToString() const;
+
+  /// Binary round-trip for the storage layer and WAL.
+  void EncodeTo(std::string* out) const;
+  static Result<Schema> DecodeFrom(std::string_view* in);
+
+  friend bool operator==(const Schema& a, const Schema& b) {
+    return a.attributes_ == b.attributes_;
+  }
+  friend bool operator!=(const Schema& a, const Schema& b) {
+    return !(a == b);
+  }
+
+ private:
+  std::vector<Attribute> attributes_;
+};
+
+}  // namespace temporadb
+
+#endif  // TEMPORADB_CATALOG_SCHEMA_H_

@@ -1,0 +1,29 @@
+#include "catalog/temporal_class.h"
+
+namespace temporadb {
+
+std::string_view TemporalClassName(TemporalClass c) {
+  switch (c) {
+    case TemporalClass::kStatic:
+      return "static";
+    case TemporalClass::kRollback:
+      return "rollback";
+    case TemporalClass::kHistorical:
+      return "historical";
+    case TemporalClass::kTemporal:
+      return "temporal";
+  }
+  return "unknown";
+}
+
+std::string_view TemporalDataModelName(TemporalDataModel m) {
+  switch (m) {
+    case TemporalDataModel::kInterval:
+      return "interval";
+    case TemporalDataModel::kEvent:
+      return "event";
+  }
+  return "unknown";
+}
+
+}  // namespace temporadb

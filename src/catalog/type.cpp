@@ -1,0 +1,93 @@
+#include "catalog/type.h"
+
+#include <charconv>
+
+#include "common/strings.h"
+
+namespace temporadb {
+
+Result<Type> Type::ParseQuelType(std::string_view text) {
+  std::string t = ToLowerAscii(Trim(text));
+  if (t.empty()) return Status::InvalidArgument("empty type name");
+  if (t == "int" || t == "integer") return Type::Int();
+  if (t == "float" || t == "double") return Type::Float();
+  if (t == "string" || t == "text" || t == "c") return Type::String();
+  if (t == "date") return Type::DateType();
+  if (t == "bool" || t == "boolean") return Type::Bool();
+  // Quel's iN / fN / cN width-qualified names.
+  if ((t[0] == 'i' || t[0] == 'f' || t[0] == 'c') && t.size() > 1) {
+    int width = 0;
+    auto [ptr, ec] = std::from_chars(t.data() + 1, t.data() + t.size(), width);
+    if (ec == std::errc() && ptr == t.data() + t.size() && width > 0) {
+      switch (t[0]) {
+        case 'i':
+          return Type::Int();
+        case 'f':
+          return Type::Float();
+        case 'c':
+          return Type::String();
+      }
+    }
+  }
+  return Status::InvalidArgument("unknown type name: " + t);
+}
+
+bool Type::Admits(const Value& v) const {
+  if (v.is_null()) return true;
+  if (v.type() == value_type_) return true;
+  // Numeric promotion.
+  return value_type_ == ValueType::kFloat && v.type() == ValueType::kInt;
+}
+
+Result<Value> Type::Coerce(const Value& v) const {
+  if (v.is_null()) return v;
+  if (v.type() == value_type_) return v;
+  if (value_type_ == ValueType::kFloat && v.type() == ValueType::kInt) {
+    return Value(static_cast<double>(v.AsInt()));
+  }
+  return Status::InvalidArgument(
+      StringPrintf("cannot store %s value in %s attribute",
+                   std::string(ValueTypeName(v.type())).c_str(),
+                   std::string(name()).c_str()));
+}
+
+Result<Value> Type::ParseValue(std::string_view text) const {
+  std::string_view t = Trim(text);
+  if (EqualsIgnoreCase(t, "null")) return Value::Null();
+  switch (value_type_) {
+    case ValueType::kInt: {
+      int64_t v = 0;
+      auto [ptr, ec] = std::from_chars(t.data(), t.data() + t.size(), v);
+      if (ec != std::errc() || ptr != t.data() + t.size()) {
+        return Status::InvalidArgument("bad int literal: " + std::string(t));
+      }
+      return Value(v);
+    }
+    case ValueType::kFloat: {
+      // from_chars(double) is inconsistently available; strtod on a copy.
+      std::string copy(t);
+      char* endp = nullptr;
+      double v = std::strtod(copy.c_str(), &endp);
+      if (endp != copy.c_str() + copy.size() || copy.empty()) {
+        return Status::InvalidArgument("bad float literal: " + copy);
+      }
+      return Value(v);
+    }
+    case ValueType::kString:
+      return Value(std::string(t));
+    case ValueType::kDate: {
+      TDB_ASSIGN_OR_RETURN(Date d, Date::Parse(t));
+      return Value(d);
+    }
+    case ValueType::kBool: {
+      if (EqualsIgnoreCase(t, "true")) return Value(true);
+      if (EqualsIgnoreCase(t, "false")) return Value(false);
+      return Status::InvalidArgument("bad bool literal: " + std::string(t));
+    }
+    case ValueType::kNull:
+      return Value::Null();
+  }
+  return Status::Internal("unhandled type in ParseValue");
+}
+
+}  // namespace temporadb

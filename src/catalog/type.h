@@ -1,0 +1,61 @@
+#ifndef TEMPORADB_CATALOG_TYPE_H_
+#define TEMPORADB_CATALOG_TYPE_H_
+
+#include <string>
+#include <string_view>
+
+#include "common/result.h"
+#include "common/value.h"
+
+namespace temporadb {
+
+/// The declared type of a schema attribute.
+///
+/// `kDate` attributes are the paper's *user-defined time* (§4.5): present in
+/// the relation schema (unlike transaction/valid time), parsed and printed
+/// by the DBMS, never interpreted by the temporal machinery.
+class Type {
+ public:
+  /// Defaults to string; prefer the named factories.
+  Type() : value_type_(ValueType::kString) {}
+  explicit Type(ValueType vt) : value_type_(vt) {}
+
+  static Type Int() { return Type(ValueType::kInt); }
+  static Type Float() { return Type(ValueType::kFloat); }
+  static Type String() { return Type(ValueType::kString); }
+  static Type DateType() { return Type(ValueType::kDate); }
+  static Type Bool() { return Type(ValueType::kBool); }
+
+  ValueType value_type() const { return value_type_; }
+
+  /// Quel/TQuel type syntax: `i1..i8` are ints, `f4`/`f8` floats, `cN`/`c`
+  /// strings, `date` dates, `bool` bools.
+  static Result<Type> ParseQuelType(std::string_view text);
+
+  /// Canonical name: "int", "float", "string", "date", "bool".
+  std::string_view name() const { return ValueTypeName(value_type_); }
+
+  /// True when a `Value` of type `v` may be stored in this attribute
+  /// (ints accepted into float attributes; NULL accepted anywhere).
+  bool Admits(const Value& v) const;
+
+  /// Coerces `v` for storage (int -> float promotion); error if not
+  /// admissible.
+  Result<Value> Coerce(const Value& v) const;
+
+  /// Parses a literal in this type from text (used by the TQuel evaluator
+  /// for typed constants and by CSV-style loaders).
+  Result<Value> ParseValue(std::string_view text) const;
+
+  friend bool operator==(Type a, Type b) {
+    return a.value_type_ == b.value_type_;
+  }
+  friend bool operator!=(Type a, Type b) { return !(a == b); }
+
+ private:
+  ValueType value_type_;
+};
+
+}  // namespace temporadb
+
+#endif  // TEMPORADB_CATALOG_TYPE_H_

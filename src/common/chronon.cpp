@@ -1,0 +1,9 @@
+#include "common/chronon.h"
+
+#include "common/date.h"
+
+namespace temporadb {
+
+std::string Chronon::ToString() const { return Date(*this).ToString(); }
+
+}  // namespace temporadb

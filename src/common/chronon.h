@@ -1,0 +1,103 @@
+#ifndef TEMPORADB_COMMON_CHRONON_H_
+#define TEMPORADB_COMMON_CHRONON_H_
+
+#include <cstdint>
+#include <limits>
+#include <string>
+
+namespace temporadb {
+
+/// A point on the database's discrete time-line.
+///
+/// Following the temporal-database literature, the time-line is a sequence
+/// of indivisible *chronons*.  temporadb's chronon is one day (the paper
+/// timestamps all of its examples at day granularity, e.g. "12/15/82"), and
+/// a `Chronon` is a signed day count relative to the Unix epoch
+/// (1970-01-01 = chronon 0) over the proleptic Gregorian calendar.
+///
+/// Two sentinel values bound the line:
+///  - `kForever`   — the paper's "∞": a period that has not ended, i.e. the
+///    current version of a tuple (transaction-time end) or a fact that is
+///    still true (valid-time end);
+///  - `kBeginning` — "-∞", before all representable time.
+///
+/// Both transaction time and valid time are measured in chronons; they
+/// differ in *semantics* (representation vs. reality), not representation.
+class Chronon {
+ public:
+  using Rep = int64_t;
+
+  static constexpr Rep kForeverRep = std::numeric_limits<Rep>::max();
+  static constexpr Rep kBeginningRep = std::numeric_limits<Rep>::min();
+
+  /// Default-constructs chronon 0 (the epoch).
+  constexpr Chronon() : rep_(0) {}
+  constexpr explicit Chronon(Rep days) : rep_(days) {}
+
+  /// The paper's "∞": after all finite time.
+  static constexpr Chronon Forever() { return Chronon(kForeverRep); }
+  /// Before all finite time.
+  static constexpr Chronon Beginning() { return Chronon(kBeginningRep); }
+  static constexpr Chronon Epoch() { return Chronon(0); }
+
+  constexpr Rep days() const { return rep_; }
+  constexpr bool IsForever() const { return rep_ == kForeverRep; }
+  constexpr bool IsBeginning() const { return rep_ == kBeginningRep; }
+  constexpr bool IsFinite() const { return !IsForever() && !IsBeginning(); }
+
+  /// The next chronon.  Saturates at the sentinels: the successor of
+  /// `Forever()` is `Forever()`.
+  constexpr Chronon Next() const {
+    if (!IsFinite()) return *this;
+    return Chronon(rep_ + 1);
+  }
+  /// The previous chronon, saturating at the sentinels.
+  constexpr Chronon Prev() const {
+    if (!IsFinite()) return *this;
+    return Chronon(rep_ - 1);
+  }
+
+  friend constexpr bool operator==(Chronon a, Chronon b) {
+    return a.rep_ == b.rep_;
+  }
+  friend constexpr bool operator!=(Chronon a, Chronon b) {
+    return a.rep_ != b.rep_;
+  }
+  friend constexpr bool operator<(Chronon a, Chronon b) {
+    return a.rep_ < b.rep_;
+  }
+  friend constexpr bool operator<=(Chronon a, Chronon b) {
+    return a.rep_ <= b.rep_;
+  }
+  friend constexpr bool operator>(Chronon a, Chronon b) {
+    return a.rep_ > b.rep_;
+  }
+  friend constexpr bool operator>=(Chronon a, Chronon b) {
+    return a.rep_ >= b.rep_;
+  }
+
+  /// Chronon arithmetic; sentinels are absorbing.
+  friend constexpr Chronon operator+(Chronon c, Rep days) {
+    if (!c.IsFinite()) return c;
+    return Chronon(c.rep_ + days);
+  }
+  friend constexpr Chronon operator-(Chronon c, Rep days) {
+    if (!c.IsFinite()) return c;
+    return Chronon(c.rep_ - days);
+  }
+
+  /// Day-granularity calendar rendering; "forever" for ∞.  See date.h for
+  /// the calendar logic.
+  std::string ToString() const;
+
+ private:
+  Rep rep_;
+};
+
+/// Returns the earlier / later of two chronons.
+constexpr Chronon MinChronon(Chronon a, Chronon b) { return a < b ? a : b; }
+constexpr Chronon MaxChronon(Chronon a, Chronon b) { return a < b ? b : a; }
+
+}  // namespace temporadb
+
+#endif  // TEMPORADB_COMMON_CHRONON_H_

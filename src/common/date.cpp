@@ -1,0 +1,168 @@
+#include "common/date.h"
+
+#include <cctype>
+#include <charconv>
+#include <cstdio>
+
+namespace temporadb {
+
+namespace calendar {
+
+namespace {
+
+constexpr int kDaysInMonth[] = {31, 28, 31, 30, 31, 30, 31, 31, 30, 31, 30, 31};
+
+bool IsLeap(int year) {
+  return year % 4 == 0 && (year % 100 != 0 || year % 400 == 0);
+}
+
+}  // namespace
+
+int64_t DaysFromCivil(int y, int m, int d) {
+  // Howard Hinnant, "chrono-Compatible Low-Level Date Algorithms".
+  y -= m <= 2;
+  const int64_t era = (y >= 0 ? y : y - 399) / 400;
+  const unsigned yoe = static_cast<unsigned>(y - era * 400);            // [0, 399]
+  const unsigned doy =
+      (153u * static_cast<unsigned>(m + (m > 2 ? -3 : 9)) + 2u) / 5u +
+      static_cast<unsigned>(d) - 1u;                                    // [0, 365]
+  const unsigned doe = yoe * 365u + yoe / 4u - yoe / 100u + doy;        // [0, 146096]
+  return era * 146097 + static_cast<int64_t>(doe) - 719468;
+}
+
+void CivilFromDays(int64_t z, int* year, int* month, int* day) {
+  z += 719468;
+  const int64_t era = (z >= 0 ? z : z - 146096) / 146097;
+  const unsigned doe = static_cast<unsigned>(z - era * 146097);          // [0, 146096]
+  const unsigned yoe =
+      (doe - doe / 1460 + doe / 36524 - doe / 146096) / 365;             // [0, 399]
+  const int64_t y = static_cast<int64_t>(yoe) + era * 400;
+  const unsigned doy = doe - (365 * yoe + yoe / 4 - yoe / 100);          // [0, 365]
+  const unsigned mp = (5 * doy + 2) / 153;                               // [0, 11]
+  const unsigned d = doy - (153 * mp + 2) / 5 + 1;                       // [1, 31]
+  const unsigned m = mp + (mp < 10 ? 3 : -9);                            // [1, 12]
+  *year = static_cast<int>(y + (m <= 2));
+  *month = static_cast<int>(m);
+  *day = static_cast<int>(d);
+}
+
+bool IsValidYmd(int year, int month, int day) {
+  if (month < 1 || month > 12) return false;
+  if (day < 1) return false;
+  int max_day = kDaysInMonth[month - 1];
+  if (month == 2 && IsLeap(year)) max_day = 29;
+  return day <= max_day;
+}
+
+}  // namespace calendar
+
+Result<Date> Date::FromYmd(int year, int month, int day) {
+  if (!calendar::IsValidYmd(year, month, day)) {
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "invalid date %04d-%02d-%02d", year, month,
+                  day);
+    return Status::InvalidArgument(buf);
+  }
+  return Date(Chronon(calendar::DaysFromCivil(year, month, day)));
+}
+
+namespace {
+
+bool ParseInt(std::string_view text, int* out) {
+  if (text.empty()) return false;
+  int value = 0;
+  auto [ptr, ec] =
+      std::from_chars(text.data(), text.data() + text.size(), value);
+  if (ec != std::errc() || ptr != text.data() + text.size()) return false;
+  *out = value;
+  return true;
+}
+
+}  // namespace
+
+Result<Date> Date::Parse(std::string_view text) {
+  // Trim surrounding whitespace.
+  while (!text.empty() && std::isspace(static_cast<unsigned char>(text.front())))
+    text.remove_prefix(1);
+  while (!text.empty() && std::isspace(static_cast<unsigned char>(text.back())))
+    text.remove_suffix(1);
+  if (text.empty()) return Status::InvalidArgument("empty date string");
+
+  if (text == "inf" || text == "forever" || text == "\xe2\x88\x9e") {
+    return Date::Forever();
+  }
+  if (text == "-inf" || text == "beginning") {
+    return Date::Beginning();
+  }
+
+  // ISO "YYYY-MM-DD".
+  if (text.size() == 10 && text[4] == '-' && text[7] == '-') {
+    int y, m, d;
+    if (ParseInt(text.substr(0, 4), &y) && ParseInt(text.substr(5, 2), &m) &&
+        ParseInt(text.substr(8, 2), &d)) {
+      return FromYmd(y, m, d);
+    }
+    return Status::InvalidArgument("malformed ISO date: " + std::string(text));
+  }
+
+  // Paper-style "MM/DD/YY" or "MM/DD/YYYY".
+  size_t s1 = text.find('/');
+  size_t s2 = (s1 == std::string_view::npos) ? std::string_view::npos
+                                             : text.find('/', s1 + 1);
+  if (s1 != std::string_view::npos && s2 != std::string_view::npos) {
+    int m, d, y;
+    if (ParseInt(text.substr(0, s1), &m) &&
+        ParseInt(text.substr(s1 + 1, s2 - s1 - 1), &d) &&
+        ParseInt(text.substr(s2 + 1), &y)) {
+      size_t ylen = text.size() - s2 - 1;
+      if (ylen <= 2) y += 1900;  // The paper's examples: "82" means 1982.
+      return FromYmd(y, m, d);
+    }
+  }
+  return Status::InvalidArgument("unrecognized date format: " +
+                                 std::string(text));
+}
+
+int Date::year() const {
+  int y, m, d;
+  calendar::CivilFromDays(chronon_.days(), &y, &m, &d);
+  return y;
+}
+
+int Date::month() const {
+  int y, m, d;
+  calendar::CivilFromDays(chronon_.days(), &y, &m, &d);
+  return m;
+}
+
+int Date::day() const {
+  int y, m, d;
+  calendar::CivilFromDays(chronon_.days(), &y, &m, &d);
+  return d;
+}
+
+std::string Date::ToString() const {
+  if (IsForever()) return "inf";
+  if (IsBeginning()) return "-inf";
+  int y, m, d;
+  calendar::CivilFromDays(chronon_.days(), &y, &m, &d);
+  char buf[32];
+  if (y >= 1900 && y <= 1999) {
+    std::snprintf(buf, sizeof(buf), "%02d/%02d/%02d", m, d, y - 1900);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%02d/%02d/%04d", m, d, y);
+  }
+  return buf;
+}
+
+std::string Date::ToIsoString() const {
+  if (IsForever()) return "inf";
+  if (IsBeginning()) return "-inf";
+  int y, m, d;
+  calendar::CivilFromDays(chronon_.days(), &y, &m, &d);
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%04d-%02d-%02d", y, m, d);
+  return buf;
+}
+
+}  // namespace temporadb

@@ -1,0 +1,97 @@
+#ifndef TEMPORADB_COMMON_DATE_H_
+#define TEMPORADB_COMMON_DATE_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "common/chronon.h"
+#include "common/result.h"
+
+namespace temporadb {
+
+/// A calendar date: the human-readable face of a `Chronon`.
+///
+/// Dates serve two roles in temporadb, mirroring the paper:
+///  1. the rendering of the DBMS-maintained transaction-time and valid-time
+///     chronons (Figures 4, 6, 8);
+///  2. *user-defined time* (§4.5): an ordinary schema attribute of date type
+///     that the DBMS stores and formats but does not interpret (the
+///     "effective date" of Figure 9).
+///
+/// The canonical text format is the paper's `MM/DD/YY` (two-digit years are
+/// 19YY, matching the 1977-1984 examples); ISO `YYYY-MM-DD` and four-digit
+/// `MM/DD/YYYY` are also accepted on input.  The sentinels render as the
+/// paper's "∞" (as "inf") and "-inf".
+class Date {
+ public:
+  /// Default-constructs the epoch date 01/01/70.
+  constexpr Date() : chronon_() {}
+  constexpr explicit Date(Chronon c) : chronon_(c) {}
+
+  /// Builds a date from civil year/month/day (proleptic Gregorian).
+  /// Returns InvalidArgument for out-of-range months/days.
+  static Result<Date> FromYmd(int year, int month, int day);
+
+  /// Parses "MM/DD/YY", "MM/DD/YYYY", or "YYYY-MM-DD".  "inf", "forever"
+  /// and the UTF-8 infinity sign parse to `Forever()`.
+  static Result<Date> Parse(std::string_view text);
+
+  static constexpr Date Forever() { return Date(Chronon::Forever()); }
+  static constexpr Date Beginning() { return Date(Chronon::Beginning()); }
+
+  constexpr Chronon chronon() const { return chronon_; }
+  constexpr bool IsForever() const { return chronon_.IsForever(); }
+  constexpr bool IsBeginning() const { return chronon_.IsBeginning(); }
+  constexpr bool IsFinite() const { return chronon_.IsFinite(); }
+
+  /// Civil components; only meaningful for finite dates.
+  int year() const;
+  int month() const;
+  int day() const;
+
+  /// Paper-style "MM/DD/YY"; "inf" / "-inf" for the sentinels.  Years
+  /// outside [1900, 1999] render as "MM/DD/YYYY" to stay unambiguous.
+  std::string ToString() const;
+  /// ISO "YYYY-MM-DD".
+  std::string ToIsoString() const;
+
+  friend constexpr bool operator==(Date a, Date b) {
+    return a.chronon_ == b.chronon_;
+  }
+  friend constexpr bool operator!=(Date a, Date b) {
+    return a.chronon_ != b.chronon_;
+  }
+  friend constexpr bool operator<(Date a, Date b) {
+    return a.chronon_ < b.chronon_;
+  }
+  friend constexpr bool operator<=(Date a, Date b) {
+    return a.chronon_ <= b.chronon_;
+  }
+  friend constexpr bool operator>(Date a, Date b) {
+    return a.chronon_ > b.chronon_;
+  }
+  friend constexpr bool operator>=(Date a, Date b) {
+    return a.chronon_ >= b.chronon_;
+  }
+
+ private:
+  Chronon chronon_;
+};
+
+namespace calendar {
+
+/// Days since 1970-01-01 for a civil date (Howard Hinnant's algorithm).
+int64_t DaysFromCivil(int year, int month, int day);
+
+/// Inverse of `DaysFromCivil`.
+void CivilFromDays(int64_t days, int* year, int* month, int* day);
+
+/// True if `year`/`month`/`day` is a real proleptic-Gregorian date.
+bool IsValidYmd(int year, int month, int day);
+
+}  // namespace calendar
+
+}  // namespace temporadb
+
+#endif  // TEMPORADB_COMMON_DATE_H_

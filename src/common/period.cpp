@@ -1,0 +1,83 @@
+#include "common/period.h"
+
+namespace temporadb {
+
+std::string_view AllenRelationName(AllenRelation r) {
+  switch (r) {
+    case AllenRelation::kBefore:
+      return "before";
+    case AllenRelation::kMeets:
+      return "meets";
+    case AllenRelation::kOverlaps:
+      return "overlaps";
+    case AllenRelation::kStarts:
+      return "starts";
+    case AllenRelation::kDuring:
+      return "during";
+    case AllenRelation::kFinishes:
+      return "finishes";
+    case AllenRelation::kEqual:
+      return "equal";
+    case AllenRelation::kFinishedBy:
+      return "finished-by";
+    case AllenRelation::kContains:
+      return "contains";
+    case AllenRelation::kStartedBy:
+      return "started-by";
+    case AllenRelation::kOverlappedBy:
+      return "overlapped-by";
+    case AllenRelation::kMetBy:
+      return "met-by";
+    case AllenRelation::kAfter:
+      return "after";
+  }
+  return "unknown";
+}
+
+std::optional<Period> Period::Make(Chronon begin, Chronon end) {
+  if (begin > end) return std::nullopt;
+  return Period(begin, end);
+}
+
+Period Period::Intersect(Period other) const {
+  Chronon b = MaxChronon(begin_, other.begin_);
+  Chronon e = MinChronon(end_, other.end_);
+  if (b >= e) return Period(b, b);  // Empty.
+  return Period(b, e);
+}
+
+Period Period::Extend(Period other) const {
+  if (IsEmpty()) return other;
+  if (other.IsEmpty()) return *this;
+  return Period(MinChronon(begin_, other.begin_),
+                MaxChronon(end_, other.end_));
+}
+
+std::optional<AllenRelation> Period::AllenRelate(Period other) const {
+  if (IsEmpty() || other.IsEmpty()) return std::nullopt;
+  const Chronon ab = begin_, ae = end_;
+  const Chronon bb = other.begin_, be = other.end_;
+  if (ae < bb) return AllenRelation::kBefore;
+  if (ae == bb) return AllenRelation::kMeets;
+  if (bb < ab && be < ae) {
+    // b started first; does it end inside a or is a inside b? Handled below
+    // via the inverse relations; fall through.
+  }
+  if (ab == bb && ae == be) return AllenRelation::kEqual;
+  if (ab == bb) return ae < be ? AllenRelation::kStarts
+                               : AllenRelation::kStartedBy;
+  if (ae == be) return ab > bb ? AllenRelation::kFinishes
+                               : AllenRelation::kFinishedBy;
+  if (bb < ab && ae < be) return AllenRelation::kDuring;
+  if (ab < bb && be < ae) return AllenRelation::kContains;
+  if (ab < bb && bb < ae && ae < be) return AllenRelation::kOverlaps;
+  if (bb < ab && ab < be && be < ae) return AllenRelation::kOverlappedBy;
+  if (be == ab) return AllenRelation::kMetBy;
+  return AllenRelation::kAfter;
+}
+
+std::string Period::ToString() const {
+  return "[" + begin_.ToString() + ", " + end_.ToString() + ")";
+}
+
+}  // namespace temporadb

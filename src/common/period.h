@@ -1,0 +1,138 @@
+#ifndef TEMPORADB_COMMON_PERIOD_H_
+#define TEMPORADB_COMMON_PERIOD_H_
+
+#include <optional>
+#include <string>
+
+#include "common/chronon.h"
+
+namespace temporadb {
+
+/// The thirteen Allen interval relations.  TQuel's temporal predicates
+/// (`precede`, `overlap`, `equal`) are unions of these primitives; exposing
+/// the full algebra lets property tests check trichotomy/involution laws.
+enum class AllenRelation {
+  kBefore,        // a ends before b starts
+  kMeets,         // a ends exactly where b starts
+  kOverlaps,      // a starts first, they share time, b ends last
+  kStarts,        // same start, a ends first
+  kDuring,        // a strictly inside b
+  kFinishes,      // same end, a starts later
+  kEqual,         // identical
+  kFinishedBy,    // inverse of kFinishes
+  kContains,      // inverse of kDuring
+  kStartedBy,     // inverse of kStarts
+  kOverlappedBy,  // inverse of kOverlaps
+  kMetBy,         // inverse of kMeets
+  kAfter,         // inverse of kBefore
+};
+
+std::string_view AllenRelationName(AllenRelation r);
+
+/// A half-open period `[begin, end)` of chronons.
+///
+/// Both DBMS-maintained time dimensions are periods:
+///  - *transaction time* `[start, end)`: the tuple was part of the stored
+///    state for transactions committing in this window; `end == Forever()`
+///    means the tuple belongs to the current state (the "∞" column of
+///    Figure 4);
+///  - *valid time* `[from, to)`: the tuple models reality in this window
+///    (Figure 6).
+///
+/// Half-open semantics make the paper's examples exact: Merrie is associate
+/// over [09/01/77, 12/01/82) and full over [12/01/82, ∞), with no overlap
+/// and no gap at the promotion chronon.
+///
+/// An *event* (Figure 9) is a degenerate period of exactly one chronon,
+/// `[at, at.Next())`.
+class Period {
+ public:
+  /// Default: the empty period at the epoch.
+  constexpr Period() : begin_(), end_() {}
+
+  /// `[begin, end)`. Callers must ensure `begin <= end`; `Make` validates.
+  constexpr Period(Chronon begin, Chronon end) : begin_(begin), end_(end) {}
+
+  /// Validating factory: returns nullopt when `begin > end`.
+  static std::optional<Period> Make(Chronon begin, Chronon end);
+
+  /// The whole time-line `[-inf, inf)`.
+  static constexpr Period All() {
+    return Period(Chronon::Beginning(), Chronon::Forever());
+  }
+  /// `[begin, inf)` — a fact that holds from `begin` on.
+  static constexpr Period From(Chronon begin) {
+    return Period(begin, Chronon::Forever());
+  }
+  /// A single-chronon event at `at`.
+  static constexpr Period At(Chronon at) { return Period(at, at.Next()); }
+
+  constexpr Chronon begin() const { return begin_; }
+  constexpr Chronon end() const { return end_; }
+
+  constexpr bool IsEmpty() const { return begin_ >= end_; }
+  /// True when the period extends to ∞ (a "current" tuple).
+  constexpr bool IsOpenEnded() const { return end_.IsForever(); }
+  /// True when the period covers exactly one chronon.
+  constexpr bool IsInstant() const {
+    return begin_.IsFinite() && end_ == begin_.Next();
+  }
+
+  /// Number of chronons covered; unspecified for unbounded periods.
+  constexpr Chronon::Rep Duration() const {
+    return IsEmpty() ? 0 : end_.days() - begin_.days();
+  }
+
+  /// Membership: `begin <= t < end`.
+  constexpr bool Contains(Chronon t) const { return begin_ <= t && t < end_; }
+  /// Sub-period containment.
+  constexpr bool Contains(Period other) const {
+    return other.IsEmpty() || (begin_ <= other.begin_ && other.end_ <= end_);
+  }
+
+  /// TQuel `overlap`: the periods share at least one chronon.
+  constexpr bool Overlaps(Period other) const {
+    return !IsEmpty() && !other.IsEmpty() && begin_ < other.end_ &&
+           other.begin_ < end_;
+  }
+  /// TQuel `precede`: this period ends at or before the other begins.
+  constexpr bool Precedes(Period other) const {
+    return !IsEmpty() && !other.IsEmpty() && end_ <= other.begin_;
+  }
+  /// Adjacency: `a.end == b.begin`.
+  constexpr bool Meets(Period other) const { return end_ == other.begin_; }
+
+  /// TQuel `a overlap b` as an *expression*: the intersection (empty if
+  /// disjoint).
+  Period Intersect(Period other) const;
+  /// TQuel `a extend b`: the smallest period covering both.
+  Period Extend(Period other) const;
+
+  /// The Allen relation from `*this` to `other`; nullopt if either is empty
+  /// (the algebra is defined on non-empty intervals only).
+  std::optional<AllenRelation> AllenRelate(Period other) const;
+
+  /// TQuel `begin of` / `end of`: degenerate periods at the endpoints.
+  /// On the half-open timeline the end point is the first chronon *after*
+  /// the period, so `from begin of X to end of X` reconstructs X exactly.
+  constexpr Period BeginEvent() const { return Period::At(begin_); }
+  constexpr Period EndEvent() const { return Period::At(end_); }
+  /// The last chronon covered by the period (inclusive end).
+  constexpr Period LastEvent() const { return Period::At(end_.Prev()); }
+
+  friend constexpr bool operator==(Period a, Period b) {
+    return a.begin_ == b.begin_ && a.end_ == b.end_;
+  }
+  friend constexpr bool operator!=(Period a, Period b) { return !(a == b); }
+
+  /// "[09/01/77, 12/01/82)" style rendering.
+  std::string ToString() const;
+
+ private:
+  Chronon begin_;
+  Chronon end_;
+};
+
+}  // namespace temporadb
+
+#endif  // TEMPORADB_COMMON_PERIOD_H_

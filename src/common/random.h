@@ -1,0 +1,48 @@
+#ifndef TEMPORADB_COMMON_RANDOM_H_
+#define TEMPORADB_COMMON_RANDOM_H_
+
+#include <cstdint>
+#include <string>
+
+namespace temporadb {
+
+/// Deterministic xorshift64* generator for workload generators and property
+/// tests.  Not cryptographic; seeded runs are fully reproducible, which the
+/// benchmark harness relies on for stable figures.
+class Random {
+ public:
+  explicit Random(uint64_t seed = 0x5AD5AD5AD5AD5ADULL)
+      : state_(seed ? seed : 0x9E3779B97F4A7C15ULL) {}
+
+  uint64_t Next() {
+    state_ ^= state_ >> 12;
+    state_ ^= state_ << 25;
+    state_ ^= state_ >> 27;
+    return state_ * 0x2545F4914F6CDD1DULL;
+  }
+
+  /// Uniform in [0, n); n must be > 0.
+  uint64_t Uniform(uint64_t n) { return Next() % n; }
+
+  /// Uniform in [lo, hi] inclusive.
+  int64_t UniformRange(int64_t lo, int64_t hi) {
+    return lo + static_cast<int64_t>(Uniform(static_cast<uint64_t>(hi - lo + 1)));
+  }
+
+  /// True with probability `p_percent`/100.
+  bool OneIn(uint64_t n) { return Uniform(n) == 0; }
+
+  double NextDouble() {  // [0, 1)
+    return static_cast<double>(Next() >> 11) / 9007199254740992.0;
+  }
+
+  /// Random lowercase identifier of the given length.
+  std::string NextName(size_t length);
+
+ private:
+  uint64_t state_;
+};
+
+}  // namespace temporadb
+
+#endif  // TEMPORADB_COMMON_RANDOM_H_

@@ -1,0 +1,86 @@
+#ifndef TEMPORADB_COMMON_RESULT_H_
+#define TEMPORADB_COMMON_RESULT_H_
+
+#include <cassert>
+#include <optional>
+#include <utility>
+
+#include "common/status.h"
+
+namespace temporadb {
+
+/// A value-or-Status discriminated union, analogous to `absl::StatusOr<T>` /
+/// `arrow::Result<T>`.
+///
+/// A `Result<T>` is either OK and holds a `T`, or holds a non-OK `Status`.
+/// Accessing the value of a non-OK result is a programming error (asserted
+/// in debug builds).
+template <typename T>
+class Result {
+ public:
+  /// Implicit from value: `return some_t;`.
+  Result(T value) : status_(Status::OK()), value_(std::move(value)) {}
+
+  /// Implicit from error status: `return Status::NotFound(...)`.
+  Result(Status status) : status_(std::move(status)) {
+    assert(!status_.ok() && "Result constructed from OK status without value");
+    if (status_.ok()) {
+      status_ = Status::Internal("Result constructed from OK status");
+    }
+  }
+
+  Result(const Result&) = default;
+  Result& operator=(const Result&) = default;
+  Result(Result&&) noexcept = default;
+  Result& operator=(Result&&) noexcept = default;
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  T&& operator*() && { return std::move(*this).value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  /// Returns the contained value, or `fallback` if not OK.
+  T value_or(T fallback) const& { return ok() ? *value_ : std::move(fallback); }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+/// Assigns the value of a `Result<T>` expression to `lhs`, returning the
+/// error status from the enclosing function on failure.
+///
+/// ```cpp
+/// TDB_ASSIGN_OR_RETURN(Schema schema, catalog.GetSchema(name));
+/// ```
+#define TDB_ASSIGN_OR_RETURN(lhs, rexpr)                       \
+  TDB_ASSIGN_OR_RETURN_IMPL_(                                  \
+      TDB_RESULT_CONCAT_(_tdb_result_, __LINE__), lhs, rexpr)
+
+#define TDB_RESULT_CONCAT_INNER_(a, b) a##b
+#define TDB_RESULT_CONCAT_(a, b) TDB_RESULT_CONCAT_INNER_(a, b)
+#define TDB_ASSIGN_OR_RETURN_IMPL_(tmp, lhs, rexpr) \
+  auto tmp = (rexpr);                               \
+  if (!tmp.ok()) return tmp.status();               \
+  lhs = std::move(tmp).value()
+
+}  // namespace temporadb
+
+#endif  // TEMPORADB_COMMON_RESULT_H_

@@ -1,0 +1,3 @@
+#include "common/slice.h"
+
+// Slice is header-only; this translation unit anchors the target.

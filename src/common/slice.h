@@ -1,0 +1,54 @@
+#ifndef TEMPORADB_COMMON_SLICE_H_
+#define TEMPORADB_COMMON_SLICE_H_
+
+#include <cstddef>
+#include <cstring>
+#include <string>
+#include <string_view>
+
+namespace temporadb {
+
+/// A non-owning view of a byte range, in the RocksDB tradition.
+///
+/// The storage layer traffics in `Slice`s so that tuple encode/decode never
+/// copies page bytes until a `Value` is materialized.
+class Slice {
+ public:
+  Slice() : data_(nullptr), size_(0) {}
+  Slice(const char* data, size_t size) : data_(data), size_(size) {}
+  /* implicit */ Slice(const std::string& s)  // NOLINT(runtime/explicit)
+      : data_(s.data()), size_(s.size()) {}
+  /* implicit */ Slice(std::string_view s)  // NOLINT(runtime/explicit)
+      : data_(s.data()), size_(s.size()) {}
+  /* implicit */ Slice(const char* s)  // NOLINT(runtime/explicit)
+      : data_(s), size_(std::strlen(s)) {}
+
+  const char* data() const { return data_; }
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  char operator[](size_t i) const { return data_[i]; }
+
+  /// Drops the first `n` bytes (caller guarantees `n <= size()`).
+  void RemovePrefix(size_t n) {
+    data_ += n;
+    size_ -= n;
+  }
+
+  std::string ToString() const { return std::string(data_, size_); }
+  std::string_view view() const { return std::string_view(data_, size_); }
+
+  friend bool operator==(Slice a, Slice b) {
+    return a.size_ == b.size_ &&
+           (a.size_ == 0 || std::memcmp(a.data_, b.data_, a.size_) == 0);
+  }
+  friend bool operator!=(Slice a, Slice b) { return !(a == b); }
+
+ private:
+  const char* data_;
+  size_t size_;
+};
+
+}  // namespace temporadb
+
+#endif  // TEMPORADB_COMMON_SLICE_H_

@@ -1,0 +1,127 @@
+#ifndef TEMPORADB_COMMON_STATUS_H_
+#define TEMPORADB_COMMON_STATUS_H_
+
+#include <string>
+#include <string_view>
+#include <utility>
+
+namespace temporadb {
+
+/// Error category for a `Status`.
+///
+/// temporadb follows the RocksDB/Arrow convention: no exceptions cross the
+/// public API; every fallible operation returns a `Status` (or a `Result<T>`,
+/// see result.h).  `kNotSupported` is load-bearing for this library: it is
+/// the code returned whenever an operation violates the Snodgrass-Ahn
+/// taxonomy (e.g. `as of` on a historical database, retroactive updates on a
+/// static rollback database).
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument = 1,
+  kNotFound = 2,
+  kAlreadyExists = 3,
+  kNotSupported = 4,
+  kOutOfRange = 5,
+  kFailedPrecondition = 6,
+  kCorruption = 7,
+  kIOError = 8,
+  kAborted = 9,
+  kParseError = 10,
+  kInternal = 11,
+};
+
+/// Returns a stable human-readable name, e.g. "NotSupported".
+std::string_view StatusCodeName(StatusCode code);
+
+/// The result of a fallible operation: a code plus an optional message.
+///
+/// `Status` is cheap to copy in the OK case (no allocation) and carries a
+/// heap message otherwise.  Typical use:
+///
+/// ```cpp
+/// Status s = relation.Append(txn, tuple);
+/// if (!s.ok()) return s;
+/// ```
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  Status(const Status&) = default;
+  Status& operator=(const Status&) = default;
+  Status(Status&&) noexcept = default;
+  Status& operator=(Status&&) noexcept = default;
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status NotSupported(std::string msg) {
+    return Status(StatusCode::kNotSupported, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status Corruption(std::string msg) {
+    return Status(StatusCode::kCorruption, std::move(msg));
+  }
+  static Status IOError(std::string msg) {
+    return Status(StatusCode::kIOError, std::move(msg));
+  }
+  static Status Aborted(std::string msg) {
+    return Status(StatusCode::kAborted, std::move(msg));
+  }
+  static Status ParseError(std::string msg) {
+    return Status(StatusCode::kParseError, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  bool IsNotSupported() const { return code_ == StatusCode::kNotSupported; }
+  bool IsNotFound() const { return code_ == StatusCode::kNotFound; }
+  bool IsInvalidArgument() const {
+    return code_ == StatusCode::kInvalidArgument;
+  }
+  bool IsParseError() const { return code_ == StatusCode::kParseError; }
+  bool IsCorruption() const { return code_ == StatusCode::kCorruption; }
+
+  /// "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+  friend bool operator==(const Status& a, const Status& b) {
+    return a.code_ == b.code_;  // Messages are advisory.
+  }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+/// Evaluates `expr` (a Status expression) and returns it from the enclosing
+/// function if it is not OK.
+#define TDB_RETURN_IF_ERROR(expr)                   \
+  do {                                              \
+    ::temporadb::Status _tdb_status = (expr);       \
+    if (!_tdb_status.ok()) return _tdb_status;      \
+  } while (false)
+
+}  // namespace temporadb
+
+#endif  // TEMPORADB_COMMON_STATUS_H_

@@ -1,0 +1,31 @@
+#ifndef TEMPORADB_COMMON_STRINGS_H_
+#define TEMPORADB_COMMON_STRINGS_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace temporadb {
+
+/// Lower-cases ASCII; TQuel keywords are case-insensitive.
+std::string ToLowerAscii(std::string_view s);
+
+/// True if `a` and `b` are equal ignoring ASCII case.
+bool EqualsIgnoreCase(std::string_view a, std::string_view b);
+
+/// Splits on a single character; empty fields are preserved.
+std::vector<std::string> Split(std::string_view s, char sep);
+
+/// Joins with a separator.
+std::string Join(const std::vector<std::string>& parts, std::string_view sep);
+
+/// Strips ASCII whitespace from both ends.
+std::string_view Trim(std::string_view s);
+
+/// printf-style formatting into a std::string.
+std::string StringPrintf(const char* fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+}  // namespace temporadb
+
+#endif  // TEMPORADB_COMMON_STRINGS_H_

@@ -1,0 +1,183 @@
+#include "common/table_printer.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace temporadb {
+
+void TablePrinter::AddColumn(const std::string& name) {
+  groups_.push_back(ColumnGroup{name, {""}, false});
+}
+
+void TablePrinter::AddGroup(const std::string& banner,
+                            const std::vector<std::string>& sub_labels,
+                            bool double_bar_before) {
+  assert(!sub_labels.empty());
+  groups_.push_back(ColumnGroup{banner, sub_labels, double_bar_before});
+}
+
+size_t TablePrinter::num_columns() const {
+  size_t n = 0;
+  for (const auto& g : groups_) n += g.sub_labels.size();
+  return n;
+}
+
+namespace {
+
+std::string Pad(const std::string& s, size_t width) {
+  std::string out = s;
+  if (out.size() < width) out.append(width - out.size(), ' ');
+  return out;
+}
+
+}  // namespace
+
+std::string TablePrinter::Render(const std::string& title) const {
+  const size_t ncols = num_columns();
+  // Column widths: max over sub-label and all cells.
+  std::vector<size_t> width(ncols, 1);
+  {
+    size_t c = 0;
+    for (const auto& g : groups_) {
+      for (const auto& sub : g.sub_labels) {
+        width[c] = std::max(width[c], sub.size());
+        // Plain columns put their name in the sub row's banner position;
+        // account for the banner when the group has a single column.
+        if (g.sub_labels.size() == 1) {
+          width[c] = std::max(width[c], g.banner.size());
+        }
+        ++c;
+      }
+    }
+  }
+  for (const auto& row : rows_) {
+    assert(row.size() == ncols);
+    for (size_t c = 0; c < ncols; ++c) {
+      width[c] = std::max(width[c], row[c].size());
+    }
+  }
+
+  // Grouped banners may need to widen their columns so the banner fits.
+  {
+    size_t c = 0;
+    for (const auto& g : groups_) {
+      size_t span = g.sub_labels.size();
+      if (span > 1) {
+        size_t have = 0;
+        for (size_t i = 0; i < span; ++i) have += width[c + i];
+        have += 3 * (span - 1);  // " | " joiners inside the group.
+        if (g.banner.size() > have) {
+          width[c + span - 1] += g.banner.size() - have;
+        }
+      }
+      c += span;
+    }
+  }
+
+  auto bar_for = [&](const ColumnGroup& g, bool first) -> std::string {
+    if (first) return "| ";
+    return g.double_bar_before ? " || " : " | ";
+  };
+
+  // A sub-label row is needed whenever some group carries real sub-labels
+  // (plain columns have a single empty sub-label).
+  const bool has_banner_row =
+      std::any_of(groups_.begin(), groups_.end(), [](const ColumnGroup& g) {
+        return std::any_of(g.sub_labels.begin(), g.sub_labels.end(),
+                           [](const std::string& s) { return !s.empty(); });
+      });
+
+  std::string out;
+  if (!title.empty()) {
+    out += title;
+    out += "\n";
+  }
+
+  // Banner row (first header line).
+  {
+    std::string line;
+    bool first = true;
+    size_t c = 0;
+    for (const auto& g : groups_) {
+      line += bar_for(g, first);
+      first = false;
+      size_t span = g.sub_labels.size();
+      size_t total = 0;
+      for (size_t i = 0; i < span; ++i) total += width[c + i];
+      total += 3 * (span - 1);
+      line += Pad(g.banner, total);
+      c += span;
+    }
+    line += " |";
+    out += line;
+    out += "\n";
+  }
+
+  // Sub-label row (second header line), only if any group is compound.
+  if (has_banner_row) {
+    std::string line;
+    bool first = true;
+    size_t c = 0;
+    for (const auto& g : groups_) {
+      line += bar_for(g, first);
+      first = false;
+      for (size_t i = 0; i < g.sub_labels.size(); ++i) {
+        if (i > 0) line += " | ";
+        line += Pad(g.sub_labels[i], width[c + i]);
+      }
+      c += g.sub_labels.size();
+    }
+    line += " |";
+    out += line;
+    out += "\n";
+  }
+
+  // Separator.
+  {
+    std::string line;
+    bool first = true;
+    size_t c = 0;
+    for (const auto& g : groups_) {
+      std::string bar = bar_for(g, first);
+      for (char& ch : bar) {
+        if (ch == ' ') ch = '-';
+      }
+      line += bar;
+      first = false;
+      for (size_t i = 0; i < g.sub_labels.size(); ++i) {
+        if (i > 0) line += "-|-";
+        line += std::string(width[c + i], '-');
+      }
+      c += g.sub_labels.size();
+    }
+    line += "-|";
+    out += line;
+    out += "\n";
+  }
+
+  // Data rows.
+  for (const auto& row : rows_) {
+    std::string line;
+    bool first = true;
+    size_t c = 0;
+    for (const auto& g : groups_) {
+      line += bar_for(g, first);
+      first = false;
+      for (size_t i = 0; i < g.sub_labels.size(); ++i) {
+        if (i > 0) line += " | ";
+        line += Pad(row[c + i], width[c + i]);
+      }
+      c += g.sub_labels.size();
+    }
+    line += " |";
+    out += line;
+    out += "\n";
+  }
+  return out;
+}
+
+void TablePrinter::AddRow(std::vector<std::string> cells) {
+  rows_.push_back(std::move(cells));
+}
+
+}  // namespace temporadb

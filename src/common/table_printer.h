@@ -1,0 +1,57 @@
+#ifndef TEMPORADB_COMMON_TABLE_PRINTER_H_
+#define TEMPORADB_COMMON_TABLE_PRINTER_H_
+
+#include <string>
+#include <vector>
+
+namespace temporadb {
+
+/// Renders ASCII tables in the visual style of the paper's figures.
+///
+/// The paper's relation figures have a two-level header: explicit attributes
+/// are separated from the DBMS-maintained temporal columns by a double bar
+/// (`||`), and the temporal columns are grouped under "valid time" /
+/// "transaction time" banners with "(from)/(to)" and "(start)/(end)"
+/// sub-labels.  `TablePrinter` reproduces that layout:
+///
+/// ```
+/// | name   | rank      || valid time          || transaction time    |
+/// |        |           || (from)   | (to)     || (start)  | (end)    |
+/// |--------|-----------||----------|----------||----------|----------|
+/// | Merrie | associate || 09/01/77 | 12/01/82 || 08/25/77 | inf      |
+/// ```
+class TablePrinter {
+ public:
+  /// A column group: a banner spanning `sub_labels.size()` columns.  A group
+  /// with an empty banner and one empty sub-label renders as a plain column.
+  struct ColumnGroup {
+    std::string banner;                   // e.g. "valid time"; "" for plain.
+    std::vector<std::string> sub_labels;  // e.g. {"(from)", "(to)"}.
+    bool double_bar_before = false;       // The paper's "||" separator.
+  };
+
+  /// Convenience: adds a plain (ungrouped) column titled `name`.
+  void AddColumn(const std::string& name);
+
+  /// Adds a banner group spanning several sub-labelled columns.
+  void AddGroup(const std::string& banner,
+                const std::vector<std::string>& sub_labels,
+                bool double_bar_before = true);
+
+  /// Appends a data row; must have as many cells as total columns.
+  void AddRow(std::vector<std::string> cells);
+
+  /// Total number of data columns across all groups.
+  size_t num_columns() const;
+
+  /// Renders the table; `title`, when non-empty, is printed above it.
+  std::string Render(const std::string& title = "") const;
+
+ private:
+  std::vector<ColumnGroup> groups_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace temporadb
+
+#endif  // TEMPORADB_COMMON_TABLE_PRINTER_H_

@@ -1,0 +1,227 @@
+#include "common/value.h"
+
+#include <cassert>
+#include <cstdio>
+#include <functional>
+
+namespace temporadb {
+
+std::string_view ValueTypeName(ValueType t) {
+  switch (t) {
+    case ValueType::kNull:
+      return "null";
+    case ValueType::kInt:
+      return "int";
+    case ValueType::kFloat:
+      return "float";
+    case ValueType::kString:
+      return "string";
+    case ValueType::kDate:
+      return "date";
+    case ValueType::kBool:
+      return "bool";
+  }
+  return "unknown";
+}
+
+ValueType Value::type() const {
+  switch (rep_.index()) {
+    case 0:
+      return ValueType::kNull;
+    case 1:
+      return ValueType::kInt;
+    case 2:
+      return ValueType::kFloat;
+    case 3:
+      return ValueType::kString;
+    case 4:
+      return ValueType::kDate;
+    case 5:
+      return ValueType::kBool;
+  }
+  return ValueType::kNull;
+}
+
+int64_t Value::AsInt() const {
+  assert(std::holds_alternative<int64_t>(rep_));
+  return std::get<int64_t>(rep_);
+}
+
+double Value::AsFloat() const {
+  assert(std::holds_alternative<double>(rep_));
+  return std::get<double>(rep_);
+}
+
+const std::string& Value::AsString() const {
+  assert(std::holds_alternative<std::string>(rep_));
+  return std::get<std::string>(rep_);
+}
+
+Date Value::AsDate() const {
+  assert(std::holds_alternative<Date>(rep_));
+  return std::get<Date>(rep_);
+}
+
+bool Value::AsBool() const {
+  assert(std::holds_alternative<bool>(rep_));
+  return std::get<bool>(rep_);
+}
+
+Result<double> Value::AsNumeric() const {
+  switch (type()) {
+    case ValueType::kInt:
+      return static_cast<double>(AsInt());
+    case ValueType::kFloat:
+      return AsFloat();
+    default:
+      return Status::InvalidArgument(std::string("value of type ") +
+                                     std::string(ValueTypeName(type())) +
+                                     " is not numeric");
+  }
+}
+
+namespace {
+
+// Rank for the cross-type total order.
+int TypeRank(ValueType t) {
+  switch (t) {
+    case ValueType::kNull:
+      return 0;
+    case ValueType::kBool:
+      return 1;
+    case ValueType::kInt:
+    case ValueType::kFloat:
+      return 2;
+    case ValueType::kString:
+      return 3;
+    case ValueType::kDate:
+      return 4;
+  }
+  return 5;
+}
+
+}  // namespace
+
+bool operator<(const Value& a, const Value& b) {
+  int ra = TypeRank(a.type());
+  int rb = TypeRank(b.type());
+  if (ra != rb) return ra < rb;
+  switch (a.type()) {
+    case ValueType::kNull:
+      return false;
+    case ValueType::kBool:
+      return a.AsBool() < b.AsBool();
+    case ValueType::kInt:
+    case ValueType::kFloat: {
+      double x = a.type() == ValueType::kInt ? static_cast<double>(a.AsInt())
+                                             : a.AsFloat();
+      double y = b.type() == ValueType::kInt ? static_cast<double>(b.AsInt())
+                                             : b.AsFloat();
+      return x < y;
+    }
+    case ValueType::kString:
+      return a.AsString() < b.AsString();
+    case ValueType::kDate:
+      return a.AsDate() < b.AsDate();
+  }
+  return false;
+}
+
+Result<int> Value::Compare(const Value& a, const Value& b) {
+  if (a.is_null() || b.is_null()) {
+    if (a.is_null() && b.is_null()) return 0;
+    return a.is_null() ? -1 : 1;
+  }
+  ValueType ta = a.type(), tb = b.type();
+  bool numeric = (ta == ValueType::kInt || ta == ValueType::kFloat) &&
+                 (tb == ValueType::kInt || tb == ValueType::kFloat);
+  if (ta != tb && !numeric) {
+    return Status::InvalidArgument(
+        std::string("cannot compare ") + std::string(ValueTypeName(ta)) +
+        " with " + std::string(ValueTypeName(tb)));
+  }
+  if (numeric) {
+    double x = ta == ValueType::kInt ? static_cast<double>(a.AsInt())
+                                     : a.AsFloat();
+    double y = tb == ValueType::kInt ? static_cast<double>(b.AsInt())
+                                     : b.AsFloat();
+    return x < y ? -1 : (x > y ? 1 : 0);
+  }
+  switch (ta) {
+    case ValueType::kBool:
+      return a.AsBool() == b.AsBool() ? 0 : (a.AsBool() < b.AsBool() ? -1 : 1);
+    case ValueType::kString: {
+      int c = a.AsString().compare(b.AsString());
+      return c < 0 ? -1 : (c > 0 ? 1 : 0);
+    }
+    case ValueType::kDate:
+      return a.AsDate() == b.AsDate() ? 0 : (a.AsDate() < b.AsDate() ? -1 : 1);
+    default:
+      return Status::Internal("unhandled comparison type");
+  }
+}
+
+size_t Value::Hash() const {
+  constexpr size_t kFnvOffset = 1469598103934665603ULL;
+  constexpr size_t kFnvPrime = 1099511628211ULL;
+  auto mix = [](size_t h, uint64_t x) {
+    for (int i = 0; i < 8; ++i) {
+      h ^= (x >> (i * 8)) & 0xff;
+      h *= kFnvPrime;
+    }
+    return h;
+  };
+  size_t h = kFnvOffset;
+  h = mix(h, static_cast<uint64_t>(type()));
+  switch (type()) {
+    case ValueType::kNull:
+      break;
+    case ValueType::kBool:
+      h = mix(h, AsBool() ? 1 : 0);
+      break;
+    case ValueType::kInt:
+      h = mix(h, static_cast<uint64_t>(AsInt()));
+      break;
+    case ValueType::kFloat: {
+      double d = AsFloat();
+      uint64_t bits;
+      static_assert(sizeof(bits) == sizeof(d));
+      __builtin_memcpy(&bits, &d, sizeof(bits));
+      h = mix(h, bits);
+      break;
+    }
+    case ValueType::kString:
+      for (char c : AsString()) {
+        h ^= static_cast<unsigned char>(c);
+        h *= kFnvPrime;
+      }
+      break;
+    case ValueType::kDate:
+      h = mix(h, static_cast<uint64_t>(AsDate().chronon().days()));
+      break;
+  }
+  return h;
+}
+
+std::string Value::ToString() const {
+  switch (type()) {
+    case ValueType::kNull:
+      return "null";
+    case ValueType::kBool:
+      return AsBool() ? "true" : "false";
+    case ValueType::kInt:
+      return std::to_string(AsInt());
+    case ValueType::kFloat: {
+      char buf[64];
+      std::snprintf(buf, sizeof(buf), "%g", AsFloat());
+      return buf;
+    }
+    case ValueType::kString:
+      return AsString();
+    case ValueType::kDate:
+      return AsDate().ToString();
+  }
+  return "?";
+}
+
+}  // namespace temporadb

@@ -1,0 +1,96 @@
+#ifndef TEMPORADB_COMMON_VALUE_H_
+#define TEMPORADB_COMMON_VALUE_H_
+
+#include <cstdint>
+#include <string>
+#include <variant>
+
+#include "common/date.h"
+#include "common/result.h"
+
+namespace temporadb {
+
+/// The dynamic type of a `Value`.
+///
+/// `kDate` is how temporadb realizes the paper's *user-defined time* (§4.5):
+/// a date-typed attribute appears in the relation schema, is parsed and
+/// printed by the DBMS, but is never interpreted by the query processor's
+/// temporal machinery — exactly the "internal representation and input and
+/// output functions" the paper prescribes.
+enum class ValueType : uint8_t {
+  kNull = 0,
+  kInt = 1,
+  kFloat = 2,
+  kString = 3,
+  kDate = 4,
+  kBool = 5,
+};
+
+std::string_view ValueTypeName(ValueType t);
+
+/// A dynamically typed cell value.
+///
+/// Values are ordered within a type (NULL compares less than everything);
+/// cross-type comparisons other than int/float promotion are an error at
+/// analysis time, so `operator<` here is a total order used by sort/join
+/// machinery.
+class Value {
+ public:
+  /// NULL.
+  Value() : rep_(std::monostate{}) {}
+  explicit Value(int64_t v) : rep_(v) {}
+  explicit Value(double v) : rep_(v) {}
+  explicit Value(std::string v) : rep_(std::move(v)) {}
+  explicit Value(const char* v) : rep_(std::string(v)) {}
+  explicit Value(Date v) : rep_(v) {}
+  explicit Value(bool v) : rep_(v) {}
+
+  static Value Null() { return Value(); }
+
+  ValueType type() const;
+  bool is_null() const { return std::holds_alternative<std::monostate>(rep_); }
+
+  /// Typed accessors; calling the wrong one is a programming error
+  /// (asserted).  Use `type()` to dispatch.
+  int64_t AsInt() const;
+  double AsFloat() const;
+  const std::string& AsString() const;
+  Date AsDate() const;
+  bool AsBool() const;
+
+  /// Numeric view: ints promote to double; anything else is an error.
+  Result<double> AsNumeric() const;
+
+  /// Value equality (int 3 != float 3.0 unless compared via Compare).
+  friend bool operator==(const Value& a, const Value& b) {
+    return a.rep_ == b.rep_;
+  }
+  friend bool operator!=(const Value& a, const Value& b) { return !(a == b); }
+
+  /// Total order for container use: NULL < bool < int/float < string < date;
+  /// int and float compare numerically against each other.
+  friend bool operator<(const Value& a, const Value& b);
+
+  /// SQL-style three-way comparison for the expression evaluator: returns
+  /// InvalidArgument on incomparable types, otherwise -1/0/+1.
+  static Result<int> Compare(const Value& a, const Value& b);
+
+  /// FNV-1a hash combining type tag and payload.
+  size_t Hash() const;
+
+  /// Rendering used by result printers: strings unquoted, dates MM/DD/YY,
+  /// NULL as "null".
+  std::string ToString() const;
+
+ private:
+  std::variant<std::monostate, int64_t, double, std::string, Date, bool> rep_;
+};
+
+/// Hash functor for unordered containers.
+struct ValueHash {
+  size_t operator()(const Value& v) const { return v.Hash(); }
+};
+
+}  // namespace temporadb
+
+#endif  // TEMPORADB_COMMON_VALUE_H_

@@ -1,0 +1,238 @@
+#include "core/bulk.h"
+
+#include <optional>
+
+#include "common/strings.h"
+
+namespace temporadb {
+namespace bulk {
+
+Result<std::vector<std::string>> SplitCsvLine(const std::string& line,
+                                              char delimiter) {
+  std::vector<std::string> fields;
+  std::string current;
+  bool quoted = false;
+  for (size_t i = 0; i < line.size(); ++i) {
+    char c = line[i];
+    if (quoted) {
+      if (c == '"') {
+        if (i + 1 < line.size() && line[i + 1] == '"') {
+          current.push_back('"');
+          ++i;
+        } else {
+          quoted = false;
+        }
+      } else {
+        current.push_back(c);
+      }
+      continue;
+    }
+    if (c == '"' && current.empty()) {
+      quoted = true;
+      continue;
+    }
+    if (c == delimiter) {
+      fields.push_back(std::move(current));
+      current.clear();
+      continue;
+    }
+    current.push_back(c);
+  }
+  if (quoted) {
+    return Status::ParseError("unterminated quoted CSV field: " + line);
+  }
+  fields.push_back(std::move(current));
+  return fields;
+}
+
+namespace {
+
+std::string QuoteCsv(const std::string& field, char delimiter) {
+  bool needs_quoting =
+      field.find(delimiter) != std::string::npos ||
+      field.find('"') != std::string::npos ||
+      field.find('\n') != std::string::npos ||
+      field.find('\r') != std::string::npos;
+  if (!needs_quoting) return field;
+  std::string out = "\"";
+  for (char c : field) {
+    if (c == '"') out += "\"\"";
+    else out.push_back(c);
+  }
+  out += "\"";
+  return out;
+}
+
+Result<Chronon> ParseBound(const std::string& cell, Chronon fallback) {
+  std::string_view t = Trim(cell);
+  if (t.empty()) return fallback;
+  TDB_ASSIGN_OR_RETURN(Date d, Date::Parse(t));
+  return d.chronon();
+}
+
+}  // namespace
+
+Result<size_t> ImportCsv(Database* db, const std::string& relation,
+                         std::istream& in, const CsvOptions& options) {
+  if (!options.header) {
+    return Status::InvalidArgument(
+        "CSV imports require a header row to map columns to attributes");
+  }
+  TDB_ASSIGN_OR_RETURN(StoredRelation * rel, db->GetRelation(relation));
+  const Schema& schema = rel->schema();
+  const bool has_valid = SupportsValidTime(rel->temporal_class());
+  const bool event = rel->data_model() == TemporalDataModel::kEvent;
+
+  std::string line;
+  if (!std::getline(in, line)) {
+    return Status::InvalidArgument("empty CSV input");
+  }
+  if (!line.empty() && line.back() == '\r') line.pop_back();
+  TDB_ASSIGN_OR_RETURN(std::vector<std::string> header,
+                       SplitCsvLine(line, options.delimiter));
+
+  // Map each CSV column to a schema attribute, or to a temporal role.
+  constexpr int kValidFrom = -1, kValidTo = -2, kValidAt = -3;
+  std::vector<int> mapping;
+  for (const std::string& raw : header) {
+    std::string name(Trim(raw));
+    if (has_valid && !event && name == options.valid_from_column) {
+      mapping.push_back(kValidFrom);
+      continue;
+    }
+    if (has_valid && !event && name == options.valid_to_column) {
+      mapping.push_back(kValidTo);
+      continue;
+    }
+    if (has_valid && event && name == options.valid_at_column) {
+      mapping.push_back(kValidAt);
+      continue;
+    }
+    std::optional<size_t> idx = schema.IndexOf(name);
+    if (!idx.has_value()) {
+      return Status::InvalidArgument(StringPrintf(
+          "CSV column '%s' matches no attribute of '%s' (schema %s)",
+          name.c_str(), relation.c_str(), schema.ToString().c_str()));
+    }
+    mapping.push_back(static_cast<int>(*idx));
+  }
+
+  // Parse all rows up front so a late error aborts cleanly.
+  struct ParsedRow {
+    std::vector<Value> values;
+    std::optional<Period> valid;
+  };
+  std::vector<ParsedRow> rows;
+  size_t line_number = 1;
+  while (std::getline(in, line)) {
+    ++line_number;
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    if (Trim(line).empty()) continue;
+    TDB_ASSIGN_OR_RETURN(std::vector<std::string> fields,
+                         SplitCsvLine(line, options.delimiter));
+    if (fields.size() != mapping.size()) {
+      return Status::InvalidArgument(StringPrintf(
+          "CSV line %zu has %zu fields, header has %zu", line_number,
+          fields.size(), mapping.size()));
+    }
+    ParsedRow row;
+    row.values.assign(schema.size(), Value::Null());
+    std::optional<Chronon> from, to, at;
+    for (size_t c = 0; c < fields.size(); ++c) {
+      int target = mapping[c];
+      if (target == kValidFrom) {
+        TDB_ASSIGN_OR_RETURN(Chronon b,
+                             ParseBound(fields[c], Chronon::Beginning()));
+        from = b;
+      } else if (target == kValidTo) {
+        TDB_ASSIGN_OR_RETURN(Chronon e,
+                             ParseBound(fields[c], Chronon::Forever()));
+        to = e;
+      } else if (target == kValidAt) {
+        TDB_ASSIGN_OR_RETURN(Chronon a,
+                             ParseBound(fields[c], Chronon::Forever()));
+        at = a;
+      } else {
+        Result<Value> v =
+            schema.at(static_cast<size_t>(target)).type.ParseValue(fields[c]);
+        if (!v.ok()) {
+          return Status::InvalidArgument(StringPrintf(
+              "CSV line %zu, column '%s': %s", line_number,
+              header[c].c_str(), v.status().ToString().c_str()));
+        }
+        row.values[static_cast<size_t>(target)] = std::move(*v);
+      }
+    }
+    if (at.has_value()) {
+      row.valid = Period::At(*at);
+    } else if (from.has_value() || to.has_value()) {
+      Period p(from.value_or(Chronon::Beginning()),
+               to.value_or(Chronon::Forever()));
+      if (p.IsEmpty()) {
+        return Status::InvalidArgument(StringPrintf(
+            "CSV line %zu: empty valid period %s", line_number,
+            p.ToString().c_str()));
+      }
+      row.valid = p;
+    }
+    rows.push_back(std::move(row));
+  }
+
+  // One transaction: all or nothing.
+  TDB_RETURN_IF_ERROR(db->WithTransaction([&](Transaction* txn) -> Status {
+    for (ParsedRow& row : rows) {
+      TDB_RETURN_IF_ERROR(
+          rel->Append(txn, std::move(row.values), row.valid));
+    }
+    return Status::OK();
+  }));
+  return rows.size();
+}
+
+Status ExportCsv(const Rowset& rows, std::ostream& out,
+                 const CsvOptions& options) {
+  const bool event = rows.data_model() == TemporalDataModel::kEvent;
+  const char d = options.delimiter;
+  if (options.header) {
+    for (size_t i = 0; i < rows.schema().size(); ++i) {
+      if (i > 0) out << d;
+      out << QuoteCsv(rows.schema().at(i).name, d);
+    }
+    if (rows.has_valid_time()) {
+      if (event) {
+        out << d << options.valid_at_column;
+      } else {
+        out << d << options.valid_from_column << d
+            << options.valid_to_column;
+      }
+    }
+    if (rows.has_txn_time()) {
+      out << d << "txn_start" << d << "txn_end";
+    }
+    out << "\n";
+  }
+  for (const Row& row : rows.rows()) {
+    for (size_t i = 0; i < row.values.size(); ++i) {
+      if (i > 0) out << d;
+      out << QuoteCsv(row.values[i].ToString(), d);
+    }
+    if (rows.has_valid_time()) {
+      if (event) {
+        out << d << row.valid->begin().ToString();
+      } else {
+        out << d << row.valid->begin().ToString() << d
+            << row.valid->end().ToString();
+      }
+    }
+    if (rows.has_txn_time()) {
+      out << d << row.txn->begin().ToString() << d
+          << row.txn->end().ToString();
+    }
+    out << "\n";
+  }
+  if (!out) return Status::IOError("CSV write failed");
+  return Status::OK();
+}
+
+}  // namespace bulk
+}  // namespace temporadb

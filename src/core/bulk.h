@@ -1,0 +1,54 @@
+#ifndef TEMPORADB_CORE_BULK_H_
+#define TEMPORADB_CORE_BULK_H_
+
+#include <istream>
+#include <ostream>
+#include <string>
+
+#include "core/database.h"
+
+namespace temporadb {
+namespace bulk {
+
+/// CSV dialect and temporal-column mapping.
+struct CsvOptions {
+  char delimiter = ',';
+  /// Import: the first row names the columns (required for schema mapping).
+  /// Export: write a header row.
+  bool header = true;
+  /// For imports into valid-time relations, these name the CSV columns that
+  /// carry the valid period (dates in any accepted format; empty cell or
+  /// "inf" means open-ended).  They are not schema attributes.
+  std::string valid_from_column = "valid_from";
+  std::string valid_to_column = "valid_to";
+  /// Event relations take a single instant column instead.
+  std::string valid_at_column = "valid_at";
+};
+
+/// Imports CSV rows into `relation` as a single transaction (all or
+/// nothing).  Header names map to schema attributes by exact name; columns
+/// matching the temporal names of `options` feed the valid clause; any
+/// other column is an error.  Missing attributes become NULL.  Values parse
+/// via the attribute type (`Type::ParseValue`), so dates accept "12/15/82"
+/// and "1982-12-15".
+///
+/// Returns the number of tuples appended.
+Result<size_t> ImportCsv(Database* db, const std::string& relation,
+                         std::istream& in, const CsvOptions& options = {});
+
+/// Writes a rowset as CSV.  Temporal columns (when the rowset's class has
+/// them) are appended as `valid_from`/`valid_to` (or `valid_at` for event
+/// rowsets) and `txn_start`/`txn_end`, rendered as dates with "inf"/"-inf"
+/// sentinels.  Fields containing the delimiter, quotes or newlines are
+/// quoted with doubled-quote escaping.
+Status ExportCsv(const Rowset& rows, std::ostream& out,
+                 const CsvOptions& options = {});
+
+/// Splits one CSV record (RFC-4180 quoting); exposed for tests.
+Result<std::vector<std::string>> SplitCsvLine(const std::string& line,
+                                              char delimiter);
+
+}  // namespace bulk
+}  // namespace temporadb
+
+#endif  // TEMPORADB_CORE_BULK_H_

@@ -1,0 +1,610 @@
+#include "core/database.h"
+
+#include <dirent.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <fstream>
+
+#include "common/coding.h"
+#include "common/strings.h"
+#include "storage/heap_file.h"
+#include "tquel/parser.h"
+
+namespace temporadb {
+
+namespace {
+
+// WAL record types.
+constexpr uint32_t kWalTxnBegin = 1;
+constexpr uint32_t kWalTxnCommit = 2;
+constexpr uint32_t kWalVersionOp = 3;
+constexpr uint32_t kWalCreateRelation = 4;
+constexpr uint32_t kWalDropRelation = 5;
+
+std::string EncodeVersionOp(uint64_t rel_id, const VersionOp& op) {
+  std::string out;
+  PutFixed64(&out, rel_id);
+  PutFixed32(&out, static_cast<uint32_t>(op.kind));
+  PutFixed64(&out, op.row);
+  PutFixed64(&out, static_cast<uint64_t>(op.tt_end.days()));
+  op.tuple.EncodeTo(&out);
+  return out;
+}
+
+Result<std::pair<uint64_t, VersionOp>> DecodeVersionOp(std::string_view in) {
+  uint64_t rel_id, row, tt_end;
+  uint32_t kind;
+  if (!GetFixed64(&in, &rel_id) || !GetFixed32(&in, &kind) ||
+      !GetFixed64(&in, &row) || !GetFixed64(&in, &tt_end)) {
+    return Status::Corruption("WAL: truncated version op");
+  }
+  VersionOp op;
+  op.kind = static_cast<VersionOp::Kind>(kind);
+  op.row = row;
+  op.tt_end = Chronon(static_cast<int64_t>(tt_end));
+  TDB_ASSIGN_OR_RETURN(op.tuple, BitemporalTuple::DecodeFrom(&in));
+  return std::make_pair(rel_id, std::move(op));
+}
+
+std::string EncodeRelationInfo(const RelationInfo& info) {
+  std::string out;
+  PutFixed64(&out, info.id);
+  PutLengthPrefixed(&out, info.name);
+  info.schema.EncodeTo(&out);
+  PutFixed32(&out, static_cast<uint32_t>(info.temporal_class));
+  PutFixed32(&out, static_cast<uint32_t>(info.data_model));
+  PutFixed32(&out, info.persistent ? 1 : 0);
+  return out;
+}
+
+Result<RelationInfo> DecodeRelationInfo(std::string_view in) {
+  RelationInfo info;
+  std::string_view name;
+  if (!GetFixed64(&in, &info.id) || !GetLengthPrefixed(&in, &name)) {
+    return Status::Corruption("WAL: truncated relation info");
+  }
+  info.name = std::string(name);
+  TDB_ASSIGN_OR_RETURN(info.schema, Schema::DecodeFrom(&in));
+  uint32_t cls, model, persistent;
+  if (!GetFixed32(&in, &cls) || !GetFixed32(&in, &model) ||
+      !GetFixed32(&in, &persistent)) {
+    return Status::Corruption("WAL: truncated relation flags");
+  }
+  info.temporal_class = static_cast<TemporalClass>(cls);
+  info.data_model = static_cast<TemporalDataModel>(model);
+  info.persistent = persistent != 0;
+  return info;
+}
+
+Status WriteFileAtomic(const std::string& path, const std::string& content) {
+  std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) return Status::IOError("cannot open " + tmp);
+    out.write(content.data(), static_cast<std::streamsize>(content.size()));
+    if (!out) return Status::IOError("short write to " + tmp);
+  }
+  if (::rename(tmp.c_str(), path.c_str()) != 0) {
+    return Status::IOError(StringPrintf("rename(%s): %s", path.c_str(),
+                                        std::strerror(errno)));
+  }
+  return Status::OK();
+}
+
+Result<std::string> ReadFileAll(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::NotFound("cannot open " + path);
+  std::string content((std::istreambuf_iterator<char>(in)),
+                      std::istreambuf_iterator<char>());
+  return content;
+}
+
+bool DirExists(const std::string& path) {
+  struct stat st;
+  return ::stat(path.c_str(), &st) == 0 && S_ISDIR(st.st_mode);
+}
+
+Status RemoveDirRecursive(const std::string& path) {
+  DIR* dir = ::opendir(path.c_str());
+  if (dir == nullptr) return Status::OK();  // Already gone.
+  struct dirent* entry;
+  while ((entry = ::readdir(dir)) != nullptr) {
+    std::string name = entry->d_name;
+    if (name == "." || name == "..") continue;
+    std::string full = path + "/" + name;
+    ::unlink(full.c_str());
+  }
+  ::closedir(dir);
+  ::rmdir(path.c_str());
+  return Status::OK();
+}
+
+}  // namespace
+
+Database::Database(DatabaseOptions options)
+    : options_(std::move(options)),
+      clock_(options_.clock != nullptr ? options_.clock : &default_clock_),
+      txn_manager_(std::make_unique<TxnManager>(clock_)) {}
+
+Database::~Database() {
+  if (active_txn_ != nullptr && active_txn_->IsActive()) {
+    (void)Abort(active_txn_);
+  }
+}
+
+Result<std::unique_ptr<Database>> Database::Open(DatabaseOptions options) {
+  auto db = std::unique_ptr<Database>(new Database(std::move(options)));
+  if (!db->options_.path.empty()) {
+    TDB_RETURN_IF_ERROR(db->InitPersistence());
+    TDB_RETURN_IF_ERROR(db->Recover());
+  }
+  return db;
+}
+
+Status Database::InitPersistence() {
+  if (!DirExists(options_.path)) {
+    if (::mkdir(options_.path.c_str(), 0755) != 0 && errno != EEXIST) {
+      return Status::IOError(StringPrintf("mkdir(%s): %s",
+                                          options_.path.c_str(),
+                                          std::strerror(errno)));
+    }
+  }
+  TDB_ASSIGN_OR_RETURN(wal_, WriteAheadLog::Open(options_.path + "/wal.log"));
+  return Status::OK();
+}
+
+Status Database::Recover() {
+  replaying_ = true;
+  Status status = [&]() -> Status {
+    // 1. Load the checkpoint named by CURRENT, if any.
+    Result<std::string> current = ReadFileAll(options_.path + "/CURRENT");
+    if (current.ok()) {
+      std::string dir(Trim(*current));
+      checkpoint_seq_ = 0;
+      size_t dash = dir.rfind('-');
+      if (dash != std::string::npos) {
+        checkpoint_seq_ =
+            static_cast<uint64_t>(std::strtoull(dir.c_str() + dash + 1,
+                                                nullptr, 10));
+      }
+      TDB_RETURN_IF_ERROR(LoadCheckpoint(options_.path + "/" + dir));
+    }
+    // 2. Replay the WAL on top.
+    return ReplayWal();
+  }();
+  replaying_ = false;
+  return status;
+}
+
+Status Database::LoadCheckpoint(const std::string& dir) {
+  TDB_ASSIGN_OR_RETURN(std::string blob, ReadFileAll(dir + "/catalog.tdb"));
+  std::string_view view = blob;
+  uint64_t stored_sum;
+  if (!GetFixed64(&view, &stored_sum) ||
+      stored_sum != Checksum64(view.data(), view.size())) {
+    return Status::Corruption("checkpoint catalog checksum mismatch");
+  }
+  TDB_ASSIGN_OR_RETURN(catalog_, Catalog::DecodeFrom(&view));
+  for (const RelationInfo& info : catalog_.ListRelations()) {
+    auto rel = MakeStoredRelation(info, options_.store_options);
+    StoredRelation* ptr = rel.get();
+    relations_[info.name] = std::move(rel);
+    relations_by_id_[info.id] = ptr;
+    WireObserver(ptr);
+    // Load the relation's slots from its heap file.
+    std::string heap_path = dir + StringPrintf("/rel-%llu.heap",
+                                               (unsigned long long)info.id);
+    TDB_ASSIGN_OR_RETURN(std::unique_ptr<FilePager> pager,
+                         FilePager::Open(heap_path));
+    TDB_ASSIGN_OR_RETURN(std::unique_ptr<HeapFile> heap,
+                         HeapFile::Open(std::move(pager)));
+    Status scan = heap->Scan([&](RecordId, Slice record) -> Status {
+      std::string_view in = record.view();
+      if (in.empty()) return Status::Corruption("empty checkpoint record");
+      bool live = in[0] != 0;
+      in.remove_prefix(1);
+      if (live) {
+        TDB_ASSIGN_OR_RETURN(BitemporalTuple tuple,
+                             BitemporalTuple::DecodeFrom(&in));
+        // Transaction time must never regress across recovery, even when
+        // the checkpoint truncated the WAL records that carried the
+        // original timestamps.
+        if (tuple.txn.begin().IsFinite()) {
+          txn_manager_->ObserveRecoveredTimestamp(tuple.txn.begin());
+        }
+        if (tuple.txn.end().IsFinite()) {
+          txn_manager_->ObserveRecoveredTimestamp(tuple.txn.end());
+        }
+        ptr->store()->LoadSlot(std::move(tuple));
+      } else {
+        ptr->store()->LoadSlot(std::nullopt);
+      }
+      return Status::OK();
+    });
+    TDB_RETURN_IF_ERROR(scan);
+  }
+  return Status::OK();
+}
+
+Status Database::ReplayWal() {
+  // Buffer ops per transaction; apply on commit.  DDL records are applied
+  // immediately (they were logged post-commit of the DDL itself).
+  std::map<uint64_t, std::vector<std::pair<uint64_t, VersionOp>>> pending;
+  uint64_t open_txn = 0;
+  return wal_->Replay(0, [&](const WalRecord& rec) -> Status {
+    std::string_view payload = rec.payload;
+    switch (rec.type) {
+      case kWalTxnBegin: {
+        uint64_t txn_id, ts;
+        if (!GetFixed64(&payload, &txn_id) || !GetFixed64(&payload, &ts)) {
+          return Status::Corruption("WAL: bad txn-begin");
+        }
+        open_txn = txn_id;
+        pending[txn_id].clear();
+        txn_manager_->ObserveRecoveredTimestamp(
+            Chronon(static_cast<int64_t>(ts)));
+        return Status::OK();
+      }
+      case kWalVersionOp: {
+        TDB_ASSIGN_OR_RETURN(auto decoded, DecodeVersionOp(payload));
+        pending[open_txn].push_back(std::move(decoded));
+        return Status::OK();
+      }
+      case kWalTxnCommit: {
+        uint64_t txn_id;
+        if (!GetFixed64(&payload, &txn_id)) {
+          return Status::Corruption("WAL: bad txn-commit");
+        }
+        auto it = pending.find(txn_id);
+        if (it == pending.end()) return Status::OK();
+        for (const auto& [rel_id, op] : it->second) {
+          auto rel_it = relations_by_id_.find(rel_id);
+          if (rel_it == relations_by_id_.end()) {
+            return Status::Corruption(StringPrintf(
+                "WAL references unknown relation id %llu",
+                (unsigned long long)rel_id));
+          }
+          TDB_RETURN_IF_ERROR(rel_it->second->store()->ApplyReplay(op));
+        }
+        pending.erase(it);
+        return Status::OK();
+      }
+      case kWalCreateRelation: {
+        TDB_ASSIGN_OR_RETURN(RelationInfo info, DecodeRelationInfo(payload));
+        TDB_ASSIGN_OR_RETURN(
+            RelationInfo created,
+            catalog_.CreateRelation(info.name, info.schema,
+                                    info.temporal_class, info.data_model,
+                                    info.persistent));
+        (void)created;
+        auto rel = MakeStoredRelation(info, options_.store_options);
+        StoredRelation* ptr = rel.get();
+        relations_[info.name] = std::move(rel);
+        relations_by_id_[info.id] = ptr;
+        WireObserver(ptr);
+        return Status::OK();
+      }
+      case kWalDropRelation: {
+        std::string_view name;
+        if (!GetLengthPrefixed(&payload, &name)) {
+          return Status::Corruption("WAL: bad drop-relation");
+        }
+        Result<RelationInfo> info = catalog_.GetRelation(name);
+        if (info.ok()) {
+          relations_by_id_.erase(info->id);
+          relations_.erase(std::string(name));
+          (void)catalog_.DropRelation(name);
+        }
+        return Status::OK();
+      }
+      default:
+        return Status::Corruption("WAL: unknown record type");
+    }
+  });
+}
+
+Status Database::LogDdl(uint32_t type, const std::string& payload) {
+  if (wal_ == nullptr || replaying_) return Status::OK();
+  TDB_ASSIGN_OR_RETURN(uint64_t lsn, wal_->Append(type, payload));
+  (void)lsn;
+  return wal_->Sync();
+}
+
+void Database::WireObserver(StoredRelation* rel) {
+  uint64_t id = rel->info().id;
+  rel->store()->set_observer([this, id](const VersionOp& op) {
+    if (wal_ == nullptr || replaying_) return;
+    redo_buffer_.emplace_back(id, op);
+  });
+}
+
+Result<RelationInfo> Database::CreateRelation(const std::string& name,
+                                              Schema schema,
+                                              TemporalClass temporal_class,
+                                              TemporalDataModel data_model) {
+  TDB_ASSIGN_OR_RETURN(
+      RelationInfo info,
+      catalog_.CreateRelation(name, std::move(schema), temporal_class,
+                              data_model, !options_.path.empty()));
+  auto rel = MakeStoredRelation(info, options_.store_options);
+  StoredRelation* ptr = rel.get();
+  relations_[name] = std::move(rel);
+  relations_by_id_[info.id] = ptr;
+  WireObserver(ptr);
+  TDB_RETURN_IF_ERROR(LogDdl(kWalCreateRelation, EncodeRelationInfo(info)));
+  return info;
+}
+
+Status Database::DropRelation(const std::string& name) {
+  TDB_ASSIGN_OR_RETURN(RelationInfo info, catalog_.GetRelation(name));
+  TDB_RETURN_IF_ERROR(catalog_.DropRelation(name));
+  relations_by_id_.erase(info.id);
+  relations_.erase(name);
+  // Drop any ranges over it.
+  for (auto it = ranges_.begin(); it != ranges_.end();) {
+    if (it->second == name) {
+      it = ranges_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  std::string payload;
+  PutLengthPrefixed(&payload, name);
+  return LogDdl(kWalDropRelation, payload);
+}
+
+Result<StoredRelation*> Database::GetRelationInternal(std::string_view name) {
+  auto it = relations_.find(std::string(name));
+  if (it == relations_.end()) {
+    return Status::NotFound("no such relation: " + std::string(name));
+  }
+  return it->second.get();
+}
+
+Result<StoredRelation*> Database::GetRelation(std::string_view name) {
+  return GetRelationInternal(name);
+}
+
+std::vector<RelationInfo> Database::ListRelations() const {
+  return catalog_.ListRelations();
+}
+
+Status Database::CreateFromStmt(const tquel::CreateStmt& stmt) {
+  std::vector<Attribute> attrs;
+  for (const auto& [attr_name, type_name] : stmt.attributes) {
+    TDB_ASSIGN_OR_RETURN(Type type, Type::ParseQuelType(type_name));
+    attrs.push_back(Attribute{attr_name, type});
+  }
+  TDB_ASSIGN_OR_RETURN(Schema schema, Schema::Make(std::move(attrs)));
+  TDB_ASSIGN_OR_RETURN(RelationInfo info,
+                       CreateRelation(stmt.name, std::move(schema),
+                                      stmt.temporal_class, stmt.data_model));
+  (void)info;
+  return Status::OK();
+}
+
+tquel::EvalContext Database::MakeEvalContext(Transaction* txn) {
+  tquel::EvalContext ctx;
+  ctx.get_relation = [this](std::string_view name) {
+    return GetRelationInternal(name);
+  };
+  ctx.create_relation = [this](const tquel::CreateStmt& stmt) {
+    return CreateFromStmt(stmt);
+  };
+  ctx.drop_relation = [this](std::string_view name) {
+    return DropRelation(std::string(name));
+  };
+  ctx.ranges = &ranges_;
+  ctx.derived = &derived_;
+  ctx.txn_manager = txn_manager_.get();
+  ctx.txn = txn;
+  return ctx;
+}
+
+namespace {
+
+bool IsDml(const tquel::Statement& stmt) {
+  return std::holds_alternative<tquel::AppendStmt>(stmt) ||
+         std::holds_alternative<tquel::DeleteStmt>(stmt) ||
+         std::holds_alternative<tquel::ReplaceStmt>(stmt) ||
+         std::holds_alternative<tquel::CorrectStmt>(stmt);
+}
+
+}  // namespace
+
+Result<tquel::ExecResult> Database::Execute(std::string_view source) {
+  TDB_ASSIGN_OR_RETURN(std::vector<tquel::Statement> stmts,
+                       tquel::Parse(source));
+  if (stmts.empty()) {
+    return Status::InvalidArgument("no statement to execute");
+  }
+  tquel::ExecResult last;
+  for (const tquel::Statement& stmt : stmts) {
+    // Transaction control lives here: the facade owns Begin/Commit/Abort.
+    if (std::holds_alternative<tquel::BeginTxnStmt>(stmt)) {
+      TDB_ASSIGN_OR_RETURN(Transaction * txn, Begin());
+      (void)txn;
+      last = tquel::ExecResult{};
+      last.message = "transaction started";
+      continue;
+    }
+    if (std::holds_alternative<tquel::CommitStmt>(stmt)) {
+      if (active_txn_ == nullptr) {
+        return Status::FailedPrecondition("no active transaction to commit");
+      }
+      TDB_RETURN_IF_ERROR(Commit(active_txn_));
+      last = tquel::ExecResult{};
+      last.message = "committed";
+      continue;
+    }
+    if (std::holds_alternative<tquel::AbortStmt>(stmt)) {
+      if (active_txn_ == nullptr) {
+        return Status::FailedPrecondition("no active transaction to abort");
+      }
+      TDB_RETURN_IF_ERROR(Abort(active_txn_));
+      last = tquel::ExecResult{};
+      last.message = "aborted";
+      continue;
+    }
+    if (IsDml(stmt) && active_txn_ == nullptr) {
+      // Auto-commit: the statement is its own transaction.
+      TDB_ASSIGN_OR_RETURN(Transaction * txn, Begin());
+      tquel::EvalContext ctx = MakeEvalContext(txn);
+      Result<tquel::ExecResult> result = tquel::Execute(stmt, ctx);
+      if (!result.ok()) {
+        (void)Abort(txn);
+        return result.status();
+      }
+      TDB_RETURN_IF_ERROR(Commit(txn));
+      last = std::move(result).value();
+    } else {
+      tquel::EvalContext ctx = MakeEvalContext(active_txn_);
+      TDB_ASSIGN_OR_RETURN(last, tquel::Execute(stmt, ctx));
+    }
+  }
+  return last;
+}
+
+Result<Rowset> Database::Query(std::string_view source) {
+  TDB_ASSIGN_OR_RETURN(tquel::ExecResult result, Execute(source));
+  if (result.kind != tquel::ExecResult::Kind::kRows) {
+    return Status::InvalidArgument("statement did not produce rows");
+  }
+  return std::move(result.rows);
+}
+
+Result<Rowset> Database::GetDerived(const std::string& name) const {
+  auto it = derived_.find(name);
+  if (it == derived_.end()) {
+    return Status::NotFound("no derived relation named '" + name + "'");
+  }
+  return it->second;
+}
+
+Result<Transaction*> Database::Begin() {
+  TDB_ASSIGN_OR_RETURN(Transaction * txn, txn_manager_->Begin());
+  active_txn_ = txn;
+  redo_buffer_.clear();
+  return txn;
+}
+
+Status Database::Commit(Transaction* txn) {
+  if (txn != active_txn_) {
+    return Status::InvalidArgument("commit of a non-active transaction");
+  }
+  if (wal_ != nullptr && !redo_buffer_.empty()) {
+    std::string begin_payload;
+    PutFixed64(&begin_payload, txn->id());
+    PutFixed64(&begin_payload, static_cast<uint64_t>(txn->timestamp().days()));
+    TDB_ASSIGN_OR_RETURN(uint64_t lsn,
+                         wal_->Append(kWalTxnBegin, begin_payload));
+    (void)lsn;
+    for (const auto& [rel_id, op] : redo_buffer_) {
+      TDB_ASSIGN_OR_RETURN(lsn, wal_->Append(kWalVersionOp,
+                                             EncodeVersionOp(rel_id, op)));
+    }
+    std::string commit_payload;
+    PutFixed64(&commit_payload, txn->id());
+    TDB_ASSIGN_OR_RETURN(lsn, wal_->Append(kWalTxnCommit, commit_payload));
+    if (options_.sync_commits) {
+      TDB_RETURN_IF_ERROR(wal_->Sync());
+    }
+  }
+  redo_buffer_.clear();
+  Status s = txn_manager_->Commit(txn);
+  active_txn_ = nullptr;
+  return s;
+}
+
+Status Database::Abort(Transaction* txn) {
+  if (txn != active_txn_) {
+    return Status::InvalidArgument("abort of a non-active transaction");
+  }
+  redo_buffer_.clear();
+  Status s = txn_manager_->Abort(txn);
+  active_txn_ = nullptr;
+  return s;
+}
+
+Status Database::WithTransaction(
+    const std::function<Status(Transaction*)>& fn) {
+  TDB_ASSIGN_OR_RETURN(Transaction * txn, Begin());
+  Status s = fn(txn);
+  if (!s.ok()) {
+    (void)Abort(txn);
+    return s;
+  }
+  return Commit(txn);
+}
+
+Status Database::Checkpoint(bool compact) {
+  if (wal_ == nullptr) return Status::OK();
+  if (active_txn_ != nullptr && active_txn_->IsActive()) {
+    return Status::FailedPrecondition(
+        "cannot checkpoint with an active transaction");
+  }
+  if (compact) {
+    // Safe exactly here: no transaction is active and the WAL records that
+    // reference the old row ids are truncated below.
+    for (const auto& [name, rel] : relations_) {
+      (void)rel->store()->CompactTombstones();
+    }
+  }
+  uint64_t seq = checkpoint_seq_ + 1;
+  std::string dir_name = StringPrintf("ckpt-%llu", (unsigned long long)seq);
+  std::string dir = options_.path + "/" + dir_name;
+  TDB_RETURN_IF_ERROR(RemoveDirRecursive(dir));  // Stale partial attempt.
+  if (::mkdir(dir.c_str(), 0755) != 0) {
+    return Status::IOError(StringPrintf("mkdir(%s): %s", dir.c_str(),
+                                        std::strerror(errno)));
+  }
+  // Catalog.
+  std::string payload;
+  catalog_.EncodeTo(&payload);
+  std::string blob;
+  PutFixed64(&blob, Checksum64(payload.data(), payload.size()));
+  blob += payload;
+  TDB_RETURN_IF_ERROR(WriteFileAtomic(dir + "/catalog.tdb", blob));
+  // Relations.
+  for (const auto& [name, rel] : relations_) {
+    std::string heap_path = dir + StringPrintf(
+        "/rel-%llu.heap", (unsigned long long)rel->info().id);
+    TDB_ASSIGN_OR_RETURN(std::unique_ptr<FilePager> pager,
+                         FilePager::Open(heap_path));
+    TDB_ASSIGN_OR_RETURN(std::unique_ptr<HeapFile> heap,
+                         HeapFile::Open(std::move(pager)));
+    Status status = Status::OK();
+    rel->store()->ForEachSlot([&](RowId, const BitemporalTuple* tuple) {
+      if (!status.ok()) return;
+      std::string record;
+      record.push_back(tuple != nullptr ? 1 : 0);
+      if (tuple != nullptr) tuple->EncodeTo(&record);
+      Result<RecordId> id = heap->Append(record);
+      if (!id.ok()) status = id.status();
+    });
+    TDB_RETURN_IF_ERROR(status);
+    TDB_RETURN_IF_ERROR(heap->Flush());
+  }
+  // Publish: CURRENT -> new dir, then truncate the log and GC the old dir.
+  TDB_RETURN_IF_ERROR(WriteFileAtomic(options_.path + "/CURRENT", dir_name));
+  TDB_RETURN_IF_ERROR(wal_->Truncate());
+  if (checkpoint_seq_ > 0) {
+    std::string old_dir = options_.path +
+                          StringPrintf("/ckpt-%llu",
+                                       (unsigned long long)checkpoint_seq_);
+    (void)RemoveDirRecursive(old_dir);
+  }
+  checkpoint_seq_ = seq;
+  return Status::OK();
+}
+
+uint64_t Database::WalBytes() const {
+  if (wal_ == nullptr) return 0;
+  Result<uint64_t> size = wal_->SizeBytes();
+  return size.ok() ? *size : 0;
+}
+
+}  // namespace temporadb

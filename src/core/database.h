@@ -1,0 +1,159 @@
+#ifndef TEMPORADB_CORE_DATABASE_H_
+#define TEMPORADB_CORE_DATABASE_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "catalog/catalog.h"
+#include "rel/relation.h"
+#include "storage/wal.h"
+#include "temporal/stored_relation.h"
+#include "tquel/evaluator.h"
+#include "txn/clock.h"
+#include "txn/txn_manager.h"
+
+namespace temporadb {
+
+/// Database configuration.
+struct DatabaseOptions {
+  /// Directory for persistence (created if missing).  Empty: purely
+  /// in-memory, no WAL, no checkpoints.
+  std::string path;
+
+  /// Transaction-time source.  Null: the system calendar.  Tests and the
+  /// paper-scenario driver pass a `ManualClock` to replay historical dates.
+  /// The clock must outlive the database.
+  const Clock* clock = nullptr;
+
+  /// Index toggles, exposed for the ablation benches.
+  VersionStoreOptions store_options;
+
+  /// fsync the WAL on every commit (durability); off for benchmarks that
+  /// measure the engine rather than the disk.
+  bool sync_commits = true;
+};
+
+/// The temporadb embedded database: catalog + relations + transactions +
+/// TQuel, with optional WAL/checkpoint persistence.
+///
+/// Usage:
+/// ```cpp
+/// auto db = Database::Open({});
+/// db->Execute("create temporal relation faculty (name = string, rank = string)");
+/// db->Execute("append to faculty (name = \"Merrie\", rank = \"associate\") "
+///             "valid from \"09/01/77\" to \"inf\"");
+/// db->Execute("range of f is faculty");
+/// auto rows = db->Query("retrieve (f.rank) where f.name = \"Merrie\" "
+///                       "as of \"12/10/82\"");
+/// ```
+///
+/// Statements run in auto-commit mode (one transaction per DML statement)
+/// unless wrapped with `Begin`/`Commit`.
+class Database {
+ public:
+  static Result<std::unique_ptr<Database>> Open(DatabaseOptions options = {});
+  ~Database();
+
+  Database(const Database&) = delete;
+  Database& operator=(const Database&) = delete;
+
+  // --- DDL (programmatic) -------------------------------------------------
+
+  Result<RelationInfo> CreateRelation(
+      const std::string& name, Schema schema, TemporalClass temporal_class,
+      TemporalDataModel data_model = TemporalDataModel::kInterval);
+
+  Status DropRelation(const std::string& name);
+
+  Result<StoredRelation*> GetRelation(std::string_view name);
+  std::vector<RelationInfo> ListRelations() const;
+
+  // --- TQuel --------------------------------------------------------------
+
+  /// Parses and executes one or more statements; returns the last result.
+  /// Each DML statement runs in its own transaction unless one is active.
+  Result<tquel::ExecResult> Execute(std::string_view source);
+
+  /// Convenience: executes a single retrieve/show and returns the rowset.
+  Result<Rowset> Query(std::string_view source);
+
+  /// Named results of `retrieve into`.
+  Result<Rowset> GetDerived(const std::string& name) const;
+
+  // --- Transactions -------------------------------------------------------
+
+  /// Starts an explicit transaction; statements executed until `Commit`
+  /// join it.
+  Result<Transaction*> Begin();
+  Status Commit(Transaction* txn);
+  Status Abort(Transaction* txn);
+
+  /// Runs `fn` inside a transaction, committing on OK and aborting on
+  /// error.
+  Status WithTransaction(const std::function<Status(Transaction*)>& fn);
+
+  /// The chronon the next transaction would be stamped with.
+  Chronon Now() const { return txn_manager_->Now(); }
+
+  TxnManager* txn_manager() { return txn_manager_.get(); }
+
+  // --- Persistence --------------------------------------------------------
+
+  /// Writes a consistent checkpoint (catalog + every relation's versions)
+  /// and truncates the WAL.  No-op (OK) for in-memory databases.
+  ///
+  /// With `compact` set, tombstone slots left by historical corrections are
+  /// physically reclaimed first (row ids renumber; this is the only point
+  /// where that is safe, because the WAL that references them is truncated
+  /// by the same checkpoint).  If a compacting checkpoint returns an I/O
+  /// error, stop writing and reopen the database: the on-disk state is
+  /// still the consistent pre-checkpoint one, but the in-memory row ids no
+  /// longer match the surviving WAL.
+  Status Checkpoint(bool compact = false);
+
+  /// WAL size in bytes (0 when in-memory); for the recovery bench.
+  uint64_t WalBytes() const;
+
+  // --- Introspection ------------------------------------------------------
+
+  const Catalog& catalog() const { return catalog_; }
+  std::map<std::string, std::string>& ranges() { return ranges_; }
+
+ private:
+  explicit Database(DatabaseOptions options);
+
+  Status InitPersistence();
+  Status Recover();
+  Status LoadCheckpoint(const std::string& dir);
+  Status ReplayWal();
+  Status LogDdl(uint32_t type, const std::string& payload);
+  void WireObserver(StoredRelation* rel);
+  tquel::EvalContext MakeEvalContext(Transaction* txn);
+  Result<StoredRelation*> GetRelationInternal(std::string_view name);
+  Status CreateFromStmt(const tquel::CreateStmt& stmt);
+
+  DatabaseOptions options_;
+  SystemClock default_clock_;
+  const Clock* clock_;
+  std::unique_ptr<TxnManager> txn_manager_;
+  Catalog catalog_;
+  std::unordered_map<std::string, std::unique_ptr<StoredRelation>> relations_;
+  std::unordered_map<uint64_t, StoredRelation*> relations_by_id_;
+  std::map<std::string, std::string> ranges_;
+  std::map<std::string, Rowset> derived_;
+
+  // Persistence.
+  std::unique_ptr<WriteAheadLog> wal_;
+  // Redo buffer of the active transaction: (relation id, op).
+  std::vector<std::pair<uint64_t, VersionOp>> redo_buffer_;
+  Transaction* active_txn_ = nullptr;
+  bool replaying_ = false;
+  uint64_t checkpoint_seq_ = 0;
+};
+
+}  // namespace temporadb
+
+#endif  // TEMPORADB_CORE_DATABASE_H_

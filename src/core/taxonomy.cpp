@@ -1,0 +1,179 @@
+#include "core/taxonomy.h"
+
+#include "common/table_printer.h"
+
+namespace temporadb {
+
+const std::vector<LiteratureEntry>& Figure1Literature() {
+  static const auto* entries = new std::vector<LiteratureEntry>{
+      {"[Ariav & Morgan 1982]", "Time", "Yes", "Yes", "Representation"},
+      {"[Ben-Zvi 1982]", "Registration", "Yes", "Yes", "Representation"},
+      {"[Ben-Zvi 1982]", "Effective", "No", "Yes", "Reality"},
+      {"[Clifford & Warren 1983]", "State", "No", "Yes", ""},
+      {"[Copeland & Maier 1984]", "Transaction", "Yes", "Yes",
+       "Representation"},
+      {"[Copeland & Maier 1984]", "Event (1)", "No", "No", "Reality"},
+      {"[Dadam et al. 1984] & [Lum et al. 1984]", "Physical", "(2)", "Yes",
+       "Representation"},
+      {"[Dadam et al. 1984] & [Lum et al. 1984]", "Logical (1)", "No", "No",
+       "Reality"},
+      {"[Jones et al. 1979] & [Jones & Mason 1980]", "Start/End", "(2)",
+       "Yes", "Reality"},
+      {"[Jones et al. 1979] & [Jones & Mason 1980]", "User Defined", "No",
+       "No", "Reality"},
+      {"[Mueller & Steinbauer 1983]", "Data-Valid-Time-From/To", "(3)", "Yes",
+       "Representation (4)"},
+      {"[Reed 1978]", "Start/End", "Yes", "Yes", "Representation"},
+      {"[Snodgrass 1984]", "Valid Time", "No", "Yes", "Reality"},
+  };
+  return *entries;
+}
+
+const std::vector<std::string>& Figure1Footnotes() {
+  static const auto* notes = new std::vector<std::string>{
+      "(1) Not actually supported by the system",
+      "(2) Can make corrections only",
+      "(3) Can make changes only in the future",
+      "(4) Reality is indicated only in the future",
+  };
+  return *notes;
+}
+
+const std::vector<TimeKindEntry>& Figure12TimeKinds() {
+  static const auto* entries = new std::vector<TimeKindEntry>{
+      {"Transaction", true, true, "Representation"},
+      {"Valid", false, true, "Reality"},
+      {"User-defined", false, false, "Reality"},
+  };
+  return *entries;
+}
+
+const std::vector<SystemSurveyEntry>& Figure13Systems() {
+  static const auto* entries = new std::vector<SystemSurveyEntry>{
+      {"[Ariav & Morgan 1982]", "MDM/DB", true, false, false},
+      {"[Ben-Zvi 1982]", "TRM", true, true, false},
+      {"[Bontempo 1983]", "QBE", false, false, true},
+      {"[Breutmann et al. 1979]", "CSL", false, true, false},
+      {"[Clifford & Warren 1983]", "IL_s", false, true, false},
+      {"[Copeland & Maier 1984]", "GemStone", true, false, false},
+      {"[Findler & Chen 1971]", "AMPPL-II", false, true, false},
+      {"[Jones & Mason 1980]", "LEGOL 2.0", false, true, true},
+      {"[Klopprogge 1981]", "TERM", false, true, false},
+      {"[Lum et al. 1984]", "AIM", true, false, false},
+      {"[Relational 1984]", "MicroINGRES", false, false, true},
+      {"[Mueller & Steinbauer 1983]", "", true, false, false},
+      {"[Overmyer & Stonebraker 1982]", "INGRES", false, false, true},
+      {"[Reed 1978]", "SWALLOW", true, false, false},
+      {"[Snodgrass 1985]", "TQuel", true, true, true},
+      {"[Tandem 1983]", "ENFORM", false, false, true},
+      {"[Wiederhold et al. 1975]", "TODS", false, true, false},
+  };
+  return *entries;
+}
+
+namespace {
+
+constexpr TemporalClass kAllClasses[] = {
+    TemporalClass::kStatic, TemporalClass::kRollback,
+    TemporalClass::kHistorical, TemporalClass::kTemporal};
+
+std::string Cap(std::string_view name) {
+  std::string out(name);
+  if (!out.empty()) out[0] = static_cast<char>(std::toupper(out[0]));
+  return out;
+}
+
+}  // namespace
+
+std::string RenderFigure10() {
+  // Computed: a kind lands in the "Rollback" column iff it supports
+  // transaction time and in the "Historical Queries" row iff it supports
+  // valid time.
+  const char* grid[2][2] = {{nullptr, nullptr}, {nullptr, nullptr}};
+  static std::string names[4];
+  int i = 0;
+  for (TemporalClass c : kAllClasses) {
+    names[i] = Cap(TemporalClassName(c));
+    if (names[i] == "Rollback") names[i] = "Static Rollback";
+    grid[SupportsValidTime(c) ? 1 : 0][SupportsTransactionTime(c) ? 1 : 0] =
+        names[i].c_str();
+    ++i;
+  }
+  TablePrinter printer;
+  printer.AddColumn("");
+  printer.AddColumn("No Rollback");
+  printer.AddColumn("Rollback");
+  printer.AddRow({"Static Queries", grid[0][0], grid[0][1]});
+  printer.AddRow({"Historical Queries", grid[1][0], grid[1][1]});
+  return printer.Render("Figure 10 : Types of Databases");
+}
+
+std::string RenderFigure11() {
+  TablePrinter printer;
+  printer.AddColumn("");
+  printer.AddColumn("Transaction");
+  printer.AddColumn("Valid");
+  printer.AddColumn("User-defined");
+  for (TemporalClass c : kAllClasses) {
+    std::string name = Cap(TemporalClassName(c));
+    if (name == "Rollback") name = "Static Rollback";
+    // User-defined time is available in kinds that model reality (the
+    // paper pairs it with valid time: "it is appropriate that they should
+    // appear together", §4.3); temporadb stores date attributes in any
+    // kind, but the taxonomy figure marks it for valid-time kinds.
+    printer.AddRow({name, SupportsTransactionTime(c) ? "X" : "",
+                    SupportsValidTime(c) ? "X" : "",
+                    SupportsValidTime(c) ? "X" : ""});
+  }
+  return printer.Render("Figure 11 : Attributes of the New Kinds of Databases");
+}
+
+std::string RenderFigure12() {
+  TablePrinter printer;
+  printer.AddColumn("Terminology");
+  printer.AddColumn("Append-Only");
+  printer.AddColumn("Application Independent");
+  printer.AddColumn("Representation vs. Reality");
+  for (const TimeKindEntry& e : Figure12TimeKinds()) {
+    printer.AddRow({e.terminology, e.append_only ? "Yes" : "No",
+                    e.application_independent ? "Yes" : "No",
+                    e.repr_vs_reality});
+  }
+  return printer.Render("Figure 12 : Attributes of the New Kinds of Time");
+}
+
+std::string RenderFigure1() {
+  TablePrinter printer;
+  printer.AddColumn("Reference");
+  printer.AddColumn("Terminology");
+  printer.AddColumn("Append-Only");
+  printer.AddColumn("Application Independent");
+  printer.AddColumn("Representation vs. Reality");
+  for (const LiteratureEntry& e : Figure1Literature()) {
+    printer.AddRow({e.reference, e.terminology, e.append_only,
+                    e.app_independent, e.repr_vs_reality});
+  }
+  std::string out = printer.Render("Figure 1 : Types of Time");
+  out += "Notes:\n";
+  for (const std::string& note : Figure1Footnotes()) {
+    out += "  " + note + "\n";
+  }
+  return out;
+}
+
+std::string RenderFigure13() {
+  TablePrinter printer;
+  printer.AddColumn("Reference");
+  printer.AddColumn("System or Language");
+  printer.AddColumn("Transaction Time");
+  printer.AddColumn("Valid Time");
+  printer.AddColumn("User-defined Time");
+  for (const SystemSurveyEntry& e : Figure13Systems()) {
+    printer.AddRow({e.reference, e.system, e.transaction_time ? "X" : "",
+                    e.valid_time ? "X" : "", e.user_defined_time ? "X" : ""});
+  }
+  return printer.Render(
+      "Figure 13 : Time Support in Existing or Proposed Systems");
+}
+
+}  // namespace temporadb

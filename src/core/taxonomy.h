@@ -1,0 +1,70 @@
+#ifndef TEMPORADB_CORE_TAXONOMY_H_
+#define TEMPORADB_CORE_TAXONOMY_H_
+
+#include <string>
+#include <vector>
+
+#include "catalog/temporal_class.h"
+
+namespace temporadb {
+
+/// Machine-readable forms of the paper's classification figures.  The
+/// capability matrix itself (Figures 10/11) is computed from the
+/// `temporal_class.h` predicates so that what is *printed* is what the
+/// engine *enforces*; Figures 1, 12 and 13 are survey data transcribed from
+/// the paper.
+
+/// One row of Figure 1: how the prior literature characterized its time
+/// attribute(s).
+struct LiteratureEntry {
+  const char* reference;
+  const char* terminology;
+  const char* append_only;      // "Yes", "No", or a footnote.
+  const char* app_independent;
+  const char* repr_vs_reality;  // "Representation" / "Reality" / "".
+};
+
+/// Figure 1, including its footnotes.
+const std::vector<LiteratureEntry>& Figure1Literature();
+const std::vector<std::string>& Figure1Footnotes();
+
+/// One row of Figure 12: the attributes of the three new kinds of time.
+struct TimeKindEntry {
+  const char* terminology;        // "Transaction", "Valid", "User-defined".
+  bool append_only;
+  bool application_independent;
+  const char* repr_vs_reality;
+};
+
+const std::vector<TimeKindEntry>& Figure12TimeKinds();
+
+/// One row of Figure 13: time support in 1985's existing or proposed
+/// systems.
+struct SystemSurveyEntry {
+  const char* reference;
+  const char* system;
+  bool transaction_time;
+  bool valid_time;
+  bool user_defined_time;
+};
+
+const std::vector<SystemSurveyEntry>& Figure13Systems();
+
+/// Renders Figure 10 (the 2×2 kinds-of-databases table), computed from the
+/// taxonomy predicates.
+std::string RenderFigure10();
+
+/// Renders Figure 11 (which times each database kind incorporates),
+/// computed from the taxonomy predicates.
+std::string RenderFigure11();
+
+/// Renders Figure 12 from `Figure12TimeKinds`.
+std::string RenderFigure12();
+
+/// Renders Figure 1 / Figure 13 from the survey tables.
+std::string RenderFigure1();
+std::string RenderFigure13();
+
+}  // namespace temporadb
+
+#endif  // TEMPORADB_CORE_TAXONOMY_H_

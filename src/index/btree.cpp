@@ -1,0 +1,226 @@
+#include "index/btree.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace temporadb {
+
+namespace {
+
+// First position whose key is >= `key`.
+size_t LowerBound(const std::vector<Value>& keys, const Value& key) {
+  return static_cast<size_t>(
+      std::lower_bound(keys.begin(), keys.end(), key) - keys.begin());
+}
+
+}  // namespace
+
+void BTreeIndex::SplitChild(Node* parent, size_t idx) {
+  Node* child = parent->children[idx].get();
+  auto right = std::make_unique<Node>();
+  right->leaf = child->leaf;
+  size_t mid = child->keys.size() / 2;
+
+  if (child->leaf) {
+    // Leaf split: right gets keys[mid..]; the separator is right's first key
+    // (B+-tree: separators are copies, data stays in leaves).
+    right->keys.assign(child->keys.begin() + mid, child->keys.end());
+    right->postings.assign(child->postings.begin() + mid,
+                           child->postings.end());
+    child->keys.resize(mid);
+    child->postings.resize(mid);
+    right->next = child->next;
+    child->next = right.get();
+    parent->keys.insert(parent->keys.begin() + idx, right->keys.front());
+    parent->children.insert(parent->children.begin() + idx + 1,
+                            std::move(right));
+  } else {
+    // Internal split: the middle key moves up.
+    Value up = child->keys[mid];
+    right->keys.assign(child->keys.begin() + mid + 1, child->keys.end());
+    for (size_t i = mid + 1; i < child->children.size(); ++i) {
+      right->children.push_back(std::move(child->children[i]));
+    }
+    child->keys.resize(mid);
+    child->children.resize(mid + 1);
+    parent->keys.insert(parent->keys.begin() + idx, std::move(up));
+    parent->children.insert(parent->children.begin() + idx + 1,
+                            std::move(right));
+  }
+}
+
+void BTreeIndex::InsertNonFull(Node* node, const Value& key, RowId row) {
+  while (true) {
+    if (node->leaf) {
+      size_t pos = LowerBound(node->keys, key);
+      if (pos < node->keys.size() && node->keys[pos] == key) {
+        node->postings[pos].push_back(row);
+      } else {
+        node->keys.insert(node->keys.begin() + pos, key);
+        node->postings.insert(node->postings.begin() + pos, {row});
+      }
+      return;
+    }
+    size_t pos = LowerBound(node->keys, key);
+    // Descend right of equal separators so equal keys cluster in one leaf
+    // run reachable by the leaf chain.
+    if (pos < node->keys.size() && node->keys[pos] == key) ++pos;
+    Node* child = node->children[pos].get();
+    if (child->keys.size() >= kOrder) {
+      SplitChild(node, pos);
+      if (key < node->keys[pos]) {
+        child = node->children[pos].get();
+      } else {
+        child = node->children[pos + 1].get();
+      }
+    }
+    node = child;
+  }
+}
+
+void BTreeIndex::Insert(const Value& key, RowId row) {
+  if (!root_) {
+    root_ = std::make_unique<Node>();
+  }
+  if (root_->keys.size() >= kOrder) {
+    auto new_root = std::make_unique<Node>();
+    new_root->leaf = false;
+    new_root->children.push_back(std::move(root_));
+    SplitChild(new_root.get(), 0);
+    root_ = std::move(new_root);
+  }
+  InsertNonFull(root_.get(), key, row);
+  ++size_;
+}
+
+const BTreeIndex::Node* BTreeIndex::FindLeaf(const Value& key) const {
+  const Node* node = root_.get();
+  if (node == nullptr) return nullptr;
+  while (!node->leaf) {
+    size_t pos = LowerBound(node->keys, key);
+    if (pos < node->keys.size() && node->keys[pos] == key) ++pos;
+    node = node->children[pos].get();
+  }
+  return node;
+}
+
+Status BTreeIndex::Remove(const Value& key, RowId row) {
+  // Lazy deletion: postings shrink, empty keys are erased from their leaf,
+  // but nodes are not rebalanced.  Index rebuilds happen at checkpoint.
+  Node* node = const_cast<Node*>(FindLeaf(key));
+  if (node == nullptr) return Status::NotFound("empty index");
+  size_t pos = LowerBound(node->keys, key);
+  if (pos >= node->keys.size() || !(node->keys[pos] == key)) {
+    return Status::NotFound("key not in index");
+  }
+  auto& rows = node->postings[pos];
+  auto it = std::find(rows.begin(), rows.end(), row);
+  if (it == rows.end()) return Status::NotFound("row not in postings");
+  rows.erase(it);
+  if (rows.empty()) {
+    node->keys.erase(node->keys.begin() + pos);
+    node->postings.erase(node->postings.begin() + pos);
+  }
+  --size_;
+  return Status::OK();
+}
+
+std::vector<BTreeIndex::RowId> BTreeIndex::Lookup(const Value& key) const {
+  const Node* leaf = FindLeaf(key);
+  if (leaf == nullptr) return {};
+  size_t pos = LowerBound(leaf->keys, key);
+  if (pos < leaf->keys.size() && leaf->keys[pos] == key) {
+    return leaf->postings[pos];
+  }
+  return {};
+}
+
+void BTreeIndex::Range(
+    const Value* lo, const Value* hi,
+    const std::function<void(const Value&, RowId)>& fn) const {
+  const Node* leaf;
+  if (lo != nullptr) {
+    leaf = FindLeaf(*lo);
+  } else {
+    const Node* node = root_.get();
+    if (node == nullptr) return;
+    while (!node->leaf) node = node->children.front().get();
+    leaf = node;
+  }
+  while (leaf != nullptr) {
+    for (size_t i = 0; i < leaf->keys.size(); ++i) {
+      const Value& k = leaf->keys[i];
+      if (lo != nullptr && k < *lo) continue;
+      if (hi != nullptr && *hi < k) return;
+      for (RowId row : leaf->postings[i]) fn(k, row);
+    }
+    leaf = leaf->next;
+  }
+}
+
+int BTreeIndex::height() const {
+  int h = 0;
+  const Node* node = root_.get();
+  while (node != nullptr) {
+    ++h;
+    node = node->leaf ? nullptr : node->children.front().get();
+  }
+  return h;
+}
+
+Status BTreeIndex::CheckInvariants() const {
+  if (!root_) return Status::OK();
+  // Recursively check sortedness and child/key arity.
+  std::function<Status(const Node*, const Value*, const Value*)> check =
+      [&](const Node* node, const Value* lo, const Value* hi) -> Status {
+    for (size_t i = 0; i + 1 < node->keys.size(); ++i) {
+      if (node->keys[i + 1] < node->keys[i]) {
+        return Status::Internal("keys out of order");
+      }
+    }
+    for (const Value& k : node->keys) {
+      if (lo != nullptr && k < *lo) return Status::Internal("key below bound");
+      if (hi != nullptr && *hi < k) return Status::Internal("key above bound");
+    }
+    if (!node->leaf) {
+      if (node->children.size() != node->keys.size() + 1) {
+        return Status::Internal("internal node arity mismatch");
+      }
+      if (node->leaf && !node->postings.empty()) {
+        return Status::Internal("internal node has postings");
+      }
+      for (size_t i = 0; i < node->children.size(); ++i) {
+        const Value* clo = i == 0 ? lo : &node->keys[i - 1];
+        const Value* chi = i == node->keys.size() ? hi : &node->keys[i];
+        TDB_RETURN_IF_ERROR(check(node->children[i].get(), clo, chi));
+      }
+    } else {
+      if (node->postings.size() != node->keys.size()) {
+        return Status::Internal("leaf postings arity mismatch");
+      }
+    }
+    return Status::OK();
+  };
+  TDB_RETURN_IF_ERROR(check(root_.get(), nullptr, nullptr));
+  // Leaf chain must be globally sorted.
+  const Node* node = root_.get();
+  while (!node->leaf) node = node->children.front().get();
+  const Value* prev = nullptr;
+  size_t counted = 0;
+  while (node != nullptr) {
+    for (size_t i = 0; i < node->keys.size(); ++i) {
+      if (prev != nullptr && node->keys[i] < *prev) {
+        return Status::Internal("leaf chain out of order");
+      }
+      prev = &node->keys[i];
+      counted += node->postings[i].size();
+    }
+    node = node->next;
+  }
+  if (counted != size_) {
+    return Status::Internal("size counter does not match postings");
+  }
+  return Status::OK();
+}
+
+}  // namespace temporadb

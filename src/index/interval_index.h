@@ -1,0 +1,89 @@
+#ifndef TEMPORADB_INDEX_INTERVAL_INDEX_H_
+#define TEMPORADB_INDEX_INTERVAL_INDEX_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "common/period.h"
+#include "common/result.h"
+
+namespace temporadb {
+
+/// A dynamic interval index over `Period`s, as a randomized treap ordered by
+/// (begin, row) and augmented with the subtree's maximum `end`.
+///
+/// Supports the two temporal access paths of the engine:
+///  - *stabbing*  — all periods containing a chronon (valid timeslice,
+///    transaction-time rollback to an instant);
+///  - *overlap*   — all periods intersecting a query period (the TQuel
+///    `when ... overlap` join and `as of ... through ...` ranges).
+///
+/// Both run in O(log n + k) expected time; the max-end augmentation prunes
+/// subtrees that end before the query begins.
+class IntervalIndex {
+ public:
+  using RowId = uint64_t;
+
+  IntervalIndex() = default;
+  IntervalIndex(const IntervalIndex&) = delete;
+  IntervalIndex& operator=(const IntervalIndex&) = delete;
+
+  /// Adds `row` with period `p` (empty periods are rejected).
+  Status Insert(Period p, RowId row);
+
+  /// Removes the entry (p, row); NotFound if absent.
+  Status Remove(Period p, RowId row);
+
+  /// Calls `fn(p, row)` for every period containing `t`.
+  void Stab(Chronon t, const std::function<void(Period, RowId)>& fn) const;
+
+  /// Calls `fn(p, row)` for every period overlapping `q`.
+  void Overlapping(Period q,
+                   const std::function<void(Period, RowId)>& fn) const;
+
+  /// All rows stabbing `t`, collected (convenience).
+  std::vector<RowId> StabRows(Chronon t) const;
+
+  size_t size() const { return size_; }
+
+  /// Removes every entry (used when rebuilding after compaction).
+  void Clear() {
+    root_.reset();
+    size_ = 0;
+  }
+
+  /// Validates heap order, BST order, and max-end augmentation; for tests.
+  Status CheckInvariants() const;
+
+ private:
+  struct Node {
+    Period period;
+    RowId row;
+    uint64_t priority;
+    Chronon max_end;
+    std::unique_ptr<Node> left;
+    std::unique_ptr<Node> right;
+  };
+
+  // Key order: (begin, row) lexicographic.
+  static bool KeyLess(const Node& a, Period p, RowId row);
+
+  static void Pull(Node* n);
+  static std::unique_ptr<Node> Merge(std::unique_ptr<Node> a,
+                                     std::unique_ptr<Node> b);
+  // Splits into (< key) and (>= key).
+  static void SplitNode(std::unique_ptr<Node> n, Period p, RowId row,
+                        std::unique_ptr<Node>* lo, std::unique_ptr<Node>* hi);
+  static void Visit(const Node* n, Period q,
+                    const std::function<void(Period, RowId)>& fn);
+
+  std::unique_ptr<Node> root_;
+  size_t size_ = 0;
+  uint64_t rng_state_ = 0x853C49E6748FEA9BULL;
+};
+
+}  // namespace temporadb
+
+#endif  // TEMPORADB_INDEX_INTERVAL_INDEX_H_

@@ -1,0 +1,64 @@
+#include "index/snapshot_index.h"
+
+namespace temporadb {
+
+Status SnapshotIndex::AddCurrent(RowId row, Chronon tt_start) {
+  auto [it, inserted] = current_.emplace(row, tt_start);
+  if (!inserted) {
+    return Status::AlreadyExists("row already current in snapshot index");
+  }
+  return Status::OK();
+}
+
+Status SnapshotIndex::AddClosed(RowId row, Period txn_period) {
+  if (txn_period.IsEmpty()) return Status::OK();
+  return closed_.Insert(txn_period, row);
+}
+
+Status SnapshotIndex::CloseCurrent(RowId row, Chronon tt_end) {
+  auto it = current_.find(row);
+  if (it == current_.end()) {
+    return Status::FailedPrecondition("row is not in the current state");
+  }
+  Chronon start = it->second;
+  if (tt_end < start) {
+    return Status::InvalidArgument(
+        "transaction-time end precedes its start (clock went backwards?)");
+  }
+  current_.erase(it);
+  if (tt_end == start) {
+    // The version never covered a full chronon of stored state; it is
+    // invisible to every rollback and need not be indexed.
+    return Status::OK();
+  }
+  return closed_.Insert(Period(start, tt_end), row);
+}
+
+Status SnapshotIndex::ReopenAsCurrent(RowId row, Chronon tt_start,
+                                      Chronon closed_end) {
+  if (closed_end > tt_start) {
+    TDB_RETURN_IF_ERROR(closed_.Remove(Period(tt_start, closed_end), row));
+  }
+  return AddCurrent(row, tt_start);
+}
+
+void SnapshotIndex::AsOf(Chronon t, const std::function<void(RowId)>& fn) const {
+  closed_.Stab(t, [&](Period, RowId row) { fn(row); });
+  for (const auto& [row, start] : current_) {
+    if (start <= t) fn(row);
+  }
+}
+
+void SnapshotIndex::Current(const std::function<void(RowId)>& fn) const {
+  for (const auto& [row, start] : current_) fn(row);
+}
+
+Result<Chronon> SnapshotIndex::CurrentStart(RowId row) const {
+  auto it = current_.find(row);
+  if (it == current_.end()) {
+    return Status::NotFound("row is not current");
+  }
+  return it->second;
+}
+
+}  // namespace temporadb

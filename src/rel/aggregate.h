@@ -1,0 +1,38 @@
+#ifndef TEMPORADB_REL_AGGREGATE_H_
+#define TEMPORADB_REL_AGGREGATE_H_
+
+#include <string>
+#include <vector>
+
+#include "rel/relation.h"
+
+namespace temporadb {
+
+/// Aggregate functions (Quel's `count`, `sum`, `avg`, `min`, `max`,
+/// `any`).
+enum class AggFunc { kCount, kSum, kAvg, kMin, kMax, kAny };
+
+std::string_view AggFuncName(AggFunc f);
+
+/// One aggregate in the output: `func(column)` named `as_name`.
+struct AggSpec {
+  AggFunc func;
+  size_t column = 0;  ///< Ignored for kCount.
+  std::string as_name;
+};
+
+/// Groups by the given columns and computes the aggregates per group.
+/// With an empty `group_by`, produces one global row (0 rows in ⇒ a single
+/// row of count 0 / NULL aggregates, SQL-style).
+///
+/// Aggregation collapses time: the result is a *static* rowset regardless
+/// of the input's class.  For trend analysis over time (the paper's "how
+/// did the number of faculty change over the last 5 years?"), slice first,
+/// then aggregate per slice — see `examples/trend_analysis.cpp`.
+Result<Rowset> Aggregate(const Rowset& input,
+                         const std::vector<size_t>& group_by,
+                         const std::vector<AggSpec>& aggs);
+
+}  // namespace temporadb
+
+#endif  // TEMPORADB_REL_AGGREGATE_H_

@@ -1,0 +1,65 @@
+#ifndef TEMPORADB_REL_EXPRESSION_H_
+#define TEMPORADB_REL_EXPRESSION_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/value.h"
+#include "rel/row.h"
+
+namespace temporadb {
+
+/// Scalar expressions over a row's attribute values.
+///
+/// The TQuel analyzer compiles `where` clauses and target-list expressions
+/// into these trees; attribute references are resolved to indexes into the
+/// evaluation row (for joins, the concatenation of the bound tuples).
+
+class Expr;
+using ExprPtr = std::shared_ptr<const Expr>;
+
+enum class CompareOp { kEq, kNe, kLt, kLe, kGt, kGe };
+enum class ArithOp { kAdd, kSub, kMul, kDiv, kMod };
+enum class LogicalOp { kAnd, kOr };
+
+std::string_view CompareOpName(CompareOp op);
+std::string_view ArithOpName(ArithOp op);
+
+/// Abstract expression node; immutable and shareable.
+class Expr {
+ public:
+  virtual ~Expr() = default;
+
+  /// Evaluates against `values` (the flattened binding row).
+  virtual Result<Value> Eval(const std::vector<Value>& values) const = 0;
+
+  /// Source-like rendering for diagnostics.
+  virtual std::string ToString() const = 0;
+};
+
+/// Leaf: a literal value.
+ExprPtr MakeLiteral(Value v);
+
+/// Leaf: the attribute at `index` (display name kept for ToString).
+ExprPtr MakeColumnRef(size_t index, std::string display_name);
+
+/// `left op right`; values must be comparable (Value::Compare rules).
+ExprPtr MakeCompare(CompareOp op, ExprPtr left, ExprPtr right);
+
+/// Numeric arithmetic; ints stay ints unless either side is float.
+ExprPtr MakeArith(ArithOp op, ExprPtr left, ExprPtr right);
+
+/// Boolean connectives (non-short-circuit; both sides must be bool).
+ExprPtr MakeLogical(LogicalOp op, ExprPtr left, ExprPtr right);
+
+/// Boolean negation.
+ExprPtr MakeNot(ExprPtr inner);
+
+/// Convenience: evaluates `expr` and requires a boolean result.
+Result<bool> EvalPredicate(const Expr& expr, const std::vector<Value>& values);
+
+}  // namespace temporadb
+
+#endif  // TEMPORADB_REL_EXPRESSION_H_

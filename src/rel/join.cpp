@@ -1,0 +1,96 @@
+#include "rel/join.h"
+
+#include <unordered_map>
+
+#include "rel/operators.h"
+
+namespace temporadb {
+
+Result<Rowset> NestedLoopJoin(const Rowset& a, const Rowset& b,
+                              const Expr& pred) {
+  TDB_ASSIGN_OR_RETURN(Rowset product, CrossProduct(a, b));
+  return Select(product, pred);
+}
+
+namespace {
+
+struct KeyHash {
+  size_t operator()(const std::vector<Value>& key) const {
+    size_t h = 1469598103934665603ULL;
+    for (const Value& v : key) {
+      h ^= v.Hash();
+      h *= 1099511628211ULL;
+    }
+    return h;
+  }
+};
+
+}  // namespace
+
+Result<Rowset> HashEquiJoin(const Rowset& a, const Rowset& b,
+                            const std::vector<size_t>& keys_a,
+                            const std::vector<size_t>& keys_b) {
+  if (keys_a.size() != keys_b.size() || keys_a.empty()) {
+    return Status::InvalidArgument("equi-join key lists must match");
+  }
+  for (size_t k : keys_a) {
+    if (k >= a.schema().size()) {
+      return Status::InvalidArgument("left join key out of range");
+    }
+  }
+  for (size_t k : keys_b) {
+    if (k >= b.schema().size()) {
+      return Status::InvalidArgument("right join key out of range");
+    }
+  }
+  TemporalClass cls = MeetClass(a.temporal_class(), b.temporal_class());
+  Rowset out(a.schema().Concat(b.schema()), cls);
+  const bool want_valid = SupportsValidTime(cls);
+  const bool want_txn = SupportsTransactionTime(cls);
+
+  // Build on the smaller side.
+  const bool build_left = a.size() <= b.size();
+  const Rowset& build = build_left ? a : b;
+  const Rowset& probe = build_left ? b : a;
+  const std::vector<size_t>& build_keys = build_left ? keys_a : keys_b;
+  const std::vector<size_t>& probe_keys = build_left ? keys_b : keys_a;
+
+  std::unordered_map<std::vector<Value>, std::vector<const Row*>, KeyHash>
+      table;
+  for (const Row& row : build.rows()) {
+    std::vector<Value> key;
+    key.reserve(build_keys.size());
+    for (size_t k : build_keys) key.push_back(row.values[k]);
+    table[std::move(key)].push_back(&row);
+  }
+
+  for (const Row& probe_row : probe.rows()) {
+    std::vector<Value> key;
+    key.reserve(probe_keys.size());
+    for (size_t k : probe_keys) key.push_back(probe_row.values[k]);
+    auto it = table.find(key);
+    if (it == table.end()) continue;
+    for (const Row* build_row : it->second) {
+      const Row& left = build_left ? *build_row : probe_row;
+      const Row& right = build_left ? probe_row : *build_row;
+      Row combined;
+      if (want_valid) {
+        Period v = left.valid->Intersect(*right.valid);
+        if (v.IsEmpty()) continue;
+        combined.valid = v;
+      }
+      if (want_txn) {
+        Period t = left.txn->Intersect(*right.txn);
+        if (t.IsEmpty()) continue;
+        combined.txn = t;
+      }
+      combined.values = left.values;
+      combined.values.insert(combined.values.end(), right.values.begin(),
+                             right.values.end());
+      TDB_RETURN_IF_ERROR(out.AddRow(std::move(combined)));
+    }
+  }
+  return out;
+}
+
+}  // namespace temporadb

@@ -1,0 +1,44 @@
+#include "rel/row.h"
+
+namespace temporadb {
+
+namespace {
+
+// Orders optional periods: absent < present; present by (begin, end).
+int ComparePeriodOpt(const std::optional<Period>& a,
+                     const std::optional<Period>& b) {
+  if (a.has_value() != b.has_value()) return a.has_value() ? 1 : -1;
+  if (!a.has_value()) return 0;
+  if (a->begin() != b->begin()) return a->begin() < b->begin() ? -1 : 1;
+  if (a->end() != b->end()) return a->end() < b->end() ? -1 : 1;
+  return 0;
+}
+
+}  // namespace
+
+bool operator<(const Row& a, const Row& b) {
+  if (a.values != b.values) return a.values < b.values;
+  int c = ComparePeriodOpt(a.valid, b.valid);
+  if (c != 0) return c < 0;
+  return ComparePeriodOpt(a.txn, b.txn) < 0;
+}
+
+std::string Row::ToString() const {
+  std::string out = "(";
+  for (size_t i = 0; i < values.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += values[i].ToString();
+  }
+  out += ")";
+  if (valid.has_value()) {
+    out += " v";
+    out += valid->ToString();
+  }
+  if (txn.has_value()) {
+    out += " t";
+    out += txn->ToString();
+  }
+  return out;
+}
+
+}  // namespace temporadb

@@ -1,0 +1,330 @@
+#include "rel/temporal_ops.h"
+
+#include "common/strings.h"
+
+namespace temporadb {
+
+namespace {
+
+Row RowFrom(const BitemporalTuple& t, bool with_valid, bool with_txn) {
+  Row row;
+  row.values = t.values;
+  if (with_valid) row.valid = t.valid;
+  if (with_txn) row.txn = t.txn;
+  return row;
+}
+
+}  // namespace
+
+Result<Rowset> ScanStored(const StoredRelation& rel) {
+  TemporalClass cls = rel.temporal_class();
+  Rowset out(rel.schema(), cls, rel.data_model());
+  const bool with_valid = SupportsValidTime(cls);
+  const bool with_txn = SupportsTransactionTime(cls);
+  Status status = Status::OK();
+  rel.store()->ForEach([&](RowId, const BitemporalTuple& t) {
+    if (!status.ok()) return;
+    status = out.AddRow(RowFrom(t, with_valid, with_txn));
+  });
+  TDB_RETURN_IF_ERROR(status);
+  return out;
+}
+
+Result<Rowset> Rollback(const StoredRelation& rel, Chronon t) {
+  TemporalClass cls = rel.temporal_class();
+  if (!SupportsTransactionTime(cls)) {
+    return Status::NotSupported(StringPrintf(
+        "relation '%s' is %s and does not support rollback ('as of'); only "
+        "rollback and temporal relations maintain transaction time",
+        rel.info().name.c_str(),
+        std::string(TemporalClassName(cls)).c_str()));
+  }
+  // Rollback strips transaction time from the result: rollback relations
+  // yield static rowsets, temporal relations yield historical ones.
+  TemporalClass derived = cls == TemporalClass::kRollback
+                              ? TemporalClass::kStatic
+                              : TemporalClass::kHistorical;
+  Rowset out(rel.schema(), derived, rel.data_model());
+  const bool with_valid = SupportsValidTime(derived);
+  for (RowId row : rel.store()->TxnAsOf(t)) {
+    TDB_ASSIGN_OR_RETURN(const BitemporalTuple* tuple, rel.store()->Get(row));
+    TDB_RETURN_IF_ERROR(out.AddRow(RowFrom(*tuple, with_valid, false)));
+  }
+  return out;
+}
+
+Result<Rowset> RollbackKeepTxn(const StoredRelation& rel, Chronon t) {
+  TemporalClass cls = rel.temporal_class();
+  if (!SupportsTransactionTime(cls)) {
+    return Status::NotSupported(StringPrintf(
+        "relation '%s' is %s and does not support rollback ('as of')",
+        rel.info().name.c_str(),
+        std::string(TemporalClassName(cls)).c_str()));
+  }
+  Rowset out(rel.schema(), cls, rel.data_model());
+  const bool with_valid = SupportsValidTime(cls);
+  for (RowId row : rel.store()->TxnAsOf(t)) {
+    TDB_ASSIGN_OR_RETURN(const BitemporalTuple* tuple, rel.store()->Get(row));
+    TDB_RETURN_IF_ERROR(out.AddRow(RowFrom(*tuple, with_valid, true)));
+  }
+  return out;
+}
+
+Result<Rowset> Timeslice(const Rowset& input, Chronon v) {
+  if (!input.has_valid_time()) {
+    return Status::NotSupported(
+        "timeslice requires valid time (historical or temporal relation)");
+  }
+  // Slicing drops valid time; transaction time (if any) survives.
+  TemporalClass derived = input.has_txn_time() ? TemporalClass::kRollback
+                                               : TemporalClass::kStatic;
+  Rowset out(input.schema(), derived, input.data_model());
+  for (const Row& row : input.rows()) {
+    if (!row.valid->Contains(v)) continue;
+    Row sliced;
+    sliced.values = row.values;
+    sliced.txn = row.txn;
+    TDB_RETURN_IF_ERROR(out.AddRow(std::move(sliced)));
+  }
+  return out;
+}
+
+Result<Rowset> CurrentState(const StoredRelation& rel) {
+  TemporalClass cls = rel.temporal_class();
+  const bool with_valid = SupportsValidTime(cls);
+  TemporalClass derived =
+      with_valid ? TemporalClass::kHistorical : TemporalClass::kStatic;
+  Rowset out(rel.schema(), derived, rel.data_model());
+  if (SupportsTransactionTime(cls)) {
+    for (RowId row : rel.store()->CurrentRows()) {
+      TDB_ASSIGN_OR_RETURN(const BitemporalTuple* tuple,
+                           rel.store()->Get(row));
+      TDB_RETURN_IF_ERROR(out.AddRow(RowFrom(*tuple, with_valid, false)));
+    }
+    return out;
+  }
+  Status status = Status::OK();
+  rel.store()->ForEach([&](RowId, const BitemporalTuple& t) {
+    if (!status.ok()) return;
+    status = out.AddRow(RowFrom(t, with_valid, false));
+  });
+  TDB_RETURN_IF_ERROR(status);
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Temporal expressions
+// ---------------------------------------------------------------------------
+
+namespace {
+
+class VarPeriodExpr final : public TemporalExpr {
+ public:
+  VarPeriodExpr(size_t index, std::string name)
+      : index_(index), name_(std::move(name)) {}
+
+  Result<Period> Eval(const PeriodBinding& binding) const override {
+    if (index_ >= binding.size()) {
+      return Status::Internal("range variable not bound");
+    }
+    return binding[index_];
+  }
+
+  std::string ToString() const override { return name_; }
+
+ private:
+  size_t index_;
+  std::string name_;
+};
+
+class PeriodLiteralExpr final : public TemporalExpr {
+ public:
+  PeriodLiteralExpr(Period p, std::string display)
+      : period_(p), display_(std::move(display)) {}
+
+  Result<Period> Eval(const PeriodBinding&) const override { return period_; }
+
+  std::string ToString() const override { return display_; }
+
+ private:
+  Period period_;
+  std::string display_;
+};
+
+class EndpointExpr final : public TemporalExpr {
+ public:
+  EndpointExpr(bool begin, TemporalExprPtr inner)
+      : begin_(begin), inner_(std::move(inner)) {}
+
+  Result<Period> Eval(const PeriodBinding& binding) const override {
+    TDB_ASSIGN_OR_RETURN(Period p, inner_->Eval(binding));
+    if (p.IsEmpty()) {
+      return Status::InvalidArgument("endpoint of an empty period");
+    }
+    return begin_ ? p.BeginEvent() : p.EndEvent();
+  }
+
+  std::string ToString() const override {
+    return std::string(begin_ ? "begin of " : "end of ") + inner_->ToString();
+  }
+
+ private:
+  bool begin_;
+  TemporalExprPtr inner_;
+};
+
+class BinaryPeriodExpr final : public TemporalExpr {
+ public:
+  BinaryPeriodExpr(bool overlap, TemporalExprPtr left, TemporalExprPtr right)
+      : overlap_(overlap), left_(std::move(left)), right_(std::move(right)) {}
+
+  Result<Period> Eval(const PeriodBinding& binding) const override {
+    TDB_ASSIGN_OR_RETURN(Period l, left_->Eval(binding));
+    TDB_ASSIGN_OR_RETURN(Period r, right_->Eval(binding));
+    return overlap_ ? l.Intersect(r) : l.Extend(r);
+  }
+
+  std::string ToString() const override {
+    return "(" + left_->ToString() + (overlap_ ? " overlap " : " extend ") +
+           right_->ToString() + ")";
+  }
+
+ private:
+  bool overlap_;
+  TemporalExprPtr left_;
+  TemporalExprPtr right_;
+};
+
+enum class PredKind { kPrecede, kOverlap, kEqual };
+
+class ComparePred final : public TemporalPred {
+ public:
+  ComparePred(PredKind kind, TemporalExprPtr left, TemporalExprPtr right)
+      : kind_(kind), left_(std::move(left)), right_(std::move(right)) {}
+
+  Result<bool> Eval(const PeriodBinding& binding) const override {
+    TDB_ASSIGN_OR_RETURN(Period l, left_->Eval(binding));
+    TDB_ASSIGN_OR_RETURN(Period r, right_->Eval(binding));
+    switch (kind_) {
+      case PredKind::kPrecede:
+        return l.Precedes(r);
+      case PredKind::kOverlap:
+        return l.Overlaps(r);
+      case PredKind::kEqual:
+        return l == r;
+    }
+    return Status::Internal("unhandled temporal predicate");
+  }
+
+  std::string ToString() const override {
+    const char* op = kind_ == PredKind::kPrecede
+                         ? " precede "
+                         : (kind_ == PredKind::kOverlap ? " overlap "
+                                                        : " equal ");
+    return "(" + left_->ToString() + op + right_->ToString() + ")";
+  }
+
+ private:
+  PredKind kind_;
+  TemporalExprPtr left_;
+  TemporalExprPtr right_;
+};
+
+class LogicalPred final : public TemporalPred {
+ public:
+  LogicalPred(bool is_and, TemporalPredPtr left, TemporalPredPtr right)
+      : is_and_(is_and), left_(std::move(left)), right_(std::move(right)) {}
+
+  Result<bool> Eval(const PeriodBinding& binding) const override {
+    TDB_ASSIGN_OR_RETURN(bool l, left_->Eval(binding));
+    if (is_and_ && !l) return false;
+    if (!is_and_ && l) return true;
+    return right_->Eval(binding);
+  }
+
+  std::string ToString() const override {
+    return "(" + left_->ToString() + (is_and_ ? " and " : " or ") +
+           right_->ToString() + ")";
+  }
+
+ private:
+  bool is_and_;
+  TemporalPredPtr left_;
+  TemporalPredPtr right_;
+};
+
+class NotPred final : public TemporalPred {
+ public:
+  explicit NotPred(TemporalPredPtr inner) : inner_(std::move(inner)) {}
+
+  Result<bool> Eval(const PeriodBinding& binding) const override {
+    TDB_ASSIGN_OR_RETURN(bool b, inner_->Eval(binding));
+    return !b;
+  }
+
+  std::string ToString() const override {
+    return "not " + inner_->ToString();
+  }
+
+ private:
+  TemporalPredPtr inner_;
+};
+
+}  // namespace
+
+TemporalExprPtr MakeVarPeriod(size_t var_index, std::string display_name) {
+  return std::make_shared<VarPeriodExpr>(var_index, std::move(display_name));
+}
+
+TemporalExprPtr MakePeriodLiteral(Period p, std::string display) {
+  return std::make_shared<PeriodLiteralExpr>(p, std::move(display));
+}
+
+TemporalExprPtr MakeBeginOf(TemporalExprPtr inner) {
+  return std::make_shared<EndpointExpr>(true, std::move(inner));
+}
+
+TemporalExprPtr MakeEndOf(TemporalExprPtr inner) {
+  return std::make_shared<EndpointExpr>(false, std::move(inner));
+}
+
+TemporalExprPtr MakeOverlapExpr(TemporalExprPtr left, TemporalExprPtr right) {
+  return std::make_shared<BinaryPeriodExpr>(true, std::move(left),
+                                            std::move(right));
+}
+
+TemporalExprPtr MakeExtendExpr(TemporalExprPtr left, TemporalExprPtr right) {
+  return std::make_shared<BinaryPeriodExpr>(false, std::move(left),
+                                            std::move(right));
+}
+
+TemporalPredPtr MakePrecedePred(TemporalExprPtr left, TemporalExprPtr right) {
+  return std::make_shared<ComparePred>(PredKind::kPrecede, std::move(left),
+                                       std::move(right));
+}
+
+TemporalPredPtr MakeOverlapPred(TemporalExprPtr left, TemporalExprPtr right) {
+  return std::make_shared<ComparePred>(PredKind::kOverlap, std::move(left),
+                                       std::move(right));
+}
+
+TemporalPredPtr MakeEqualPred(TemporalExprPtr left, TemporalExprPtr right) {
+  return std::make_shared<ComparePred>(PredKind::kEqual, std::move(left),
+                                       std::move(right));
+}
+
+TemporalPredPtr MakeAndPred(TemporalPredPtr left, TemporalPredPtr right) {
+  return std::make_shared<LogicalPred>(true, std::move(left),
+                                       std::move(right));
+}
+
+TemporalPredPtr MakeOrPred(TemporalPredPtr left, TemporalPredPtr right) {
+  return std::make_shared<LogicalPred>(false, std::move(left),
+                                       std::move(right));
+}
+
+TemporalPredPtr MakeNotPred(TemporalPredPtr inner) {
+  return std::make_shared<NotPred>(std::move(inner));
+}
+
+}  // namespace temporadb

@@ -1,0 +1,141 @@
+#include "storage/buffer_pool.h"
+
+#include <cassert>
+#include <cstring>
+
+namespace temporadb {
+
+void BufferPool::PageGuard::MarkDirty() {
+  assert(valid());
+  size_t frame = pool_->page_table_.at(id_);
+  pool_->frames_[frame].dirty = true;
+}
+
+void BufferPool::PageGuard::Release() {
+  if (pool_ != nullptr && data_ != nullptr) {
+    pool_->Unpin(id_, /*dirty=*/false);
+  }
+  pool_ = nullptr;
+  data_ = nullptr;
+}
+
+BufferPool::BufferPool(Pager* pager, size_t capacity)
+    : pager_(pager), capacity_(capacity == 0 ? 1 : capacity) {
+  frames_.resize(capacity_);
+  for (size_t i = 0; i < capacity_; ++i) {
+    frames_[i].data = std::make_unique<char[]>(kPageSize);
+    free_frames_.push_back(capacity_ - 1 - i);
+  }
+}
+
+BufferPool::~BufferPool() { (void)FlushAll(); }
+
+Result<size_t> BufferPool::GetFreeFrame() {
+  if (!free_frames_.empty()) {
+    size_t f = free_frames_.back();
+    free_frames_.pop_back();
+    return f;
+  }
+  TDB_RETURN_IF_ERROR(EvictOne());
+  if (free_frames_.empty()) {
+    return Status::Internal("eviction produced no free frame");
+  }
+  size_t f = free_frames_.back();
+  free_frames_.pop_back();
+  return f;
+}
+
+Status BufferPool::EvictOne() {
+  if (lru_.empty()) {
+    return Status::FailedPrecondition(
+        "buffer pool exhausted: all frames pinned");
+  }
+  size_t frame_idx = lru_.back();
+  lru_.pop_back();
+  Frame& frame = frames_[frame_idx];
+  frame.in_lru = false;
+  assert(frame.pin_count == 0);
+  if (frame.dirty) {
+    SlottedPage view(frame.data.get());
+    view.StampChecksum();
+    TDB_RETURN_IF_ERROR(pager_->WritePage(frame.page_id, frame.data.get()));
+    frame.dirty = false;
+  }
+  page_table_.erase(frame.page_id);
+  frame.page_id = kInvalidPageId;
+  free_frames_.push_back(frame_idx);
+  return Status::OK();
+}
+
+Result<BufferPool::PageGuard> BufferPool::FetchPage(PageId id) {
+  auto it = page_table_.find(id);
+  if (it != page_table_.end()) {
+    ++hits_;
+    Frame& frame = frames_[it->second];
+    if (frame.pin_count == 0 && frame.in_lru) {
+      lru_.erase(frame.lru_pos);
+      frame.in_lru = false;
+    }
+    ++frame.pin_count;
+    return PageGuard(this, id, frame.data.get());
+  }
+  ++misses_;
+  TDB_ASSIGN_OR_RETURN(size_t frame_idx, GetFreeFrame());
+  Frame& frame = frames_[frame_idx];
+  TDB_RETURN_IF_ERROR(pager_->ReadPage(id, frame.data.get()));
+  SlottedPage view(frame.data.get());
+  if (!view.VerifyChecksum()) {
+    free_frames_.push_back(frame_idx);
+    return Status::Corruption("page checksum mismatch on page " +
+                              std::to_string(id));
+  }
+  frame.page_id = id;
+  frame.pin_count = 1;
+  frame.dirty = false;
+  frame.in_lru = false;
+  page_table_[id] = frame_idx;
+  return PageGuard(this, id, frame.data.get());
+}
+
+Result<BufferPool::PageGuard> BufferPool::NewPage() {
+  TDB_ASSIGN_OR_RETURN(PageId id, pager_->AllocatePage());
+  TDB_ASSIGN_OR_RETURN(size_t frame_idx, GetFreeFrame());
+  Frame& frame = frames_[frame_idx];
+  SlottedPage view(frame.data.get());
+  view.Init();
+  view.StampChecksum();
+  frame.page_id = id;
+  frame.pin_count = 1;
+  frame.dirty = true;
+  frame.in_lru = false;
+  page_table_[id] = frame_idx;
+  return PageGuard(this, id, frame.data.get());
+}
+
+void BufferPool::Unpin(PageId id, bool dirty) {
+  auto it = page_table_.find(id);
+  if (it == page_table_.end()) return;
+  Frame& frame = frames_[it->second];
+  if (dirty) frame.dirty = true;
+  assert(frame.pin_count > 0);
+  --frame.pin_count;
+  if (frame.pin_count == 0) {
+    lru_.push_front(it->second);
+    frame.lru_pos = lru_.begin();
+    frame.in_lru = true;
+  }
+}
+
+Status BufferPool::FlushAll() {
+  for (Frame& frame : frames_) {
+    if (frame.page_id != kInvalidPageId && frame.dirty) {
+      SlottedPage view(frame.data.get());
+      view.StampChecksum();
+      TDB_RETURN_IF_ERROR(pager_->WritePage(frame.page_id, frame.data.get()));
+      frame.dirty = false;
+    }
+  }
+  return pager_->Sync();
+}
+
+}  // namespace temporadb

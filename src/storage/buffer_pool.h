@@ -1,0 +1,111 @@
+#ifndef TEMPORADB_STORAGE_BUFFER_POOL_H_
+#define TEMPORADB_STORAGE_BUFFER_POOL_H_
+
+#include <list>
+#include <memory>
+#include <unordered_map>
+
+#include "common/result.h"
+#include "storage/page.h"
+#include "storage/pager.h"
+
+namespace temporadb {
+
+/// An LRU page cache over a `Pager`.
+///
+/// Frames are pinned while in use; only unpinned frames are eviction
+/// candidates.  Dirty frames are written back (with a fresh checksum) on
+/// eviction and on `FlushAll`.  Checksums are verified when a page is
+/// faulted in; a mismatch surfaces as `Corruption`.
+class BufferPool {
+ public:
+  /// A pinned page handle; unpins on destruction (RAII).
+  class PageGuard {
+   public:
+    PageGuard() = default;
+    PageGuard(BufferPool* pool, PageId id, char* data)
+        : pool_(pool), id_(id), data_(data) {}
+    ~PageGuard() { Release(); }
+
+    PageGuard(const PageGuard&) = delete;
+    PageGuard& operator=(const PageGuard&) = delete;
+    PageGuard(PageGuard&& other) noexcept { *this = std::move(other); }
+    PageGuard& operator=(PageGuard&& other) noexcept {
+      if (this != &other) {
+        Release();
+        pool_ = other.pool_;
+        id_ = other.id_;
+        data_ = other.data_;
+        other.pool_ = nullptr;
+        other.data_ = nullptr;
+      }
+      return *this;
+    }
+
+    bool valid() const { return data_ != nullptr; }
+    PageId page_id() const { return id_; }
+    char* data() { return data_; }
+    const char* data() const { return data_; }
+
+    /// Marks the frame dirty; must be called after mutating the page.
+    void MarkDirty();
+
+    /// Explicit early unpin.
+    void Release();
+
+   private:
+    BufferPool* pool_ = nullptr;
+    PageId id_ = kInvalidPageId;
+    char* data_ = nullptr;
+  };
+
+  /// `capacity` is the number of frames (pages held in memory at once).
+  BufferPool(Pager* pager, size_t capacity);
+  ~BufferPool();
+
+  BufferPool(const BufferPool&) = delete;
+  BufferPool& operator=(const BufferPool&) = delete;
+
+  /// Pins page `id`, faulting it in if needed.
+  Result<PageGuard> FetchPage(PageId id);
+
+  /// Allocates a fresh page, formats it as a slotted page, and pins it.
+  Result<PageGuard> NewPage();
+
+  /// Writes back all dirty frames and syncs the pager.
+  Status FlushAll();
+
+  /// Statistics for the benchmark harness.
+  uint64_t hit_count() const { return hits_; }
+  uint64_t miss_count() const { return misses_; }
+  size_t capacity() const { return capacity_; }
+
+ private:
+  struct Frame {
+    PageId page_id = kInvalidPageId;
+    std::unique_ptr<char[]> data;
+    int pin_count = 0;
+    bool dirty = false;
+    std::list<size_t>::iterator lru_pos;  // Valid iff pin_count == 0.
+    bool in_lru = false;
+  };
+
+  void Unpin(PageId id, bool dirty);
+  Status EvictOne();
+  Result<size_t> GetFreeFrame();
+
+  Pager* pager_;
+  size_t capacity_;
+  std::vector<Frame> frames_;
+  std::vector<size_t> free_frames_;
+  std::unordered_map<PageId, size_t> page_table_;
+  std::list<size_t> lru_;  // Front = most recent.
+  uint64_t hits_ = 0;
+  uint64_t misses_ = 0;
+
+  friend class PageGuard;
+};
+
+}  // namespace temporadb
+
+#endif  // TEMPORADB_STORAGE_BUFFER_POOL_H_

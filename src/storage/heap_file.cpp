@@ -1,0 +1,115 @@
+#include "storage/heap_file.h"
+
+namespace temporadb {
+
+Result<std::unique_ptr<HeapFile>> HeapFile::Open(std::unique_ptr<Pager> pager,
+                                                 size_t pool_capacity) {
+  auto file =
+      std::unique_ptr<HeapFile>(new HeapFile(std::move(pager), pool_capacity));
+  if (file->pager_->page_count() > 0) {
+    // Find the tail by walking the chain from page 0.
+    PageId id = 0;
+    while (true) {
+      TDB_ASSIGN_OR_RETURN(BufferPool::PageGuard guard,
+                           file->pool_.FetchPage(id));
+      SlottedPage view(guard.data());
+      PageId next = view.next_page();
+      if (next == kInvalidPageId) break;
+      id = next;
+    }
+    file->tail_page_ = id;
+  }
+  return file;
+}
+
+Status HeapFile::EnsureFirstPage() {
+  if (tail_page_ != kInvalidPageId) return Status::OK();
+  TDB_ASSIGN_OR_RETURN(BufferPool::PageGuard guard, pool_.NewPage());
+  guard.MarkDirty();
+  tail_page_ = guard.page_id();
+  return Status::OK();
+}
+
+Result<RecordId> HeapFile::Append(Slice record) {
+  if (record.size() + 64 > kPageSize) {
+    return Status::InvalidArgument("record too large for a page");
+  }
+  TDB_RETURN_IF_ERROR(EnsureFirstPage());
+  {
+    TDB_ASSIGN_OR_RETURN(BufferPool::PageGuard guard,
+                         pool_.FetchPage(tail_page_));
+    SlottedPage view(guard.data());
+    Result<uint16_t> slot = view.Insert(record);
+    if (slot.ok()) {
+      guard.MarkDirty();
+      return RecordId{tail_page_, slot.value()};
+    }
+    // Fall through to allocate a fresh tail page.
+  }
+  TDB_ASSIGN_OR_RETURN(BufferPool::PageGuard fresh, pool_.NewPage());
+  PageId new_tail = fresh.page_id();
+  SlottedPage fresh_view(fresh.data());
+  TDB_ASSIGN_OR_RETURN(uint16_t slot, fresh_view.Insert(record));
+  fresh.MarkDirty();
+  {
+    TDB_ASSIGN_OR_RETURN(BufferPool::PageGuard old_tail,
+                         pool_.FetchPage(tail_page_));
+    SlottedPage old_view(old_tail.data());
+    old_view.set_next_page(new_tail);
+    old_tail.MarkDirty();
+  }
+  tail_page_ = new_tail;
+  return RecordId{new_tail, slot};
+}
+
+Status HeapFile::Read(RecordId id, std::string* out) {
+  TDB_ASSIGN_OR_RETURN(BufferPool::PageGuard guard, pool_.FetchPage(id.page_id));
+  SlottedPage view(guard.data());
+  TDB_ASSIGN_OR_RETURN(Slice rec, view.Get(id.slot));
+  out->assign(rec.data(), rec.size());
+  return Status::OK();
+}
+
+Status HeapFile::Delete(RecordId id) {
+  TDB_ASSIGN_OR_RETURN(BufferPool::PageGuard guard, pool_.FetchPage(id.page_id));
+  SlottedPage view(guard.data());
+  TDB_RETURN_IF_ERROR(view.Delete(id.slot));
+  guard.MarkDirty();
+  return Status::OK();
+}
+
+Result<RecordId> HeapFile::Update(RecordId id, Slice record) {
+  {
+    TDB_ASSIGN_OR_RETURN(BufferPool::PageGuard guard,
+                         pool_.FetchPage(id.page_id));
+    SlottedPage view(guard.data());
+    Status s = view.UpdateInPlace(id.slot, record);
+    if (s.ok()) {
+      guard.MarkDirty();
+      return id;
+    }
+    if (s.code() != StatusCode::kOutOfRange) return s;
+    TDB_RETURN_IF_ERROR(view.Delete(id.slot));
+    guard.MarkDirty();
+  }
+  return Append(record);
+}
+
+Status HeapFile::Scan(const std::function<Status(RecordId, Slice)>& fn) {
+  if (tail_page_ == kInvalidPageId) return Status::OK();
+  PageId id = 0;
+  while (id != kInvalidPageId) {
+    TDB_ASSIGN_OR_RETURN(BufferPool::PageGuard guard, pool_.FetchPage(id));
+    SlottedPage view(guard.data());
+    for (uint16_t slot : view.LiveSlots()) {
+      TDB_ASSIGN_OR_RETURN(Slice rec, view.Get(slot));
+      TDB_RETURN_IF_ERROR(fn(RecordId{id, slot}, rec));
+    }
+    id = view.next_page();
+  }
+  return Status::OK();
+}
+
+Status HeapFile::Flush() { return pool_.FlushAll(); }
+
+}  // namespace temporadb

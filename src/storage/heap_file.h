@@ -1,0 +1,70 @@
+#ifndef TEMPORADB_STORAGE_HEAP_FILE_H_
+#define TEMPORADB_STORAGE_HEAP_FILE_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "common/result.h"
+#include "storage/buffer_pool.h"
+#include "storage/page.h"
+#include "storage/pager.h"
+
+namespace temporadb {
+
+/// An unordered collection of variable-length records on slotted pages.
+///
+/// Pages form a singly linked chain starting at page 0; appends go to the
+/// tail page, allocating a new page when full.  Records are addressed by
+/// stable `RecordId`s.  This is the byte-level substrate; tuple semantics
+/// live in the temporal layer.
+class HeapFile {
+ public:
+  /// Opens (or creates) a heap file over the given pager.  The pool's
+  /// capacity bounds resident pages.
+  static Result<std::unique_ptr<HeapFile>> Open(std::unique_ptr<Pager> pager,
+                                                size_t pool_capacity = 64);
+
+  HeapFile(const HeapFile&) = delete;
+  HeapFile& operator=(const HeapFile&) = delete;
+
+  /// Appends a record, returning its id.
+  Result<RecordId> Append(Slice record);
+
+  /// Reads a record into `out` (copies; the page may be evicted).
+  Status Read(RecordId id, std::string* out);
+
+  /// Tombstones a record.
+  Status Delete(RecordId id);
+
+  /// In-place update when the record did not grow; otherwise deletes and
+  /// re-appends, returning the (possibly new) id.
+  Result<RecordId> Update(RecordId id, Slice record);
+
+  /// Calls `fn(id, bytes)` for every live record in storage order; stops
+  /// early and propagates if `fn` returns non-OK.
+  Status Scan(
+      const std::function<Status(RecordId, Slice)>& fn);
+
+  /// Flushes all dirty pages and syncs the underlying pager.
+  Status Flush();
+
+  /// Number of pages in the file (for the storage-growth bench).
+  PageId page_count() const { return pager_->page_count(); }
+
+  BufferPool* buffer_pool() { return &pool_; }
+
+ private:
+  HeapFile(std::unique_ptr<Pager> pager, size_t pool_capacity)
+      : pager_(std::move(pager)), pool_(pager_.get(), pool_capacity) {}
+
+  Status EnsureFirstPage();
+
+  std::unique_ptr<Pager> pager_;
+  BufferPool pool_;
+  PageId tail_page_ = kInvalidPageId;
+};
+
+}  // namespace temporadb
+
+#endif  // TEMPORADB_STORAGE_HEAP_FILE_H_

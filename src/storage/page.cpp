@@ -1,0 +1,155 @@
+#include "storage/page.h"
+
+#include <cstring>
+
+#include "common/coding.h"
+
+namespace temporadb {
+
+namespace {
+
+uint16_t LoadU16(const char* p) {
+  uint16_t v;
+  std::memcpy(&v, p, 2);
+  return v;
+}
+
+void StoreU16(char* p, uint16_t v) { std::memcpy(p, &v, 2); }
+
+uint32_t LoadU32(const char* p) {
+  uint32_t v;
+  std::memcpy(&v, p, 4);
+  return v;
+}
+
+void StoreU32(char* p, uint32_t v) { std::memcpy(p, &v, 4); }
+
+uint64_t LoadU64(const char* p) {
+  uint64_t v;
+  std::memcpy(&v, p, 8);
+  return v;
+}
+
+void StoreU64(char* p, uint64_t v) { std::memcpy(p, &v, 8); }
+
+constexpr size_t kChecksumOffset = 0;
+constexpr size_t kSlotCountOffset = 8;
+constexpr size_t kCellStartOffset = 10;
+constexpr size_t kNextPageOffset = 12;
+
+}  // namespace
+
+void SlottedPage::Init() {
+  std::memset(data_, 0, kPageSize);
+  StoreU16(data_ + kSlotCountOffset, 0);
+  StoreU16(data_ + kCellStartOffset, static_cast<uint16_t>(kPageSize));
+  StoreU32(data_ + kNextPageOffset, kInvalidPageId);
+}
+
+uint16_t SlottedPage::slot_count() const {
+  return LoadU16(data_ + kSlotCountOffset);
+}
+
+uint16_t SlottedPage::GetSlotOffset(uint16_t slot) const {
+  return LoadU16(data_ + kHeaderSize + slot * kSlotEntrySize);
+}
+
+uint16_t SlottedPage::GetSlotLength(uint16_t slot) const {
+  return LoadU16(data_ + kHeaderSize + slot * kSlotEntrySize + 2);
+}
+
+void SlottedPage::SetSlot(uint16_t slot, uint16_t offset, uint16_t length) {
+  StoreU16(data_ + kHeaderSize + slot * kSlotEntrySize, offset);
+  StoreU16(data_ + kHeaderSize + slot * kSlotEntrySize + 2, length);
+}
+
+size_t SlottedPage::FreeSpace() const {
+  size_t dir_end = kHeaderSize + slot_count() * kSlotEntrySize;
+  size_t cell_start = LoadU16(data_ + kCellStartOffset);
+  size_t gap = cell_start > dir_end ? cell_start - dir_end : 0;
+  return gap > kSlotEntrySize ? gap - kSlotEntrySize : 0;
+}
+
+Result<uint16_t> SlottedPage::Insert(Slice record) {
+  if (record.size() > 0xFFFF) {
+    return Status::InvalidArgument("record larger than 64 KiB");
+  }
+  size_t dir_end = kHeaderSize + slot_count() * kSlotEntrySize;
+  size_t cell_start = LoadU16(data_ + kCellStartOffset);
+  if (dir_end + kSlotEntrySize + record.size() > cell_start) {
+    return Status::OutOfRange("page full");
+  }
+  uint16_t new_cell_start = static_cast<uint16_t>(cell_start - record.size());
+  std::memcpy(data_ + new_cell_start, record.data(), record.size());
+  uint16_t slot = slot_count();
+  SetSlot(slot, new_cell_start, static_cast<uint16_t>(record.size()));
+  StoreU16(data_ + kSlotCountOffset, static_cast<uint16_t>(slot + 1));
+  StoreU16(data_ + kCellStartOffset, new_cell_start);
+  return slot;
+}
+
+Result<Slice> SlottedPage::Get(uint16_t slot) const {
+  if (slot >= slot_count()) {
+    return Status::NotFound("slot out of range");
+  }
+  uint16_t offset = GetSlotOffset(slot);
+  uint16_t length = GetSlotLength(slot);
+  if (offset == 0) {
+    return Status::NotFound("slot tombstoned");
+  }
+  return Slice(data_ + offset, length);
+}
+
+Status SlottedPage::Delete(uint16_t slot) {
+  if (slot >= slot_count()) {
+    return Status::NotFound("slot out of range");
+  }
+  SetSlot(slot, 0, 0);
+  return Status::OK();
+}
+
+Status SlottedPage::UpdateInPlace(uint16_t slot, Slice record) {
+  if (slot >= slot_count()) {
+    return Status::NotFound("slot out of range");
+  }
+  uint16_t offset = GetSlotOffset(slot);
+  uint16_t length = GetSlotLength(slot);
+  if (offset == 0) {
+    return Status::NotFound("slot tombstoned");
+  }
+  if (record.size() > length) {
+    return Status::OutOfRange("record grew; relocate instead");
+  }
+  std::memcpy(data_ + offset, record.data(), record.size());
+  SetSlot(slot, offset, static_cast<uint16_t>(record.size()));
+  return Status::OK();
+}
+
+PageId SlottedPage::next_page() const {
+  return LoadU32(data_ + kNextPageOffset);
+}
+
+void SlottedPage::set_next_page(PageId id) {
+  StoreU32(data_ + kNextPageOffset, id);
+}
+
+void SlottedPage::StampChecksum() {
+  uint64_t sum = Checksum64(data_ + 8, kPageSize - 8);
+  StoreU64(data_ + kChecksumOffset, sum);
+}
+
+bool SlottedPage::VerifyChecksum() const {
+  uint64_t stored = LoadU64(data_ + kChecksumOffset);
+  return stored == Checksum64(data_ + 8, kPageSize - 8);
+}
+
+std::vector<uint16_t> SlottedPage::LiveSlots() const {
+  std::vector<uint16_t> out;
+  uint16_t n = slot_count();
+  for (uint16_t s = 0; s < n; ++s) {
+    if (GetSlotOffset(s) != 0) out.push_back(s);
+  }
+  return out;
+}
+
+}  // namespace temporadb

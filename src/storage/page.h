@@ -1,0 +1,97 @@
+#ifndef TEMPORADB_STORAGE_PAGE_H_
+#define TEMPORADB_STORAGE_PAGE_H_
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "common/result.h"
+#include "common/slice.h"
+
+namespace temporadb {
+
+/// Fixed page size of the storage engine.
+inline constexpr size_t kPageSize = 8192;
+
+using PageId = uint32_t;
+inline constexpr PageId kInvalidPageId = 0xFFFFFFFFu;
+
+/// Location of a record: page + slot.
+struct RecordId {
+  PageId page_id = kInvalidPageId;
+  uint16_t slot = 0;
+
+  friend bool operator==(RecordId a, RecordId b) {
+    return a.page_id == b.page_id && a.slot == b.slot;
+  }
+  friend bool operator<(RecordId a, RecordId b) {
+    return a.page_id != b.page_id ? a.page_id < b.page_id : a.slot < b.slot;
+  }
+};
+
+/// A classic slotted page, operating in place on a `kPageSize` buffer.
+///
+/// Layout:
+/// ```
+/// [ header: checksum u64 | slot_count u16 | cell_start u16 | next u32 ]
+/// [ slot directory: {offset u16, length u16} * slot_count ]  (grows up)
+/// [ free space ]
+/// [ cell contents ]                                          (grows down)
+/// ```
+/// Deleted slots keep their directory entry with offset 0 / length 0
+/// (tombstone) so RecordIds of surviving records remain stable.  The
+/// checksum covers bytes [8, kPageSize) and is verified on read by the
+/// buffer pool.
+class SlottedPage {
+ public:
+  /// Wraps (does not own) a page buffer.  The buffer must outlive the view.
+  explicit SlottedPage(char* data) : data_(data) {}
+
+  /// Formats a fresh page: zero slots, full free space.
+  void Init();
+
+  /// Number of slot-directory entries (including tombstones).
+  uint16_t slot_count() const;
+
+  /// Bytes available for a new record, accounting for its directory entry.
+  size_t FreeSpace() const;
+
+  /// Appends a record; returns its slot, or OutOfRange when full.
+  Result<uint16_t> Insert(Slice record);
+
+  /// Reads a record; NotFound for tombstoned or out-of-range slots.  The
+  /// returned slice aliases the page buffer.
+  Result<Slice> Get(uint16_t slot) const;
+
+  /// Tombstones a slot (contents are not reclaimed until compaction).
+  Status Delete(uint16_t slot);
+
+  /// Replaces a record in place when the new content is not larger;
+  /// OutOfRange otherwise (callers fall back to delete+insert elsewhere).
+  Status UpdateInPlace(uint16_t slot, Slice record);
+
+  /// Singly-linked overflow chain (next page of the owning heap file).
+  PageId next_page() const;
+  void set_next_page(PageId id);
+
+  /// Checksum maintenance, called by the buffer pool around disk I/O.
+  void StampChecksum();
+  bool VerifyChecksum() const;
+
+  /// All live (non-tombstoned) slots in order.
+  std::vector<uint16_t> LiveSlots() const;
+
+ private:
+  uint16_t GetSlotOffset(uint16_t slot) const;
+  uint16_t GetSlotLength(uint16_t slot) const;
+  void SetSlot(uint16_t slot, uint16_t offset, uint16_t length);
+
+  static constexpr size_t kHeaderSize = 8 + 2 + 2 + 4;  // checksum, count, cell_start, next
+  static constexpr size_t kSlotEntrySize = 4;
+
+  char* data_;
+};
+
+}  // namespace temporadb
+
+#endif  // TEMPORADB_STORAGE_PAGE_H_

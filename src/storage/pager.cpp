@@ -1,0 +1,110 @@
+#include "storage/pager.h"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "common/strings.h"
+
+namespace temporadb {
+
+static_assert(kPageSize % 512 == 0, "page size should be sector aligned");
+
+Result<std::unique_ptr<FilePager>> FilePager::Open(const std::string& path) {
+  int fd = ::open(path.c_str(), O_RDWR | O_CREAT, 0644);
+  if (fd < 0) {
+    return Status::IOError(StringPrintf("open(%s): %s", path.c_str(),
+                                        std::strerror(errno)));
+  }
+  struct stat st;
+  if (::fstat(fd, &st) != 0) {
+    int err = errno;
+    ::close(fd);
+    return Status::IOError(StringPrintf("fstat(%s): %s", path.c_str(),
+                                        std::strerror(err)));
+  }
+  if (st.st_size % static_cast<off_t>(kPageSize) != 0) {
+    ::close(fd);
+    return Status::Corruption(
+        StringPrintf("%s: size %lld is not page-aligned", path.c_str(),
+                     static_cast<long long>(st.st_size)));
+  }
+  PageId pages = static_cast<PageId>(st.st_size / kPageSize);
+  return std::unique_ptr<FilePager>(new FilePager(path, fd, pages));
+}
+
+FilePager::~FilePager() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+Status FilePager::ReadPage(PageId id, char* buf) {
+  if (id >= page_count_) {
+    return Status::OutOfRange(StringPrintf("page %u beyond EOF", id));
+  }
+  ssize_t n = ::pread(fd_, buf, kPageSize,
+                      static_cast<off_t>(id) * static_cast<off_t>(kPageSize));
+  if (n != static_cast<ssize_t>(kPageSize)) {
+    return Status::IOError(StringPrintf("short read of page %u", id));
+  }
+  return Status::OK();
+}
+
+Status FilePager::WritePage(PageId id, const char* buf) {
+  if (id >= page_count_) {
+    return Status::OutOfRange(StringPrintf("page %u beyond EOF", id));
+  }
+  ssize_t n = ::pwrite(fd_, buf, kPageSize,
+                       static_cast<off_t>(id) * static_cast<off_t>(kPageSize));
+  if (n != static_cast<ssize_t>(kPageSize)) {
+    return Status::IOError(StringPrintf("short write of page %u", id));
+  }
+  return Status::OK();
+}
+
+Result<PageId> FilePager::AllocatePage() {
+  char zeros[kPageSize];
+  std::memset(zeros, 0, kPageSize);
+  PageId id = page_count_;
+  ssize_t n = ::pwrite(fd_, zeros, kPageSize,
+                       static_cast<off_t>(id) * static_cast<off_t>(kPageSize));
+  if (n != static_cast<ssize_t>(kPageSize)) {
+    return Status::IOError("failed to extend file");
+  }
+  ++page_count_;
+  return id;
+}
+
+Status FilePager::Sync() {
+  if (::fsync(fd_) != 0) {
+    return Status::IOError(StringPrintf("fsync: %s", std::strerror(errno)));
+  }
+  return Status::OK();
+}
+
+Status MemPager::ReadPage(PageId id, char* buf) {
+  if (id >= pages_.size()) {
+    return Status::OutOfRange("page beyond EOF");
+  }
+  std::memcpy(buf, pages_[id].get(), kPageSize);
+  return Status::OK();
+}
+
+Status MemPager::WritePage(PageId id, const char* buf) {
+  if (id >= pages_.size()) {
+    return Status::OutOfRange("page beyond EOF");
+  }
+  std::memcpy(pages_[id].get(), buf, kPageSize);
+  return Status::OK();
+}
+
+Result<PageId> MemPager::AllocatePage() {
+  auto page = std::make_unique<char[]>(kPageSize);
+  std::memset(page.get(), 0, kPageSize);
+  pages_.push_back(std::move(page));
+  return static_cast<PageId>(pages_.size() - 1);
+}
+
+}  // namespace temporadb

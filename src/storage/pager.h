@@ -1,0 +1,84 @@
+#ifndef TEMPORADB_STORAGE_PAGER_H_
+#define TEMPORADB_STORAGE_PAGER_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "storage/page.h"
+
+namespace temporadb {
+
+/// Raw page I/O: a flat array of `kPageSize` pages addressed by `PageId`.
+///
+/// Two implementations: `FilePager` (POSIX file, pread/pwrite) and
+/// `MemPager` (a vector of pages, for transient relations and tests).  The
+/// buffer pool sits on top and is the only component that should touch a
+/// pager directly.
+class Pager {
+ public:
+  virtual ~Pager() = default;
+
+  /// Reads page `id` into `buf` (>= kPageSize bytes).
+  virtual Status ReadPage(PageId id, char* buf) = 0;
+
+  /// Writes page `id` from `buf`.
+  virtual Status WritePage(PageId id, const char* buf) = 0;
+
+  /// Extends the file by one zeroed page and returns its id.
+  virtual Result<PageId> AllocatePage() = 0;
+
+  /// Number of pages currently allocated.
+  virtual PageId page_count() const = 0;
+
+  /// Durability barrier (fsync for files; no-op in memory).
+  virtual Status Sync() = 0;
+};
+
+/// File-backed pager.  The file is created if missing.
+class FilePager : public Pager {
+ public:
+  static Result<std::unique_ptr<FilePager>> Open(const std::string& path);
+  ~FilePager() override;
+
+  FilePager(const FilePager&) = delete;
+  FilePager& operator=(const FilePager&) = delete;
+
+  Status ReadPage(PageId id, char* buf) override;
+  Status WritePage(PageId id, const char* buf) override;
+  Result<PageId> AllocatePage() override;
+  PageId page_count() const override { return page_count_; }
+  Status Sync() override;
+
+  const std::string& path() const { return path_; }
+
+ private:
+  FilePager(std::string path, int fd, PageId page_count)
+      : path_(std::move(path)), fd_(fd), page_count_(page_count) {}
+
+  std::string path_;
+  int fd_;
+  PageId page_count_;
+};
+
+/// In-memory pager for transient relations and unit tests.
+class MemPager : public Pager {
+ public:
+  MemPager() = default;
+
+  Status ReadPage(PageId id, char* buf) override;
+  Status WritePage(PageId id, const char* buf) override;
+  Result<PageId> AllocatePage() override;
+  PageId page_count() const override {
+    return static_cast<PageId>(pages_.size());
+  }
+  Status Sync() override { return Status::OK(); }
+
+ private:
+  std::vector<std::unique_ptr<char[]>> pages_;
+};
+
+}  // namespace temporadb
+
+#endif  // TEMPORADB_STORAGE_PAGER_H_

@@ -1,0 +1,36 @@
+#ifndef TEMPORADB_STORAGE_TUPLE_H_
+#define TEMPORADB_STORAGE_TUPLE_H_
+
+#include <string>
+#include <vector>
+
+#include "catalog/schema.h"
+#include "common/result.h"
+#include "common/value.h"
+
+namespace temporadb {
+
+/// Byte-level encode/decode of tuple values.
+///
+/// The wire format is self-describing (each cell carries a type tag), so
+/// decoding tolerates NULLs and schema evolution is detectable; the schema
+/// is still consulted for validation on encode.
+namespace tuple_codec {
+
+/// Appends the encoding of `values` to `out`.  Validates arity and type
+/// admissibility against `schema`.
+Status EncodeValues(const Schema& schema, const std::vector<Value>& values,
+                    std::string* out);
+
+/// Appends the encoding of `values` without schema validation (used for
+/// derived rows whose schema is synthetic).
+void EncodeValuesUnchecked(const std::vector<Value>& values, std::string* out);
+
+/// Decodes values from `*in`, advancing the cursor.
+Result<std::vector<Value>> DecodeValues(std::string_view* in);
+
+}  // namespace tuple_codec
+
+}  // namespace temporadb
+
+#endif  // TEMPORADB_STORAGE_TUPLE_H_

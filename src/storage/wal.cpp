@@ -1,0 +1,150 @@
+#include "storage/wal.h"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <vector>
+
+#include "common/coding.h"
+#include "common/strings.h"
+
+namespace temporadb {
+
+namespace {
+
+// Record wire format:
+//   u64 lsn | u32 type | u32 payload_len | payload | u64 checksum
+// The checksum covers everything before it.
+constexpr size_t kRecordHeaderSize = 8 + 4 + 4;
+
+struct ScanResult {
+  uint64_t next_lsn = 1;
+  uint64_t valid_bytes = 0;
+};
+
+// Scans the file, returning the next LSN and the byte offset of the first
+// torn/corrupt record (where appends should resume).
+Result<ScanResult> ScanLog(
+    int fd, const std::function<Status(const WalRecord&)>* fn,
+    uint64_t from_lsn) {
+  ScanResult result;
+  off_t offset = 0;
+  while (true) {
+    char header[kRecordHeaderSize];
+    ssize_t n = ::pread(fd, header, kRecordHeaderSize, offset);
+    if (n < static_cast<ssize_t>(kRecordHeaderSize)) break;  // Clean EOF/tear.
+    std::string_view hv(header, kRecordHeaderSize);
+    uint64_t lsn;
+    uint32_t type, len;
+    GetFixed64(&hv, &lsn);
+    GetFixed32(&hv, &type);
+    GetFixed32(&hv, &len);
+    if (len > (64u << 20)) break;  // Implausible length: treat as a tear.
+    std::string body(len, '\0');
+    ssize_t bn = ::pread(fd, body.data(), len, offset + kRecordHeaderSize);
+    if (bn < static_cast<ssize_t>(len)) break;
+    char sumbuf[8];
+    ssize_t sn = ::pread(fd, sumbuf, 8, offset + kRecordHeaderSize + len);
+    if (sn < 8) break;
+    uint64_t stored;
+    std::memcpy(&stored, sumbuf, 8);
+    // Recompute over header + payload.
+    std::string covered(header, kRecordHeaderSize);
+    covered += body;
+    if (Checksum64(covered.data(), covered.size()) != stored) break;
+    if (fn != nullptr && lsn >= from_lsn) {
+      WalRecord rec;
+      rec.lsn = lsn;
+      rec.type = type;
+      rec.payload = std::move(body);
+      TDB_RETURN_IF_ERROR((*fn)(rec));
+    }
+    result.next_lsn = lsn + 1;
+    offset += static_cast<off_t>(kRecordHeaderSize + len + 8);
+    result.valid_bytes = static_cast<uint64_t>(offset);
+  }
+  return result;
+}
+
+}  // namespace
+
+Result<std::unique_ptr<WriteAheadLog>> WriteAheadLog::Open(
+    const std::string& path) {
+  int fd = ::open(path.c_str(), O_RDWR | O_CREAT, 0644);
+  if (fd < 0) {
+    return Status::IOError(StringPrintf("open(%s): %s", path.c_str(),
+                                        std::strerror(errno)));
+  }
+  Result<ScanResult> scan = ScanLog(fd, nullptr, 0);
+  if (!scan.ok()) {
+    ::close(fd);
+    return scan.status();
+  }
+  // Discard any torn tail so fresh appends start at a clean boundary.
+  if (::ftruncate(fd, static_cast<off_t>(scan->valid_bytes)) != 0) {
+    int err = errno;
+    ::close(fd);
+    return Status::IOError(StringPrintf("ftruncate: %s", std::strerror(err)));
+  }
+  return std::unique_ptr<WriteAheadLog>(
+      new WriteAheadLog(path, fd, scan->next_lsn, scan->valid_bytes));
+}
+
+WriteAheadLog::~WriteAheadLog() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+Result<uint64_t> WriteAheadLog::Append(uint32_t type, Slice payload) {
+  uint64_t lsn = next_lsn_;
+  std::string buf;
+  buf.reserve(kRecordHeaderSize + payload.size() + 8);
+  PutFixed64(&buf, lsn);
+  PutFixed32(&buf, type);
+  PutFixed32(&buf, static_cast<uint32_t>(payload.size()));
+  buf.append(payload.data(), payload.size());
+  uint64_t sum = Checksum64(buf.data(), buf.size());
+  PutFixed64(&buf, sum);
+  ssize_t n = ::pwrite(fd_, buf.data(), buf.size(),
+                       static_cast<off_t>(append_offset_));
+  if (n != static_cast<ssize_t>(buf.size())) {
+    return Status::IOError("short WAL append");
+  }
+  append_offset_ += buf.size();
+  ++next_lsn_;
+  return lsn;
+}
+
+Status WriteAheadLog::Sync() {
+  if (::fsync(fd_) != 0) {
+    return Status::IOError(StringPrintf("fsync: %s", std::strerror(errno)));
+  }
+  return Status::OK();
+}
+
+Status WriteAheadLog::Replay(
+    uint64_t from_lsn,
+    const std::function<Status(const WalRecord&)>& fn) const {
+  Result<ScanResult> scan = ScanLog(fd_, &fn, from_lsn);
+  return scan.ok() ? Status::OK() : scan.status();
+}
+
+Status WriteAheadLog::Truncate() {
+  if (::ftruncate(fd_, 0) != 0) {
+    return Status::IOError(StringPrintf("ftruncate: %s", std::strerror(errno)));
+  }
+  append_offset_ = 0;
+  return Sync();
+}
+
+Result<uint64_t> WriteAheadLog::SizeBytes() const {
+  struct stat st;
+  if (::fstat(fd_, &st) != 0) {
+    return Status::IOError(StringPrintf("fstat: %s", std::strerror(errno)));
+  }
+  return static_cast<uint64_t>(st.st_size);
+}
+
+}  // namespace temporadb

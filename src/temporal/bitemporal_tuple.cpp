@@ -1,0 +1,44 @@
+#include "temporal/bitemporal_tuple.h"
+
+#include "common/coding.h"
+#include "storage/tuple.h"
+
+namespace temporadb {
+
+void BitemporalTuple::EncodeTo(std::string* out) const {
+  PutFixed64(out, static_cast<uint64_t>(valid.begin().days()));
+  PutFixed64(out, static_cast<uint64_t>(valid.end().days()));
+  PutFixed64(out, static_cast<uint64_t>(txn.begin().days()));
+  PutFixed64(out, static_cast<uint64_t>(txn.end().days()));
+  tuple_codec::EncodeValuesUnchecked(values, out);
+}
+
+Result<BitemporalTuple> BitemporalTuple::DecodeFrom(std::string_view* in) {
+  uint64_t vb, ve, tb, te;
+  if (!GetFixed64(in, &vb) || !GetFixed64(in, &ve) || !GetFixed64(in, &tb) ||
+      !GetFixed64(in, &te)) {
+    return Status::Corruption("bitemporal tuple: truncated periods");
+  }
+  BitemporalTuple t;
+  t.valid = Period(Chronon(static_cast<int64_t>(vb)),
+                   Chronon(static_cast<int64_t>(ve)));
+  t.txn = Period(Chronon(static_cast<int64_t>(tb)),
+                 Chronon(static_cast<int64_t>(te)));
+  TDB_ASSIGN_OR_RETURN(t.values, tuple_codec::DecodeValues(in));
+  return t;
+}
+
+std::string BitemporalTuple::ToString() const {
+  std::string out = "(";
+  for (size_t i = 0; i < values.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += values[i].ToString();
+  }
+  out += ") v";
+  out += valid.ToString();
+  out += " t";
+  out += txn.ToString();
+  return out;
+}
+
+}  // namespace temporadb

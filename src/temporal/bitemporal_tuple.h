@@ -1,0 +1,52 @@
+#ifndef TEMPORADB_TEMPORAL_BITEMPORAL_TUPLE_H_
+#define TEMPORADB_TEMPORAL_BITEMPORAL_TUPLE_H_
+
+#include <string>
+#include <vector>
+
+#include "common/period.h"
+#include "common/result.h"
+#include "common/value.h"
+
+namespace temporadb {
+
+/// A stored tuple version: explicit attribute values plus the two
+/// DBMS-maintained temporal dimensions.
+///
+/// This is the row format of the paper's Figure 8:
+///
+/// | name   | rank      | valid (from, to)     | transaction (start, end) |
+/// |--------|-----------|----------------------|--------------------------|
+/// | Merrie | associate | 09/01/77 -- 12/01/82 | 12/15/82 -- ∞            |
+///
+/// Kinds that lack a dimension store it degenerately as `Period::All()`:
+/// a static relation's tuples are "always valid, always stored" — which is
+/// precisely the paper's point that a static relation is the degenerate case
+/// of a temporal one.
+struct BitemporalTuple {
+  std::vector<Value> values;  ///< Explicit (schema) attributes.
+  Period valid = Period::All();  ///< When the fact holds in reality.
+  Period txn = Period::All();    ///< When the fact was part of the DB state.
+
+  /// True when this version belongs to the current stored state (its
+  /// transaction period has not been closed).
+  bool IsCurrentState() const { return txn.end().IsForever(); }
+
+  /// True when the fact is (believed) still true in reality.
+  bool IsValidNow(Chronon now) const { return valid.Contains(now); }
+
+  /// Binary round-trip for the WAL and checkpoint files.
+  void EncodeTo(std::string* out) const;
+  static Result<BitemporalTuple> DecodeFrom(std::string_view* in);
+
+  /// "(Merrie, associate) v[09/01/77, 12/01/82) t[12/15/82, inf)".
+  std::string ToString() const;
+
+  friend bool operator==(const BitemporalTuple& a, const BitemporalTuple& b) {
+    return a.values == b.values && a.valid == b.valid && a.txn == b.txn;
+  }
+};
+
+}  // namespace temporadb
+
+#endif  // TEMPORADB_TEMPORAL_BITEMPORAL_TUPLE_H_

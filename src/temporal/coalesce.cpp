@@ -1,0 +1,86 @@
+#include "temporal/coalesce.h"
+
+#include <algorithm>
+#include <map>
+
+namespace temporadb {
+
+namespace {
+
+// Group key: explicit values + transaction period (valid periods merge only
+// within a single stored state).
+struct GroupKey {
+  const BitemporalTuple* tuple;
+
+  friend bool operator<(const GroupKey& a, const GroupKey& b) {
+    const auto& av = a.tuple->values;
+    const auto& bv = b.tuple->values;
+    if (av.size() != bv.size()) return av.size() < bv.size();
+    for (size_t i = 0; i < av.size(); ++i) {
+      if (av[i] < bv[i]) return true;
+      if (bv[i] < av[i]) return false;
+    }
+    const Period at = a.tuple->txn;
+    const Period bt = b.tuple->txn;
+    if (at.begin() != bt.begin()) return at.begin() < bt.begin();
+    return at.end() < bt.end();
+  }
+};
+
+}  // namespace
+
+std::vector<BitemporalTuple> Coalesce(std::vector<BitemporalTuple> tuples) {
+  std::map<GroupKey, std::vector<size_t>> groups;
+  for (size_t i = 0; i < tuples.size(); ++i) {
+    groups[GroupKey{&tuples[i]}].push_back(i);
+  }
+  std::vector<BitemporalTuple> out;
+  out.reserve(tuples.size());
+  for (auto& [key, members] : groups) {
+    // Sort the group's valid periods and sweep, merging overlap/meet.
+    std::sort(members.begin(), members.end(), [&](size_t a, size_t b) {
+      return tuples[a].valid.begin() < tuples[b].valid.begin();
+    });
+    Period run = tuples[members[0]].valid;
+    for (size_t k = 1; k < members.size(); ++k) {
+      Period next = tuples[members[k]].valid;
+      if (next.begin() <= run.end()) {
+        run = Period(run.begin(), MaxChronon(run.end(), next.end()));
+      } else {
+        BitemporalTuple merged = tuples[members[0]];
+        merged.valid = run;
+        out.push_back(std::move(merged));
+        run = next;
+      }
+    }
+    BitemporalTuple merged = tuples[members[0]];
+    merged.valid = run;
+    out.push_back(std::move(merged));
+  }
+  // Deterministic output order: by values, then valid begin.
+  std::sort(out.begin(), out.end(),
+            [](const BitemporalTuple& a, const BitemporalTuple& b) {
+              if (GroupKey{&a} < GroupKey{&b}) return true;
+              if (GroupKey{&b} < GroupKey{&a}) return false;
+              return a.valid.begin() < b.valid.begin();
+            });
+  return out;
+}
+
+bool IsCoalesced(const std::vector<BitemporalTuple>& tuples) {
+  for (size_t i = 0; i < tuples.size(); ++i) {
+    for (size_t j = i + 1; j < tuples.size(); ++j) {
+      const BitemporalTuple& a = tuples[i];
+      const BitemporalTuple& b = tuples[j];
+      if (a.values != b.values || a.txn != b.txn) continue;
+      // Mergeable: overlapping or meeting valid periods.
+      if (a.valid.Overlaps(b.valid) || a.valid.Meets(b.valid) ||
+          b.valid.Meets(a.valid)) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+}  // namespace temporadb

@@ -1,0 +1,29 @@
+#ifndef TEMPORADB_TEMPORAL_COALESCE_H_
+#define TEMPORADB_TEMPORAL_COALESCE_H_
+
+#include <vector>
+
+#include "temporal/bitemporal_tuple.h"
+
+namespace temporadb {
+
+/// Coalescing: merging value-equivalent tuples whose valid periods overlap
+/// or meet into maximal periods.
+///
+/// Temporal DML naturally fragments validity (a delete in the middle of a
+/// period splits it; a replace followed by a reverting replace leaves two
+/// adjacent periods with equal values).  Coalescing restores the canonical
+/// form in which no two tuples with identical explicit values (and, for
+/// bitemporal inputs, identical transaction periods) have adjacent or
+/// overlapping valid periods.
+///
+/// Properties (tested): idempotent; snapshot-preserving (the valid timeslice
+/// at every chronon is unchanged); never increases the tuple count.
+std::vector<BitemporalTuple> Coalesce(std::vector<BitemporalTuple> tuples);
+
+/// True if `tuples` is already coalesced (no mergeable pair exists).
+bool IsCoalesced(const std::vector<BitemporalTuple>& tuples);
+
+}  // namespace temporadb
+
+#endif  // TEMPORADB_TEMPORAL_COALESCE_H_

@@ -1,0 +1,61 @@
+#ifndef TEMPORADB_TEMPORAL_SNAPSHOT_H_
+#define TEMPORADB_TEMPORAL_SNAPSHOT_H_
+
+#include <vector>
+
+#include "common/period.h"
+#include "temporal/version_store.h"
+
+namespace temporadb {
+
+/// Materializers for the paper's "cube" pictures: a stored relation viewed
+/// as a sequence of states along one of its time axes (Figures 3, 5, 7).
+/// These are diagnostic/bench utilities; queries use the rel layer.
+
+/// A static state: bare tuples, no temporal columns.
+struct StaticState {
+  Chronon at;  ///< The chronon this slice was taken at.
+  std::vector<std::vector<Value>> rows;
+};
+
+/// An historical state: tuples with their valid periods.
+struct HistoricalState {
+  Chronon at;  ///< Transaction chronon the state was current at.
+  std::vector<BitemporalTuple> rows;  ///< txn periods are as stored.
+};
+
+/// The static state of a rollback/temporal relation as of transaction time
+/// `t` (the paper's *rollback* operation, projected to explicit values).
+StaticState RollbackSlice(const VersionStore& store, Chronon t);
+
+/// The set of tuples valid at chronon `v` in the current state (the
+/// *timeslice* of an historical relation).
+StaticState ValidTimeslice(const VersionStore& store, Chronon v);
+
+/// The historical state of a temporal relation as of transaction time `t`:
+/// every version whose transaction period contains `t`, with valid periods.
+HistoricalState HistoricalStateAsOf(const VersionStore& store, Chronon t);
+
+/// The distinct transaction chronons at which the stored state changed
+/// (starts and finite ends of transaction periods), ascending.
+std::vector<Chronon> TransactionBoundaries(const VersionStore& store);
+
+/// The distinct valid chronons at which the modeled reality changed
+/// (starts and finite ends of valid periods), ascending.
+std::vector<Chronon> ValidBoundaries(const VersionStore& store);
+
+/// The full cube of a rollback relation: one static state per transaction
+/// boundary (Figure 3).
+std::vector<StaticState> RollbackStates(const VersionStore& store);
+
+/// The full cube of an historical relation: one static slice per valid
+/// boundary (Figure 5).
+std::vector<StaticState> HistoricalSlices(const VersionStore& store);
+
+/// The 4-D structure of a temporal relation: one historical state per
+/// transaction boundary (Figure 7).
+std::vector<HistoricalState> TemporalStates(const VersionStore& store);
+
+}  // namespace temporadb
+
+#endif  // TEMPORADB_TEMPORAL_SNAPSHOT_H_

@@ -1,0 +1,142 @@
+#include "temporal/stored_relation.h"
+
+#include "common/strings.h"
+#include "temporal/historical_relation.h"
+#include "temporal/rollback_relation.h"
+#include "temporal/static_relation.h"
+#include "temporal/temporal_relation.h"
+
+namespace temporadb {
+
+UpdateAction ConstUpdate(size_t index, Value v) {
+  return UpdateAction{
+      index,
+      [v = std::move(v)](const std::vector<Value>&) -> Result<Value> {
+        return v;
+      }};
+}
+
+Result<std::vector<Value>> ApplyUpdates(const UpdateSpec& updates,
+                                        const std::vector<Value>& values) {
+  std::vector<Value> out = values;
+  for (const UpdateAction& action : updates) {
+    if (action.index >= out.size()) {
+      return Status::InvalidArgument("update index out of range");
+    }
+    TDB_ASSIGN_OR_RETURN(out[action.index], action.compute(values));
+  }
+  return out;
+}
+
+Result<size_t> StoredRelation::CorrectErase(Transaction*,
+                                            const TuplePredicate&) {
+  return Status::NotSupported(StringPrintf(
+      "physical corrections are only meaningful for historical relations; "
+      "'%s' is %s",
+      info_.name.c_str(),
+      std::string(TemporalClassName(info_.temporal_class)).c_str()));
+}
+
+Result<size_t> StoredRelation::DeleteWhere(Transaction* txn,
+                                           const TuplePredicate& pred,
+                                           std::optional<Period> valid,
+                                           const PeriodPredicate& when) {
+  if (when != nullptr && !SupportsValidTime(info_.temporal_class)) {
+    return Status::NotSupported(StringPrintf(
+        "relation '%s' is %s and does not maintain valid time; a 'when' "
+        "clause is not supported",
+        info_.name.c_str(),
+        std::string(TemporalClassName(info_.temporal_class)).c_str()));
+  }
+  return DoDeleteWhere(txn, pred, std::move(valid), when);
+}
+
+Result<size_t> StoredRelation::ReplaceWhere(Transaction* txn,
+                                            const TuplePredicate& pred,
+                                            const UpdateSpec& updates,
+                                            std::optional<Period> valid,
+                                            const PeriodPredicate& when) {
+  if (when != nullptr && !SupportsValidTime(info_.temporal_class)) {
+    return Status::NotSupported(StringPrintf(
+        "relation '%s' is %s and does not maintain valid time; a 'when' "
+        "clause is not supported",
+        info_.name.c_str(),
+        std::string(TemporalClassName(info_.temporal_class)).c_str()));
+  }
+  return DoReplaceWhere(txn, pred, updates, std::move(valid), when);
+}
+
+Status StoredRelation::CreateIndex(std::string_view attribute) {
+  std::optional<size_t> idx = info_.schema.IndexOf(attribute);
+  if (!idx.has_value()) {
+    return Status::InvalidArgument(StringPrintf(
+        "relation '%s' has no attribute '%s'", info_.name.c_str(),
+        std::string(attribute).c_str()));
+  }
+  return store_.CreateAttributeIndex(*idx);
+}
+
+Result<std::vector<Value>> StoredRelation::CheckValues(
+    std::vector<Value> values) const {
+  const Schema& schema = info_.schema;
+  if (values.size() != schema.size()) {
+    return Status::InvalidArgument(StringPrintf(
+        "relation '%s' expects %zu attributes, got %zu", info_.name.c_str(),
+        schema.size(), values.size()));
+  }
+  for (size_t i = 0; i < values.size(); ++i) {
+    TDB_ASSIGN_OR_RETURN(values[i], schema.at(i).type.Coerce(values[i]));
+  }
+  return values;
+}
+
+Result<Period> StoredRelation::ResolveValidPeriod(
+    Transaction* txn, std::optional<Period> valid) const {
+  if (!valid.has_value()) {
+    // The fact holds "from now on" (interval model) or "happens now"
+    // (event model), where "now" is the transaction timestamp.
+    if (info_.data_model == TemporalDataModel::kEvent) {
+      return Period::At(txn->timestamp());
+    }
+    return Period::From(txn->timestamp());
+  }
+  if (valid->IsEmpty()) {
+    return Status::InvalidArgument("valid period is empty");
+  }
+  if (info_.data_model == TemporalDataModel::kEvent && !valid->IsInstant()) {
+    return Status::InvalidArgument(StringPrintf(
+        "'%s' is an event relation; its valid time is a single chronon "
+        "(use 'valid at'), not an interval",
+        info_.name.c_str()));
+  }
+  return *valid;
+}
+
+Status StoredRelation::RejectValidPeriod(
+    const std::optional<Period>& valid) const {
+  if (valid.has_value()) {
+    return Status::NotSupported(StringPrintf(
+        "relation '%s' is %s and does not maintain valid time; retroactive "
+        "or postactive changes (a 'valid' clause) are not supported",
+        info_.name.c_str(),
+        std::string(TemporalClassName(info_.temporal_class)).c_str()));
+  }
+  return Status::OK();
+}
+
+std::unique_ptr<StoredRelation> MakeStoredRelation(
+    RelationInfo info, VersionStoreOptions options) {
+  switch (info.temporal_class) {
+    case TemporalClass::kStatic:
+      return std::make_unique<StaticRelation>(std::move(info), options);
+    case TemporalClass::kRollback:
+      return std::make_unique<RollbackRelation>(std::move(info), options);
+    case TemporalClass::kHistorical:
+      return std::make_unique<HistoricalRelation>(std::move(info), options);
+    case TemporalClass::kTemporal:
+      return std::make_unique<TemporalRelation>(std::move(info), options);
+  }
+  return nullptr;
+}
+
+}  // namespace temporadb

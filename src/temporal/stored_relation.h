@@ -1,0 +1,144 @@
+#ifndef TEMPORADB_TEMPORAL_STORED_RELATION_H_
+#define TEMPORADB_TEMPORAL_STORED_RELATION_H_
+
+#include <functional>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "catalog/catalog.h"
+#include "common/result.h"
+#include "temporal/version_store.h"
+#include "txn/transaction.h"
+
+namespace temporadb {
+
+/// A predicate over a tuple's explicit attribute values, used to select the
+/// targets of `delete`/`replace` statements.  The TQuel evaluator compiles
+/// `where` clauses down to this.
+using TuplePredicate = std::function<bool(const std::vector<Value>&)>;
+
+/// A predicate over a tuple's valid period — the DML `when` clause
+/// (e.g. `delete f when f precede "01/01/80"`).  Null means "no when
+/// clause"; only kinds with valid time accept one.
+using PeriodPredicate = std::function<bool(Period)>;
+
+/// One attribute assignment of a `replace` statement.  `compute` receives
+/// the tuple's *old* values, so assignments like `salary = f.salary * 1.1`
+/// work; use `ConstUpdate` for plain constants.
+struct UpdateAction {
+  size_t index;
+  std::function<Result<Value>(const std::vector<Value>&)> compute;
+};
+using UpdateSpec = std::vector<UpdateAction>;
+
+/// An assignment to a constant value.
+UpdateAction ConstUpdate(size_t index, Value v);
+
+/// Applies an update spec to a copy of `values`.
+Result<std::vector<Value>> ApplyUpdates(const UpdateSpec& updates,
+                                        const std::vector<Value>& values);
+
+/// Base class of the four stored-relation kinds.
+///
+/// The subclasses map one-to-one onto the paper's taxonomy (Figure 10):
+///
+/// | class                | time maintained        | update discipline     |
+/// |----------------------|------------------------|-----------------------|
+/// | `StaticRelation`     | none                   | destructive, in place |
+/// | `RollbackRelation`   | transaction            | append-only states    |
+/// | `HistoricalRelation` | valid                  | arbitrary correction  |
+/// | `TemporalRelation`   | transaction and valid  | append-only histories |
+///
+/// The shared DML vocabulary is `Append` / `DeleteWhere` / `ReplaceWhere`,
+/// each taking an optional *valid-time period*.  Kinds that do not support
+/// valid time reject a supplied period with `NotSupported` — this is the
+/// taxonomy made executable: a retroactive change is exactly a DML statement
+/// whose valid period differs from "now on", and only historical/temporal
+/// relations accept one (§4.3/§4.4).
+class StoredRelation {
+ public:
+  explicit StoredRelation(RelationInfo info, VersionStoreOptions options = {})
+      : info_(std::move(info)), store_(options) {}
+  virtual ~StoredRelation() = default;
+
+  StoredRelation(const StoredRelation&) = delete;
+  StoredRelation& operator=(const StoredRelation&) = delete;
+
+  const RelationInfo& info() const { return info_; }
+  const Schema& schema() const { return info_.schema; }
+  TemporalClass temporal_class() const { return info_.temporal_class; }
+  TemporalDataModel data_model() const { return info_.data_model; }
+
+  /// Inserts a tuple.  `valid` is the fact's valid-time period; nullopt
+  /// means "from the transaction timestamp on" for kinds with valid time
+  /// and is required to be nullopt for kinds without it.
+  virtual Status Append(Transaction* txn, std::vector<Value> values,
+                        std::optional<Period> valid) = 0;
+
+  /// Deletes the facts matching `pred` over the valid period `valid`
+  /// (nullopt: "from the transaction timestamp on" with valid time, the
+  /// whole tuple without).  The optional `when` predicate additionally
+  /// filters targets by their valid period (TQuel's `when` on DML); it is
+  /// NotSupported on kinds without valid time.  Returns the number of
+  /// tuples affected.
+  Result<size_t> DeleteWhere(Transaction* txn, const TuplePredicate& pred,
+                             std::optional<Period> valid,
+                             const PeriodPredicate& when = nullptr);
+
+  /// Applies `updates` to the facts matching `pred` (and `when`) over the
+  /// valid period.  Returns the number of tuples affected.
+  Result<size_t> ReplaceWhere(Transaction* txn, const TuplePredicate& pred,
+                              const UpdateSpec& updates,
+                              std::optional<Period> valid,
+                              const PeriodPredicate& when = nullptr);
+
+  /// Historical-only physical correction: removes matching versions
+  /// entirely, leaving no trace (§4.3: "there is no record kept of the
+  /// errors that have been corrected").  NotSupported elsewhere.
+  virtual Result<size_t> CorrectErase(Transaction* txn,
+                                      const TuplePredicate& pred);
+
+  /// Creates a secondary index on the named attribute (used by the query
+  /// evaluator for equality predicates).
+  Status CreateIndex(std::string_view attribute);
+
+  /// The underlying version store (query layer access path).
+  VersionStore* store() { return &store_; }
+  const VersionStore* store() const { return &store_; }
+
+ protected:
+  /// Kind-specific DML (the public wrappers validate `when` first).
+  virtual Result<size_t> DoDeleteWhere(Transaction* txn,
+                                       const TuplePredicate& pred,
+                                       std::optional<Period> valid,
+                                       const PeriodPredicate& when) = 0;
+  virtual Result<size_t> DoReplaceWhere(Transaction* txn,
+                                        const TuplePredicate& pred,
+                                        const UpdateSpec& updates,
+                                        std::optional<Period> valid,
+                                        const PeriodPredicate& when) = 0;
+
+  /// Validates arity/types and coerces values against the schema.
+  Result<std::vector<Value>> CheckValues(std::vector<Value> values) const;
+
+  /// Resolves the valid period for a kind *with* valid time: defaults to
+  /// `[now, ∞)`, validates event relations get instants (coercing a nullopt
+  /// default to the single chronon `now`).
+  Result<Period> ResolveValidPeriod(Transaction* txn,
+                                    std::optional<Period> valid) const;
+
+  /// Rejects a user-supplied valid period for kinds *without* valid time.
+  Status RejectValidPeriod(const std::optional<Period>& valid) const;
+
+  RelationInfo info_;
+  VersionStore store_;
+};
+
+/// Creates the right subclass for `info.temporal_class`.
+std::unique_ptr<StoredRelation> MakeStoredRelation(
+    RelationInfo info, VersionStoreOptions options = {});
+
+}  // namespace temporadb
+
+#endif  // TEMPORADB_TEMPORAL_STORED_RELATION_H_

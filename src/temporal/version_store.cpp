@@ -1,0 +1,358 @@
+#include "temporal/version_store.h"
+
+#include <cassert>
+
+namespace temporadb {
+
+VersionStore::VersionStore(VersionStoreOptions options) : options_(options) {}
+
+void VersionStore::IndexInsert(RowId row, const BitemporalTuple& t) {
+  if (options_.index_txn_time) {
+    if (t.IsCurrentState()) {
+      (void)txn_index_.AddCurrent(row, t.txn.begin());
+    } else {
+      (void)txn_index_.AddClosed(row, t.txn);
+    }
+  }
+  if (options_.index_valid_time && !t.valid.IsEmpty()) {
+    (void)valid_index_.Insert(t.valid, row);
+  }
+}
+
+void VersionStore::IndexEraseValid(RowId row, const BitemporalTuple& t) {
+  if (options_.index_valid_time && !t.valid.IsEmpty()) {
+    (void)valid_index_.Remove(t.valid, row);
+  }
+}
+
+void VersionStore::AttrIndexInsert(RowId row, const BitemporalTuple& t) {
+  for (auto& [attr, index] : attr_indexes_) {
+    if (attr < t.values.size()) index->Insert(t.values[attr], row);
+  }
+}
+
+void VersionStore::AttrIndexErase(RowId row, const BitemporalTuple& t) {
+  for (auto& [attr, index] : attr_indexes_) {
+    if (attr < t.values.size()) (void)index->Remove(t.values[attr], row);
+  }
+}
+
+RowId VersionStore::RawAppend(BitemporalTuple tuple) {
+  RowId row = versions_.size();
+  IndexInsert(row, tuple);
+  AttrIndexInsert(row, tuple);
+  versions_.push_back(Slot{std::move(tuple), false});
+  ++live_count_;
+  return row;
+}
+
+void VersionStore::RawUnappend(RowId row) {
+  assert(row + 1 == versions_.size());
+  Slot& slot = versions_[row];
+  if (!slot.tombstone) {
+    IndexEraseValid(row, slot.tuple);
+    AttrIndexErase(row, slot.tuple);
+    if (options_.index_txn_time && slot.tuple.IsCurrentState()) {
+      // Remove from the current set by "closing at start" (zero-length
+      // periods are dropped, not indexed).
+      (void)txn_index_.CloseCurrent(row, slot.tuple.txn.begin());
+    }
+    --live_count_;
+  }
+  versions_.pop_back();
+}
+
+Status VersionStore::RawCloseTxn(RowId row, Chronon tt_end) {
+  if (row >= versions_.size() || versions_[row].tombstone) {
+    return Status::NotFound("no such version");
+  }
+  BitemporalTuple& t = versions_[row].tuple;
+  if (!t.IsCurrentState()) {
+    return Status::FailedPrecondition(
+        "version's transaction period is already closed");
+  }
+  if (tt_end < t.txn.begin()) {
+    return Status::InvalidArgument(
+        "transaction end precedes transaction start");
+  }
+  if (options_.index_txn_time) {
+    TDB_RETURN_IF_ERROR(txn_index_.CloseCurrent(row, tt_end));
+  }
+  t.txn = Period(t.txn.begin(), tt_end);
+  return Status::OK();
+}
+
+void VersionStore::RawReopenTxn(RowId row, Chronon old_end) {
+  assert(old_end.IsForever());
+  Slot& slot = versions_[row];
+  Chronon start = slot.tuple.txn.begin();
+  if (options_.index_txn_time) {
+    (void)txn_index_.ReopenAsCurrent(row, start, slot.tuple.txn.end());
+  }
+  slot.tuple.txn = Period(start, old_end);
+}
+
+Status VersionStore::RawPhysicalDelete(RowId row) {
+  if (row >= versions_.size() || versions_[row].tombstone) {
+    return Status::NotFound("no such version");
+  }
+  Slot& slot = versions_[row];
+  IndexEraseValid(row, slot.tuple);
+  AttrIndexErase(row, slot.tuple);
+  if (options_.index_txn_time && slot.tuple.IsCurrentState()) {
+    (void)txn_index_.CloseCurrent(row, slot.tuple.txn.begin());
+  }
+  slot.tombstone = true;
+  --live_count_;
+  return Status::OK();
+}
+
+void VersionStore::RawUndelete(RowId row, BitemporalTuple tuple) {
+  Slot& slot = versions_[row];
+  assert(slot.tombstone);
+  slot.tuple = std::move(tuple);
+  slot.tombstone = false;
+  IndexInsert(row, slot.tuple);
+  AttrIndexInsert(row, slot.tuple);
+  ++live_count_;
+}
+
+Status VersionStore::RawPhysicalUpdate(RowId row, BitemporalTuple tuple) {
+  if (row >= versions_.size() || versions_[row].tombstone) {
+    return Status::NotFound("no such version");
+  }
+  Slot& slot = versions_[row];
+  IndexEraseValid(row, slot.tuple);
+  AttrIndexErase(row, slot.tuple);
+  if (options_.index_txn_time && slot.tuple.IsCurrentState()) {
+    (void)txn_index_.CloseCurrent(row, slot.tuple.txn.begin());
+  }
+  slot.tuple = std::move(tuple);
+  IndexInsert(row, slot.tuple);
+  AttrIndexInsert(row, slot.tuple);
+  return Status::OK();
+}
+
+Result<RowId> VersionStore::Append(Transaction* txn, BitemporalTuple tuple) {
+  if (txn == nullptr || !txn->IsActive()) {
+    return Status::FailedPrecondition("append outside an active transaction");
+  }
+  BitemporalTuple copy = tuple;
+  RowId row = RawAppend(std::move(tuple));
+  txn->PushUndo([this, row] { RawUnappend(row); });
+  if (observer_) {
+    VersionOp op;
+    op.kind = VersionOp::Kind::kAppend;
+    op.row = row;
+    op.tuple = std::move(copy);
+    observer_(op);
+  }
+  return row;
+}
+
+Status VersionStore::CloseTxn(Transaction* txn, RowId row, Chronon tt_end) {
+  if (txn == nullptr || !txn->IsActive()) {
+    return Status::FailedPrecondition("close outside an active transaction");
+  }
+  TDB_RETURN_IF_ERROR(RawCloseTxn(row, tt_end));
+  txn->PushUndo([this, row] { RawReopenTxn(row, Chronon::Forever()); });
+  if (observer_) {
+    VersionOp op;
+    op.kind = VersionOp::Kind::kCloseTxn;
+    op.row = row;
+    op.tt_end = tt_end;
+    observer_(op);
+  }
+  return Status::OK();
+}
+
+Status VersionStore::PhysicalDelete(Transaction* txn, RowId row) {
+  if (txn == nullptr || !txn->IsActive()) {
+    return Status::FailedPrecondition("delete outside an active transaction");
+  }
+  TDB_ASSIGN_OR_RETURN(const BitemporalTuple* old, Get(row));
+  BitemporalTuple saved = *old;
+  TDB_RETURN_IF_ERROR(RawPhysicalDelete(row));
+  txn->PushUndo([this, row, saved] { RawUndelete(row, saved); });
+  if (observer_) {
+    VersionOp op;
+    op.kind = VersionOp::Kind::kPhysicalDelete;
+    op.row = row;
+    observer_(op);
+  }
+  return Status::OK();
+}
+
+Status VersionStore::PhysicalUpdate(Transaction* txn, RowId row,
+                                    BitemporalTuple tuple) {
+  if (txn == nullptr || !txn->IsActive()) {
+    return Status::FailedPrecondition("update outside an active transaction");
+  }
+  TDB_ASSIGN_OR_RETURN(const BitemporalTuple* old, Get(row));
+  BitemporalTuple saved = *old;
+  BitemporalTuple copy = tuple;
+  TDB_RETURN_IF_ERROR(RawPhysicalUpdate(row, std::move(tuple)));
+  txn->PushUndo([this, row, saved] { (void)RawPhysicalUpdate(row, saved); });
+  if (observer_) {
+    VersionOp op;
+    op.kind = VersionOp::Kind::kPhysicalUpdate;
+    op.row = row;
+    op.tuple = std::move(copy);
+    observer_(op);
+  }
+  return Status::OK();
+}
+
+Result<const BitemporalTuple*> VersionStore::Get(RowId row) const {
+  if (row >= versions_.size() || versions_[row].tombstone) {
+    return Status::NotFound("no such version");
+  }
+  return &versions_[row].tuple;
+}
+
+void VersionStore::ForEach(
+    const std::function<void(RowId, const BitemporalTuple&)>& fn) const {
+  for (RowId row = 0; row < versions_.size(); ++row) {
+    if (!versions_[row].tombstone) fn(row, versions_[row].tuple);
+  }
+}
+
+std::vector<RowId> VersionStore::TxnAsOf(Chronon t) const {
+  std::vector<RowId> out;
+  if (options_.index_txn_time) {
+    txn_index_.AsOf(t, [&](RowId row) { out.push_back(row); });
+  } else {
+    ForEach([&](RowId row, const BitemporalTuple& tuple) {
+      if (tuple.txn.Contains(t)) out.push_back(row);
+    });
+  }
+  return out;
+}
+
+std::vector<RowId> VersionStore::CurrentRows() const {
+  std::vector<RowId> out;
+  if (options_.index_txn_time) {
+    txn_index_.Current([&](RowId row) { out.push_back(row); });
+  } else {
+    ForEach([&](RowId row, const BitemporalTuple& tuple) {
+      if (tuple.IsCurrentState()) out.push_back(row);
+    });
+  }
+  return out;
+}
+
+std::vector<RowId> VersionStore::ValidOverlapping(Period q) const {
+  std::vector<RowId> out;
+  if (options_.index_valid_time) {
+    valid_index_.Overlapping(q, [&](Period, RowId row) { out.push_back(row); });
+  } else {
+    ForEach([&](RowId row, const BitemporalTuple& tuple) {
+      if (tuple.valid.Overlaps(q)) out.push_back(row);
+    });
+  }
+  return out;
+}
+
+Status VersionStore::ApplyReplay(const VersionOp& op) {
+  switch (op.kind) {
+    case VersionOp::Kind::kAppend: {
+      RowId row = RawAppend(op.tuple);
+      if (row != op.row) {
+        return Status::Corruption(
+            "replay row id mismatch: log does not match store state");
+      }
+      return Status::OK();
+    }
+    case VersionOp::Kind::kCloseTxn:
+      return RawCloseTxn(op.row, op.tt_end);
+    case VersionOp::Kind::kPhysicalDelete:
+      return RawPhysicalDelete(op.row);
+    case VersionOp::Kind::kPhysicalUpdate:
+      return RawPhysicalUpdate(op.row, op.tuple);
+  }
+  return Status::Corruption("unknown version op in log");
+}
+
+void VersionStore::ForEachSlot(
+    const std::function<void(RowId, const BitemporalTuple*)>& fn) const {
+  for (RowId row = 0; row < versions_.size(); ++row) {
+    fn(row, versions_[row].tombstone ? nullptr : &versions_[row].tuple);
+  }
+}
+
+RowId VersionStore::LoadSlot(std::optional<BitemporalTuple> tuple) {
+  if (tuple.has_value()) {
+    return RawAppend(std::move(*tuple));
+  }
+  RowId row = versions_.size();
+  versions_.push_back(Slot{BitemporalTuple{}, true});
+  return row;
+}
+
+size_t VersionStore::CompactTombstones() {
+  size_t reclaimed = versions_.size() - live_count_;
+  if (reclaimed == 0) return 0;  // Nothing to do; don't disturb the slots.
+  std::vector<Slot> survivors;
+  survivors.reserve(live_count_);
+  for (Slot& slot : versions_) {
+    if (!slot.tombstone) survivors.push_back(std::move(slot));
+  }
+  versions_ = std::move(survivors);
+  // Row ids changed: rebuild every index from scratch.
+  txn_index_.Clear();
+  valid_index_.Clear();
+  for (auto& [attr, index] : attr_indexes_) index->Clear();
+  for (RowId row = 0; row < versions_.size(); ++row) {
+    IndexInsert(row, versions_[row].tuple);
+    AttrIndexInsert(row, versions_[row].tuple);
+  }
+  return reclaimed;
+}
+
+Status VersionStore::CreateAttributeIndex(size_t attr_index) {
+  if (attr_indexes_.contains(attr_index)) {
+    return Status::AlreadyExists("attribute is already indexed");
+  }
+  auto index = std::make_unique<BTreeIndex>();
+  for (RowId row = 0; row < versions_.size(); ++row) {
+    const Slot& slot = versions_[row];
+    if (slot.tombstone) continue;
+    if (attr_index >= slot.tuple.values.size()) {
+      return Status::InvalidArgument("attribute index out of range");
+    }
+    index->Insert(slot.tuple.values[attr_index], row);
+  }
+  attr_indexes_.emplace(attr_index, std::move(index));
+  return Status::OK();
+}
+
+Result<std::vector<RowId>> VersionStore::LookupAttribute(
+    size_t attr_index, const Value& key) const {
+  auto it = attr_indexes_.find(attr_index);
+  if (it == attr_indexes_.end()) {
+    return Status::FailedPrecondition("attribute is not indexed");
+  }
+  return it->second->Lookup(key);
+}
+
+size_t VersionStore::current_count() const {
+  if (options_.index_txn_time) return txn_index_.current_count();
+  size_t n = 0;
+  ForEach([&](RowId, const BitemporalTuple& t) {
+    if (t.IsCurrentState()) ++n;
+  });
+  return n;
+}
+
+size_t VersionStore::ApproximateBytes() const {
+  size_t bytes = versions_.size() * (sizeof(Slot) + 4 * sizeof(int64_t));
+  for (const Slot& s : versions_) {
+    for (const Value& v : s.tuple.values) {
+      bytes += sizeof(Value);
+      if (v.type() == ValueType::kString) bytes += v.AsString().size();
+    }
+  }
+  return bytes;
+}
+
+}  // namespace temporadb

@@ -1,0 +1,174 @@
+#ifndef TEMPORADB_TEMPORAL_VERSION_STORE_H_
+#define TEMPORADB_TEMPORAL_VERSION_STORE_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "index/btree.h"
+#include "index/interval_index.h"
+#include "index/snapshot_index.h"
+#include "temporal/bitemporal_tuple.h"
+#include "txn/transaction.h"
+
+namespace temporadb {
+
+using RowId = uint64_t;
+
+/// A low-level mutation on a version store, as observed by the redo log.
+struct VersionOp {
+  enum class Kind : uint32_t {
+    kAppend = 1,         ///< A new version entered the store.
+    kCloseTxn = 2,       ///< A current version's transaction period closed.
+    kPhysicalDelete = 3, ///< A version was physically removed (correction).
+    kPhysicalUpdate = 4, ///< A version was overwritten in place (correction).
+  };
+  Kind kind;
+  RowId row = 0;
+  BitemporalTuple tuple;       // kAppend / kPhysicalUpdate payload.
+  Chronon tt_end;              // kCloseTxn payload.
+};
+
+/// Index configuration, exposed so the ablation benches can toggle access
+/// paths.
+struct VersionStoreOptions {
+  bool index_valid_time = true;  ///< Interval index over valid periods.
+  bool index_txn_time = true;    ///< Snapshot index over transaction periods.
+};
+
+/// The physical container of tuple versions for one stored relation.
+///
+/// Versions are addressed by dense `RowId`s in append order; physically
+/// deleted versions leave a tombstone so ids stay stable (compaction is a
+/// checkpoint-time concern).  All four relation kinds sit on this store and
+/// differ only in which mutations they are *allowed* to perform — the store
+/// itself is policy-free.
+///
+/// Every mutator takes the active `Transaction` and registers a compensating
+/// undo action, so statement failures mid-transaction roll back cleanly; it
+/// also notifies the `observer` (the facade's redo buffer) for write-ahead
+/// logging.
+class VersionStore {
+ public:
+  explicit VersionStore(VersionStoreOptions options = {});
+
+  VersionStore(const VersionStore&) = delete;
+  VersionStore& operator=(const VersionStore&) = delete;
+
+  /// Redo observer; invoked after each successful mutation.
+  void set_observer(std::function<void(const VersionOp&)> observer) {
+    observer_ = std::move(observer);
+  }
+
+  /// Appends a version; returns its row id.
+  Result<RowId> Append(Transaction* txn, BitemporalTuple tuple);
+
+  /// Closes the transaction period of a current version at `tt_end`.
+  Status CloseTxn(Transaction* txn, RowId row, Chronon tt_end);
+
+  /// Physically removes a version (legal only for kinds without transaction
+  /// time; the relation layer enforces that).
+  Status PhysicalDelete(Transaction* txn, RowId row);
+
+  /// Overwrites a version in place (historical corrections).
+  Status PhysicalUpdate(Transaction* txn, RowId row, BitemporalTuple tuple);
+
+  /// Reads a live version; NotFound for tombstones / out of range.
+  Result<const BitemporalTuple*> Get(RowId row) const;
+
+  /// Iterates live versions in row order.
+  void ForEach(const std::function<void(RowId, const BitemporalTuple&)>& fn) const;
+
+  /// Rows whose transaction period contains `t` (the rollback access path);
+  /// falls back to a scan when the snapshot index is disabled.
+  std::vector<RowId> TxnAsOf(Chronon t) const;
+
+  /// Rows in the current stored state (transaction end = ∞).
+  std::vector<RowId> CurrentRows() const;
+
+  /// Rows whose valid period overlaps `q`; falls back to a scan when the
+  /// interval index is disabled.
+  std::vector<RowId> ValidOverlapping(Period q) const;
+
+  /// Creates a secondary B+-tree index on explicit attribute `attr_index`,
+  /// backfilling existing live versions.  Idempotent (AlreadyExists on a
+  /// second call).  Maintained across all mutations, undo, and replay.
+  Status CreateAttributeIndex(size_t attr_index);
+
+  /// True when attribute `attr_index` is indexed.
+  bool HasAttributeIndex(size_t attr_index) const {
+    return attr_indexes_.contains(attr_index);
+  }
+
+  /// Rows (live versions, any transaction state) whose attribute equals
+  /// `key`; FailedPrecondition when the attribute is not indexed.
+  Result<std::vector<RowId>> LookupAttribute(size_t attr_index,
+                                             const Value& key) const;
+
+  /// Replay entry points used by recovery and checkpoint load: apply an
+  /// operation *without* a transaction (no undo, no observer).
+  Status ApplyReplay(const VersionOp& op);
+
+  /// Checkpoint write path: iterates every slot including tombstones, in
+  /// row order (tombstones pass a null tuple).
+  void ForEachSlot(const std::function<void(RowId, const BitemporalTuple*)>&
+                       fn) const;
+
+  /// Checkpoint load path: appends a slot verbatim — a live version
+  /// (indexed) or a tombstone placeholder (keeps later row ids stable).
+  RowId LoadSlot(std::optional<BitemporalTuple> tuple);
+
+  /// Physically removes tombstone slots, renumbering row ids and rebuilding
+  /// every index.  Returns the number of slots reclaimed.
+  ///
+  /// DANGER: row ids are NOT stable across compaction.  The only safe call
+  /// site is a checkpoint boundary with no active transaction, where the
+  /// WAL (whose records reference row ids) is about to be truncated.
+  size_t CompactTombstones();
+
+  size_t live_count() const { return live_count_; }
+  size_t version_count() const { return versions_.size(); }
+  size_t current_count() const;
+
+  /// Approximate bytes held, for the storage-growth bench.
+  size_t ApproximateBytes() const;
+
+  const VersionStoreOptions& options() const { return options_; }
+
+ private:
+  struct Slot {
+    BitemporalTuple tuple;
+    bool tombstone = false;
+  };
+
+  void IndexInsert(RowId row, const BitemporalTuple& t);
+  void IndexEraseValid(RowId row, const BitemporalTuple& t);
+  void AttrIndexInsert(RowId row, const BitemporalTuple& t);
+  void AttrIndexErase(RowId row, const BitemporalTuple& t);
+
+  // Raw mutations shared by the transactional path and replay.
+  RowId RawAppend(BitemporalTuple tuple);
+  Status RawCloseTxn(RowId row, Chronon tt_end);
+  Status RawPhysicalDelete(RowId row);
+  Status RawPhysicalUpdate(RowId row, BitemporalTuple tuple);
+  // Inverses, used by undo.
+  void RawUnappend(RowId row);
+  void RawReopenTxn(RowId row, Chronon old_end);
+  void RawUndelete(RowId row, BitemporalTuple tuple);
+
+  VersionStoreOptions options_;
+  std::vector<Slot> versions_;
+  size_t live_count_ = 0;
+  SnapshotIndex txn_index_;
+  IntervalIndex valid_index_;
+  std::map<size_t, std::unique_ptr<BTreeIndex>> attr_indexes_;
+  std::function<void(const VersionOp&)> observer_;
+};
+
+}  // namespace temporadb
+
+#endif  // TEMPORADB_TEMPORAL_VERSION_STORE_H_

@@ -1,0 +1,235 @@
+#include "tquel/ast.h"
+
+namespace temporadb {
+namespace tquel {
+
+namespace {
+
+std::string_view BinaryOpName(AstBinaryOp op) {
+  switch (op) {
+    case AstBinaryOp::kEq:
+      return "=";
+    case AstBinaryOp::kNe:
+      return "!=";
+    case AstBinaryOp::kLt:
+      return "<";
+    case AstBinaryOp::kLe:
+      return "<=";
+    case AstBinaryOp::kGt:
+      return ">";
+    case AstBinaryOp::kGe:
+      return ">=";
+    case AstBinaryOp::kAdd:
+      return "+";
+    case AstBinaryOp::kSub:
+      return "-";
+    case AstBinaryOp::kMul:
+      return "*";
+    case AstBinaryOp::kDiv:
+      return "/";
+    case AstBinaryOp::kMod:
+      return "mod";
+    case AstBinaryOp::kAnd:
+      return "and";
+    case AstBinaryOp::kOr:
+      return "or";
+  }
+  return "?";
+}
+
+}  // namespace
+
+std::string_view AstAggFuncName(AstAggFunc f) {
+  switch (f) {
+    case AstAggFunc::kCount:
+      return "count";
+    case AstAggFunc::kSum:
+      return "sum";
+    case AstAggFunc::kAvg:
+      return "avg";
+    case AstAggFunc::kMin:
+      return "min";
+    case AstAggFunc::kMax:
+      return "max";
+    case AstAggFunc::kAny:
+      return "any";
+  }
+  return "?";
+}
+
+bool AstExpr::ContainsAggregate() const {
+  if (kind == AstExprKind::kAggregate) return true;
+  if (left != nullptr && left->ContainsAggregate()) return true;
+  return right != nullptr && right->ContainsAggregate();
+}
+
+std::string AstExpr::ToString() const {
+  switch (kind) {
+    case AstExprKind::kIntLiteral:
+    case AstExprKind::kFloatLiteral:
+      return literal;
+    case AstExprKind::kStringLiteral:
+      return "\"" + literal + "\"";
+    case AstExprKind::kColumn:
+      return variable.empty() ? attribute : variable + "." + attribute;
+    case AstExprKind::kBinary:
+      return "(" + left->ToString() + " " +
+             std::string(BinaryOpName(op)) + " " + right->ToString() + ")";
+    case AstExprKind::kNot:
+      return "not " + left->ToString();
+    case AstExprKind::kAggregate:
+      return std::string(AstAggFuncName(agg)) + "(" + left->ToString() + ")";
+  }
+  return "?";
+}
+
+std::string AstTemporalExpr::ToString() const {
+  switch (kind) {
+    case AstTemporalExprKind::kVar:
+      return name;
+    case AstTemporalExprKind::kDate:
+      return "\"" + name + "\"";
+    case AstTemporalExprKind::kBeginOf:
+      return "begin of " + left->ToString();
+    case AstTemporalExprKind::kEndOf:
+      return "end of " + left->ToString();
+    case AstTemporalExprKind::kOverlap:
+      return "(" + left->ToString() + " overlap " + right->ToString() + ")";
+    case AstTemporalExprKind::kExtend:
+      return "(" + left->ToString() + " extend " + right->ToString() + ")";
+  }
+  return "?";
+}
+
+std::string AstTemporalPred::ToString() const {
+  switch (kind) {
+    case AstTemporalPredKind::kPrecede:
+      return "(" + left_expr->ToString() + " precede " +
+             right_expr->ToString() + ")";
+    case AstTemporalPredKind::kOverlap:
+      return "(" + left_expr->ToString() + " overlap " +
+             right_expr->ToString() + ")";
+    case AstTemporalPredKind::kEqual:
+      return "(" + left_expr->ToString() + " equal " +
+             right_expr->ToString() + ")";
+    case AstTemporalPredKind::kAnd:
+      return "(" + left_pred->ToString() + " and " + right_pred->ToString() +
+             ")";
+    case AstTemporalPredKind::kOr:
+      return "(" + left_pred->ToString() + " or " + right_pred->ToString() +
+             ")";
+    case AstTemporalPredKind::kNot:
+      return "not " + left_pred->ToString();
+  }
+  return "?";
+}
+
+std::string ValidClause::ToString() const {
+  if (at) return "valid at " + from->ToString();
+  return "valid from " + from->ToString() + " to " + to->ToString();
+}
+
+std::string AsOfClause::ToString() const {
+  std::string out = "as of " + at->ToString();
+  if (through != nullptr) out += " through " + through->ToString();
+  return out;
+}
+
+std::string StatementToString(const Statement& stmt) {
+  struct Visitor {
+    std::string operator()(const CreateStmt& s) const {
+      std::string out = "create ";
+      if (s.persistent) out += "persistent ";
+      out += TemporalClassName(s.temporal_class);
+      if (s.data_model == TemporalDataModel::kEvent) out += " event";
+      out += " relation ";
+      out += s.name;
+      out += " (";
+      for (size_t i = 0; i < s.attributes.size(); ++i) {
+        if (i > 0) out += ", ";
+        out += s.attributes[i].first + " = " + s.attributes[i].second;
+      }
+      out += ")";
+      return out;
+    }
+    std::string operator()(const DestroyStmt& s) const {
+      return "destroy " + s.name;
+    }
+    std::string operator()(const RangeStmt& s) const {
+      return "range of " + s.variable + " is " + s.relation;
+    }
+    std::string operator()(const RetrieveStmt& s) const {
+      std::string out = "retrieve ";
+      if (s.into.has_value()) out += "into " + *s.into + " ";
+      out += "(";
+      for (size_t i = 0; i < s.targets.size(); ++i) {
+        if (i > 0) out += ", ";
+        const TargetItem& t = s.targets[i];
+        std::string expr = t.expr->ToString();
+        if (t.expr->kind == AstExprKind::kColumn &&
+            t.expr->attribute == t.name) {
+          out += expr;
+        } else {
+          out += t.name + " = " + expr;
+        }
+      }
+      out += ")";
+      if (s.valid.has_value()) out += " " + s.valid->ToString();
+      if (s.where != nullptr) out += " where " + s.where->ToString();
+      if (s.when != nullptr) out += " when " + s.when->ToString();
+      if (s.as_of.has_value()) out += " " + s.as_of->ToString();
+      return out;
+    }
+    std::string operator()(const AppendStmt& s) const {
+      std::string out = "append to " + s.relation + " (";
+      for (size_t i = 0; i < s.assignments.size(); ++i) {
+        if (i > 0) out += ", ";
+        out += s.assignments[i].first + " = " +
+               s.assignments[i].second->ToString();
+      }
+      out += ")";
+      if (s.valid.has_value()) out += " " + s.valid->ToString();
+      return out;
+    }
+    std::string operator()(const DeleteStmt& s) const {
+      std::string out = "delete " + s.variable;
+      if (s.where != nullptr) out += " where " + s.where->ToString();
+      if (s.when != nullptr) out += " when " + s.when->ToString();
+      if (s.valid.has_value()) out += " " + s.valid->ToString();
+      return out;
+    }
+    std::string operator()(const ReplaceStmt& s) const {
+      std::string out = "replace " + s.variable + " (";
+      for (size_t i = 0; i < s.assignments.size(); ++i) {
+        if (i > 0) out += ", ";
+        out += s.assignments[i].first + " = " +
+               s.assignments[i].second->ToString();
+      }
+      out += ")";
+      if (s.valid.has_value()) out += " " + s.valid->ToString();
+      if (s.where != nullptr) out += " where " + s.where->ToString();
+      if (s.when != nullptr) out += " when " + s.when->ToString();
+      return out;
+    }
+    std::string operator()(const CorrectStmt& s) const {
+      std::string out = "correct " + s.variable;
+      if (s.where != nullptr) out += " where " + s.where->ToString();
+      return out;
+    }
+    std::string operator()(const ShowStmt& s) const {
+      return "show " + s.relation;
+    }
+    std::string operator()(const CreateIndexStmt& s) const {
+      return "create index on " + s.relation + " (" + s.attribute + ")";
+    }
+    std::string operator()(const BeginTxnStmt&) const {
+      return "begin transaction";
+    }
+    std::string operator()(const CommitStmt&) const { return "commit"; }
+    std::string operator()(const AbortStmt&) const { return "abort"; }
+  };
+  return std::visit(Visitor{}, stmt);
+}
+
+}  // namespace tquel
+}  // namespace temporadb

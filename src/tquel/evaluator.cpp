@@ -1,0 +1,520 @@
+#include "tquel/evaluator.h"
+
+#include "common/strings.h"
+#include "rel/operators.h"
+#include "rel/temporal_ops.h"
+
+namespace temporadb {
+namespace tquel {
+
+namespace {
+
+/// One candidate tuple of a participant: values plus both periods (kept
+/// internally regardless of the relation's class; degenerate dimensions are
+/// `Period::All()`).
+struct Candidate {
+  const std::vector<Value>* values;
+  Period valid;
+  Period txn;
+};
+
+// Materializes the candidate tuples of one participant.
+//  - Without `as of`: the current stored state (all rows for kinds without
+//    transaction time).
+//  - With `as of`: every version whose transaction period overlaps the
+//    rollback window.
+// When the where clause pinned an indexed attribute to a constant
+// (`eq_constraints`), the secondary index supplies the candidates instead
+// of a scan; visibility is re-checked, and the full where clause still runs
+// afterwards.
+std::vector<Candidate> Materialize(
+    const StoredRelation& rel, const std::optional<Period>& asof,
+    const std::vector<std::pair<size_t, Value>>& eq_constraints,
+    std::vector<const BitemporalTuple*>* keep) {
+  std::vector<Candidate> out;
+  const VersionStore* store = rel.store();
+  const bool txn_kind = SupportsTransactionTime(rel.temporal_class());
+  auto visible = [&](const BitemporalTuple& t) {
+    if (asof.has_value()) return t.txn.Overlaps(*asof);
+    if (txn_kind) return t.IsCurrentState();
+    return true;
+  };
+  auto add = [&](const BitemporalTuple& t) {
+    keep->push_back(&t);
+    out.push_back(Candidate{&t.values, t.valid, t.txn});
+  };
+
+  // Index probe path.
+  for (const auto& [attr, key] : eq_constraints) {
+    if (!store->HasAttributeIndex(attr)) continue;
+    Result<std::vector<RowId>> rows = store->LookupAttribute(attr, key);
+    if (!rows.ok()) break;
+    for (RowId row : *rows) {
+      Result<const BitemporalTuple*> t = store->Get(row);
+      if (t.ok() && visible(**t)) add(**t);
+    }
+    return out;
+  }
+
+  // Scan paths.
+  if (asof.has_value()) {
+    store->ForEach([&](RowId, const BitemporalTuple& t) {
+      if (t.txn.Overlaps(*asof)) add(t);
+    });
+    return out;
+  }
+  if (txn_kind) {
+    for (RowId row : store->CurrentRows()) {
+      Result<const BitemporalTuple*> t = store->Get(row);
+      if (t.ok()) add(**t);
+    }
+    return out;
+  }
+  store->ForEach([&](RowId, const BitemporalTuple& t) { add(t); });
+  return out;
+}
+
+// Converts a TQuel value for storage into a date attribute when the user
+// wrote a string literal ("09/01/77").
+Result<Value> CoerceForAttribute(const Type& type, Value v) {
+  if (type.value_type() == ValueType::kDate &&
+      v.type() == ValueType::kString) {
+    TDB_ASSIGN_OR_RETURN(Date d, Date::Parse(v.AsString()));
+    return Value(d);
+  }
+  return type.Coerce(v);
+}
+
+// Compiles a single-variable where clause into a TuplePredicate.  Evaluation
+// errors surface through `error` (checked after the DML call).
+TuplePredicate CompilePredicate(ExprPtr expr, Status* error) {
+  if (expr == nullptr) {
+    return [](const std::vector<Value>&) { return true; };
+  }
+  return [expr = std::move(expr), error](const std::vector<Value>& values) {
+    Result<bool> r = EvalPredicate(*expr, values);
+    if (!r.ok()) {
+      if (error->ok()) *error = r.status();
+      return false;
+    }
+    return *r;
+  };
+}
+
+Result<Participant> SingleParticipant(const EvalContext& ctx,
+                                      const std::string& variable) {
+  if (ctx.ranges == nullptr || !ctx.ranges->contains(variable)) {
+    return Status::InvalidArgument(StringPrintf(
+        "unknown range variable '%s'", variable.c_str()));
+  }
+  TDB_ASSIGN_OR_RETURN(StoredRelation * rel,
+                       ctx.get_relation(ctx.ranges->at(variable)));
+  return Participant{variable, rel, 0};
+}
+
+Result<UpdateSpec> CompileAssignments(
+    const std::vector<std::pair<std::string, AstExprPtr>>& assignments,
+    const Participant& participant) {
+  UpdateSpec spec;
+  const Schema& schema = participant.relation->schema();
+  std::vector<Participant> single{participant};
+  for (const auto& [attr, ast] : assignments) {
+    std::optional<size_t> idx = schema.IndexOf(attr);
+    if (!idx.has_value()) {
+      return Status::InvalidArgument(StringPrintf(
+          "relation '%s' has no attribute '%s'",
+          participant.relation->info().name.c_str(), attr.c_str()));
+    }
+    TDB_ASSIGN_OR_RETURN(ExprPtr expr, CompileScalarExpr(ast, single));
+    Type type = schema.at(*idx).type;
+    spec.push_back(UpdateAction{
+        *idx, [expr, type](const std::vector<Value>& old) -> Result<Value> {
+          TDB_ASSIGN_OR_RETURN(Value v, expr->Eval(old));
+          return CoerceForAttribute(type, std::move(v));
+        }});
+  }
+  return spec;
+}
+
+// Compiles a DML when clause (over the single range variable) into a
+// PeriodPredicate; evaluation errors surface through `error`.
+Result<PeriodPredicate> CompileDmlWhen(const AstTemporalPredPtr& ast,
+                                       const Participant& participant,
+                                       Status* error) {
+  if (ast == nullptr) return PeriodPredicate(nullptr);
+  TDB_ASSIGN_OR_RETURN(TemporalPredPtr pred,
+                       CompileTemporalPred(ast, {participant}));
+  return PeriodPredicate(
+      [pred, error](Period valid) {
+        Result<bool> r = pred->Eval({valid});
+        if (!r.ok()) {
+          if (error->ok()) *error = r.status();
+          return false;
+        }
+        return *r;
+      });
+}
+
+// Applies the aggregation step of an aggregate retrieve: the raw rowset has
+// one column per target (group keys and aggregate inputs, in target order);
+// group, aggregate, and restore the original column order.
+Result<Rowset> FinalizeAggregates(const BoundRetrieve& bound, Rowset raw) {
+  if (!bound.has_aggregates) return raw;
+  std::vector<size_t> group_by;
+  std::vector<AggSpec> specs;
+  std::vector<size_t> out_pos(bound.target_aggs.size());
+  for (size_t i = 0; i < bound.target_aggs.size(); ++i) {
+    if (bound.target_aggs[i].is_aggregate) {
+      out_pos[i] = specs.size();
+      specs.push_back(
+          AggSpec{bound.target_aggs[i].func, i, bound.target_names[i]});
+    } else {
+      out_pos[i] = group_by.size();
+      group_by.push_back(i);
+    }
+  }
+  for (size_t i = 0; i < out_pos.size(); ++i) {
+    if (bound.target_aggs[i].is_aggregate) out_pos[i] += group_by.size();
+  }
+  TDB_ASSIGN_OR_RETURN(Rowset grouped, Aggregate(raw, group_by, specs));
+  return ProjectColumns(grouped, out_pos);
+}
+
+}  // namespace
+
+Result<Rowset> EvaluateRetrieve(const BoundRetrieve& bound,
+                                const EvalContext& ctx) {
+  (void)ctx;  // Reserved for evaluation-time session state (e.g. "now").
+  // Resolve the rollback window, if any.
+  std::optional<Period> asof;
+  if (bound.asof_at != nullptr) {
+    TDB_ASSIGN_OR_RETURN(Period at, bound.asof_at->Eval({}));
+    if (bound.asof_through != nullptr) {
+      TDB_ASSIGN_OR_RETURN(Period through, bound.asof_through->Eval({}));
+      // Inclusive range of states: [at, through's chronon].
+      asof = Period(at.begin(), through.begin().Next());
+    } else {
+      asof = Period::At(at.begin());
+    }
+    if (asof->IsEmpty()) {
+      return Status::InvalidArgument("as-of window is empty");
+    }
+  }
+
+  // Materialize candidates per participant.
+  std::vector<const BitemporalTuple*> keepalive;
+  std::vector<std::vector<Candidate>> candidates;
+  candidates.reserve(bound.participants.size());
+  const std::vector<std::pair<size_t, Value>> no_constraints;
+  for (size_t i = 0; i < bound.participants.size(); ++i) {
+    const auto& eqs = i < bound.eq_constraints.size()
+                          ? bound.eq_constraints[i]
+                          : no_constraints;
+    candidates.push_back(
+        Materialize(*bound.participants[i].relation, asof, eqs, &keepalive));
+  }
+
+  // Result schema.
+  std::vector<Attribute> attrs;
+  for (size_t i = 0; i < bound.target_names.size(); ++i) {
+    attrs.push_back(
+        Attribute{bound.target_names[i], Type(bound.target_types[i])});
+  }
+  TDB_ASSIGN_OR_RETURN(Schema schema, Schema::Make(std::move(attrs)));
+  Rowset out(std::move(schema), bound.result_class, bound.result_model);
+  const bool want_valid = SupportsValidTime(bound.result_class);
+  const bool want_txn = SupportsTransactionTime(bound.result_class);
+
+  // Nested-loop over the candidate product.
+  const size_t n = bound.participants.size();
+  std::vector<size_t> cursor(n, 0);
+  for (const auto& c : candidates) {
+    if (c.empty()) return FinalizeAggregates(bound, std::move(out));  // Empty product.
+  }
+  std::vector<Value> flat;
+  flat.reserve(bound.total_arity);
+  PeriodBinding valid_binding(n);
+  while (true) {
+    // Assemble the flattened row and period binding.
+    flat.clear();
+    for (size_t i = 0; i < n; ++i) {
+      const Candidate& c = candidates[i][cursor[i]];
+      flat.insert(flat.end(), c.values->begin(), c.values->end());
+      valid_binding[i] = c.valid;
+    }
+
+    bool keep = true;
+    if (bound.where != nullptr) {
+      TDB_ASSIGN_OR_RETURN(keep, EvalPredicate(*bound.where, flat));
+    }
+    if (keep && bound.when != nullptr) {
+      TDB_ASSIGN_OR_RETURN(keep, bound.when->Eval(valid_binding));
+    }
+    if (keep) {
+      Row row;
+      if (want_valid) {
+        Period v;
+        if (bound.valid_from != nullptr) {
+          TDB_ASSIGN_OR_RETURN(Period from,
+                               bound.valid_from->Eval(valid_binding));
+          if (bound.valid_at) {
+            v = Period::At(from.begin());
+          } else {
+            TDB_ASSIGN_OR_RETURN(Period to,
+                                 bound.valid_to->Eval(valid_binding));
+            v = Period(from.begin(), to.begin());
+          }
+        } else {
+          // Default: the intersection of the target-list variables' valid
+          // periods.
+          v = valid_binding[bound.target_vars[0]];
+          for (size_t k = 1; k < bound.target_vars.size(); ++k) {
+            v = v.Intersect(valid_binding[bound.target_vars[k]]);
+          }
+        }
+        if (v.IsEmpty()) keep = false;
+        row.valid = v;
+      }
+      if (keep && want_txn) {
+        Period t = candidates[bound.target_vars[0]]
+                       [cursor[bound.target_vars[0]]].txn;
+        for (size_t k = 1; k < bound.target_vars.size(); ++k) {
+          size_t ord = bound.target_vars[k];
+          t = t.Intersect(candidates[ord][cursor[ord]].txn);
+        }
+        if (t.IsEmpty()) keep = false;
+        row.txn = t;
+      }
+      if (keep) {
+        for (const ExprPtr& e : bound.target_exprs) {
+          TDB_ASSIGN_OR_RETURN(Value v, e->Eval(flat));
+          row.values.push_back(std::move(v));
+        }
+        TDB_RETURN_IF_ERROR(out.AddRow(std::move(row)));
+      }
+    }
+
+    // Advance the odometer.
+    size_t i = n;
+    while (i > 0) {
+      --i;
+      if (++cursor[i] < candidates[i].size()) break;
+      cursor[i] = 0;
+      if (i == 0) return FinalizeAggregates(bound, std::move(out));
+    }
+  }
+}
+
+Result<ExecResult> Execute(const Statement& stmt, EvalContext& ctx) {
+  struct Visitor {
+    EvalContext& ctx;
+
+    Result<ExecResult> operator()(const CreateStmt& s) {
+      if (ctx.create_relation == nullptr) {
+        return Status::NotSupported("DDL is not available in this context");
+      }
+      TDB_RETURN_IF_ERROR(ctx.create_relation(s));
+      ExecResult r;
+      r.message = StringPrintf(
+          "created %s relation '%s'",
+          std::string(TemporalClassName(s.temporal_class)).c_str(),
+          s.name.c_str());
+      return r;
+    }
+
+    Result<ExecResult> operator()(const DestroyStmt& s) {
+      if (ctx.drop_relation == nullptr) {
+        return Status::NotSupported("DDL is not available in this context");
+      }
+      TDB_RETURN_IF_ERROR(ctx.drop_relation(s.name));
+      ExecResult r;
+      r.message = "destroyed relation '" + s.name + "'";
+      return r;
+    }
+
+    Result<ExecResult> operator()(const RangeStmt& s) {
+      // Validate the relation exists up front.
+      TDB_ASSIGN_OR_RETURN(StoredRelation * rel,
+                           ctx.get_relation(s.relation));
+      (void)rel;
+      (*ctx.ranges)[s.variable] = s.relation;
+      ExecResult r;
+      r.message = "range variable '" + s.variable + "' over '" + s.relation +
+                  "'";
+      return r;
+    }
+
+    Result<ExecResult> operator()(const RetrieveStmt& s) {
+      AnalyzerContext actx;
+      actx.get_relation = ctx.get_relation;
+      actx.ranges = ctx.ranges;
+      TDB_ASSIGN_OR_RETURN(BoundRetrieve bound, AnalyzeRetrieve(s, actx));
+      TDB_ASSIGN_OR_RETURN(Rowset rows, EvaluateRetrieve(bound, ctx));
+      ExecResult r;
+      r.kind = ExecResult::Kind::kRows;
+      if (bound.into.has_value()) {
+        if (ctx.derived == nullptr) {
+          return Status::NotSupported(
+              "retrieve into is not available in this context");
+        }
+        (*ctx.derived)[*bound.into] = rows;
+        r.message = StringPrintf("stored %zu tuples into '%s'", rows.size(),
+                                 bound.into->c_str());
+      }
+      r.rows = std::move(rows);
+      return r;
+    }
+
+    Result<ExecResult> operator()(const AppendStmt& s) {
+      if (ctx.txn == nullptr) {
+        return Status::FailedPrecondition("append requires a transaction");
+      }
+      TDB_ASSIGN_OR_RETURN(StoredRelation * rel,
+                           ctx.get_relation(s.relation));
+      const Schema& schema = rel->schema();
+      std::vector<Value> values(schema.size(), Value::Null());
+      for (const auto& [attr, ast] : s.assignments) {
+        std::optional<size_t> idx = schema.IndexOf(attr);
+        if (!idx.has_value()) {
+          return Status::InvalidArgument(StringPrintf(
+              "relation '%s' has no attribute '%s'", s.relation.c_str(),
+              attr.c_str()));
+        }
+        TDB_ASSIGN_OR_RETURN(
+            ExprPtr expr,
+            CompileScalarExpr(ast, {}, /*allow_columns=*/false));
+        TDB_ASSIGN_OR_RETURN(Value v, expr->Eval({}));
+        TDB_ASSIGN_OR_RETURN(values[*idx],
+                             CoerceForAttribute(schema.at(*idx).type,
+                                                std::move(v)));
+      }
+      TDB_ASSIGN_OR_RETURN(std::optional<Period> valid,
+                           ResolveDmlValidClause(s.valid));
+      TDB_RETURN_IF_ERROR(rel->Append(ctx.txn, std::move(values), valid));
+      ExecResult r;
+      r.kind = ExecResult::Kind::kCount;
+      r.count = 1;
+      r.message = "appended 1 tuple to '" + s.relation + "'";
+      return r;
+    }
+
+    Result<ExecResult> operator()(const DeleteStmt& s) {
+      if (ctx.txn == nullptr) {
+        return Status::FailedPrecondition("delete requires a transaction");
+      }
+      TDB_ASSIGN_OR_RETURN(Participant p, SingleParticipant(ctx, s.variable));
+      ExprPtr where;
+      if (s.where != nullptr) {
+        TDB_ASSIGN_OR_RETURN(where, CompileScalarExpr(s.where, {p}));
+      }
+      TDB_ASSIGN_OR_RETURN(std::optional<Period> valid,
+                           ResolveDmlValidClause(s.valid));
+      Status pred_error = Status::OK();
+      TDB_ASSIGN_OR_RETURN(PeriodPredicate when,
+                           CompileDmlWhen(s.when, p, &pred_error));
+      TDB_ASSIGN_OR_RETURN(
+          size_t count,
+          p.relation->DeleteWhere(ctx.txn,
+                                  CompilePredicate(std::move(where),
+                                                   &pred_error),
+                                  valid, when));
+      TDB_RETURN_IF_ERROR(pred_error);
+      ExecResult r;
+      r.kind = ExecResult::Kind::kCount;
+      r.count = count;
+      r.message = StringPrintf("deleted %zu tuple(s)", count);
+      return r;
+    }
+
+    Result<ExecResult> operator()(const ReplaceStmt& s) {
+      if (ctx.txn == nullptr) {
+        return Status::FailedPrecondition("replace requires a transaction");
+      }
+      TDB_ASSIGN_OR_RETURN(Participant p, SingleParticipant(ctx, s.variable));
+      TDB_ASSIGN_OR_RETURN(UpdateSpec updates,
+                           CompileAssignments(s.assignments, p));
+      ExprPtr where;
+      if (s.where != nullptr) {
+        TDB_ASSIGN_OR_RETURN(where, CompileScalarExpr(s.where, {p}));
+      }
+      TDB_ASSIGN_OR_RETURN(std::optional<Period> valid,
+                           ResolveDmlValidClause(s.valid));
+      Status pred_error = Status::OK();
+      TDB_ASSIGN_OR_RETURN(PeriodPredicate when,
+                           CompileDmlWhen(s.when, p, &pred_error));
+      TDB_ASSIGN_OR_RETURN(
+          size_t count,
+          p.relation->ReplaceWhere(ctx.txn,
+                                   CompilePredicate(std::move(where),
+                                                    &pred_error),
+                                   updates, valid, when));
+      TDB_RETURN_IF_ERROR(pred_error);
+      ExecResult r;
+      r.kind = ExecResult::Kind::kCount;
+      r.count = count;
+      r.message = StringPrintf("replaced %zu tuple(s)", count);
+      return r;
+    }
+
+    Result<ExecResult> operator()(const CorrectStmt& s) {
+      if (ctx.txn == nullptr) {
+        return Status::FailedPrecondition("correct requires a transaction");
+      }
+      TDB_ASSIGN_OR_RETURN(Participant p, SingleParticipant(ctx, s.variable));
+      ExprPtr where;
+      if (s.where != nullptr) {
+        TDB_ASSIGN_OR_RETURN(where, CompileScalarExpr(s.where, {p}));
+      }
+      Status pred_error = Status::OK();
+      TDB_ASSIGN_OR_RETURN(
+          size_t count,
+          p.relation->CorrectErase(ctx.txn,
+                                   CompilePredicate(std::move(where),
+                                                    &pred_error)));
+      TDB_RETURN_IF_ERROR(pred_error);
+      ExecResult r;
+      r.kind = ExecResult::Kind::kCount;
+      r.count = count;
+      r.message = StringPrintf("corrected (erased) %zu tuple(s)", count);
+      return r;
+    }
+
+    Result<ExecResult> operator()(const ShowStmt& s) {
+      TDB_ASSIGN_OR_RETURN(StoredRelation * rel, ctx.get_relation(s.relation));
+      TDB_ASSIGN_OR_RETURN(Rowset rows, ScanStored(*rel));
+      ExecResult r;
+      r.kind = ExecResult::Kind::kRows;
+      r.rows = std::move(rows);
+      return r;
+    }
+
+    Result<ExecResult> operator()(const CreateIndexStmt& s) {
+      TDB_ASSIGN_OR_RETURN(StoredRelation * rel,
+                           ctx.get_relation(s.relation));
+      TDB_RETURN_IF_ERROR(rel->CreateIndex(s.attribute));
+      ExecResult r;
+      r.message = "indexed " + s.relation + "." + s.attribute;
+      return r;
+    }
+
+    // Transaction-control statements are handled by the database facade
+    // (which owns Begin/Commit/Abort); reaching the evaluator means the
+    // context cannot manage them.
+    Result<ExecResult> operator()(const BeginTxnStmt&) {
+      return Status::NotSupported(
+          "transaction control is not available in this context");
+    }
+    Result<ExecResult> operator()(const CommitStmt&) {
+      return Status::NotSupported(
+          "transaction control is not available in this context");
+    }
+    Result<ExecResult> operator()(const AbortStmt&) {
+      return Status::NotSupported(
+          "transaction control is not available in this context");
+    }
+  };
+  return std::visit(Visitor{ctx}, stmt);
+}
+
+}  // namespace tquel
+}  // namespace temporadb

@@ -1,0 +1,231 @@
+#include "tquel/lexer.h"
+
+#include <cctype>
+#include <unordered_map>
+
+#include "common/strings.h"
+
+namespace temporadb {
+namespace tquel {
+
+namespace {
+
+const std::unordered_map<std::string, TokenKind>& KeywordTable() {
+  static const auto* table = new std::unordered_map<std::string, TokenKind>{
+      {"create", TokenKind::kCreate},
+      {"destroy", TokenKind::kDestroy},
+      {"static", TokenKind::kStatic},
+      {"rollback", TokenKind::kRollback},
+      {"historical", TokenKind::kHistorical},
+      {"temporal", TokenKind::kTemporal},
+      {"event", TokenKind::kEvent},
+      {"interval", TokenKind::kInterval},
+      {"relation", TokenKind::kRelation},
+      {"persistent", TokenKind::kPersistent},
+      {"range", TokenKind::kRange},
+      {"of", TokenKind::kOf},
+      {"is", TokenKind::kIs},
+      {"retrieve", TokenKind::kRetrieve},
+      {"into", TokenKind::kInto},
+      {"where", TokenKind::kWhere},
+      {"when", TokenKind::kWhen},
+      {"valid", TokenKind::kValid},
+      {"from", TokenKind::kFrom},
+      {"to", TokenKind::kTo},
+      {"at", TokenKind::kAt},
+      {"as", TokenKind::kAs},
+      {"through", TokenKind::kThrough},
+      {"append", TokenKind::kAppend},
+      {"delete", TokenKind::kDelete},
+      {"replace", TokenKind::kReplace},
+      {"correct", TokenKind::kCorrect},
+      {"commit", TokenKind::kCommit},
+      {"abort", TokenKind::kAbort},
+      {"transaction", TokenKind::kTransaction},
+      {"begin", TokenKind::kBegin},
+      {"end", TokenKind::kEnd},
+      {"overlap", TokenKind::kOverlap},
+      {"extend", TokenKind::kExtend},
+      {"precede", TokenKind::kPrecede},
+      {"equal", TokenKind::kEqual},
+      {"and", TokenKind::kAnd},
+      {"or", TokenKind::kOr},
+      {"not", TokenKind::kNot},
+      {"mod", TokenKind::kMod},
+      {"show", TokenKind::kShow},
+  };
+  return *table;
+}
+
+}  // namespace
+
+Result<std::vector<Token>> Tokenize(std::string_view source) {
+  std::vector<Token> tokens;
+  size_t i = 0;
+  int line = 1, column = 1;
+
+  auto advance = [&](size_t n) {
+    for (size_t k = 0; k < n; ++k) {
+      if (i < source.size() && source[i] == '\n') {
+        ++line;
+        column = 1;
+      } else {
+        ++column;
+      }
+      ++i;
+    }
+  };
+  auto push = [&](TokenKind kind, std::string text, int l, int c) {
+    tokens.push_back(Token{kind, std::move(text), l, c});
+  };
+
+  while (i < source.size()) {
+    char c = source[i];
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      advance(1);
+      continue;
+    }
+    // Comments: "--" or "#" to end of line.
+    if (c == '#' || (c == '-' && i + 1 < source.size() && source[i + 1] == '-')) {
+      while (i < source.size() && source[i] != '\n') advance(1);
+      continue;
+    }
+    int tl = line, tc = column;
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      size_t start = i;
+      while (i < source.size() &&
+             std::isdigit(static_cast<unsigned char>(source[i]))) {
+        advance(1);
+      }
+      bool is_float = false;
+      if (i + 1 < source.size() && source[i] == '.' &&
+          std::isdigit(static_cast<unsigned char>(source[i + 1]))) {
+        is_float = true;
+        advance(1);
+        while (i < source.size() &&
+               std::isdigit(static_cast<unsigned char>(source[i]))) {
+          advance(1);
+        }
+      }
+      push(is_float ? TokenKind::kFloatLiteral : TokenKind::kIntLiteral,
+           std::string(source.substr(start, i - start)), tl, tc);
+      continue;
+    }
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      size_t start = i;
+      while (i < source.size() &&
+             (std::isalnum(static_cast<unsigned char>(source[i])) ||
+              source[i] == '_')) {
+        advance(1);
+      }
+      std::string word =
+          ToLowerAscii(source.substr(start, i - start));
+      auto it = KeywordTable().find(word);
+      if (it != KeywordTable().end()) {
+        push(it->second, std::move(word), tl, tc);
+      } else {
+        push(TokenKind::kIdentifier, std::move(word), tl, tc);
+      }
+      continue;
+    }
+    if (c == '"') {
+      advance(1);
+      std::string body;
+      bool closed = false;
+      while (i < source.size()) {
+        char d = source[i];
+        if (d == '\\' && i + 1 < source.size()) {
+          body.push_back(source[i + 1]);
+          advance(2);
+          continue;
+        }
+        if (d == '"') {
+          advance(1);
+          closed = true;
+          break;
+        }
+        body.push_back(d);
+        advance(1);
+      }
+      if (!closed) {
+        return Status::ParseError(
+            StringPrintf("unterminated string literal at line %d", tl));
+      }
+      push(TokenKind::kStringLiteral, std::move(body), tl, tc);
+      continue;
+    }
+    // Operators and punctuation.
+    auto two = [&](char a, char b) {
+      return c == a && i + 1 < source.size() && source[i + 1] == b;
+    };
+    if (two('!', '=')) {
+      push(TokenKind::kNe, "!=", tl, tc);
+      advance(2);
+      continue;
+    }
+    if (two('<', '=')) {
+      push(TokenKind::kLe, "<=", tl, tc);
+      advance(2);
+      continue;
+    }
+    if (two('>', '=')) {
+      push(TokenKind::kGe, ">=", tl, tc);
+      advance(2);
+      continue;
+    }
+    if (two('<', '>')) {
+      push(TokenKind::kNe, "<>", tl, tc);
+      advance(2);
+      continue;
+    }
+    TokenKind kind;
+    switch (c) {
+      case '(':
+        kind = TokenKind::kLParen;
+        break;
+      case ')':
+        kind = TokenKind::kRParen;
+        break;
+      case ',':
+        kind = TokenKind::kComma;
+        break;
+      case '.':
+        kind = TokenKind::kDot;
+        break;
+      case ';':
+        kind = TokenKind::kSemicolon;
+        break;
+      case '=':
+        kind = TokenKind::kEq;
+        break;
+      case '<':
+        kind = TokenKind::kLt;
+        break;
+      case '>':
+        kind = TokenKind::kGt;
+        break;
+      case '+':
+        kind = TokenKind::kPlus;
+        break;
+      case '-':
+        kind = TokenKind::kMinus;
+        break;
+      case '*':
+        kind = TokenKind::kStar;
+        break;
+      case '/':
+        kind = TokenKind::kSlash;
+        break;
+      default:
+        return Status::ParseError(StringPrintf(
+            "unexpected character '%c' at line %d, column %d", c, tl, tc));
+    }
+    push(kind, std::string(1, c), tl, tc);
+    advance(1);
+  }
+  tokens.push_back(Token{TokenKind::kEof, "", line, column});
+  return tokens;
+}
+
+}  // namespace tquel
+}  // namespace temporadb

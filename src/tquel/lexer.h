@@ -1,0 +1,25 @@
+#ifndef TEMPORADB_TQUEL_LEXER_H_
+#define TEMPORADB_TQUEL_LEXER_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "tquel/token.h"
+
+namespace temporadb {
+namespace tquel {
+
+/// Tokenizes TQuel source text.
+///
+/// Lexical rules:
+///  - keywords and identifiers are case-insensitive (normalized to lower);
+///  - string literals use double quotes with `\"` and `\\` escapes;
+///  - `--` starts a comment to end of line (and `#` likewise);
+///  - numbers: `[0-9]+` (int) or `[0-9]+\.[0-9]+` (float).
+Result<std::vector<Token>> Tokenize(std::string_view source);
+
+}  // namespace tquel
+}  // namespace temporadb
+
+#endif  // TEMPORADB_TQUEL_LEXER_H_

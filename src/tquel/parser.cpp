@@ -1,0 +1,749 @@
+#include "tquel/parser.h"
+
+#include "common/strings.h"
+#include "tquel/lexer.h"
+
+namespace temporadb {
+namespace tquel {
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+
+  Result<std::vector<Statement>> ParseProgram() {
+    std::vector<Statement> out;
+    while (!Peek().Is(TokenKind::kEof)) {
+      TDB_ASSIGN_OR_RETURN(Statement stmt, ParseStatement());
+      out.push_back(std::move(stmt));
+      while (Peek().Is(TokenKind::kSemicolon)) Advance();
+    }
+    return out;
+  }
+
+ private:
+  const Token& Peek(size_t ahead = 0) const {
+    size_t i = pos_ + ahead;
+    return i < tokens_.size() ? tokens_[i] : tokens_.back();
+  }
+  const Token& Advance() { return tokens_[pos_ < tokens_.size() - 1 ? pos_++ : pos_]; }
+  bool Match(TokenKind kind) {
+    if (Peek().Is(kind)) {
+      Advance();
+      return true;
+    }
+    return false;
+  }
+  Status ErrorHere(const std::string& what) const {
+    const Token& t = Peek();
+    return Status::ParseError(StringPrintf(
+        "%s at line %d, column %d (found %s '%s')", what.c_str(), t.line,
+        t.column, std::string(TokenKindName(t.kind)).c_str(),
+        t.text.c_str()));
+  }
+  Result<Token> Expect(TokenKind kind, const char* context) {
+    if (!Peek().Is(kind)) {
+      return ErrorHere(StringPrintf("expected %s in %s",
+                                    std::string(TokenKindName(kind)).c_str(),
+                                    context));
+    }
+    return Advance();
+  }
+  Result<std::string> ExpectIdentifier(const char* context) {
+    TDB_ASSIGN_OR_RETURN(Token t, Expect(TokenKind::kIdentifier, context));
+    return t.text;
+  }
+
+  Result<Statement> ParseStatement() {
+    switch (Peek().kind) {
+      case TokenKind::kCreate:
+        return ParseCreate();
+      case TokenKind::kDestroy:
+        return ParseDestroy();
+      case TokenKind::kRange:
+        return ParseRange();
+      case TokenKind::kRetrieve:
+        return ParseRetrieve();
+      case TokenKind::kAppend:
+        return ParseAppend();
+      case TokenKind::kDelete:
+        return ParseDelete();
+      case TokenKind::kReplace:
+        return ParseReplace();
+      case TokenKind::kCorrect:
+        return ParseCorrect();
+      case TokenKind::kShow:
+        return ParseShow();
+      case TokenKind::kBegin: {
+        Advance();
+        TDB_ASSIGN_OR_RETURN(
+            Token t, Expect(TokenKind::kTransaction, "begin statement"));
+        (void)t;
+        return Statement(BeginTxnStmt{});
+      }
+      case TokenKind::kCommit:
+        Advance();
+        (void)Match(TokenKind::kTransaction);
+        return Statement(CommitStmt{});
+      case TokenKind::kAbort:
+        Advance();
+        (void)Match(TokenKind::kTransaction);
+        return Statement(AbortStmt{});
+      default:
+        return ErrorHere("expected a statement");
+    }
+  }
+
+  Result<Statement> ParseCreate() {
+    Advance();  // create
+    // `create index on <relation> (<attribute>)`.
+    if (Peek().Is(TokenKind::kIdentifier) && Peek().text == "index") {
+      Advance();
+      if (!(Peek().Is(TokenKind::kIdentifier) && Peek().text == "on")) {
+        return ErrorHere("expected 'on' in create index");
+      }
+      Advance();
+      CreateIndexStmt idx;
+      TDB_ASSIGN_OR_RETURN(idx.relation, ExpectIdentifier("create index"));
+      TDB_ASSIGN_OR_RETURN(Token lp2,
+                           Expect(TokenKind::kLParen, "create index"));
+      (void)lp2;
+      TDB_ASSIGN_OR_RETURN(idx.attribute, ExpectIdentifier("create index"));
+      TDB_ASSIGN_OR_RETURN(Token rp2,
+                           Expect(TokenKind::kRParen, "create index"));
+      (void)rp2;
+      return Statement(std::move(idx));
+    }
+    CreateStmt stmt;
+    if (Match(TokenKind::kPersistent)) stmt.persistent = true;
+    if (Match(TokenKind::kStatic)) {
+      stmt.temporal_class = TemporalClass::kStatic;
+    } else if (Match(TokenKind::kRollback)) {
+      stmt.temporal_class = TemporalClass::kRollback;
+    } else if (Match(TokenKind::kHistorical)) {
+      stmt.temporal_class = TemporalClass::kHistorical;
+    } else if (Match(TokenKind::kTemporal)) {
+      stmt.temporal_class = TemporalClass::kTemporal;
+    }
+    if (Match(TokenKind::kEvent)) {
+      stmt.data_model = TemporalDataModel::kEvent;
+    } else if (Match(TokenKind::kInterval)) {
+      stmt.data_model = TemporalDataModel::kInterval;
+    }
+    TDB_ASSIGN_OR_RETURN(Token rel,
+                         Expect(TokenKind::kRelation, "create statement"));
+    (void)rel;
+    TDB_ASSIGN_OR_RETURN(stmt.name, ExpectIdentifier("create statement"));
+    TDB_ASSIGN_OR_RETURN(Token lp,
+                         Expect(TokenKind::kLParen, "create statement"));
+    (void)lp;
+    while (true) {
+      TDB_ASSIGN_OR_RETURN(std::string attr,
+                           ExpectIdentifier("attribute definition"));
+      TDB_ASSIGN_OR_RETURN(Token eq,
+                           Expect(TokenKind::kEq, "attribute definition"));
+      (void)eq;
+      TDB_ASSIGN_OR_RETURN(std::string type,
+                           ExpectIdentifier("attribute definition"));
+      stmt.attributes.emplace_back(std::move(attr), std::move(type));
+      if (!Match(TokenKind::kComma)) break;
+    }
+    TDB_ASSIGN_OR_RETURN(Token rp,
+                         Expect(TokenKind::kRParen, "create statement"));
+    (void)rp;
+    return Statement(std::move(stmt));
+  }
+
+  Result<Statement> ParseDestroy() {
+    Advance();
+    DestroyStmt stmt;
+    TDB_ASSIGN_OR_RETURN(stmt.name, ExpectIdentifier("destroy statement"));
+    return Statement(std::move(stmt));
+  }
+
+  Result<Statement> ParseRange() {
+    Advance();  // range
+    TDB_ASSIGN_OR_RETURN(Token of, Expect(TokenKind::kOf, "range statement"));
+    (void)of;
+    RangeStmt stmt;
+    TDB_ASSIGN_OR_RETURN(stmt.variable, ExpectIdentifier("range statement"));
+    TDB_ASSIGN_OR_RETURN(Token is, Expect(TokenKind::kIs, "range statement"));
+    (void)is;
+    TDB_ASSIGN_OR_RETURN(stmt.relation, ExpectIdentifier("range statement"));
+    return Statement(std::move(stmt));
+  }
+
+  Result<Statement> ParseShow() {
+    Advance();
+    ShowStmt stmt;
+    TDB_ASSIGN_OR_RETURN(stmt.relation, ExpectIdentifier("show statement"));
+    return Statement(std::move(stmt));
+  }
+
+  // Parses the optional trailing clauses shared by retrieve/DML, in any
+  // order, each at most once.
+  struct Clauses {
+    std::optional<ValidClause> valid;
+    AstExprPtr where;
+    AstTemporalPredPtr when;
+    std::optional<AsOfClause> as_of;
+  };
+
+  Result<Clauses> ParseClauses(bool allow_when, bool allow_as_of) {
+    Clauses clauses;
+    while (true) {
+      if (Peek().Is(TokenKind::kValid)) {
+        if (clauses.valid.has_value()) {
+          return ErrorHere("duplicate valid clause");
+        }
+        TDB_ASSIGN_OR_RETURN(clauses.valid, ParseValidClause());
+        continue;
+      }
+      if (Peek().Is(TokenKind::kWhere)) {
+        if (clauses.where != nullptr) {
+          return ErrorHere("duplicate where clause");
+        }
+        Advance();
+        TDB_ASSIGN_OR_RETURN(clauses.where, ParseExpr());
+        continue;
+      }
+      if (allow_when && Peek().Is(TokenKind::kWhen)) {
+        if (clauses.when != nullptr) {
+          return ErrorHere("duplicate when clause");
+        }
+        Advance();
+        TDB_ASSIGN_OR_RETURN(clauses.when, ParseTemporalPred());
+        continue;
+      }
+      if (allow_as_of && Peek().Is(TokenKind::kAs)) {
+        if (clauses.as_of.has_value()) {
+          return ErrorHere("duplicate as-of clause");
+        }
+        Advance();
+        TDB_ASSIGN_OR_RETURN(Token of,
+                             Expect(TokenKind::kOf, "as-of clause"));
+        (void)of;
+        AsOfClause as_of;
+        TDB_ASSIGN_OR_RETURN(as_of.at, ParseTemporalExpr());
+        if (Match(TokenKind::kThrough)) {
+          TDB_ASSIGN_OR_RETURN(as_of.through, ParseTemporalExpr());
+        }
+        clauses.as_of = std::move(as_of);
+        continue;
+      }
+      break;
+    }
+    return clauses;
+  }
+
+  Result<Statement> ParseRetrieve() {
+    Advance();  // retrieve
+    RetrieveStmt stmt;
+    if (Match(TokenKind::kInto)) {
+      TDB_ASSIGN_OR_RETURN(std::string name,
+                           ExpectIdentifier("retrieve into"));
+      stmt.into = std::move(name);
+    }
+    TDB_ASSIGN_OR_RETURN(Token lp,
+                         Expect(TokenKind::kLParen, "retrieve target list"));
+    (void)lp;
+    while (true) {
+      TargetItem item;
+      // `name = expr` form?
+      if (Peek().Is(TokenKind::kIdentifier) &&
+          Peek(1).Is(TokenKind::kEq)) {
+        item.name = Peek().text;
+        Advance();
+        Advance();
+        TDB_ASSIGN_OR_RETURN(item.expr, ParseExpr());
+      } else {
+        TDB_ASSIGN_OR_RETURN(item.expr, ParseExpr());
+        if (item.expr->kind == AstExprKind::kColumn) {
+          item.name = item.expr->attribute;
+        } else if (item.expr->kind == AstExprKind::kAggregate) {
+          // Bare aggregates are named after the function: count, sum, ...
+          item.name = std::string(AstAggFuncName(item.expr->agg));
+        } else {
+          return ErrorHere(
+              "target expressions must be named: use 'name = expr'");
+        }
+      }
+      stmt.targets.push_back(std::move(item));
+      if (!Match(TokenKind::kComma)) break;
+    }
+    TDB_ASSIGN_OR_RETURN(Token rp,
+                         Expect(TokenKind::kRParen, "retrieve target list"));
+    (void)rp;
+    TDB_ASSIGN_OR_RETURN(
+        Clauses clauses,
+        ParseClauses(/*allow_when=*/true, /*allow_as_of=*/true));
+    stmt.valid = std::move(clauses.valid);
+    stmt.where = std::move(clauses.where);
+    stmt.when = std::move(clauses.when);
+    stmt.as_of = std::move(clauses.as_of);
+    return Statement(std::move(stmt));
+  }
+
+  Result<std::vector<std::pair<std::string, AstExprPtr>>> ParseAssignments(
+      const char* context) {
+    TDB_ASSIGN_OR_RETURN(Token lp, Expect(TokenKind::kLParen, context));
+    (void)lp;
+    std::vector<std::pair<std::string, AstExprPtr>> out;
+    while (true) {
+      TDB_ASSIGN_OR_RETURN(std::string attr, ExpectIdentifier(context));
+      TDB_ASSIGN_OR_RETURN(Token eq, Expect(TokenKind::kEq, context));
+      (void)eq;
+      TDB_ASSIGN_OR_RETURN(AstExprPtr expr, ParseExpr());
+      out.emplace_back(std::move(attr), std::move(expr));
+      if (!Match(TokenKind::kComma)) break;
+    }
+    TDB_ASSIGN_OR_RETURN(Token rp, Expect(TokenKind::kRParen, context));
+    (void)rp;
+    return out;
+  }
+
+  Result<Statement> ParseAppend() {
+    Advance();  // append
+    TDB_ASSIGN_OR_RETURN(Token to,
+                         Expect(TokenKind::kTo, "append statement"));
+    (void)to;
+    AppendStmt stmt;
+    TDB_ASSIGN_OR_RETURN(stmt.relation,
+                         ExpectIdentifier("append statement"));
+    TDB_ASSIGN_OR_RETURN(stmt.assignments,
+                         ParseAssignments("append assignments"));
+    TDB_ASSIGN_OR_RETURN(
+        Clauses clauses,
+        ParseClauses(/*allow_when=*/false, /*allow_as_of=*/false));
+    if (clauses.where != nullptr) {
+      return ErrorHere("append does not take a where clause");
+    }
+    stmt.valid = std::move(clauses.valid);
+    return Statement(std::move(stmt));
+  }
+
+  Result<Statement> ParseDelete() {
+    Advance();
+    DeleteStmt stmt;
+    TDB_ASSIGN_OR_RETURN(stmt.variable,
+                         ExpectIdentifier("delete statement"));
+    TDB_ASSIGN_OR_RETURN(
+        Clauses clauses,
+        ParseClauses(/*allow_when=*/true, /*allow_as_of=*/false));
+    stmt.where = std::move(clauses.where);
+    stmt.when = std::move(clauses.when);
+    stmt.valid = std::move(clauses.valid);
+    return Statement(std::move(stmt));
+  }
+
+  Result<Statement> ParseReplace() {
+    Advance();
+    ReplaceStmt stmt;
+    TDB_ASSIGN_OR_RETURN(stmt.variable,
+                         ExpectIdentifier("replace statement"));
+    TDB_ASSIGN_OR_RETURN(stmt.assignments,
+                         ParseAssignments("replace assignments"));
+    TDB_ASSIGN_OR_RETURN(
+        Clauses clauses,
+        ParseClauses(/*allow_when=*/true, /*allow_as_of=*/false));
+    stmt.where = std::move(clauses.where);
+    stmt.when = std::move(clauses.when);
+    stmt.valid = std::move(clauses.valid);
+    return Statement(std::move(stmt));
+  }
+
+  Result<Statement> ParseCorrect() {
+    Advance();
+    CorrectStmt stmt;
+    TDB_ASSIGN_OR_RETURN(stmt.variable,
+                         ExpectIdentifier("correct statement"));
+    if (Match(TokenKind::kWhere)) {
+      TDB_ASSIGN_OR_RETURN(stmt.where, ParseExpr());
+    }
+    return Statement(std::move(stmt));
+  }
+
+  Result<ValidClause> ParseValidClause() {
+    Advance();  // valid
+    ValidClause clause;
+    if (Match(TokenKind::kAt)) {
+      clause.at = true;
+      TDB_ASSIGN_OR_RETURN(clause.from, ParseTemporalExpr());
+      return clause;
+    }
+    TDB_ASSIGN_OR_RETURN(Token from,
+                         Expect(TokenKind::kFrom, "valid clause"));
+    (void)from;
+    TDB_ASSIGN_OR_RETURN(clause.from, ParseTemporalExpr());
+    TDB_ASSIGN_OR_RETURN(Token to, Expect(TokenKind::kTo, "valid clause"));
+    (void)to;
+    TDB_ASSIGN_OR_RETURN(clause.to, ParseTemporalExpr());
+    return clause;
+  }
+
+  // --- Scalar expressions ---------------------------------------------
+
+  Result<AstExprPtr> ParseExpr() { return ParseOrExpr(); }
+
+  Result<AstExprPtr> ParseOrExpr() {
+    TDB_ASSIGN_OR_RETURN(AstExprPtr left, ParseAndExpr());
+    while (Match(TokenKind::kOr)) {
+      TDB_ASSIGN_OR_RETURN(AstExprPtr right, ParseAndExpr());
+      left = MakeBinary(AstBinaryOp::kOr, std::move(left), std::move(right));
+    }
+    return left;
+  }
+
+  Result<AstExprPtr> ParseAndExpr() {
+    TDB_ASSIGN_OR_RETURN(AstExprPtr left, ParseNotExpr());
+    while (Match(TokenKind::kAnd)) {
+      TDB_ASSIGN_OR_RETURN(AstExprPtr right, ParseNotExpr());
+      left = MakeBinary(AstBinaryOp::kAnd, std::move(left), std::move(right));
+    }
+    return left;
+  }
+
+  Result<AstExprPtr> ParseNotExpr() {
+    if (Match(TokenKind::kNot)) {
+      TDB_ASSIGN_OR_RETURN(AstExprPtr inner, ParseNotExpr());
+      auto node = std::make_shared<AstExpr>();
+      node->kind = AstExprKind::kNot;
+      node->left = std::move(inner);
+      return AstExprPtr(std::move(node));
+    }
+    return ParseCmpExpr();
+  }
+
+  Result<AstExprPtr> ParseCmpExpr() {
+    TDB_ASSIGN_OR_RETURN(AstExprPtr left, ParseAddExpr());
+    AstBinaryOp op;
+    switch (Peek().kind) {
+      case TokenKind::kEq:
+        op = AstBinaryOp::kEq;
+        break;
+      case TokenKind::kNe:
+        op = AstBinaryOp::kNe;
+        break;
+      case TokenKind::kLt:
+        op = AstBinaryOp::kLt;
+        break;
+      case TokenKind::kLe:
+        op = AstBinaryOp::kLe;
+        break;
+      case TokenKind::kGt:
+        op = AstBinaryOp::kGt;
+        break;
+      case TokenKind::kGe:
+        op = AstBinaryOp::kGe;
+        break;
+      default:
+        return left;
+    }
+    Advance();
+    TDB_ASSIGN_OR_RETURN(AstExprPtr right, ParseAddExpr());
+    return MakeBinary(op, std::move(left), std::move(right));
+  }
+
+  Result<AstExprPtr> ParseAddExpr() {
+    TDB_ASSIGN_OR_RETURN(AstExprPtr left, ParseMulExpr());
+    while (Peek().Is(TokenKind::kPlus) || Peek().Is(TokenKind::kMinus)) {
+      AstBinaryOp op = Peek().Is(TokenKind::kPlus) ? AstBinaryOp::kAdd
+                                                   : AstBinaryOp::kSub;
+      Advance();
+      TDB_ASSIGN_OR_RETURN(AstExprPtr right, ParseMulExpr());
+      left = MakeBinary(op, std::move(left), std::move(right));
+    }
+    return left;
+  }
+
+  Result<AstExprPtr> ParseMulExpr() {
+    TDB_ASSIGN_OR_RETURN(AstExprPtr left, ParsePrimary());
+    while (Peek().Is(TokenKind::kStar) || Peek().Is(TokenKind::kSlash) ||
+           Peek().Is(TokenKind::kMod)) {
+      AstBinaryOp op = Peek().Is(TokenKind::kStar)
+                           ? AstBinaryOp::kMul
+                           : (Peek().Is(TokenKind::kSlash) ? AstBinaryOp::kDiv
+                                                           : AstBinaryOp::kMod);
+      Advance();
+      TDB_ASSIGN_OR_RETURN(AstExprPtr right, ParsePrimary());
+      left = MakeBinary(op, std::move(left), std::move(right));
+    }
+    return left;
+  }
+
+  Result<AstExprPtr> ParsePrimary() {
+    const Token& t = Peek();
+    switch (t.kind) {
+      case TokenKind::kIntLiteral: {
+        auto node = std::make_shared<AstExpr>();
+        node->kind = AstExprKind::kIntLiteral;
+        node->literal = t.text;
+        Advance();
+        return AstExprPtr(std::move(node));
+      }
+      case TokenKind::kFloatLiteral: {
+        auto node = std::make_shared<AstExpr>();
+        node->kind = AstExprKind::kFloatLiteral;
+        node->literal = t.text;
+        Advance();
+        return AstExprPtr(std::move(node));
+      }
+      case TokenKind::kStringLiteral: {
+        auto node = std::make_shared<AstExpr>();
+        node->kind = AstExprKind::kStringLiteral;
+        node->literal = t.text;
+        Advance();
+        return AstExprPtr(std::move(node));
+      }
+      case TokenKind::kMinus: {
+        Advance();
+        TDB_ASSIGN_OR_RETURN(AstExprPtr inner, ParsePrimary());
+        auto zero = std::make_shared<AstExpr>();
+        zero->kind = AstExprKind::kIntLiteral;
+        zero->literal = "0";
+        return MakeBinary(AstBinaryOp::kSub, std::move(zero),
+                          std::move(inner));
+      }
+      case TokenKind::kLParen: {
+        Advance();
+        TDB_ASSIGN_OR_RETURN(AstExprPtr inner, ParseExpr());
+        TDB_ASSIGN_OR_RETURN(Token rp,
+                             Expect(TokenKind::kRParen, "expression"));
+        (void)rp;
+        return inner;
+      }
+      case TokenKind::kIdentifier: {
+        // Aggregate call?  count(...), sum(...), avg(...), min(...),
+        // max(...), any(...).
+        if (Peek(1).Is(TokenKind::kLParen)) {
+          std::optional<AstAggFunc> func;
+          if (t.text == "count") func = AstAggFunc::kCount;
+          if (t.text == "sum") func = AstAggFunc::kSum;
+          if (t.text == "avg") func = AstAggFunc::kAvg;
+          if (t.text == "min") func = AstAggFunc::kMin;
+          if (t.text == "max") func = AstAggFunc::kMax;
+          if (t.text == "any") func = AstAggFunc::kAny;
+          if (func.has_value()) {
+            Advance();  // Function name.
+            Advance();  // '('.
+            TDB_ASSIGN_OR_RETURN(AstExprPtr inner, ParseExpr());
+            TDB_ASSIGN_OR_RETURN(Token rp, Expect(TokenKind::kRParen,
+                                                  "aggregate call"));
+            (void)rp;
+            auto node = std::make_shared<AstExpr>();
+            node->kind = AstExprKind::kAggregate;
+            node->agg = *func;
+            node->left = std::move(inner);
+            return AstExprPtr(std::move(node));
+          }
+        }
+        auto node = std::make_shared<AstExpr>();
+        node->kind = AstExprKind::kColumn;
+        std::string first = t.text;
+        Advance();
+        if (Match(TokenKind::kDot)) {
+          TDB_ASSIGN_OR_RETURN(std::string attr,
+                               ExpectIdentifier("attribute reference"));
+          node->variable = std::move(first);
+          node->attribute = std::move(attr);
+        } else {
+          node->attribute = std::move(first);
+        }
+        return AstExprPtr(std::move(node));
+      }
+      default:
+        return ErrorHere("expected an expression");
+    }
+  }
+
+  static AstExprPtr MakeBinary(AstBinaryOp op, AstExprPtr left,
+                               AstExprPtr right) {
+    auto node = std::make_shared<AstExpr>();
+    node->kind = AstExprKind::kBinary;
+    node->op = op;
+    node->left = std::move(left);
+    node->right = std::move(right);
+    return node;
+  }
+
+  // --- Temporal expressions and predicates ----------------------------
+
+  // In predicate operand position, top-level `overlap` belongs to the
+  // predicate, so operands chain only `extend`; parenthesize to use
+  // intersection: `(f1 overlap f2) precede f3`.
+  Result<AstTemporalExprPtr> ParseTemporalOperand() {
+    TDB_ASSIGN_OR_RETURN(AstTemporalExprPtr left, ParseTemporalPrimary());
+    while (Match(TokenKind::kExtend)) {
+      TDB_ASSIGN_OR_RETURN(AstTemporalExprPtr right, ParseTemporalPrimary());
+      auto node = std::make_shared<AstTemporalExpr>();
+      node->kind = AstTemporalExprKind::kExtend;
+      node->left = std::move(left);
+      node->right = std::move(right);
+      left = std::move(node);
+    }
+    return left;
+  }
+
+  // Full temporal expression: `overlap` is intersection here (valid and
+  // as-of clause position).
+  Result<AstTemporalExprPtr> ParseTemporalExpr() {
+    TDB_ASSIGN_OR_RETURN(AstTemporalExprPtr left, ParseTemporalOperand());
+    while (Match(TokenKind::kOverlap)) {
+      TDB_ASSIGN_OR_RETURN(AstTemporalExprPtr right, ParseTemporalOperand());
+      auto node = std::make_shared<AstTemporalExpr>();
+      node->kind = AstTemporalExprKind::kOverlap;
+      node->left = std::move(left);
+      node->right = std::move(right);
+      left = std::move(node);
+    }
+    return left;
+  }
+
+  Result<AstTemporalExprPtr> ParseTemporalPrimary() {
+    const Token& t = Peek();
+    // "begin of e" / "end of e", with the paper's "start of" / "stop of"
+    // as synonyms.
+    bool is_begin = t.Is(TokenKind::kBegin) ||
+                    (t.Is(TokenKind::kIdentifier) && t.text == "start");
+    bool is_end = t.Is(TokenKind::kEnd) ||
+                  (t.Is(TokenKind::kIdentifier) && t.text == "stop");
+    if ((is_begin || is_end) && Peek(1).Is(TokenKind::kOf)) {
+      Advance();
+      Advance();
+      TDB_ASSIGN_OR_RETURN(AstTemporalExprPtr inner, ParseTemporalPrimary());
+      auto node = std::make_shared<AstTemporalExpr>();
+      node->kind = is_begin ? AstTemporalExprKind::kBeginOf
+                            : AstTemporalExprKind::kEndOf;
+      node->left = std::move(inner);
+      return AstTemporalExprPtr(std::move(node));
+    }
+    if (t.Is(TokenKind::kStringLiteral)) {
+      auto node = std::make_shared<AstTemporalExpr>();
+      node->kind = AstTemporalExprKind::kDate;
+      node->name = t.text;
+      Advance();
+      return AstTemporalExprPtr(std::move(node));
+    }
+    if (t.Is(TokenKind::kIdentifier)) {
+      auto node = std::make_shared<AstTemporalExpr>();
+      node->kind = AstTemporalExprKind::kVar;
+      node->name = t.text;
+      Advance();
+      return AstTemporalExprPtr(std::move(node));
+    }
+    if (t.Is(TokenKind::kLParen)) {
+      Advance();
+      TDB_ASSIGN_OR_RETURN(AstTemporalExprPtr inner, ParseTemporalExpr());
+      TDB_ASSIGN_OR_RETURN(Token rp, Expect(TokenKind::kRParen,
+                                            "temporal expression"));
+      (void)rp;
+      return inner;
+    }
+    return ErrorHere("expected a temporal expression");
+  }
+
+  Result<AstTemporalPredPtr> ParseTemporalPred() {
+    return ParseTemporalOrPred();
+  }
+
+  Result<AstTemporalPredPtr> ParseTemporalOrPred() {
+    TDB_ASSIGN_OR_RETURN(AstTemporalPredPtr left, ParseTemporalAndPred());
+    while (Match(TokenKind::kOr)) {
+      TDB_ASSIGN_OR_RETURN(AstTemporalPredPtr right, ParseTemporalAndPred());
+      auto node = std::make_shared<AstTemporalPred>();
+      node->kind = AstTemporalPredKind::kOr;
+      node->left_pred = std::move(left);
+      node->right_pred = std::move(right);
+      left = std::move(node);
+    }
+    return left;
+  }
+
+  Result<AstTemporalPredPtr> ParseTemporalAndPred() {
+    TDB_ASSIGN_OR_RETURN(AstTemporalPredPtr left, ParseTemporalNotPred());
+    while (Match(TokenKind::kAnd)) {
+      TDB_ASSIGN_OR_RETURN(AstTemporalPredPtr right, ParseTemporalNotPred());
+      auto node = std::make_shared<AstTemporalPred>();
+      node->kind = AstTemporalPredKind::kAnd;
+      node->left_pred = std::move(left);
+      node->right_pred = std::move(right);
+      left = std::move(node);
+    }
+    return left;
+  }
+
+  Result<AstTemporalPredPtr> ParseTemporalNotPred() {
+    if (Match(TokenKind::kNot)) {
+      TDB_ASSIGN_OR_RETURN(AstTemporalPredPtr inner, ParseTemporalNotPred());
+      auto node = std::make_shared<AstTemporalPred>();
+      node->kind = AstTemporalPredKind::kNot;
+      node->left_pred = std::move(inner);
+      return AstTemporalPredPtr(std::move(node));
+    }
+    // A parenthesized sub-predicate, unless it is really a parenthesized
+    // temporal expression operand — try the predicate reading first and
+    // backtrack on failure or on a trailing comparison operator.
+    if (Peek().Is(TokenKind::kLParen)) {
+      size_t saved = pos_;
+      Advance();
+      Result<AstTemporalPredPtr> inner = ParseTemporalPred();
+      if (inner.ok() && Peek().Is(TokenKind::kRParen)) {
+        // Peek past the ')': if a comparison operator follows, the parens
+        // enclosed an expression operand instead.
+        TokenKind after = Peek(1).kind;
+        if (after != TokenKind::kPrecede && after != TokenKind::kOverlap &&
+            after != TokenKind::kEqual && after != TokenKind::kExtend) {
+          Advance();  // ')'
+          return std::move(inner).value();
+        }
+      }
+      pos_ = saved;  // Reparse as a comparison whose operand is
+                     // parenthesized.
+    }
+    return ParseTemporalComparison();
+  }
+
+  Result<AstTemporalPredPtr> ParseTemporalComparison() {
+    TDB_ASSIGN_OR_RETURN(AstTemporalExprPtr left, ParseTemporalOperand());
+    AstTemporalPredKind kind;
+    if (Match(TokenKind::kPrecede)) {
+      kind = AstTemporalPredKind::kPrecede;
+    } else if (Match(TokenKind::kOverlap)) {
+      kind = AstTemporalPredKind::kOverlap;
+    } else if (Match(TokenKind::kEqual)) {
+      kind = AstTemporalPredKind::kEqual;
+    } else {
+      return ErrorHere("expected 'precede', 'overlap' or 'equal'");
+    }
+    TDB_ASSIGN_OR_RETURN(AstTemporalExprPtr right, ParseTemporalOperand());
+    auto node = std::make_shared<AstTemporalPred>();
+    node->kind = kind;
+    node->left_expr = std::move(left);
+    node->right_expr = std::move(right);
+    return AstTemporalPredPtr(std::move(node));
+  }
+
+  std::vector<Token> tokens_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<std::vector<Statement>> Parse(std::string_view source) {
+  TDB_ASSIGN_OR_RETURN(std::vector<Token> tokens, Tokenize(source));
+  Parser parser(std::move(tokens));
+  return parser.ParseProgram();
+}
+
+Result<Statement> ParseOne(std::string_view source) {
+  TDB_ASSIGN_OR_RETURN(std::vector<Statement> stmts, Parse(source));
+  if (stmts.size() != 1) {
+    return Status::ParseError(StringPrintf(
+        "expected exactly one statement, found %zu", stmts.size()));
+  }
+  return std::move(stmts[0]);
+}
+
+}  // namespace tquel
+}  // namespace temporadb

@@ -1,0 +1,46 @@
+#ifndef TEMPORADB_TQUEL_PARSER_H_
+#define TEMPORADB_TQUEL_PARSER_H_
+
+#include <vector>
+
+#include "common/result.h"
+#include "tquel/ast.h"
+#include "tquel/token.h"
+
+namespace temporadb {
+namespace tquel {
+
+/// Parses TQuel source into statements.
+///
+/// Grammar (statements separated by optional semicolons):
+///
+///   create    ::= "create" ["persistent"] [class] ["event"|"interval"]
+///                 "relation" name "(" attr "=" type {"," attr "=" type} ")"
+///   class     ::= "static" | "rollback" | "historical" | "temporal"
+///   destroy   ::= "destroy" name
+///   range     ::= "range" "of" var "is" relation
+///   retrieve  ::= "retrieve" ["into" name] "(" target {"," target} ")"
+///                 [valid] ["where" expr] ["when" tpred] [asof]
+///   target    ::= name "=" expr | var "." attr
+///   valid     ::= "valid" ("at" texpr | "from" texpr "to" texpr)
+///   asof      ::= "as" "of" texpr ["through" texpr]
+///   append    ::= "append" "to" relation "(" assignments ")" [valid]
+///   delete    ::= "delete" var ["where" expr] [valid]
+///   replace   ::= "replace" var "(" assignments ")" [valid] ["where" expr]
+///   correct   ::= "correct" var ["where" expr]
+///   show      ::= "show" relation
+///
+/// Temporal expressions (`texpr`) support `begin of` / `end of` (with
+/// `start of` / `stop of` as synonyms, as in the paper's examples),
+/// `overlap` (intersection), `extend` (span), range variables, and date
+/// literals in double quotes.  Temporal predicates (`tpred`) support
+/// `precede`, `overlap`, `equal`, `and`, `or`, `not`, and parentheses.
+Result<std::vector<Statement>> Parse(std::string_view source);
+
+/// Parses exactly one statement (rejects trailing input).
+Result<Statement> ParseOne(std::string_view source);
+
+}  // namespace tquel
+}  // namespace temporadb
+
+#endif  // TEMPORADB_TQUEL_PARSER_H_

@@ -1,0 +1,30 @@
+#include "tquel/printer.h"
+
+#include "common/strings.h"
+
+namespace temporadb {
+namespace tquel {
+
+std::string FormatResult(const ExecResult& result) {
+  switch (result.kind) {
+    case ExecResult::Kind::kRows: {
+      std::string out = result.rows.Render();
+      out += StringPrintf(
+          "-- %s relation, %zu tuple(s)\n",
+          std::string(TemporalClassName(result.rows.temporal_class())).c_str(),
+          result.rows.size());
+      if (!result.message.empty()) {
+        out += "-- " + result.message + "\n";
+      }
+      return out;
+    }
+    case ExecResult::Kind::kCount:
+    case ExecResult::Kind::kNone:
+      return result.message.empty() ? std::string("ok\n")
+                                    : result.message + "\n";
+  }
+  return "";
+}
+
+}  // namespace tquel
+}  // namespace temporadb

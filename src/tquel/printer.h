@@ -1,0 +1,19 @@
+#ifndef TEMPORADB_TQUEL_PRINTER_H_
+#define TEMPORADB_TQUEL_PRINTER_H_
+
+#include <string>
+
+#include "tquel/evaluator.h"
+
+namespace temporadb {
+namespace tquel {
+
+/// Renders an execution result for terminal display: rowsets in the paper's
+/// table style (with a class banner like "-- historical relation, 4
+/// tuples"), counts/messages as one-liners.
+std::string FormatResult(const ExecResult& result);
+
+}  // namespace tquel
+}  // namespace temporadb
+
+#endif  // TEMPORADB_TQUEL_PRINTER_H_

@@ -1,0 +1,135 @@
+#include "tquel/token.h"
+
+namespace temporadb {
+namespace tquel {
+
+std::string_view TokenKindName(TokenKind kind) {
+  switch (kind) {
+    case TokenKind::kEof:
+      return "end of input";
+    case TokenKind::kIdentifier:
+      return "identifier";
+    case TokenKind::kIntLiteral:
+      return "integer literal";
+    case TokenKind::kFloatLiteral:
+      return "float literal";
+    case TokenKind::kStringLiteral:
+      return "string literal";
+    case TokenKind::kLParen:
+      return "'('";
+    case TokenKind::kRParen:
+      return "')'";
+    case TokenKind::kComma:
+      return "','";
+    case TokenKind::kDot:
+      return "'.'";
+    case TokenKind::kSemicolon:
+      return "';'";
+    case TokenKind::kEq:
+      return "'='";
+    case TokenKind::kNe:
+      return "'!='";
+    case TokenKind::kLt:
+      return "'<'";
+    case TokenKind::kLe:
+      return "'<='";
+    case TokenKind::kGt:
+      return "'>'";
+    case TokenKind::kGe:
+      return "'>='";
+    case TokenKind::kPlus:
+      return "'+'";
+    case TokenKind::kMinus:
+      return "'-'";
+    case TokenKind::kStar:
+      return "'*'";
+    case TokenKind::kSlash:
+      return "'/'";
+    case TokenKind::kCreate:
+      return "'create'";
+    case TokenKind::kDestroy:
+      return "'destroy'";
+    case TokenKind::kStatic:
+      return "'static'";
+    case TokenKind::kRollback:
+      return "'rollback'";
+    case TokenKind::kHistorical:
+      return "'historical'";
+    case TokenKind::kTemporal:
+      return "'temporal'";
+    case TokenKind::kEvent:
+      return "'event'";
+    case TokenKind::kInterval:
+      return "'interval'";
+    case TokenKind::kRelation:
+      return "'relation'";
+    case TokenKind::kPersistent:
+      return "'persistent'";
+    case TokenKind::kRange:
+      return "'range'";
+    case TokenKind::kOf:
+      return "'of'";
+    case TokenKind::kIs:
+      return "'is'";
+    case TokenKind::kRetrieve:
+      return "'retrieve'";
+    case TokenKind::kInto:
+      return "'into'";
+    case TokenKind::kWhere:
+      return "'where'";
+    case TokenKind::kWhen:
+      return "'when'";
+    case TokenKind::kValid:
+      return "'valid'";
+    case TokenKind::kFrom:
+      return "'from'";
+    case TokenKind::kTo:
+      return "'to'";
+    case TokenKind::kAt:
+      return "'at'";
+    case TokenKind::kAs:
+      return "'as'";
+    case TokenKind::kThrough:
+      return "'through'";
+    case TokenKind::kAppend:
+      return "'append'";
+    case TokenKind::kDelete:
+      return "'delete'";
+    case TokenKind::kReplace:
+      return "'replace'";
+    case TokenKind::kCorrect:
+      return "'correct'";
+    case TokenKind::kCommit:
+      return "'commit'";
+    case TokenKind::kAbort:
+      return "'abort'";
+    case TokenKind::kTransaction:
+      return "'transaction'";
+    case TokenKind::kBegin:
+      return "'begin'";
+    case TokenKind::kEnd:
+      return "'end'";
+    case TokenKind::kOverlap:
+      return "'overlap'";
+    case TokenKind::kExtend:
+      return "'extend'";
+    case TokenKind::kPrecede:
+      return "'precede'";
+    case TokenKind::kEqual:
+      return "'equal'";
+    case TokenKind::kAnd:
+      return "'and'";
+    case TokenKind::kOr:
+      return "'or'";
+    case TokenKind::kNot:
+      return "'not'";
+    case TokenKind::kMod:
+      return "'mod'";
+    case TokenKind::kShow:
+      return "'show'";
+  }
+  return "unknown token";
+}
+
+}  // namespace tquel
+}  // namespace temporadb

@@ -1,0 +1,99 @@
+#ifndef TEMPORADB_TQUEL_TOKEN_H_
+#define TEMPORADB_TQUEL_TOKEN_H_
+
+#include <string>
+#include <string_view>
+
+namespace temporadb {
+namespace tquel {
+
+/// Token kinds of the TQuel lexer.
+///
+/// TQuel (Snodgrass 1984/85) extends Quel with temporal constructs; keywords
+/// are case-insensitive.  Multi-word constructs ("as of", "begin of",
+/// "range of") are separate tokens composed by the parser.
+enum class TokenKind {
+  kEof,
+  kIdentifier,
+  kIntLiteral,
+  kFloatLiteral,
+  kStringLiteral,
+
+  // Punctuation / operators.
+  kLParen,
+  kRParen,
+  kComma,
+  kDot,
+  kSemicolon,
+  kEq,
+  kNe,
+  kLt,
+  kLe,
+  kGt,
+  kGe,
+  kPlus,
+  kMinus,
+  kStar,
+  kSlash,
+
+  // Keywords.
+  kCreate,
+  kDestroy,
+  kStatic,
+  kRollback,
+  kHistorical,
+  kTemporal,
+  kEvent,
+  kInterval,
+  kRelation,
+  kPersistent,
+  kRange,
+  kOf,
+  kIs,
+  kRetrieve,
+  kInto,
+  kWhere,
+  kWhen,
+  kValid,
+  kFrom,
+  kTo,
+  kAt,
+  kAs,
+  kThrough,
+  kAppend,
+  kDelete,
+  kReplace,
+  kCorrect,
+  kCommit,
+  kAbort,
+  kTransaction,
+  kBegin,
+  kEnd,
+  kOverlap,
+  kExtend,
+  kPrecede,
+  kEqual,
+  kAnd,
+  kOr,
+  kNot,
+  kMod,
+  kShow,
+};
+
+std::string_view TokenKindName(TokenKind kind);
+
+/// A lexed token with source position (1-based line/column) for error
+/// messages.
+struct Token {
+  TokenKind kind = TokenKind::kEof;
+  std::string text;  ///< Original spelling (string literals: unquoted body).
+  int line = 1;
+  int column = 1;
+
+  bool Is(TokenKind k) const { return kind == k; }
+};
+
+}  // namespace tquel
+}  // namespace temporadb
+
+#endif  // TEMPORADB_TQUEL_TOKEN_H_

@@ -1,0 +1,19 @@
+#include "txn/clock.h"
+
+#include <ctime>
+
+namespace temporadb {
+
+Chronon SystemClock::Now() const {
+  std::time_t seconds = std::time(nullptr);
+  // Unix time / 86400 is exactly the day count since 1970-01-01.
+  return Chronon(static_cast<Chronon::Rep>(seconds / 86400));
+}
+
+Status ManualClock::SetDate(std::string_view text) {
+  TDB_ASSIGN_OR_RETURN(Date d, Date::Parse(text));
+  now_ = d.chronon();
+  return Status::OK();
+}
+
+}  // namespace temporadb

@@ -1,0 +1,56 @@
+#ifndef TEMPORADB_TXN_CLOCK_H_
+#define TEMPORADB_TXN_CLOCK_H_
+
+#include <memory>
+
+#include "common/chronon.h"
+#include "common/date.h"
+#include "common/result.h"
+
+namespace temporadb {
+
+/// The source of transaction time.
+///
+/// The paper's defining property of transaction time is that it is generated
+/// by "a non-stop running clock" outside user control (§2.2): users *cannot*
+/// choose it, which is what makes rollback states trustworthy.  temporadb
+/// keeps the clock behind an interface so that
+///  - production code uses `SystemClock` (the wall calendar), while
+///  - tests and the paper-scenario driver use `ManualClock` to replay the
+///    1977-1984 transaction dates of Figures 4 and 8 exactly.
+/// Note the asymmetry with valid time, which is always user-supplied.
+class Clock {
+ public:
+  virtual ~Clock() = default;
+
+  /// The current chronon (today, at day granularity).
+  virtual Chronon Now() const = 0;
+};
+
+/// Wall-clock time via `time(2)`, truncated to days.
+class SystemClock : public Clock {
+ public:
+  Chronon Now() const override;
+};
+
+/// A test clock that moves only when told to.  Moving backwards is allowed
+/// at this level; the transaction manager enforces monotonicity where it
+/// matters.
+class ManualClock : public Clock {
+ public:
+  explicit ManualClock(Chronon start = Chronon::Epoch()) : now_(start) {}
+
+  Chronon Now() const override { return now_; }
+
+  void SetTime(Chronon t) { now_ = t; }
+  /// Convenience: set from a date literal like "12/15/82".
+  Status SetDate(std::string_view text);
+  void AdvanceDays(int64_t days) { now_ = now_ + days; }
+
+ private:
+  Chronon now_;
+};
+
+}  // namespace temporadb
+
+#endif  // TEMPORADB_TXN_CLOCK_H_

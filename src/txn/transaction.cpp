@@ -1,0 +1,29 @@
+#include "txn/transaction.h"
+
+namespace temporadb {
+
+std::string_view TxnStateName(TxnState s) {
+  switch (s) {
+    case TxnState::kActive:
+      return "active";
+    case TxnState::kCommitted:
+      return "committed";
+    case TxnState::kAborted:
+      return "aborted";
+  }
+  return "unknown";
+}
+
+void Transaction::PushUndo(std::function<void()> undo) {
+  undo_log_.push_back(std::move(undo));
+}
+
+void Transaction::RunUndoAndMarkAborted() {
+  for (auto it = undo_log_.rbegin(); it != undo_log_.rend(); ++it) {
+    (*it)();
+  }
+  undo_log_.clear();
+  state_ = TxnState::kAborted;
+}
+
+}  // namespace temporadb

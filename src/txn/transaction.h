@@ -1,0 +1,75 @@
+#ifndef TEMPORADB_TXN_TRANSACTION_H_
+#define TEMPORADB_TXN_TRANSACTION_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/chronon.h"
+#include "common/result.h"
+
+namespace temporadb {
+
+using TxnId = uint64_t;
+
+enum class TxnState {
+  kActive,
+  kCommitted,
+  kAborted,
+};
+
+std::string_view TxnStateName(TxnState s);
+
+/// A unit of atomic work against the database.
+///
+/// Each transaction carries the *transaction timestamp* — the chronon that
+/// will stamp every version it creates or closes.  Per the paper (§4.2), a
+/// transaction against a rollback or temporal relation "results in a new
+/// static [historical] state being appended"; atomicity means either the
+/// whole new state appears or none of it, which the undo log guarantees
+/// under abort.
+///
+/// Concurrency note: temporadb executes transactions one at a time (the
+/// embedded-library model); the manager hands out strictly serialized
+/// timestamps, so transaction-time order *is* serialization order.
+class Transaction {
+ public:
+  Transaction(TxnId id, Chronon timestamp) : id_(id), timestamp_(timestamp) {}
+
+  Transaction(const Transaction&) = delete;
+  Transaction& operator=(const Transaction&) = delete;
+
+  TxnId id() const { return id_; }
+
+  /// The chronon stamped as transaction-time start (and end, for versions
+  /// this transaction closes).
+  Chronon timestamp() const { return timestamp_; }
+
+  TxnState state() const { return state_; }
+  bool IsActive() const { return state_ == TxnState::kActive; }
+
+  /// Registers a compensating action, run (in reverse order) on abort.
+  void PushUndo(std::function<void()> undo);
+
+  /// Number of undo entries (i.e. mutations performed so far).
+  size_t mutation_count() const { return undo_log_.size(); }
+
+ private:
+  friend class TxnManager;
+
+  void MarkCommitted() {
+    state_ = TxnState::kCommitted;
+    undo_log_.clear();
+  }
+  void RunUndoAndMarkAborted();
+
+  TxnId id_;
+  Chronon timestamp_;
+  TxnState state_ = TxnState::kActive;
+  std::vector<std::function<void()>> undo_log_;
+};
+
+}  // namespace temporadb
+
+#endif  // TEMPORADB_TXN_TRANSACTION_H_

@@ -1,0 +1,53 @@
+#include "txn/txn_manager.h"
+
+namespace temporadb {
+
+Result<Transaction*> TxnManager::Begin() {
+  if (active_ != nullptr && active_->IsActive()) {
+    return Status::FailedPrecondition(
+        "a transaction is already active; temporadb transactions are "
+        "serialized");
+  }
+  Chronon now = clock_->Now();
+  // Monotonic clamp: transaction time never runs backwards even if the
+  // clock does.
+  if (last_issued_.IsFinite() && now < last_issued_) {
+    now = last_issued_;
+  }
+  last_issued_ = now;
+  active_ = std::make_unique<Transaction>(next_id_++, now);
+  return active_.get();
+}
+
+Status TxnManager::Commit(Transaction* txn) {
+  if (txn == nullptr || txn != active_.get()) {
+    return Status::InvalidArgument("commit of a non-active transaction");
+  }
+  if (!txn->IsActive()) {
+    return Status::FailedPrecondition("transaction is not active");
+  }
+  txn->MarkCommitted();
+  last_commit_ = txn->timestamp();
+  ++committed_count_;
+  return Status::OK();
+}
+
+Status TxnManager::Abort(Transaction* txn) {
+  if (txn == nullptr || txn != active_.get()) {
+    return Status::InvalidArgument("abort of a non-active transaction");
+  }
+  if (!txn->IsActive()) {
+    return Status::FailedPrecondition("transaction is not active");
+  }
+  txn->RunUndoAndMarkAborted();
+  ++aborted_count_;
+  return Status::OK();
+}
+
+Chronon TxnManager::Now() const {
+  Chronon now = clock_->Now();
+  if (last_issued_.IsFinite() && now < last_issued_) now = last_issued_;
+  return now;
+}
+
+}  // namespace temporadb

@@ -1,0 +1,70 @@
+#ifndef TEMPORADB_TXN_TXN_MANAGER_H_
+#define TEMPORADB_TXN_TXN_MANAGER_H_
+
+#include <memory>
+
+#include "common/result.h"
+#include "txn/clock.h"
+#include "txn/transaction.h"
+
+namespace temporadb {
+
+/// Creates, commits, and aborts transactions; owns the monotonic clamp on
+/// transaction timestamps.
+///
+/// Append-only discipline (the paper's §2.2 / Figure 12: transaction time is
+/// append-only and application-independent) is enforced in two places:
+///  1. here — timestamps are issued by the DBMS clock, never accepted from
+///     the user, and never decrease even if the underlying clock jumps
+///     backwards;
+///  2. in the relation kinds — committed versions' transaction periods are
+///     immutable.
+class TxnManager {
+ public:
+  /// `clock` must outlive the manager.
+  explicit TxnManager(const Clock* clock) : clock_(clock) {}
+
+  TxnManager(const TxnManager&) = delete;
+  TxnManager& operator=(const TxnManager&) = delete;
+
+  /// Starts a transaction stamped with `max(clock->Now(), last issued)`.
+  /// Only one transaction may be active at a time (embedded-library model);
+  /// FailedPrecondition otherwise.
+  Result<Transaction*> Begin();
+
+  /// Commits the active transaction.
+  Status Commit(Transaction* txn);
+
+  /// Aborts the active transaction, running its undo log.
+  Status Abort(Transaction* txn);
+
+  /// The timestamp the *next* transaction would receive; used to interpret
+  /// "now" in queries.
+  Chronon Now() const;
+
+  /// Timestamp of the most recently committed transaction (Beginning() if
+  /// none yet).
+  Chronon last_commit() const { return last_commit_; }
+
+  /// Recovery hook: ensures future timestamps do not fall behind a
+  /// timestamp observed in the redo log.
+  void ObserveRecoveredTimestamp(Chronon t) {
+    if (t > last_issued_) last_issued_ = t;
+  }
+
+  uint64_t committed_count() const { return committed_count_; }
+  uint64_t aborted_count() const { return aborted_count_; }
+
+ private:
+  const Clock* clock_;
+  std::unique_ptr<Transaction> active_;
+  TxnId next_id_ = 1;
+  Chronon last_issued_ = Chronon::Beginning();
+  Chronon last_commit_ = Chronon::Beginning();
+  uint64_t committed_count_ = 0;
+  uint64_t aborted_count_ = 0;
+};
+
+}  // namespace temporadb
+
+#endif  // TEMPORADB_TXN_TXN_MANAGER_H_

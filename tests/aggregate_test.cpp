@@ -1,0 +1,118 @@
+#include "rel/aggregate.h"
+
+#include <gtest/gtest.h>
+
+namespace temporadb {
+namespace {
+
+Rowset Salaries() {
+  Schema schema = *Schema::Make({Attribute{"dept", Type::String()},
+                                 Attribute{"salary", Type::Int()}});
+  Rowset out(std::move(schema), TemporalClass::kStatic);
+  for (auto& [d, s] : std::vector<std::pair<const char*, int64_t>>{
+           {"cs", 100}, {"cs", 200}, {"math", 50}, {"math", 70},
+           {"math", 60}}) {
+    Row row;
+    row.values = {Value(d), Value(s)};
+    EXPECT_TRUE(out.AddRow(std::move(row)).ok());
+  }
+  return out;
+}
+
+TEST(Aggregate, GlobalCount) {
+  Result<Rowset> out =
+      Aggregate(Salaries(), {}, {{AggFunc::kCount, 0, "n"}});
+  ASSERT_TRUE(out.ok());
+  ASSERT_EQ(out->size(), 1u);
+  EXPECT_EQ(out->rows()[0].values[0].AsInt(), 5);
+}
+
+TEST(Aggregate, GroupedAggregates) {
+  Result<Rowset> out = Aggregate(
+      Salaries(), {0},
+      {{AggFunc::kCount, 0, "n"},
+       {AggFunc::kSum, 1, "total"},
+       {AggFunc::kAvg, 1, "mean"},
+       {AggFunc::kMin, 1, "lo"},
+       {AggFunc::kMax, 1, "hi"}});
+  ASSERT_TRUE(out.ok());
+  ASSERT_EQ(out->size(), 2u);  // cs, math (sorted by group key).
+  const Row& cs = out->rows()[0];
+  EXPECT_EQ(cs.values[0].AsString(), "cs");
+  EXPECT_EQ(cs.values[1].AsInt(), 2);
+  EXPECT_EQ(cs.values[2].AsInt(), 300);
+  EXPECT_DOUBLE_EQ(cs.values[3].AsFloat(), 150.0);
+  EXPECT_EQ(cs.values[4].AsInt(), 100);
+  EXPECT_EQ(cs.values[5].AsInt(), 200);
+  const Row& math = out->rows()[1];
+  EXPECT_EQ(math.values[1].AsInt(), 3);
+  EXPECT_EQ(math.values[2].AsInt(), 180);
+}
+
+TEST(Aggregate, EmptyInputGlobalRow) {
+  Schema schema = *Schema::Make({Attribute{"x", Type::Int()}});
+  Rowset empty(std::move(schema), TemporalClass::kStatic);
+  Result<Rowset> out = Aggregate(
+      empty, {}, {{AggFunc::kCount, 0, "n"}, {AggFunc::kSum, 0, "s"}});
+  ASSERT_TRUE(out.ok());
+  ASSERT_EQ(out->size(), 1u);
+  EXPECT_EQ(out->rows()[0].values[0].AsInt(), 0);
+  EXPECT_TRUE(out->rows()[0].values[1].is_null());
+}
+
+TEST(Aggregate, EmptyInputGroupedIsEmpty) {
+  Schema schema = *Schema::Make({Attribute{"x", Type::Int()}});
+  Rowset empty(std::move(schema), TemporalClass::kStatic);
+  Result<Rowset> out = Aggregate(empty, {0}, {{AggFunc::kCount, 0, "n"}});
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(out->size(), 0u);
+}
+
+TEST(Aggregate, AnyPicksSomeValue) {
+  Result<Rowset> out =
+      Aggregate(Salaries(), {0}, {{AggFunc::kAny, 1, "some"}});
+  ASSERT_TRUE(out.ok());
+  for (const Row& row : out->rows()) {
+    EXPECT_FALSE(row.values[1].is_null());
+  }
+}
+
+TEST(Aggregate, ResultIsStatic) {
+  // Aggregation collapses time: even a historical input aggregates to a
+  // static rowset.
+  Schema schema = *Schema::Make({Attribute{"x", Type::Int()}});
+  Rowset hist(std::move(schema), TemporalClass::kHistorical);
+  Row row;
+  row.values = {Value(int64_t{1})};
+  row.valid = Period::All();
+  ASSERT_TRUE(hist.AddRow(std::move(row)).ok());
+  Result<Rowset> out = Aggregate(hist, {}, {{AggFunc::kCount, 0, "n"}});
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(out->temporal_class(), TemporalClass::kStatic);
+}
+
+TEST(Aggregate, ValidatesIndexes) {
+  EXPECT_FALSE(Aggregate(Salaries(), {9}, {{AggFunc::kCount, 0, "n"}}).ok());
+  EXPECT_FALSE(Aggregate(Salaries(), {}, {{AggFunc::kSum, 9, "s"}}).ok());
+}
+
+TEST(Aggregate, SumOfFloats) {
+  Schema schema = *Schema::Make({Attribute{"x", Type::Float()}});
+  Rowset data(std::move(schema), TemporalClass::kStatic);
+  for (double v : {1.5, 2.5}) {
+    Row row;
+    row.values = {Value(v)};
+    ASSERT_TRUE(data.AddRow(std::move(row)).ok());
+  }
+  Result<Rowset> out = Aggregate(data, {}, {{AggFunc::kSum, 0, "s"}});
+  ASSERT_TRUE(out.ok());
+  EXPECT_DOUBLE_EQ(out->rows()[0].values[0].AsFloat(), 4.0);
+}
+
+TEST(AggFuncName, Names) {
+  EXPECT_EQ(AggFuncName(AggFunc::kCount), "count");
+  EXPECT_EQ(AggFuncName(AggFunc::kAvg), "avg");
+}
+
+}  // namespace
+}  // namespace temporadb

@@ -1,0 +1,200 @@
+#include "core/bulk.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace temporadb {
+namespace {
+
+class BulkTest : public ::testing::Test {
+ protected:
+  BulkTest() {
+    DatabaseOptions options;
+    options.clock = &clock_;
+    db_ = std::move(*Database::Open(options));
+    clock_.SetDate("01/01/85").ok();
+  }
+
+  ManualClock clock_;
+  std::unique_ptr<Database> db_;
+};
+
+TEST(SplitCsvLine, BasicAndQuoted) {
+  auto fields = bulk::SplitCsvLine("a,b,c", ',');
+  ASSERT_TRUE(fields.ok());
+  EXPECT_EQ(*fields, (std::vector<std::string>{"a", "b", "c"}));
+
+  fields = bulk::SplitCsvLine(R"("a,b",c)", ',');
+  ASSERT_TRUE(fields.ok());
+  EXPECT_EQ((*fields)[0], "a,b");
+
+  fields = bulk::SplitCsvLine(R"("he said ""hi""",x)", ',');
+  ASSERT_TRUE(fields.ok());
+  EXPECT_EQ((*fields)[0], "he said \"hi\"");
+
+  fields = bulk::SplitCsvLine("a,,c", ',');
+  ASSERT_TRUE(fields.ok());
+  EXPECT_EQ((*fields)[1], "");
+
+  EXPECT_TRUE(bulk::SplitCsvLine(R"("unterminated)", ',')
+                  .status()
+                  .IsParseError());
+}
+
+TEST_F(BulkTest, ImportStaticRelation) {
+  ASSERT_TRUE(db_->Execute("create relation people "
+                           "(name = string, age = int, score = float)")
+                  .ok());
+  std::istringstream in(
+      "name,age,score\n"
+      "ann,34,1.5\n"
+      "\"bob, jr\",40,2.0\n");
+  Result<size_t> n = bulk::ImportCsv(db_.get(), "people", in);
+  ASSERT_TRUE(n.ok()) << n.status().ToString();
+  EXPECT_EQ(*n, 2u);
+  ASSERT_TRUE(db_->Execute("range of p is people").ok());
+  Result<Rowset> rows = db_->Query("retrieve (p.name, p.age)");
+  ASSERT_TRUE(rows.ok());
+  ASSERT_EQ(rows->size(), 2u);
+}
+
+TEST_F(BulkTest, ImportHistoricalWithValidColumns) {
+  ASSERT_TRUE(
+      db_->Execute("create historical relation jobs (name = string)").ok());
+  std::istringstream in(
+      "name,valid_from,valid_to\n"
+      "ann,01/01/80,01/01/82\n"
+      "bob,06/01/81,inf\n"
+      "cam,06/01/81,\n");  // Empty to => open-ended.
+  Result<size_t> n = bulk::ImportCsv(db_.get(), "jobs", in);
+  ASSERT_TRUE(n.ok()) << n.status().ToString();
+  EXPECT_EQ(*n, 3u);
+  Result<StoredRelation*> rel = db_->GetRelation("jobs");
+  ASSERT_TRUE(rel.ok());
+  size_t open_ended = 0;
+  (*rel)->store()->ForEach([&](RowId, const BitemporalTuple& t) {
+    if (t.valid.IsOpenEnded()) ++open_ended;
+  });
+  EXPECT_EQ(open_ended, 2u);
+}
+
+TEST_F(BulkTest, ImportEventRelationWithValidAt) {
+  ASSERT_TRUE(db_->Execute("create temporal event relation evts "
+                           "(tag = string, d = date)")
+                  .ok());
+  std::istringstream in(
+      "tag,d,valid_at\n"
+      "r1,12/15/82,12/15/82\n");
+  Result<size_t> n = bulk::ImportCsv(db_.get(), "evts", in);
+  ASSERT_TRUE(n.ok()) << n.status().ToString();
+  Result<StoredRelation*> rel = db_->GetRelation("evts");
+  ASSERT_TRUE(rel.ok());
+  (*rel)->store()->ForEach([&](RowId, const BitemporalTuple& t) {
+    EXPECT_TRUE(t.valid.IsInstant());
+    EXPECT_EQ(t.values[1].AsDate(), *Date::Parse("12/15/82"));
+  });
+}
+
+TEST_F(BulkTest, ImportIsAtomic) {
+  ASSERT_TRUE(db_->Execute("create relation t (n = int)").ok());
+  std::istringstream in(
+      "n\n"
+      "1\n"
+      "not-a-number\n");
+  Result<size_t> n = bulk::ImportCsv(db_.get(), "t", in);
+  EXPECT_FALSE(n.ok());
+  EXPECT_NE(n.status().message().find("line 3"), std::string::npos);
+  ASSERT_TRUE(db_->Execute("range of x is t").ok());
+  EXPECT_EQ(db_->Query("retrieve (x.n)")->size(), 0u);  // Nothing applied.
+}
+
+TEST_F(BulkTest, ImportRejectsUnknownColumnsAndBadShapes) {
+  ASSERT_TRUE(db_->Execute("create relation t (n = int)").ok());
+  std::istringstream unknown("n,mystery\n1,2\n");
+  EXPECT_TRUE(bulk::ImportCsv(db_.get(), "t", unknown)
+                  .status()
+                  .IsInvalidArgument());
+  std::istringstream ragged("n\n1,2\n");
+  EXPECT_TRUE(bulk::ImportCsv(db_.get(), "t", ragged)
+                  .status()
+                  .IsInvalidArgument());
+  std::istringstream empty("");
+  EXPECT_TRUE(
+      bulk::ImportCsv(db_.get(), "t", empty).status().IsInvalidArgument());
+  // Valid columns rejected on kinds without valid time (they're treated as
+  // unknown attributes).
+  std::istringstream retro("n,valid_from\n1,01/01/80\n");
+  EXPECT_TRUE(
+      bulk::ImportCsv(db_.get(), "t", retro).status().IsInvalidArgument());
+}
+
+TEST_F(BulkTest, MissingAttributesBecomeNull) {
+  ASSERT_TRUE(
+      db_->Execute("create relation t (a = string, b = int)").ok());
+  std::istringstream in("a\nx\n");
+  Result<size_t> n = bulk::ImportCsv(db_.get(), "t", in);
+  ASSERT_TRUE(n.ok()) << n.status().ToString();
+  ASSERT_TRUE(db_->Execute("range of v is t").ok());
+  Result<Rowset> rows = db_->Query("retrieve (v.a, v.b)");
+  ASSERT_TRUE(rows.ok());
+  EXPECT_TRUE(rows->rows()[0].values[1].is_null());
+}
+
+TEST_F(BulkTest, ExportRoundTripsThroughImport) {
+  ASSERT_TRUE(
+      db_->Execute("create historical relation jobs (name = string)").ok());
+  std::istringstream in(
+      "name,valid_from,valid_to\n"
+      "ann,01/01/80,01/01/82\n"
+      "bob,06/01/81,inf\n");
+  ASSERT_TRUE(bulk::ImportCsv(db_.get(), "jobs", in).ok());
+  ASSERT_TRUE(db_->Execute("range of j is jobs").ok());
+  Result<Rowset> rows = db_->Query("retrieve (j.name)");
+  ASSERT_TRUE(rows.ok());
+
+  std::ostringstream out;
+  ASSERT_TRUE(bulk::ExportCsv(*rows, out).ok());
+  std::string csv = out.str();
+  EXPECT_NE(csv.find("name,valid_from,valid_to"), std::string::npos);
+  EXPECT_NE(csv.find("ann,01/01/80,01/01/82"), std::string::npos);
+  EXPECT_NE(csv.find("bob,06/01/81,inf"), std::string::npos);
+
+  // Round trip into a second relation.
+  ASSERT_TRUE(
+      db_->Execute("create historical relation jobs2 (name = string)").ok());
+  std::istringstream back(csv);
+  Result<size_t> n = bulk::ImportCsv(db_.get(), "jobs2", back);
+  ASSERT_TRUE(n.ok()) << n.status().ToString();
+  EXPECT_EQ(*n, 2u);
+  ASSERT_TRUE(db_->Execute("range of k is jobs2").ok());
+  Result<Rowset> rows2 = db_->Query("retrieve (k.name)");
+  ASSERT_TRUE(rows2.ok());
+  EXPECT_TRUE(Rowset::SameContent(*rows, *rows2));
+}
+
+TEST_F(BulkTest, ExportTemporalIncludesTxnColumns) {
+  ASSERT_TRUE(
+      db_->Execute("create temporal relation t (name = string)").ok());
+  ASSERT_TRUE(db_->Execute("append to t (name = \"x\")").ok());
+  Result<tquel::ExecResult> shown = db_->Execute("show t");
+  ASSERT_TRUE(shown.ok());
+  std::ostringstream out;
+  ASSERT_TRUE(bulk::ExportCsv(shown->rows, out).ok());
+  EXPECT_NE(out.str().find("txn_start,txn_end"), std::string::npos);
+  EXPECT_NE(out.str().find("01/01/85,inf"), std::string::npos);
+}
+
+TEST_F(BulkTest, ExportQuotesSpecials) {
+  ASSERT_TRUE(db_->Execute("create relation t (s = string)").ok());
+  ASSERT_TRUE(db_->Execute("append to t (s = \"a,b \\\"q\\\"\")").ok());
+  ASSERT_TRUE(db_->Execute("range of v is t").ok());
+  Result<Rowset> rows = db_->Query("retrieve (v.s)");
+  ASSERT_TRUE(rows.ok());
+  std::ostringstream out;
+  ASSERT_TRUE(bulk::ExportCsv(*rows, out).ok());
+  EXPECT_NE(out.str().find("\"a,b \"\"q\"\"\""), std::string::npos);
+}
+
+}  // namespace
+}  // namespace temporadb

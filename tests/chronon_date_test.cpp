@@ -1,0 +1,122 @@
+#include <gtest/gtest.h>
+
+#include "common/chronon.h"
+#include "common/date.h"
+
+namespace temporadb {
+namespace {
+
+TEST(Chronon, EpochAndOrdering) {
+  EXPECT_EQ(Chronon::Epoch().days(), 0);
+  EXPECT_LT(Chronon(-1), Chronon(0));
+  EXPECT_LT(Chronon::Beginning(), Chronon(-1000000));
+  EXPECT_GT(Chronon::Forever(), Chronon(1000000));
+}
+
+TEST(Chronon, SentinelsAbsorbArithmetic) {
+  EXPECT_EQ(Chronon::Forever() + 5, Chronon::Forever());
+  EXPECT_EQ(Chronon::Beginning() - 5, Chronon::Beginning());
+  EXPECT_EQ(Chronon::Forever().Next(), Chronon::Forever());
+  EXPECT_EQ(Chronon::Beginning().Prev(), Chronon::Beginning());
+}
+
+TEST(Chronon, NextPrevRoundTrip) {
+  Chronon c(100);
+  EXPECT_EQ(c.Next().Prev(), c);
+  EXPECT_EQ(c.Next().days(), 101);
+}
+
+TEST(Chronon, MinMax) {
+  EXPECT_EQ(MinChronon(Chronon(3), Chronon(5)).days(), 3);
+  EXPECT_EQ(MaxChronon(Chronon(3), Chronon(5)).days(), 5);
+}
+
+TEST(Date, EpochIsUnix) {
+  Result<Date> d = Date::FromYmd(1970, 1, 1);
+  ASSERT_TRUE(d.ok());
+  EXPECT_EQ(d->chronon().days(), 0);
+}
+
+TEST(Date, KnownDayNumbers) {
+  EXPECT_EQ(Date::FromYmd(1970, 1, 2)->chronon().days(), 1);
+  EXPECT_EQ(Date::FromYmd(1969, 12, 31)->chronon().days(), -1);
+  EXPECT_EQ(Date::FromYmd(2000, 3, 1)->chronon().days(), 11017);
+}
+
+TEST(Date, CivilRoundTripOverDecades) {
+  // Every 17 days across 1950-2050.
+  for (int64_t day = Date::FromYmd(1950, 1, 1)->chronon().days();
+       day <= Date::FromYmd(2050, 1, 1)->chronon().days(); day += 17) {
+    Date d{Chronon(day)};
+    Result<Date> round = Date::FromYmd(d.year(), d.month(), d.day());
+    ASSERT_TRUE(round.ok());
+    EXPECT_EQ(round->chronon().days(), day);
+  }
+}
+
+TEST(Date, LeapYearRules) {
+  EXPECT_TRUE(Date::FromYmd(2000, 2, 29).ok());   // div 400: leap.
+  EXPECT_FALSE(Date::FromYmd(1900, 2, 29).ok());  // div 100: not leap.
+  EXPECT_TRUE(Date::FromYmd(1984, 2, 29).ok());   // div 4: leap.
+  EXPECT_FALSE(Date::FromYmd(1985, 2, 29).ok());
+}
+
+TEST(Date, RejectsBadDates) {
+  EXPECT_FALSE(Date::FromYmd(1985, 13, 1).ok());
+  EXPECT_FALSE(Date::FromYmd(1985, 0, 1).ok());
+  EXPECT_FALSE(Date::FromYmd(1985, 4, 31).ok());
+  EXPECT_FALSE(Date::FromYmd(1985, 1, 0).ok());
+}
+
+TEST(Date, ParsesPaperFormat) {
+  Result<Date> d = Date::Parse("12/15/82");
+  ASSERT_TRUE(d.ok());
+  EXPECT_EQ(d->year(), 1982);
+  EXPECT_EQ(d->month(), 12);
+  EXPECT_EQ(d->day(), 15);
+  EXPECT_EQ(d->ToString(), "12/15/82");
+}
+
+TEST(Date, ParsesIsoAndFourDigit) {
+  EXPECT_EQ(Date::Parse("1982-12-15")->chronon(),
+            Date::Parse("12/15/82")->chronon());
+  EXPECT_EQ(Date::Parse("12/15/1982")->chronon(),
+            Date::Parse("12/15/82")->chronon());
+}
+
+TEST(Date, ParsesSentinels) {
+  EXPECT_TRUE(Date::Parse("inf")->IsForever());
+  EXPECT_TRUE(Date::Parse("forever")->IsForever());
+  EXPECT_TRUE(Date::Parse("-inf")->IsBeginning());
+  EXPECT_TRUE(Date::Parse("\xe2\x88\x9e")->IsForever());  // UTF-8 infinity.
+}
+
+TEST(Date, ParseRejectsGarbage) {
+  EXPECT_FALSE(Date::Parse("").ok());
+  EXPECT_FALSE(Date::Parse("next tuesday").ok());
+  EXPECT_FALSE(Date::Parse("13/45/82").ok());
+  EXPECT_FALSE(Date::Parse("1982-13-01").ok());
+}
+
+TEST(Date, ParseTrimsWhitespace) {
+  EXPECT_TRUE(Date::Parse("  12/15/82  ").ok());
+}
+
+TEST(Date, RenderingOutside1900s) {
+  EXPECT_EQ(Date::FromYmd(2024, 7, 4)->ToString(), "07/04/2024");
+  EXPECT_EQ(Date::FromYmd(1985, 5, 1)->ToString(), "05/01/85");
+  EXPECT_EQ(Date::Forever().ToString(), "inf");
+  EXPECT_EQ(Date::Beginning().ToString(), "-inf");
+}
+
+TEST(Date, IsoRendering) {
+  EXPECT_EQ(Date::FromYmd(1982, 12, 15)->ToIsoString(), "1982-12-15");
+}
+
+TEST(Date, ChrononToStringDelegates) {
+  EXPECT_EQ(Date::Parse("12/15/82")->chronon().ToString(), "12/15/82");
+  EXPECT_EQ(Chronon::Forever().ToString(), "inf");
+}
+
+}  // namespace
+}  // namespace temporadb

@@ -1,0 +1,123 @@
+#include "temporal/coalesce.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/random.h"
+
+namespace temporadb {
+namespace {
+
+BitemporalTuple T(const char* name, int64_t from, int64_t to) {
+  BitemporalTuple t;
+  t.values = {Value(name)};
+  t.valid = Period(Chronon(from), Chronon(to));
+  t.txn = Period::All();
+  return t;
+}
+
+TEST(Coalesce, EmptyInput) {
+  EXPECT_TRUE(Coalesce({}).empty());
+  EXPECT_TRUE(IsCoalesced({}));
+}
+
+TEST(Coalesce, MergesAdjacentPeriods) {
+  auto out = Coalesce({T("a", 0, 10), T("a", 10, 20)});
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].valid, Period(Chronon(0), Chronon(20)));
+}
+
+TEST(Coalesce, MergesOverlappingPeriods) {
+  auto out = Coalesce({T("a", 0, 12), T("a", 8, 20), T("a", 15, 25)});
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].valid, Period(Chronon(0), Chronon(25)));
+}
+
+TEST(Coalesce, KeepsGaps) {
+  auto out = Coalesce({T("a", 0, 10), T("a", 12, 20)});
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_TRUE(IsCoalesced(out));
+}
+
+TEST(Coalesce, DistinguishesValues) {
+  auto out = Coalesce({T("a", 0, 10), T("b", 10, 20)});
+  EXPECT_EQ(out.size(), 2u);
+}
+
+TEST(Coalesce, DistinguishesTransactionPeriods) {
+  // Bitemporal coalescing only merges within one stored state.
+  BitemporalTuple x = T("a", 0, 10);
+  x.txn = Period(Chronon(0), Chronon(100));
+  BitemporalTuple y = T("a", 10, 20);
+  y.txn = Period(Chronon(100), Chronon::Forever());
+  auto out = Coalesce({x, y});
+  EXPECT_EQ(out.size(), 2u);
+}
+
+TEST(Coalesce, OpenEndedPeriods) {
+  auto out = Coalesce({T("a", 0, 10),
+                       {{Value("a")}, Period::From(Chronon(10)),
+                        Period::All()}});
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_TRUE(out[0].valid.IsOpenEnded());
+  EXPECT_EQ(out[0].valid.begin(), Chronon(0));
+}
+
+TEST(Coalesce, ContainedPeriodAbsorbed) {
+  auto out = Coalesce({T("a", 0, 100), T("a", 10, 20)});
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].valid, Period(Chronon(0), Chronon(100)));
+}
+
+TEST(Coalesce, IsCoalescedDetectsMergeables) {
+  EXPECT_FALSE(IsCoalesced({T("a", 0, 10), T("a", 10, 20)}));
+  EXPECT_FALSE(IsCoalesced({T("a", 0, 10), T("a", 5, 20)}));
+  EXPECT_TRUE(IsCoalesced({T("a", 0, 10), T("a", 11, 20)}));
+  EXPECT_TRUE(IsCoalesced({T("a", 0, 10), T("b", 10, 20)}));
+}
+
+// Property sweep over random fragmentations.
+class CoalescePropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(CoalescePropertyTest, IdempotentAndSnapshotPreserving) {
+  Random rng(static_cast<uint64_t>(GetParam()) * 7919 + 3);
+  std::vector<BitemporalTuple> tuples;
+  const char* names[] = {"a", "b", "c"};
+  for (int i = 0; i < 60; ++i) {
+    int64_t from = static_cast<int64_t>(rng.Uniform(100));
+    int64_t len = 1 + static_cast<int64_t>(rng.Uniform(30));
+    tuples.push_back(T(names[rng.Uniform(3)], from, from + len));
+  }
+  std::vector<BitemporalTuple> once = Coalesce(tuples);
+  // 1. Result is coalesced and idempotent.
+  EXPECT_TRUE(IsCoalesced(once));
+  std::vector<BitemporalTuple> twice = Coalesce(once);
+  EXPECT_EQ(once, twice);
+  // 2. Never more tuples than the input.
+  EXPECT_LE(once.size(), tuples.size());
+  // 3. Snapshot-preserving: for every chronon, the set of visible values is
+  //    unchanged.
+  for (int64_t t = -1; t <= 135; ++t) {
+    std::multiset<std::string> before, after;
+    for (const auto& tup : tuples) {
+      if (tup.valid.Contains(Chronon(t))) {
+        before.insert(tup.values[0].AsString());
+      }
+    }
+    for (const auto& tup : once) {
+      if (tup.valid.Contains(Chronon(t))) {
+        after.insert(tup.values[0].AsString());
+      }
+    }
+    // Coalescing dedupes overlaps, so compare distinct values.
+    std::set<std::string> b(before.begin(), before.end());
+    std::set<std::string> a(after.begin(), after.end());
+    EXPECT_EQ(a, b) << "at chronon " << t;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CoalescePropertyTest, ::testing::Range(0, 8));
+
+}  // namespace
+}  // namespace temporadb

@@ -1,0 +1,121 @@
+// TQuel `when` clauses on delete/replace: the temporal predicate filters
+// the DML's target tuples by their valid periods.
+
+#include <gtest/gtest.h>
+
+#include "core/database.h"
+
+namespace temporadb {
+namespace {
+
+class DmlWhenTest : public ::testing::Test {
+ protected:
+  DmlWhenTest() {
+    DatabaseOptions options;
+    options.clock = &clock_;
+    db_ = std::move(*Database::Open(options));
+    clock_.SetDate("01/01/85").ok();
+    (void)db_->Execute(
+        "create historical relation jobs (name = string, role = string)");
+    (void)db_->Execute("range of j is jobs");
+    // ann: an early stint and a later one.
+    (void)db_->Execute(
+        "append to jobs (name = \"ann\", role = \"intern\") "
+        "valid from \"01/01/80\" to \"01/01/81\"");
+    (void)db_->Execute(
+        "append to jobs (name = \"ann\", role = \"engineer\") "
+        "valid from \"01/01/82\" to \"inf\"");
+  }
+
+  size_t CountRows(const std::string& q) {
+    Result<Rowset> rows = db_->Query(q);
+    EXPECT_TRUE(rows.ok()) << rows.status().ToString();
+    return rows.ok() ? rows->size() : 0;
+  }
+
+  ManualClock clock_;
+  std::unique_ptr<Database> db_;
+};
+
+TEST_F(DmlWhenTest, DeleteWhenSelectsByValidPeriod) {
+  // Delete only the stint that precedes 06/01/81 — the intern period.
+  Result<tquel::ExecResult> r = db_->Execute(
+      "delete j valid from \"-inf\" to \"inf\" "
+      "where j.name = \"ann\" when j precede \"06/01/81\"");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r->count, 1u);
+  EXPECT_EQ(CountRows("retrieve (j.role)"), 1u);
+  EXPECT_EQ(db_->Query("retrieve (j.role)")->rows()[0].values[0].AsString(),
+            "engineer");
+}
+
+TEST_F(DmlWhenTest, ReplaceWhenTargetsOverlappingStint) {
+  // Promote whichever stint overlaps 06/01/82.
+  Result<tquel::ExecResult> r = db_->Execute(
+      "replace j (role = \"senior\") valid from \"-inf\" to \"inf\" "
+      "where j.name = \"ann\" when j overlap \"06/01/82\"");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r->count, 1u);
+  // The intern stint is untouched.
+  EXPECT_EQ(CountRows("retrieve (j.role) where j.role = \"intern\""), 1u);
+  EXPECT_EQ(CountRows("retrieve (j.role) where j.role = \"senior\""), 1u);
+  EXPECT_EQ(CountRows("retrieve (j.role) where j.role = \"engineer\""), 0u);
+}
+
+TEST_F(DmlWhenTest, WhenWithConnectives) {
+  Result<tquel::ExecResult> r = db_->Execute(
+      "delete j valid from \"-inf\" to \"inf\" when "
+      "j overlap \"06/01/80\" or j overlap \"06/01/83\"");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r->count, 2u);
+  EXPECT_EQ(CountRows("retrieve (j.role)"), 0u);
+}
+
+TEST_F(DmlWhenTest, WhenRejectedWithoutValidTime) {
+  (void)db_->Execute("create rollback relation r (name = string)");
+  (void)db_->Execute("append to r (name = \"x\")");
+  (void)db_->Execute("range of v is r");
+  Result<tquel::ExecResult> r = db_->Execute(
+      "delete v when v overlap \"01/01/85\"");
+  ASSERT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsNotSupported());
+  // Statically typed relations likewise.
+  (void)db_->Execute("create static relation s (name = string)");
+  (void)db_->Execute("range of w is s");
+  EXPECT_TRUE(db_->Execute("replace w (name = \"y\") when w overlap "
+                           "\"01/01/85\"")
+                  .status()
+                  .IsNotSupported());
+}
+
+TEST_F(DmlWhenTest, TemporalRelationWhenDeleteIsAppendOnly) {
+  (void)db_->Execute(
+      "create temporal relation t (name = string, role = string)");
+  (void)db_->Execute("range of x is t");
+  clock_.SetDate("01/01/86").ok();
+  (void)db_->Execute("append to t (name = \"b\", role = \"old\") "
+                     "valid from \"01/01/80\" to \"01/01/81\"");
+  (void)db_->Execute("append to t (name = \"b\", role = \"new\") "
+                     "valid from \"01/01/84\" to \"inf\"");
+  clock_.SetDate("06/01/86").ok();
+  Result<tquel::ExecResult> r = db_->Execute(
+      "delete x valid from \"-inf\" to \"inf\" "
+      "when x precede \"01/01/82\"");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r->count, 1u);
+  // Current state: only "new" remains...
+  EXPECT_EQ(CountRows("retrieve (x.role)"), 1u);
+  // ...but the superseded version is still reachable by rollback.
+  EXPECT_EQ(CountRows("retrieve (x.role) as of \"02/01/86\""), 2u);
+}
+
+TEST_F(DmlWhenTest, PrintedStatementsRoundTrip) {
+  // The when clause survives StatementToString -> Parse.
+  Result<tquel::ExecResult> noop = db_->Execute(
+      "delete j where j.name = \"nobody\" when j overlap \"01/01/80\"");
+  ASSERT_TRUE(noop.ok()) << noop.status().ToString();
+  EXPECT_EQ(noop->count, 0u);
+}
+
+}  // namespace
+}  // namespace temporadb

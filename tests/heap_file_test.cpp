@@ -1,0 +1,151 @@
+#include "storage/heap_file.h"
+
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <map>
+
+namespace temporadb {
+namespace {
+
+std::unique_ptr<HeapFile> MemHeap() {
+  auto heap = HeapFile::Open(std::make_unique<MemPager>());
+  EXPECT_TRUE(heap.ok());
+  return std::move(*heap);
+}
+
+TEST(HeapFile, AppendAndRead) {
+  auto heap = MemHeap();
+  Result<RecordId> id = heap->Append("hello");
+  ASSERT_TRUE(id.ok());
+  std::string out;
+  ASSERT_TRUE(heap->Read(*id, &out).ok());
+  EXPECT_EQ(out, "hello");
+}
+
+TEST(HeapFile, SpansMultiplePages) {
+  auto heap = MemHeap();
+  std::vector<RecordId> ids;
+  std::string rec(1000, 'r');
+  for (int i = 0; i < 100; ++i) {
+    rec[0] = static_cast<char>('a' + i % 26);
+    Result<RecordId> id = heap->Append(rec);
+    ASSERT_TRUE(id.ok());
+    ids.push_back(*id);
+  }
+  EXPECT_GT(heap->page_count(), 10u);
+  for (int i = 0; i < 100; ++i) {
+    std::string out;
+    ASSERT_TRUE(heap->Read(ids[i], &out).ok());
+    EXPECT_EQ(out[0], static_cast<char>('a' + i % 26));
+  }
+}
+
+TEST(HeapFile, ScanVisitsAllInOrder) {
+  auto heap = MemHeap();
+  for (int i = 0; i < 300; ++i) {
+    ASSERT_TRUE(heap->Append("rec-" + std::to_string(i)).ok());
+  }
+  int seen = 0;
+  Status s = heap->Scan([&](RecordId, Slice rec) -> Status {
+    EXPECT_EQ(rec.ToString(), "rec-" + std::to_string(seen));
+    ++seen;
+    return Status::OK();
+  });
+  ASSERT_TRUE(s.ok());
+  EXPECT_EQ(seen, 300);
+}
+
+TEST(HeapFile, ScanEarlyExitPropagates) {
+  auto heap = MemHeap();
+  for (int i = 0; i < 10; ++i) ASSERT_TRUE(heap->Append("x").ok());
+  int seen = 0;
+  Status s = heap->Scan([&](RecordId, Slice) -> Status {
+    if (++seen == 3) return Status::Aborted("enough");
+    return Status::OK();
+  });
+  EXPECT_EQ(s.code(), StatusCode::kAborted);
+  EXPECT_EQ(seen, 3);
+}
+
+TEST(HeapFile, DeleteSkipsInScan) {
+  auto heap = MemHeap();
+  Result<RecordId> a = heap->Append("a");
+  Result<RecordId> b = heap->Append("b");
+  ASSERT_TRUE(a.ok() && b.ok());
+  ASSERT_TRUE(heap->Delete(*a).ok());
+  std::vector<std::string> seen;
+  ASSERT_TRUE(heap->Scan([&](RecordId, Slice rec) -> Status {
+    seen.push_back(rec.ToString());
+    return Status::OK();
+  }).ok());
+  EXPECT_EQ(seen, std::vector<std::string>{"b"});
+  std::string out;
+  EXPECT_TRUE(heap->Read(*a, &out).IsNotFound());
+}
+
+TEST(HeapFile, UpdateInPlaceAndRelocation) {
+  auto heap = MemHeap();
+  Result<RecordId> id = heap->Append("0123456789");
+  ASSERT_TRUE(id.ok());
+  // Shrinking update stays put.
+  Result<RecordId> same = heap->Update(*id, "short");
+  ASSERT_TRUE(same.ok());
+  EXPECT_EQ(*same, *id);
+  // Growing update relocates.
+  Result<RecordId> moved = heap->Update(*same, std::string(500, 'g'));
+  ASSERT_TRUE(moved.ok());
+  std::string out;
+  ASSERT_TRUE(heap->Read(*moved, &out).ok());
+  EXPECT_EQ(out.size(), 500u);
+  EXPECT_TRUE(heap->Read(*id, &out).IsNotFound());
+}
+
+TEST(HeapFile, RejectsOversizeRecord) {
+  auto heap = MemHeap();
+  EXPECT_FALSE(heap->Append(std::string(kPageSize, 'x')).ok());
+}
+
+TEST(HeapFile, PersistsThroughFileAndReopen) {
+  std::string path = testing::TempDir() + "/tdb_heap_" +
+                     std::to_string(::getpid()) + ".heap";
+  std::remove(path.c_str());
+  std::vector<RecordId> ids;
+  {
+    auto pager = FilePager::Open(path);
+    ASSERT_TRUE(pager.ok());
+    auto heap = HeapFile::Open(std::move(*pager));
+    ASSERT_TRUE(heap.ok());
+    for (int i = 0; i < 50; ++i) {
+      Result<RecordId> id = (*heap)->Append("persist-" + std::to_string(i));
+      ASSERT_TRUE(id.ok());
+      ids.push_back(*id);
+    }
+    ASSERT_TRUE((*heap)->Flush().ok());
+  }
+  {
+    auto pager = FilePager::Open(path);
+    ASSERT_TRUE(pager.ok());
+    auto heap = HeapFile::Open(std::move(*pager));
+    ASSERT_TRUE(heap.ok());
+    std::string out;
+    ASSERT_TRUE((*heap)->Read(ids[17], &out).ok());
+    EXPECT_EQ(out, "persist-17");
+    // Appends continue at the tail.
+    Result<RecordId> more = (*heap)->Append("new");
+    ASSERT_TRUE(more.ok());
+    int count = 0;
+    ASSERT_TRUE((*heap)
+                    ->Scan([&](RecordId, Slice) -> Status {
+                      ++count;
+                      return Status::OK();
+                    })
+                    .ok());
+    EXPECT_EQ(count, 51);
+  }
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace temporadb

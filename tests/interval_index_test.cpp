@@ -1,0 +1,140 @@
+#include "index/interval_index.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "common/random.h"
+
+namespace temporadb {
+namespace {
+
+Period P(int64_t a, int64_t b) { return Period(Chronon(a), Chronon(b)); }
+
+std::vector<uint64_t> Sorted(std::vector<uint64_t> v) {
+  std::sort(v.begin(), v.end());
+  return v;
+}
+
+TEST(IntervalIndex, EmptyIndex) {
+  IntervalIndex index;
+  EXPECT_TRUE(index.StabRows(Chronon(5)).empty());
+  EXPECT_EQ(index.size(), 0u);
+  EXPECT_TRUE(index.CheckInvariants().ok());
+}
+
+TEST(IntervalIndex, RejectsEmptyPeriod) {
+  IntervalIndex index;
+  EXPECT_FALSE(index.Insert(P(5, 5), 1).ok());
+  EXPECT_FALSE(index.Insert(P(6, 5), 1).ok());
+}
+
+TEST(IntervalIndex, StabBasics) {
+  IntervalIndex index;
+  ASSERT_TRUE(index.Insert(P(0, 10), 1).ok());
+  ASSERT_TRUE(index.Insert(P(5, 15), 2).ok());
+  ASSERT_TRUE(index.Insert(P(20, 30), 3).ok());
+  EXPECT_EQ(Sorted(index.StabRows(Chronon(7))), (std::vector<uint64_t>{1, 2}));
+  EXPECT_EQ(Sorted(index.StabRows(Chronon(0))), (std::vector<uint64_t>{1}));
+  EXPECT_TRUE(index.StabRows(Chronon(15)).empty());  // Half-open ends.
+  EXPECT_EQ(Sorted(index.StabRows(Chronon(29))), (std::vector<uint64_t>{3}));
+  EXPECT_TRUE(index.StabRows(Chronon(30)).empty());
+}
+
+TEST(IntervalIndex, OpenEndedPeriods) {
+  IntervalIndex index;
+  ASSERT_TRUE(index.Insert(Period::From(Chronon(100)), 7).ok());
+  EXPECT_EQ(index.StabRows(Chronon(1000000)), std::vector<uint64_t>{7});
+  EXPECT_TRUE(index.StabRows(Chronon(99)).empty());
+}
+
+TEST(IntervalIndex, OverlappingQuery) {
+  IntervalIndex index;
+  ASSERT_TRUE(index.Insert(P(0, 10), 1).ok());
+  ASSERT_TRUE(index.Insert(P(8, 12), 2).ok());
+  ASSERT_TRUE(index.Insert(P(12, 20), 3).ok());
+  std::vector<uint64_t> rows;
+  index.Overlapping(P(9, 12), [&](Period, uint64_t row) {
+    rows.push_back(row);
+  });
+  EXPECT_EQ(Sorted(rows), (std::vector<uint64_t>{1, 2}));
+  rows.clear();
+  index.Overlapping(P(10, 13), [&](Period, uint64_t row) {
+    rows.push_back(row);
+  });
+  EXPECT_EQ(Sorted(rows), (std::vector<uint64_t>{2, 3}));
+}
+
+TEST(IntervalIndex, RemoveSpecificEntry) {
+  IntervalIndex index;
+  ASSERT_TRUE(index.Insert(P(0, 10), 1).ok());
+  ASSERT_TRUE(index.Insert(P(0, 10), 2).ok());  // Same period, other row.
+  ASSERT_TRUE(index.Remove(P(0, 10), 1).ok());
+  EXPECT_EQ(index.StabRows(Chronon(5)), std::vector<uint64_t>{2});
+  EXPECT_TRUE(index.Remove(P(0, 10), 1).IsNotFound());
+  EXPECT_TRUE(index.Remove(P(1, 10), 2).IsNotFound());  // Period must match.
+  ASSERT_TRUE(index.CheckInvariants().ok());
+}
+
+TEST(IntervalIndex, DuplicateRowDifferentPeriods) {
+  IntervalIndex index;
+  ASSERT_TRUE(index.Insert(P(0, 5), 1).ok());
+  ASSERT_TRUE(index.Insert(P(10, 15), 1).ok());
+  EXPECT_EQ(index.StabRows(Chronon(2)), std::vector<uint64_t>{1});
+  EXPECT_EQ(index.StabRows(Chronon(12)), std::vector<uint64_t>{1});
+  ASSERT_TRUE(index.Remove(P(0, 5), 1).ok());
+  EXPECT_TRUE(index.StabRows(Chronon(2)).empty());
+  EXPECT_EQ(index.StabRows(Chronon(12)), std::vector<uint64_t>{1});
+}
+
+// Parameterized randomized comparison against a brute-force model.
+class IntervalIndexFuzzTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(IntervalIndexFuzzTest, MatchesBruteForce) {
+  const int n = GetParam();
+  IntervalIndex index;
+  std::vector<std::pair<Period, uint64_t>> model;
+  Random rng(static_cast<uint64_t>(n) * 1299709 + 31);
+  for (int i = 0; i < n; ++i) {
+    int64_t begin = static_cast<int64_t>(rng.Uniform(200));
+    int64_t len = 1 + static_cast<int64_t>(rng.Uniform(40));
+    Period p = rng.OneIn(10) ? Period::From(Chronon(begin))
+                             : P(begin, begin + len);
+    ASSERT_TRUE(index.Insert(p, static_cast<uint64_t>(i)).ok());
+    model.emplace_back(p, static_cast<uint64_t>(i));
+    // Occasionally remove a random entry.
+    if (!model.empty() && rng.OneIn(4)) {
+      size_t victim = rng.Uniform(model.size());
+      ASSERT_TRUE(
+          index.Remove(model[victim].first, model[victim].second).ok());
+      model.erase(model.begin() + static_cast<ptrdiff_t>(victim));
+    }
+  }
+  ASSERT_TRUE(index.CheckInvariants().ok());
+  EXPECT_EQ(index.size(), model.size());
+  // Stab at every chronon in range.
+  for (int64_t t = -5; t <= 250; t += 3) {
+    std::vector<uint64_t> want;
+    for (const auto& [p, row] : model) {
+      if (p.Contains(Chronon(t))) want.push_back(row);
+    }
+    EXPECT_EQ(Sorted(index.StabRows(Chronon(t))), Sorted(want)) << "t=" << t;
+  }
+  // Overlap queries of varying width.
+  for (int64_t b = 0; b < 200; b += 17) {
+    Period q = P(b, b + 25);
+    std::vector<uint64_t> want, got;
+    for (const auto& [p, row] : model) {
+      if (p.Overlaps(q)) want.push_back(row);
+    }
+    index.Overlapping(q, [&](Period, uint64_t row) { got.push_back(row); });
+    EXPECT_EQ(Sorted(got), Sorted(want)) << "q=" << q.ToString();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, IntervalIndexFuzzTest,
+                         ::testing::Values(10, 100, 500, 2000));
+
+}  // namespace
+}  // namespace temporadb

@@ -1,0 +1,144 @@
+#include "tquel/lexer.h"
+
+#include <gtest/gtest.h>
+
+namespace temporadb {
+namespace tquel {
+namespace {
+
+std::vector<Token> Lex(std::string_view src) {
+  Result<std::vector<Token>> tokens = Tokenize(src);
+  EXPECT_TRUE(tokens.ok()) << tokens.status().ToString();
+  return tokens.ok() ? *tokens : std::vector<Token>{};
+}
+
+TEST(Lexer, EmptyInput) {
+  auto tokens = Lex("");
+  ASSERT_EQ(tokens.size(), 1u);
+  EXPECT_TRUE(tokens[0].Is(TokenKind::kEof));
+}
+
+TEST(Lexer, KeywordsAreCaseInsensitive) {
+  auto tokens = Lex("RETRIEVE Retrieve retrieve");
+  ASSERT_EQ(tokens.size(), 4u);
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_TRUE(tokens[i].Is(TokenKind::kRetrieve));
+    EXPECT_EQ(tokens[i].text, "retrieve");
+  }
+}
+
+TEST(Lexer, IdentifiersAndKeywords) {
+  auto tokens = Lex("range of f is faculty");
+  ASSERT_EQ(tokens.size(), 6u);
+  EXPECT_TRUE(tokens[0].Is(TokenKind::kRange));
+  EXPECT_TRUE(tokens[1].Is(TokenKind::kOf));
+  EXPECT_TRUE(tokens[2].Is(TokenKind::kIdentifier));
+  EXPECT_EQ(tokens[2].text, "f");
+  EXPECT_TRUE(tokens[3].Is(TokenKind::kIs));
+  EXPECT_EQ(tokens[4].text, "faculty");
+}
+
+TEST(Lexer, Numbers) {
+  auto tokens = Lex("42 3.14 0");
+  EXPECT_TRUE(tokens[0].Is(TokenKind::kIntLiteral));
+  EXPECT_EQ(tokens[0].text, "42");
+  EXPECT_TRUE(tokens[1].Is(TokenKind::kFloatLiteral));
+  EXPECT_EQ(tokens[1].text, "3.14");
+  EXPECT_TRUE(tokens[2].Is(TokenKind::kIntLiteral));
+}
+
+TEST(Lexer, DotAfterNumberIsNotFloatWithoutDigits) {
+  auto tokens = Lex("f.rank");
+  ASSERT_EQ(tokens.size(), 4u);
+  EXPECT_TRUE(tokens[0].Is(TokenKind::kIdentifier));
+  EXPECT_TRUE(tokens[1].Is(TokenKind::kDot));
+  EXPECT_TRUE(tokens[2].Is(TokenKind::kIdentifier));
+}
+
+TEST(Lexer, StringLiterals) {
+  auto tokens = Lex("\"Merrie\" \"12/10/82\" \"\"");
+  EXPECT_TRUE(tokens[0].Is(TokenKind::kStringLiteral));
+  EXPECT_EQ(tokens[0].text, "Merrie");
+  EXPECT_EQ(tokens[1].text, "12/10/82");
+  EXPECT_EQ(tokens[2].text, "");
+}
+
+TEST(Lexer, StringEscapes) {
+  auto tokens = Lex(R"("a\"b" "c\\d")");
+  EXPECT_EQ(tokens[0].text, "a\"b");
+  EXPECT_EQ(tokens[1].text, "c\\d");
+}
+
+TEST(Lexer, UnterminatedStringIsError) {
+  EXPECT_TRUE(Tokenize("\"oops").status().IsParseError());
+}
+
+TEST(Lexer, Operators) {
+  auto tokens = Lex("= != < <= > >= <> + - * / ( ) , ; .");
+  TokenKind expected[] = {
+      TokenKind::kEq,   TokenKind::kNe,        TokenKind::kLt,
+      TokenKind::kLe,   TokenKind::kGt,        TokenKind::kGe,
+      TokenKind::kNe,   TokenKind::kPlus,      TokenKind::kMinus,
+      TokenKind::kStar, TokenKind::kSlash,     TokenKind::kLParen,
+      TokenKind::kRParen, TokenKind::kComma,   TokenKind::kSemicolon,
+      TokenKind::kDot};
+  ASSERT_EQ(tokens.size(), std::size(expected) + 1);
+  for (size_t i = 0; i < std::size(expected); ++i) {
+    EXPECT_TRUE(tokens[i].Is(expected[i])) << i;
+  }
+}
+
+TEST(Lexer, Comments) {
+  auto tokens = Lex("retrieve -- a comment\n# another\n(f)");
+  ASSERT_EQ(tokens.size(), 5u);
+  EXPECT_TRUE(tokens[0].Is(TokenKind::kRetrieve));
+  EXPECT_TRUE(tokens[1].Is(TokenKind::kLParen));
+}
+
+TEST(Lexer, MinusVersusComment) {
+  auto tokens = Lex("1 - 2");
+  ASSERT_EQ(tokens.size(), 4u);
+  EXPECT_TRUE(tokens[1].Is(TokenKind::kMinus));
+}
+
+TEST(Lexer, LineAndColumnTracking) {
+  auto tokens = Lex("retrieve\n  (rank)");
+  EXPECT_EQ(tokens[0].line, 1);
+  EXPECT_EQ(tokens[0].column, 1);
+  EXPECT_EQ(tokens[1].line, 2);
+  EXPECT_EQ(tokens[1].column, 3);
+}
+
+TEST(Lexer, UnexpectedCharacterIsError) {
+  Result<std::vector<Token>> tokens = Tokenize("retrieve @");
+  ASSERT_FALSE(tokens.ok());
+  EXPECT_TRUE(tokens.status().IsParseError());
+  EXPECT_NE(tokens.status().message().find("'@'"), std::string::npos);
+}
+
+TEST(Lexer, TemporalKeywords) {
+  auto tokens = Lex("valid from to at as of through when overlap extend "
+                    "precede equal begin end");
+  TokenKind expected[] = {
+      TokenKind::kValid,   TokenKind::kFrom,   TokenKind::kTo,
+      TokenKind::kAt,      TokenKind::kAs,     TokenKind::kOf,
+      TokenKind::kThrough, TokenKind::kWhen,   TokenKind::kOverlap,
+      TokenKind::kExtend,  TokenKind::kPrecede, TokenKind::kEqual,
+      TokenKind::kBegin,   TokenKind::kEnd};
+  for (size_t i = 0; i < std::size(expected); ++i) {
+    EXPECT_TRUE(tokens[i].Is(expected[i])) << i;
+  }
+}
+
+TEST(Lexer, StartIsAnIdentifierNotKeyword) {
+  // The paper writes "start of"; 'start' stays an identifier and the
+  // parser treats it as a synonym.
+  auto tokens = Lex("start of");
+  EXPECT_TRUE(tokens[0].Is(TokenKind::kIdentifier));
+  EXPECT_EQ(tokens[0].text, "start");
+  EXPECT_TRUE(tokens[1].Is(TokenKind::kOf));
+}
+
+}  // namespace
+}  // namespace tquel
+}  // namespace temporadb

@@ -1,0 +1,278 @@
+#include "tquel/parser.h"
+
+#include <gtest/gtest.h>
+
+namespace temporadb {
+namespace tquel {
+namespace {
+
+template <typename T>
+T Get(std::string_view src) {
+  Result<Statement> stmt = ParseOne(src);
+  EXPECT_TRUE(stmt.ok()) << src << " -> " << stmt.status().ToString();
+  EXPECT_TRUE(std::holds_alternative<T>(*stmt)) << src;
+  return std::get<T>(*stmt);
+}
+
+TEST(Parser, CreateDefaultsToStatic) {
+  CreateStmt s = Get<CreateStmt>(
+      "create relation faculty (name = string, rank = string)");
+  EXPECT_EQ(s.temporal_class, TemporalClass::kStatic);
+  EXPECT_EQ(s.data_model, TemporalDataModel::kInterval);
+  EXPECT_EQ(s.name, "faculty");
+  ASSERT_EQ(s.attributes.size(), 2u);
+  EXPECT_EQ(s.attributes[0].first, "name");
+  EXPECT_EQ(s.attributes[1].second, "string");
+  EXPECT_FALSE(s.persistent);
+}
+
+TEST(Parser, CreateAllClasses) {
+  EXPECT_EQ(Get<CreateStmt>("create static relation r (a = int)")
+                .temporal_class,
+            TemporalClass::kStatic);
+  EXPECT_EQ(Get<CreateStmt>("create rollback relation r (a = int)")
+                .temporal_class,
+            TemporalClass::kRollback);
+  EXPECT_EQ(Get<CreateStmt>("create historical relation r (a = int)")
+                .temporal_class,
+            TemporalClass::kHistorical);
+  EXPECT_EQ(Get<CreateStmt>("create temporal relation r (a = int)")
+                .temporal_class,
+            TemporalClass::kTemporal);
+}
+
+TEST(Parser, CreateEventAndPersistent) {
+  CreateStmt s = Get<CreateStmt>(
+      "create persistent temporal event relation promotion "
+      "(name = string, effective = date)");
+  EXPECT_TRUE(s.persistent);
+  EXPECT_EQ(s.data_model, TemporalDataModel::kEvent);
+}
+
+TEST(Parser, Destroy) {
+  EXPECT_EQ(Get<DestroyStmt>("destroy faculty").name, "faculty");
+}
+
+TEST(Parser, Range) {
+  RangeStmt s = Get<RangeStmt>("range of f is faculty");
+  EXPECT_EQ(s.variable, "f");
+  EXPECT_EQ(s.relation, "faculty");
+}
+
+TEST(Parser, Show) {
+  EXPECT_EQ(Get<ShowStmt>("show faculty").relation, "faculty");
+}
+
+TEST(Parser, RetrieveSimple) {
+  RetrieveStmt s = Get<RetrieveStmt>(
+      "retrieve (f.rank) where f.name = \"Merrie\"");
+  ASSERT_EQ(s.targets.size(), 1u);
+  EXPECT_EQ(s.targets[0].name, "rank");
+  EXPECT_EQ(s.targets[0].expr->kind, AstExprKind::kColumn);
+  EXPECT_EQ(s.targets[0].expr->variable, "f");
+  ASSERT_NE(s.where, nullptr);
+  EXPECT_EQ(s.where->ToString(), "(f.name = \"Merrie\")");
+  EXPECT_FALSE(s.valid.has_value());
+  EXPECT_EQ(s.when, nullptr);
+  EXPECT_FALSE(s.as_of.has_value());
+}
+
+TEST(Parser, RetrieveNamedTargetsAndInto) {
+  RetrieveStmt s = Get<RetrieveStmt>(
+      "retrieve into result (who = f.name, doubled = f.salary * 2)");
+  ASSERT_TRUE(s.into.has_value());
+  EXPECT_EQ(*s.into, "result");
+  ASSERT_EQ(s.targets.size(), 2u);
+  EXPECT_EQ(s.targets[0].name, "who");
+  EXPECT_EQ(s.targets[1].name, "doubled");
+  EXPECT_EQ(s.targets[1].expr->kind, AstExprKind::kBinary);
+}
+
+TEST(Parser, RetrieveUnnamedExpressionRejected) {
+  EXPECT_FALSE(ParseOne("retrieve (f.salary * 2)").ok());
+}
+
+TEST(Parser, PaperTemporalQuery) {
+  RetrieveStmt s = Get<RetrieveStmt>(
+      "retrieve (f1.rank) where f1.name = \"Merrie\" and f2.name = \"Tom\" "
+      "when f1 overlap start of f2 as of \"12/10/82\"");
+  ASSERT_NE(s.when, nullptr);
+  EXPECT_EQ(s.when->kind, AstTemporalPredKind::kOverlap);
+  EXPECT_EQ(s.when->left_expr->kind, AstTemporalExprKind::kVar);
+  EXPECT_EQ(s.when->right_expr->kind, AstTemporalExprKind::kBeginOf);
+  ASSERT_TRUE(s.as_of.has_value());
+  EXPECT_EQ(s.as_of->at->kind, AstTemporalExprKind::kDate);
+  EXPECT_EQ(s.as_of->at->name, "12/10/82");
+  EXPECT_EQ(s.as_of->through, nullptr);
+}
+
+TEST(Parser, AsOfThrough) {
+  RetrieveStmt s = Get<RetrieveStmt>(
+      "retrieve (f.rank) as of \"01/01/80\" through \"01/01/81\"");
+  ASSERT_TRUE(s.as_of.has_value());
+  ASSERT_NE(s.as_of->through, nullptr);
+  EXPECT_EQ(s.as_of->through->name, "01/01/81");
+}
+
+TEST(Parser, ValidClauseForms) {
+  RetrieveStmt from_to = Get<RetrieveStmt>(
+      "retrieve (f.rank) valid from begin of f to end of f");
+  ASSERT_TRUE(from_to.valid.has_value());
+  EXPECT_FALSE(from_to.valid->at);
+  EXPECT_EQ(from_to.valid->from->kind, AstTemporalExprKind::kBeginOf);
+  EXPECT_EQ(from_to.valid->to->kind, AstTemporalExprKind::kEndOf);
+
+  RetrieveStmt at = Get<RetrieveStmt>("retrieve (f.rank) valid at begin of f");
+  ASSERT_TRUE(at.valid.has_value());
+  EXPECT_TRUE(at.valid->at);
+}
+
+TEST(Parser, WhenPredicateConnectives) {
+  RetrieveStmt s = Get<RetrieveStmt>(
+      "retrieve (a.x) when a precede b and not (b overlap c) or a equal c");
+  ASSERT_NE(s.when, nullptr);
+  // Or binds loosest.
+  EXPECT_EQ(s.when->kind, AstTemporalPredKind::kOr);
+  EXPECT_EQ(s.when->left_pred->kind, AstTemporalPredKind::kAnd);
+  EXPECT_EQ(s.when->left_pred->right_pred->kind, AstTemporalPredKind::kNot);
+}
+
+TEST(Parser, WhenParenthesizedExpressionOperand) {
+  RetrieveStmt s = Get<RetrieveStmt>(
+      "retrieve (a.x) when (a overlap b) precede c");
+  ASSERT_NE(s.when, nullptr);
+  EXPECT_EQ(s.when->kind, AstTemporalPredKind::kPrecede);
+  EXPECT_EQ(s.when->left_expr->kind, AstTemporalExprKind::kOverlap);
+}
+
+TEST(Parser, WhenExtendInOperand) {
+  RetrieveStmt s = Get<RetrieveStmt>(
+      "retrieve (a.x) when a extend b overlap c");
+  ASSERT_NE(s.when, nullptr);
+  EXPECT_EQ(s.when->kind, AstTemporalPredKind::kOverlap);
+  EXPECT_EQ(s.when->left_expr->kind, AstTemporalExprKind::kExtend);
+}
+
+TEST(Parser, Append) {
+  AppendStmt s = Get<AppendStmt>(
+      "append to faculty (name = \"Merrie\", rank = \"associate\") "
+      "valid from \"09/01/77\" to \"inf\"");
+  EXPECT_EQ(s.relation, "faculty");
+  ASSERT_EQ(s.assignments.size(), 2u);
+  EXPECT_EQ(s.assignments[0].first, "name");
+  ASSERT_TRUE(s.valid.has_value());
+  EXPECT_FALSE(s.valid->at);
+}
+
+TEST(Parser, AppendRejectsWhere) {
+  EXPECT_FALSE(
+      ParseOne("append to r (a = 1) where a = 2").ok());
+}
+
+TEST(Parser, DeleteWithClauses) {
+  DeleteStmt s = Get<DeleteStmt>(
+      "delete f where f.name = \"Mike\" valid from \"03/01/84\" to \"inf\"");
+  EXPECT_EQ(s.variable, "f");
+  ASSERT_NE(s.where, nullptr);
+  ASSERT_TRUE(s.valid.has_value());
+}
+
+TEST(Parser, ClausesInAnyOrder) {
+  DeleteStmt s = Get<DeleteStmt>(
+      "delete f valid from \"03/01/84\" to \"inf\" where f.name = \"Mike\"");
+  ASSERT_NE(s.where, nullptr);
+  ASSERT_TRUE(s.valid.has_value());
+}
+
+TEST(Parser, DuplicateClauseRejected) {
+  EXPECT_FALSE(ParseOne("retrieve (f.x) where a = 1 where b = 2").ok());
+  EXPECT_FALSE(
+      ParseOne("retrieve (f.x) as of \"1/1/80\" as of \"1/1/81\"").ok());
+}
+
+TEST(Parser, Replace) {
+  ReplaceStmt s = Get<ReplaceStmt>(
+      "replace f (rank = \"full\") valid from \"12/01/82\" to \"inf\" "
+      "where f.name = \"Merrie\"");
+  EXPECT_EQ(s.variable, "f");
+  ASSERT_EQ(s.assignments.size(), 1u);
+  EXPECT_EQ(s.assignments[0].first, "rank");
+  ASSERT_NE(s.where, nullptr);
+}
+
+TEST(Parser, Correct) {
+  CorrectStmt s = Get<CorrectStmt>("correct x where x.name = \"c\"");
+  EXPECT_EQ(s.variable, "x");
+  ASSERT_NE(s.where, nullptr);
+}
+
+TEST(Parser, ArithmeticPrecedence) {
+  RetrieveStmt s =
+      Get<RetrieveStmt>("retrieve (y = a + b * c) where a + b < c * 2");
+  EXPECT_EQ(s.targets[0].expr->ToString(), "(a + (b * c))");
+  EXPECT_EQ(s.where->ToString(), "((a + b) < (c * 2))");
+}
+
+TEST(Parser, UnaryMinus) {
+  RetrieveStmt s = Get<RetrieveStmt>("retrieve (y = -5 + a)");
+  EXPECT_EQ(s.targets[0].expr->ToString(), "((0 - 5) + a)");
+}
+
+TEST(Parser, LogicalPrecedenceInWhere) {
+  RetrieveStmt s = Get<RetrieveStmt>(
+      "retrieve (f.x) where a = 1 or b = 2 and c = 3");
+  EXPECT_EQ(s.where->op, AstBinaryOp::kOr);
+}
+
+TEST(Parser, MultipleStatements) {
+  Result<std::vector<Statement>> stmts = Parse(
+      "range of f is faculty; retrieve (f.rank); destroy faculty");
+  ASSERT_TRUE(stmts.ok());
+  EXPECT_EQ(stmts->size(), 3u);
+}
+
+TEST(Parser, StatementsWithoutSemicolons) {
+  Result<std::vector<Statement>> stmts = Parse(
+      "range of f is faculty\nretrieve (f.rank)");
+  ASSERT_TRUE(stmts.ok());
+  EXPECT_EQ(stmts->size(), 2u);
+}
+
+TEST(Parser, ErrorsCarryPosition) {
+  Result<Statement> bad = ParseOne("retrieve f.rank)");
+  ASSERT_FALSE(bad.ok());
+  EXPECT_TRUE(bad.status().IsParseError());
+  EXPECT_NE(bad.status().message().find("line 1"), std::string::npos);
+}
+
+TEST(Parser, GarbageRejected) {
+  EXPECT_FALSE(ParseOne("frobnicate the database").ok());
+  EXPECT_FALSE(ParseOne("retrieve").ok());
+  EXPECT_FALSE(ParseOne("create relation ()").ok());
+  EXPECT_FALSE(ParseOne("range of x").ok());
+}
+
+TEST(Parser, RoundTripThroughToString) {
+  const char* sources[] = {
+      "retrieve (f1.rank) where (f1.name = \"Merrie\") when (f1 overlap "
+      "begin of f2) as of \"12/10/82\"",
+      "append to faculty (name = \"Tom\") valid from \"12/05/82\" to "
+      "\"inf\"",
+      "replace f (rank = \"full\") valid from \"12/01/82\" to \"inf\" "
+      "where (f.name = \"Merrie\")",
+      "create temporal relation faculty (name = string, rank = string)",
+      "range of f is faculty",
+  };
+  for (const char* src : sources) {
+    Result<Statement> first = ParseOne(src);
+    ASSERT_TRUE(first.ok()) << src;
+    std::string printed = StatementToString(*first);
+    Result<Statement> second = ParseOne(printed);
+    ASSERT_TRUE(second.ok()) << printed;
+    EXPECT_EQ(printed, StatementToString(*second)) << src;
+  }
+}
+
+}  // namespace
+}  // namespace tquel
+}  // namespace temporadb

@@ -1,0 +1,226 @@
+#include "common/period.h"
+
+#include <gtest/gtest.h>
+
+#include "common/date.h"
+
+namespace temporadb {
+namespace {
+
+Chronon C(int64_t d) { return Chronon(d); }
+
+TEST(Period, BasicAccessors) {
+  Period p(C(10), C(20));
+  EXPECT_EQ(p.begin(), C(10));
+  EXPECT_EQ(p.end(), C(20));
+  EXPECT_FALSE(p.IsEmpty());
+  EXPECT_EQ(p.Duration(), 10);
+}
+
+TEST(Period, EmptyWhenBeginNotBeforeEnd) {
+  EXPECT_TRUE(Period(C(5), C(5)).IsEmpty());
+  EXPECT_TRUE(Period(C(6), C(5)).IsEmpty());
+  EXPECT_EQ(Period(C(6), C(5)).Duration(), 0);
+}
+
+TEST(Period, MakeValidates) {
+  EXPECT_TRUE(Period::Make(C(1), C(2)).has_value());
+  EXPECT_TRUE(Period::Make(C(2), C(2)).has_value());
+  EXPECT_FALSE(Period::Make(C(3), C(2)).has_value());
+}
+
+TEST(Period, FactoryShapes) {
+  EXPECT_TRUE(Period::All().Contains(C(123456)));
+  EXPECT_TRUE(Period::From(C(7)).IsOpenEnded());
+  EXPECT_FALSE(Period::From(C(7)).Contains(C(6)));
+  EXPECT_TRUE(Period::At(C(9)).IsInstant());
+  EXPECT_EQ(Period::At(C(9)).Duration(), 1);
+}
+
+TEST(Period, ContainsIsHalfOpen) {
+  Period p(C(10), C(20));
+  EXPECT_TRUE(p.Contains(C(10)));
+  EXPECT_TRUE(p.Contains(C(19)));
+  EXPECT_FALSE(p.Contains(C(20)));
+  EXPECT_FALSE(p.Contains(C(9)));
+}
+
+TEST(Period, ContainsPeriod) {
+  Period outer(C(0), C(100));
+  EXPECT_TRUE(outer.Contains(Period(C(10), C(20))));
+  EXPECT_TRUE(outer.Contains(outer));
+  EXPECT_FALSE(outer.Contains(Period(C(50), C(101))));
+  // Empty periods are vacuously contained.
+  EXPECT_TRUE(outer.Contains(Period(C(500), C(500))));
+}
+
+TEST(Period, OverlapsHalfOpenAdjacencyDoesNot) {
+  // The paper's promotion chronon: associate [a, p) and full [p, inf) meet
+  // but do not overlap.
+  Period associate(C(0), C(100));
+  Period full(C(100), Chronon::Forever());
+  EXPECT_FALSE(associate.Overlaps(full));
+  EXPECT_TRUE(associate.Meets(full));
+  EXPECT_TRUE(associate.Precedes(full));
+  EXPECT_TRUE(Period(C(0), C(101)).Overlaps(full));
+}
+
+TEST(Period, OverlapsIsSymmetric) {
+  Period a(C(0), C(10));
+  Period b(C(5), C(15));
+  EXPECT_TRUE(a.Overlaps(b));
+  EXPECT_TRUE(b.Overlaps(a));
+}
+
+TEST(Period, EmptyPeriodsNeverOverlapOrPrecede) {
+  Period empty(C(5), C(5));
+  Period p(C(0), C(10));
+  EXPECT_FALSE(empty.Overlaps(p));
+  EXPECT_FALSE(p.Overlaps(empty));
+  EXPECT_FALSE(empty.Precedes(p));
+  EXPECT_FALSE(p.Precedes(empty));
+}
+
+TEST(Period, IntersectAndExtend) {
+  Period a(C(0), C(10));
+  Period b(C(5), C(15));
+  EXPECT_EQ(a.Intersect(b), Period(C(5), C(10)));
+  EXPECT_EQ(a.Extend(b), Period(C(0), C(15)));
+  Period disjoint(C(20), C(30));
+  EXPECT_TRUE(a.Intersect(disjoint).IsEmpty());
+  EXPECT_EQ(a.Extend(disjoint), Period(C(0), C(30)));
+}
+
+TEST(Period, ExtendWithEmptyIsIdentity) {
+  Period a(C(0), C(10));
+  Period empty(C(99), C(99));
+  EXPECT_EQ(a.Extend(empty), a);
+  EXPECT_EQ(empty.Extend(a), a);
+}
+
+TEST(Period, EndpointEvents) {
+  Period p(C(10), C(20));
+  EXPECT_EQ(p.BeginEvent(), Period::At(C(10)));
+  // End point is the first chronon after the period (half-open timeline).
+  EXPECT_EQ(p.EndEvent(), Period::At(C(20)));
+  EXPECT_EQ(p.LastEvent(), Period::At(C(19)));
+}
+
+TEST(Period, ToStringUsesDates) {
+  Period p(Date::Parse("09/01/77")->chronon(), Chronon::Forever());
+  EXPECT_EQ(p.ToString(), "[09/01/77, inf)");
+}
+
+struct AllenCase {
+  Period a;
+  Period b;
+  AllenRelation expected;
+};
+
+class AllenRelationTest : public ::testing::TestWithParam<AllenCase> {};
+
+TEST_P(AllenRelationTest, Relation) {
+  const AllenCase& c = GetParam();
+  auto r = c.a.AllenRelate(c.b);
+  ASSERT_TRUE(r.has_value());
+  EXPECT_EQ(*r, c.expected)
+      << c.a.ToString() << " vs " << c.b.ToString() << " got "
+      << AllenRelationName(*r);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllThirteen, AllenRelationTest,
+    ::testing::Values(
+        AllenCase{Period(C(0), C(5)), Period(C(10), C(20)),
+                  AllenRelation::kBefore},
+        AllenCase{Period(C(0), C(10)), Period(C(10), C(20)),
+                  AllenRelation::kMeets},
+        AllenCase{Period(C(0), C(12)), Period(C(10), C(20)),
+                  AllenRelation::kOverlaps},
+        AllenCase{Period(C(10), C(15)), Period(C(10), C(20)),
+                  AllenRelation::kStarts},
+        AllenCase{Period(C(12), C(15)), Period(C(10), C(20)),
+                  AllenRelation::kDuring},
+        AllenCase{Period(C(15), C(20)), Period(C(10), C(20)),
+                  AllenRelation::kFinishes},
+        AllenCase{Period(C(10), C(20)), Period(C(10), C(20)),
+                  AllenRelation::kEqual},
+        AllenCase{Period(C(10), C(20)), Period(C(15), C(20)),
+                  AllenRelation::kFinishedBy},
+        AllenCase{Period(C(10), C(20)), Period(C(12), C(15)),
+                  AllenRelation::kContains},
+        AllenCase{Period(C(10), C(20)), Period(C(10), C(15)),
+                  AllenRelation::kStartedBy},
+        AllenCase{Period(C(10), C(20)), Period(C(0), C(12)),
+                  AllenRelation::kOverlappedBy},
+        AllenCase{Period(C(10), C(20)), Period(C(0), C(10)),
+                  AllenRelation::kMetBy},
+        AllenCase{Period(C(10), C(20)), Period(C(0), C(5)),
+                  AllenRelation::kAfter}));
+
+TEST(AllenRelation, UndefinedOnEmpty) {
+  EXPECT_FALSE(Period(C(5), C(5)).AllenRelate(Period(C(0), C(10))).has_value());
+}
+
+// Property sweep: for random interval pairs, exactly one Allen relation
+// holds, and Overlaps/Precedes agree with the relation classes.
+class AllenPropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(AllenPropertyTest, OverlapAndPrecedeConsistency) {
+  int seed = GetParam();
+  // Small deterministic LCG so the pairs differ per instance.
+  uint32_t state = static_cast<uint32_t>(seed * 2654435761u + 1);
+  auto next = [&]() {
+    state = state * 1664525u + 1013904223u;
+    return static_cast<int64_t>(state % 40);
+  };
+  for (int i = 0; i < 200; ++i) {
+    int64_t a1 = next(), a2 = a1 + 1 + next() % 10;
+    int64_t b1 = next(), b2 = b1 + 1 + next() % 10;
+    Period a(C(a1), C(a2)), b(C(b1), C(b2));
+    auto rel = a.AllenRelate(b);
+    ASSERT_TRUE(rel.has_value());
+    bool overlap_class =
+        *rel != AllenRelation::kBefore && *rel != AllenRelation::kMeets &&
+        *rel != AllenRelation::kMetBy && *rel != AllenRelation::kAfter;
+    EXPECT_EQ(a.Overlaps(b), overlap_class);
+    bool precede_class =
+        *rel == AllenRelation::kBefore || *rel == AllenRelation::kMeets;
+    EXPECT_EQ(a.Precedes(b), precede_class);
+    // Involution: relate(b, a) must be the inverse relation.
+    auto inv = b.AllenRelate(a);
+    ASSERT_TRUE(inv.has_value());
+    auto invert = [](AllenRelation r) {
+      switch (r) {
+        case AllenRelation::kBefore: return AllenRelation::kAfter;
+        case AllenRelation::kMeets: return AllenRelation::kMetBy;
+        case AllenRelation::kOverlaps: return AllenRelation::kOverlappedBy;
+        case AllenRelation::kStarts: return AllenRelation::kStartedBy;
+        case AllenRelation::kDuring: return AllenRelation::kContains;
+        case AllenRelation::kFinishes: return AllenRelation::kFinishedBy;
+        case AllenRelation::kEqual: return AllenRelation::kEqual;
+        case AllenRelation::kFinishedBy: return AllenRelation::kFinishes;
+        case AllenRelation::kContains: return AllenRelation::kDuring;
+        case AllenRelation::kStartedBy: return AllenRelation::kStarts;
+        case AllenRelation::kOverlappedBy: return AllenRelation::kOverlaps;
+        case AllenRelation::kMetBy: return AllenRelation::kMeets;
+        case AllenRelation::kAfter: return AllenRelation::kBefore;
+      }
+      return r;
+    };
+    EXPECT_EQ(*inv, invert(*rel));
+    // Intersection symmetry and containment.
+    EXPECT_EQ(a.Intersect(b).IsEmpty(), b.Intersect(a).IsEmpty());
+    if (!a.Intersect(b).IsEmpty()) {
+      EXPECT_TRUE(a.Contains(a.Intersect(b)));
+      EXPECT_TRUE(b.Contains(a.Intersect(b)));
+      EXPECT_TRUE(a.Extend(b).Contains(a));
+      EXPECT_TRUE(a.Extend(b).Contains(b));
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, AllenPropertyTest, ::testing::Range(0, 10));
+
+}  // namespace
+}  // namespace temporadb

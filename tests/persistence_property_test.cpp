@@ -1,0 +1,137 @@
+// Randomized durability property: a random TQuel update stream applied to a
+// persistent database — with checkpoints (plain and compacting) sprinkled in
+// and a "crash" (drop without checkpoint) at the end — must recover to
+// exactly the state of an in-memory twin that executed the same stream.
+
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <filesystem>
+
+#include "common/random.h"
+#include "core/database.h"
+#include "temporal/coalesce.h"
+
+namespace temporadb {
+namespace {
+
+std::vector<std::string> RandomStatements(uint64_t seed, int n,
+                                          std::vector<int64_t>* days) {
+  Random rng(seed);
+  std::vector<std::string> stmts;
+  const char* names[] = {"ann", "bob", "cam", "dee"};
+  int64_t day = 4000;
+  for (int i = 0; i < n; ++i) {
+    day += 1 + static_cast<int64_t>(rng.Uniform(3));
+    days->push_back(day);
+    std::string name = names[rng.Uniform(4)];
+    uint64_t pick = rng.Uniform(10);
+    int64_t from = day - 10 + static_cast<int64_t>(rng.Uniform(20));
+    std::string valid = " valid from \"" +
+                        Date(Chronon(from)).ToString() + "\" to \"" +
+                        (rng.OneIn(2)
+                             ? std::string("inf")
+                             : Date(Chronon(from + 1 +
+                                            static_cast<int64_t>(
+                                                rng.Uniform(40))))
+                                   .ToString()) +
+                        "\"";
+    if (pick < 5) {
+      stmts.push_back("append to r (name = \"" + name + "\", rank = \"r" +
+                      std::to_string(rng.Uniform(4)) + "\")" + valid);
+    } else if (pick < 8) {
+      stmts.push_back("replace v (rank = \"r" +
+                      std::to_string(rng.Uniform(4)) + "\")" + valid +
+                      " where v.name = \"" + name + "\"");
+    } else {
+      stmts.push_back("delete v" + valid + " where v.name = \"" + name +
+                      "\"");
+    }
+  }
+  return stmts;
+}
+
+std::vector<BitemporalTuple> Canonical(Database* db) {
+  Result<StoredRelation*> rel = db->GetRelation("r");
+  EXPECT_TRUE(rel.ok());
+  std::vector<BitemporalTuple> tuples;
+  (*rel)->store()->ForEach([&](RowId, const BitemporalTuple& t) {
+    tuples.push_back(t);
+  });
+  return Coalesce(std::move(tuples));
+}
+
+class PersistencePropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(PersistencePropertyTest, RecoveredStateMatchesInMemoryTwin) {
+  const uint64_t seed = GetParam();
+  std::string dir = testing::TempDir() + "/tdb_pprop_" +
+                    std::to_string(::getpid()) + "_" + std::to_string(seed);
+  std::filesystem::remove_all(dir);
+
+  std::vector<int64_t> days;
+  std::vector<std::string> stmts = RandomStatements(seed, 60, &days);
+
+  // In-memory twin.
+  ManualClock mem_clock;
+  DatabaseOptions mem_options;
+  mem_options.clock = &mem_clock;
+  auto twin = std::move(*Database::Open(mem_options));
+  ASSERT_TRUE(twin->Execute("create temporal relation r "
+                            "(name = string, rank = string)")
+                  .ok());
+  ASSERT_TRUE(twin->Execute("range of v is r").ok());
+
+  // Persistent database with random checkpoints.
+  Random chk(seed * 31 + 5);
+  {
+    ManualClock clock;
+    DatabaseOptions options;
+    options.path = dir;
+    options.clock = &clock;
+    auto db = std::move(*Database::Open(options));
+    ASSERT_TRUE(db->Execute("create temporal relation r "
+                            "(name = string, rank = string)")
+                    .ok());
+    ASSERT_TRUE(db->Execute("range of v is r").ok());
+    for (size_t i = 0; i < stmts.size(); ++i) {
+      clock.SetTime(Chronon(days[i]));
+      mem_clock.SetTime(Chronon(days[i]));
+      Result<tquel::ExecResult> a = db->Execute(stmts[i]);
+      Result<tquel::ExecResult> b = twin->Execute(stmts[i]);
+      ASSERT_EQ(a.ok(), b.ok()) << stmts[i];
+      if (chk.OneIn(8)) {
+        ASSERT_TRUE(db->Checkpoint(/*compact=*/chk.OneIn(2)).ok());
+      }
+    }
+  }  // Crash without a final checkpoint.
+
+  // Recover and compare canonical (coalesced) contents.
+  ManualClock clock2;
+  DatabaseOptions options2;
+  options2.path = dir;
+  options2.clock = &clock2;
+  auto recovered = std::move(*Database::Open(options2));
+  EXPECT_EQ(Canonical(recovered.get()), Canonical(twin.get()))
+      << "seed " << seed;
+
+  // Both must answer a bitemporal probe identically.
+  ASSERT_TRUE(recovered->Execute("range of v is r").ok());
+  for (int64_t probe_day : {days[days.size() / 3], days[days.size() - 1]}) {
+    std::string q = "retrieve (v.name, v.rank) when v overlap \"" +
+                    Date(Chronon(probe_day)).ToString() + "\" as of \"" +
+                    Date(Chronon(probe_day)).ToString() + "\"";
+    Result<Rowset> a = recovered->Query(q);
+    Result<Rowset> b = twin->Query(q);
+    ASSERT_TRUE(a.ok()) << a.status().ToString();
+    ASSERT_TRUE(b.ok());
+    EXPECT_TRUE(Rowset::SameContent(*a, *b)) << q;
+  }
+  std::filesystem::remove_all(dir);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PersistencePropertyTest,
+                         ::testing::Values(11, 22, 33, 44));
+
+}  // namespace
+}  // namespace temporadb

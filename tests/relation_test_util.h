@@ -1,0 +1,111 @@
+#ifndef TEMPORADB_TESTS_RELATION_TEST_UTIL_H_
+#define TEMPORADB_TESTS_RELATION_TEST_UTIL_H_
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "temporal/stored_relation.h"
+#include "txn/clock.h"
+#include "txn/txn_manager.h"
+
+namespace temporadb {
+namespace testutil {
+
+/// Shared fixture for stored-relation tests: a (name, rank) relation of a
+/// chosen temporal class, a manual clock, and one-shot transaction helpers.
+class RelationFixture : public ::testing::Test {
+ protected:
+  RelationFixture() : manager_(&clock_) {}
+
+  void MakeRelation(TemporalClass cls,
+                    TemporalDataModel model = TemporalDataModel::kInterval) {
+    RelationInfo info;
+    info.id = 1;
+    info.name = "faculty";
+    info.schema = *Schema::Make({Attribute{"name", Type::String()},
+                                 Attribute{"rank", Type::String()}});
+    info.temporal_class = cls;
+    info.data_model = model;
+    relation_ = MakeStoredRelation(info);
+  }
+
+  Chronon Day(const char* text) { return Date::Parse(text)->chronon(); }
+  Period Between(const char* a, const char* b) {
+    return Period(Day(a), Day(b));
+  }
+  Period Since(const char* a) { return Period::From(Day(a)); }
+
+  /// Runs `fn` in a transaction stamped at `date`, committing on OK.
+  Status AtDate(const char* date, const std::function<Status(Transaction*)>& fn) {
+    EXPECT_TRUE(clock_.SetDate(date).ok());
+    Result<Transaction*> txn = manager_.Begin();
+    if (!txn.ok()) return txn.status();
+    Status s = fn(*txn);
+    if (!s.ok()) {
+      EXPECT_TRUE(manager_.Abort(*txn).ok());
+      return s;
+    }
+    return manager_.Commit(*txn);
+  }
+
+  Status Append(const char* date, const char* name, const char* rank,
+                std::optional<Period> valid = std::nullopt) {
+    return AtDate(date, [&](Transaction* txn) {
+      return relation_->Append(txn, {Value(name), Value(rank)}, valid);
+    });
+  }
+
+  static TuplePredicate NameIs(const char* name) {
+    std::string n = name;
+    return [n](const std::vector<Value>& values) {
+      return values[0].AsString() == n;
+    };
+  }
+
+  Result<size_t> Delete(const char* date, const char* name,
+                        std::optional<Period> valid = std::nullopt) {
+    size_t count = 0;
+    Status s = AtDate(date, [&](Transaction* txn) -> Status {
+      TDB_ASSIGN_OR_RETURN(count,
+                           relation_->DeleteWhere(txn, NameIs(name), valid));
+      return Status::OK();
+    });
+    if (!s.ok()) return s;
+    return count;
+  }
+
+  Result<size_t> Replace(const char* date, const char* name,
+                         const char* new_rank,
+                         std::optional<Period> valid = std::nullopt) {
+    size_t count = 0;
+    UpdateSpec updates{ConstUpdate(1, Value(new_rank))};
+    Status s = AtDate(date, [&](Transaction* txn) -> Status {
+      TDB_ASSIGN_OR_RETURN(
+          count, relation_->ReplaceWhere(txn, NameIs(name), updates, valid));
+      return Status::OK();
+    });
+    if (!s.ok()) return s;
+    return count;
+  }
+
+  /// All live versions matching `name`, in row order.
+  std::vector<BitemporalTuple> VersionsOf(const char* name) {
+    std::vector<BitemporalTuple> out;
+    relation_->store()->ForEach([&](RowId, const BitemporalTuple& t) {
+      if (t.values[0].AsString() == name) out.push_back(t);
+    });
+    return out;
+  }
+
+  size_t LiveCount() { return relation_->store()->live_count(); }
+
+  ManualClock clock_;
+  TxnManager manager_;
+  std::unique_ptr<StoredRelation> relation_;
+};
+
+}  // namespace testutil
+}  // namespace temporadb
+
+#endif  // TEMPORADB_TESTS_RELATION_TEST_UTIL_H_

@@ -1,0 +1,144 @@
+#include "temporal/rollback_relation.h"
+
+#include <gtest/gtest.h>
+
+#include "temporal/snapshot.h"
+#include "tests/relation_test_util.h"
+
+namespace temporadb {
+namespace {
+
+class RollbackRelationTest : public testutil::RelationFixture {
+ protected:
+  RollbackRelationTest() { MakeRelation(TemporalClass::kRollback); }
+
+  std::vector<std::string> NamesAsOf(const char* date) {
+    StaticState state = RollbackSlice(*relation_->store(), Day(date));
+    std::vector<std::string> names;
+    for (const auto& row : state.rows) names.push_back(row[0].AsString());
+    return names;
+  }
+};
+
+TEST_F(RollbackRelationTest, AppendStampsTransactionTime) {
+  ASSERT_TRUE(Append("08/25/77", "Merrie", "associate").ok());
+  auto versions = VersionsOf("Merrie");
+  ASSERT_EQ(versions.size(), 1u);
+  EXPECT_EQ(versions[0].txn, Since("08/25/77"));
+  EXPECT_EQ(versions[0].valid, Period::All());  // No valid-time semantics.
+}
+
+TEST_F(RollbackRelationTest, ValidClauseRejected) {
+  EXPECT_TRUE(Append("01/01/80", "Ann", "full", Since("01/01/79"))
+                  .IsNotSupported());
+  ASSERT_TRUE(Append("01/01/80", "Ann", "full").ok());
+  EXPECT_TRUE(
+      Delete("02/01/80", "Ann", Since("01/01/79")).status().IsNotSupported());
+  EXPECT_TRUE(Replace("02/01/80", "Ann", "emeritus", Since("01/01/79"))
+                  .status()
+                  .IsNotSupported());
+}
+
+TEST_F(RollbackRelationTest, DeleteClosesButNeverForgets) {
+  ASSERT_TRUE(Append("01/10/83", "Mike", "assistant").ok());
+  Result<size_t> deleted = Delete("02/25/84", "Mike");
+  ASSERT_TRUE(deleted.ok());
+  EXPECT_EQ(*deleted, 1u);
+  auto versions = VersionsOf("Mike");
+  ASSERT_EQ(versions.size(), 1u);  // Still stored!
+  EXPECT_EQ(versions[0].txn, Between("01/10/83", "02/25/84"));
+  // Errors "can sometimes be overridden ... but they cannot be forgotten".
+  EXPECT_EQ(NamesAsOf("06/01/83"), std::vector<std::string>{"Mike"});
+  EXPECT_TRUE(NamesAsOf("03/01/84").empty());
+}
+
+TEST_F(RollbackRelationTest, ReplaceAppendsNewStaticState) {
+  ASSERT_TRUE(Append("08/25/77", "Merrie", "associate").ok());
+  Result<size_t> replaced = Replace("12/15/82", "Merrie", "full");
+  ASSERT_TRUE(replaced.ok());
+  auto versions = VersionsOf("Merrie");
+  ASSERT_EQ(versions.size(), 2u);
+  EXPECT_EQ(versions[0].values[1].AsString(), "associate");
+  EXPECT_EQ(versions[0].txn, Between("08/25/77", "12/15/82"));
+  EXPECT_EQ(versions[1].values[1].AsString(), "full");
+  EXPECT_EQ(versions[1].txn, Since("12/15/82"));
+}
+
+TEST_F(RollbackRelationTest, RollbackToIncorrectPastState) {
+  // "Static rollback DBMS's can rollback to an incorrect previous static
+  // relation" — the error stays visible at its historical position.
+  ASSERT_TRUE(Append("12/01/82", "Tom", "full").ok());  // Wrong rank.
+  ASSERT_TRUE(Replace("12/07/82", "Tom", "associate").ok());
+  StaticState before = RollbackSlice(*relation_->store(), Day("12/03/82"));
+  ASSERT_EQ(before.rows.size(), 1u);
+  EXPECT_EQ(before.rows[0][1].AsString(), "full");  // The error, preserved.
+  StaticState after = RollbackSlice(*relation_->store(), Day("12/08/82"));
+  ASSERT_EQ(after.rows.size(), 1u);
+  EXPECT_EQ(after.rows[0][1].AsString(), "associate");
+}
+
+TEST_F(RollbackRelationTest, CommittedVersionsAreImmutable) {
+  ASSERT_TRUE(Append("01/01/80", "Ann", "full").ok());
+  ASSERT_TRUE(Delete("02/01/80", "Ann").status().ok());
+  // Deleting again finds nothing current.
+  Result<size_t> again = Delete("03/01/80", "Ann");
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ(*again, 0u);
+  // The closed version still has its original period.
+  EXPECT_EQ(VersionsOf("Ann")[0].txn, Between("01/01/80", "02/01/80"));
+}
+
+TEST_F(RollbackRelationTest, RollbackStatesSequence) {
+  ASSERT_TRUE(Append("01/01/80", "a", "1").ok());
+  ASSERT_TRUE(Append("02/01/80", "b", "2").ok());
+  ASSERT_TRUE(Delete("03/01/80", "a").status().ok());
+  std::vector<StaticState> states = RollbackStates(*relation_->store());
+  ASSERT_EQ(states.size(), 3u);
+  EXPECT_EQ(states[0].rows.size(), 1u);
+  EXPECT_EQ(states[1].rows.size(), 2u);
+  EXPECT_EQ(states[2].rows.size(), 1u);
+  EXPECT_EQ(states[2].rows[0][0].AsString(), "b");
+}
+
+TEST_F(RollbackRelationTest, SameDayInsertAndDeleteInvisible) {
+  ASSERT_TRUE(Append("05/05/80", "Flash", "gone").ok());
+  ASSERT_TRUE(Delete("05/05/80", "Flash").status().ok());
+  // The version never covered a stored-state chronon.
+  EXPECT_TRUE(NamesAsOf("05/05/80").empty());
+  EXPECT_TRUE(NamesAsOf("05/06/80").empty());
+}
+
+TEST_F(RollbackRelationTest, ReplaceComputedFromOldValues) {
+  ASSERT_TRUE(Append("01/01/80", "Ann", "rank0").ok());
+  UpdateSpec updates{UpdateAction{
+      1, [](const std::vector<Value>& old) -> Result<Value> {
+        return Value(old[1].AsString() + "!");
+      }}};
+  ASSERT_TRUE(AtDate("02/01/80", [&](Transaction* txn) -> Status {
+                Result<size_t> n = relation_->ReplaceWhere(
+                    txn, NameIs("Ann"), updates, std::nullopt);
+                return n.ok() ? Status::OK() : n.status();
+              }).ok());
+  auto versions = VersionsOf("Ann");
+  ASSERT_EQ(versions.size(), 2u);
+  EXPECT_EQ(versions[1].values[1].AsString(), "rank0!");
+}
+
+TEST_F(RollbackRelationTest, AbortLeavesNoTrace) {
+  ASSERT_TRUE(Append("01/01/80", "Ann", "full").ok());
+  clock_.SetDate("02/01/80").ok();
+  Result<Transaction*> txn = manager_.Begin();
+  ASSERT_TRUE(txn.ok());
+  ASSERT_TRUE(
+      relation_->DeleteWhere(*txn, NameIs("Ann"), std::nullopt).ok());
+  ASSERT_TRUE(relation_->Append(*txn, {Value("Bob"), Value("new")},
+                                std::nullopt)
+                  .ok());
+  ASSERT_TRUE(manager_.Abort(*txn).ok());
+  EXPECT_EQ(VersionsOf("Ann")[0].txn, Since("01/01/80"));
+  EXPECT_TRUE(VersionsOf("Bob").empty());
+  EXPECT_EQ(NamesAsOf("03/01/80"), std::vector<std::string>{"Ann"});
+}
+
+}  // namespace
+}  // namespace temporadb

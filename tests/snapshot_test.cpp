@@ -1,0 +1,103 @@
+#include "temporal/snapshot.h"
+
+#include <gtest/gtest.h>
+
+#include "tests/relation_test_util.h"
+
+namespace temporadb {
+namespace {
+
+class SnapshotTest : public testutil::RelationFixture {};
+
+TEST_F(SnapshotTest, RollbackSliceEmptyStore) {
+  MakeRelation(TemporalClass::kRollback);
+  StaticState state = RollbackSlice(*relation_->store(), Chronon(100));
+  EXPECT_TRUE(state.rows.empty());
+  EXPECT_TRUE(TransactionBoundaries(*relation_->store()).empty());
+}
+
+TEST_F(SnapshotTest, TransactionBoundariesAreSortedAndDistinct) {
+  MakeRelation(TemporalClass::kRollback);
+  ASSERT_TRUE(Append("01/01/80", "a", "1").ok());
+  ASSERT_TRUE(Append("03/01/80", "b", "2").ok());
+  ASSERT_TRUE(Delete("02/01/80", "nobody").ok());  // No boundary (0 rows).
+  ASSERT_TRUE(Replace("04/01/80", "a", "9").ok());
+  std::vector<Chronon> boundaries =
+      TransactionBoundaries(*relation_->store());
+  ASSERT_EQ(boundaries.size(), 3u);
+  EXPECT_EQ(boundaries[0], Day("01/01/80"));
+  EXPECT_EQ(boundaries[1], Day("03/01/80"));
+  EXPECT_EQ(boundaries[2], Day("04/01/80"));
+}
+
+TEST_F(SnapshotTest, RollbackSliceEqualsReplayedPrefix) {
+  MakeRelation(TemporalClass::kRollback);
+  ASSERT_TRUE(Append("01/01/80", "a", "1").ok());
+  ASSERT_TRUE(Append("02/01/80", "b", "2").ok());
+  ASSERT_TRUE(Replace("03/01/80", "a", "3").ok());
+  ASSERT_TRUE(Delete("04/01/80", "b").ok());
+
+  StaticState s1 = RollbackSlice(*relation_->store(), Day("01/15/80"));
+  ASSERT_EQ(s1.rows.size(), 1u);
+  EXPECT_EQ(s1.rows[0][1].AsString(), "1");
+
+  StaticState s3 = RollbackSlice(*relation_->store(), Day("03/15/80"));
+  ASSERT_EQ(s3.rows.size(), 2u);
+
+  StaticState s4 = RollbackSlice(*relation_->store(), Day("04/15/80"));
+  ASSERT_EQ(s4.rows.size(), 1u);
+  EXPECT_EQ(s4.rows[0][0].AsString(), "a");
+  EXPECT_EQ(s4.rows[0][1].AsString(), "3");
+}
+
+TEST_F(SnapshotTest, ValidTimesliceUsesCurrentStateOnly) {
+  MakeRelation(TemporalClass::kTemporal);
+  ASSERT_TRUE(Append("01/01/80", "Tom", "full", Since("01/01/80")).ok());
+  ASSERT_TRUE(Replace("02/01/80", "Tom", "associate",
+                      Since("01/01/80")).ok());
+  // The superseded "full" version covers the same valid chronons but must
+  // not appear in a slice of current knowledge.
+  StaticState slice = ValidTimeslice(*relation_->store(), Day("06/01/80"));
+  ASSERT_EQ(slice.rows.size(), 1u);
+  EXPECT_EQ(slice.rows[0][1].AsString(), "associate");
+}
+
+TEST_F(SnapshotTest, ValidBoundaries) {
+  MakeRelation(TemporalClass::kHistorical);
+  ASSERT_TRUE(Append("01/01/80", "a", "1",
+                     Between("01/01/80", "01/01/81")).ok());
+  ASSERT_TRUE(Append("01/01/80", "b", "2", Since("06/01/80")).ok());
+  std::vector<Chronon> boundaries = ValidBoundaries(*relation_->store());
+  ASSERT_EQ(boundaries.size(), 3u);  // 01/01/80, 06/01/80, 01/01/81.
+  EXPECT_EQ(boundaries[1], Day("06/01/80"));
+}
+
+TEST_F(SnapshotTest, HistoricalStateAsOf) {
+  MakeRelation(TemporalClass::kTemporal);
+  ASSERT_TRUE(Append("01/01/80", "a", "1").ok());
+  ASSERT_TRUE(Delete("03/01/80", "a", Period::All()).ok());
+  HistoricalState before =
+      HistoricalStateAsOf(*relation_->store(), Day("02/01/80"));
+  ASSERT_EQ(before.rows.size(), 1u);
+  EXPECT_EQ(before.rows[0].valid, Since("01/01/80"));
+  HistoricalState after =
+      HistoricalStateAsOf(*relation_->store(), Day("04/01/80"));
+  EXPECT_TRUE(after.rows.empty());
+}
+
+TEST_F(SnapshotTest, HistoricalSlicesOfHistoricalRelation) {
+  MakeRelation(TemporalClass::kHistorical);
+  ASSERT_TRUE(Append("01/01/80", "Merrie", "associate",
+                     Between("09/01/77", "12/01/82")).ok());
+  ASSERT_TRUE(Append("01/01/80", "Merrie", "full", Since("12/01/82")).ok());
+  std::vector<StaticState> slices = HistoricalSlices(*relation_->store());
+  // Boundaries: 09/01/77, 12/01/82.
+  ASSERT_EQ(slices.size(), 2u);
+  ASSERT_EQ(slices[0].rows.size(), 1u);
+  EXPECT_EQ(slices[0].rows[0][1].AsString(), "associate");
+  ASSERT_EQ(slices[1].rows.size(), 1u);
+  EXPECT_EQ(slices[1].rows[0][1].AsString(), "full");
+}
+
+}  // namespace
+}  // namespace temporadb

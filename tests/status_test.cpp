@@ -1,0 +1,96 @@
+#include "common/status.h"
+
+#include <gtest/gtest.h>
+
+#include "common/result.h"
+
+namespace temporadb {
+namespace {
+
+TEST(Status, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(Status, FactoriesCarryCodeAndMessage) {
+  Status s = Status::NotFound("missing relation");
+  EXPECT_FALSE(s.ok());
+  EXPECT_TRUE(s.IsNotFound());
+  EXPECT_EQ(s.message(), "missing relation");
+  EXPECT_EQ(s.ToString(), "NotFound: missing relation");
+}
+
+TEST(Status, NotSupportedIsTheTaxonomyCode) {
+  Status s = Status::NotSupported("as of on historical");
+  EXPECT_TRUE(s.IsNotSupported());
+  EXPECT_FALSE(s.IsNotFound());
+}
+
+TEST(Status, EqualityIgnoresMessage) {
+  EXPECT_EQ(Status::NotFound("a"), Status::NotFound("b"));
+  EXPECT_FALSE(Status::NotFound("a") == Status::Corruption("a"));
+}
+
+TEST(Status, AllCodeNamesAreDistinct) {
+  const StatusCode codes[] = {
+      StatusCode::kOk,          StatusCode::kInvalidArgument,
+      StatusCode::kNotFound,    StatusCode::kAlreadyExists,
+      StatusCode::kNotSupported, StatusCode::kOutOfRange,
+      StatusCode::kFailedPrecondition, StatusCode::kCorruption,
+      StatusCode::kIOError,     StatusCode::kAborted,
+      StatusCode::kParseError,  StatusCode::kInternal,
+  };
+  for (size_t i = 0; i < std::size(codes); ++i) {
+    for (size_t j = i + 1; j < std::size(codes); ++j) {
+      EXPECT_NE(StatusCodeName(codes[i]), StatusCodeName(codes[j]));
+    }
+  }
+}
+
+TEST(Status, ReturnIfErrorMacroPropagates) {
+  auto fails = []() -> Status { return Status::IOError("disk"); };
+  auto wrapper = [&]() -> Status {
+    TDB_RETURN_IF_ERROR(fails());
+    return Status::OK();
+  };
+  EXPECT_EQ(wrapper().code(), StatusCode::kIOError);
+}
+
+TEST(Result, HoldsValue) {
+  Result<int> r = 42;
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 42);
+  EXPECT_EQ(r.value_or(7), 42);
+}
+
+TEST(Result, HoldsError) {
+  Result<int> r = Status::NotFound("nope");
+  EXPECT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsNotFound());
+  EXPECT_EQ(r.value_or(7), 7);
+}
+
+TEST(Result, MoveOnlyValue) {
+  Result<std::unique_ptr<int>> r = std::make_unique<int>(9);
+  ASSERT_TRUE(r.ok());
+  std::unique_ptr<int> v = std::move(r).value();
+  EXPECT_EQ(*v, 9);
+}
+
+TEST(Result, AssignOrReturnMacro) {
+  auto source = [](bool ok) -> Result<int> {
+    if (ok) return 5;
+    return Status::OutOfRange("no");
+  };
+  auto consumer = [&](bool ok) -> Result<int> {
+    TDB_ASSIGN_OR_RETURN(int v, source(ok));
+    return v + 1;
+  };
+  EXPECT_EQ(*consumer(true), 6);
+  EXPECT_EQ(consumer(false).status().code(), StatusCode::kOutOfRange);
+}
+
+}  // namespace
+}  // namespace temporadb

@@ -1,0 +1,148 @@
+#include <gtest/gtest.h>
+
+#include "common/coding.h"
+#include "common/random.h"
+#include "common/slice.h"
+#include "common/strings.h"
+
+namespace temporadb {
+namespace {
+
+TEST(Strings, ToLowerAscii) {
+  EXPECT_EQ(ToLowerAscii("ReTrIeVe"), "retrieve");
+  EXPECT_EQ(ToLowerAscii(""), "");
+  EXPECT_EQ(ToLowerAscii("a_b-1"), "a_b-1");
+}
+
+TEST(Strings, EqualsIgnoreCase) {
+  EXPECT_TRUE(EqualsIgnoreCase("WHERE", "where"));
+  EXPECT_FALSE(EqualsIgnoreCase("where", "wher"));
+  EXPECT_TRUE(EqualsIgnoreCase("", ""));
+}
+
+TEST(Strings, Split) {
+  auto parts = Split("a,b,,c", ',');
+  ASSERT_EQ(parts.size(), 4u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[2], "");
+  EXPECT_EQ(parts[3], "c");
+  EXPECT_EQ(Split("", ',').size(), 1u);
+}
+
+TEST(Strings, Join) {
+  EXPECT_EQ(Join({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(Join({}, ","), "");
+  EXPECT_EQ(Join({"x"}, ","), "x");
+}
+
+TEST(Strings, Trim) {
+  EXPECT_EQ(Trim("  x  "), "x");
+  EXPECT_EQ(Trim("x"), "x");
+  EXPECT_EQ(Trim("   "), "");
+}
+
+TEST(Strings, StringPrintf) {
+  EXPECT_EQ(StringPrintf("%d-%s", 7, "x"), "7-x");
+  EXPECT_EQ(StringPrintf("%s", std::string(500, 'a').c_str()),
+            std::string(500, 'a'));
+}
+
+TEST(Slice, BasicsAndEquality) {
+  std::string s = "hello world";
+  Slice a(s);
+  EXPECT_EQ(a.size(), 11u);
+  EXPECT_EQ(a[4], 'o');
+  Slice b("hello world");
+  EXPECT_EQ(a, b);
+  b.RemovePrefix(6);
+  EXPECT_EQ(b.ToString(), "world");
+  EXPECT_NE(a, b);
+  EXPECT_EQ(Slice(), Slice(""));
+  EXPECT_TRUE(Slice().empty());
+}
+
+TEST(Coding, Fixed32RoundTrip) {
+  std::string buf;
+  PutFixed32(&buf, 0xDEADBEEFu);
+  PutFixed32(&buf, 0);
+  std::string_view in = buf;
+  uint32_t a, b;
+  ASSERT_TRUE(GetFixed32(&in, &a));
+  ASSERT_TRUE(GetFixed32(&in, &b));
+  EXPECT_EQ(a, 0xDEADBEEFu);
+  EXPECT_EQ(b, 0u);
+  EXPECT_FALSE(GetFixed32(&in, &a));  // Exhausted.
+}
+
+TEST(Coding, Fixed64RoundTrip) {
+  std::string buf;
+  PutFixed64(&buf, 0x0123456789ABCDEFull);
+  std::string_view in = buf;
+  uint64_t v;
+  ASSERT_TRUE(GetFixed64(&in, &v));
+  EXPECT_EQ(v, 0x0123456789ABCDEFull);
+}
+
+TEST(Coding, LengthPrefixedRoundTrip) {
+  std::string buf;
+  PutLengthPrefixed(&buf, "abc");
+  PutLengthPrefixed(&buf, "");
+  PutLengthPrefixed(&buf, std::string(1000, 'z'));
+  std::string_view in = buf;
+  std::string_view a, b, c;
+  ASSERT_TRUE(GetLengthPrefixed(&in, &a));
+  ASSERT_TRUE(GetLengthPrefixed(&in, &b));
+  ASSERT_TRUE(GetLengthPrefixed(&in, &c));
+  EXPECT_EQ(a, "abc");
+  EXPECT_EQ(b, "");
+  EXPECT_EQ(c.size(), 1000u);
+  EXPECT_TRUE(in.empty());
+}
+
+TEST(Coding, LengthPrefixedDetectsTruncation) {
+  std::string buf;
+  PutLengthPrefixed(&buf, "abcdef");
+  buf.resize(buf.size() - 2);  // Tear the payload.
+  std::string_view in = buf;
+  std::string_view out;
+  EXPECT_FALSE(GetLengthPrefixed(&in, &out));
+}
+
+TEST(Coding, ChecksumDiscriminates) {
+  std::string a = "the quick brown fox";
+  std::string b = "the quick brown fux";
+  EXPECT_NE(Checksum64(a.data(), a.size()), Checksum64(b.data(), b.size()));
+  EXPECT_EQ(Checksum64(a.data(), a.size()), Checksum64(a.data(), a.size()));
+}
+
+TEST(Random, DeterministicPerSeed) {
+  Random a(42), b(42), c(43);
+  EXPECT_EQ(a.Next(), b.Next());
+  EXPECT_NE(a.Next(), c.Next());
+}
+
+TEST(Random, UniformBounds) {
+  Random r(7);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(r.Uniform(10), 10u);
+    int64_t v = r.UniformRange(-5, 5);
+    EXPECT_GE(v, -5);
+    EXPECT_LE(v, 5);
+    double d = r.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(Random, NextName) {
+  Random r(9);
+  std::string name = r.NextName(8);
+  EXPECT_EQ(name.size(), 8u);
+  for (char c : name) {
+    EXPECT_GE(c, 'a');
+    EXPECT_LE(c, 'z');
+  }
+}
+
+}  // namespace
+}  // namespace temporadb

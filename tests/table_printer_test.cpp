@@ -1,0 +1,97 @@
+#include "common/table_printer.h"
+
+#include <gtest/gtest.h>
+
+namespace temporadb {
+namespace {
+
+TEST(TablePrinter, PlainColumns) {
+  TablePrinter p;
+  p.AddColumn("name");
+  p.AddColumn("rank");
+  p.AddRow({"Merrie", "full"});
+  p.AddRow({"Tom", "associate"});
+  std::string out = p.Render();
+  EXPECT_NE(out.find("| name"), std::string::npos);
+  EXPECT_NE(out.find("| Merrie | full"), std::string::npos);
+  EXPECT_NE(out.find("| Tom"), std::string::npos);
+  // No banner sub-row for plain columns.
+  EXPECT_EQ(out.find("(from)"), std::string::npos);
+}
+
+TEST(TablePrinter, GroupedTemporalColumns) {
+  TablePrinter p;
+  p.AddColumn("name");
+  p.AddGroup("valid time", {"(from)", "(to)"});
+  p.AddGroup("transaction time", {"(start)", "(end)"});
+  p.AddRow({"Merrie", "09/01/77", "12/01/82", "12/15/82", "inf"});
+  std::string out = p.Render("Figure 8");
+  EXPECT_EQ(out.find("Figure 8"), 0u);
+  EXPECT_NE(out.find("valid time"), std::string::npos);
+  EXPECT_NE(out.find("transaction time"), std::string::npos);
+  EXPECT_NE(out.find("(from)"), std::string::npos);
+  EXPECT_NE(out.find("(end)"), std::string::npos);
+  // The paper's double bar separates explicit from temporal columns.
+  EXPECT_NE(out.find("||"), std::string::npos);
+}
+
+TEST(TablePrinter, ColumnsWidenToFitData) {
+  TablePrinter p;
+  p.AddColumn("x");
+  p.AddRow({"a-rather-long-cell"});
+  std::string out = p.Render();
+  EXPECT_NE(out.find("a-rather-long-cell"), std::string::npos);
+  // Header and data lines align to the same width.
+  size_t header_end = out.find('\n');
+  size_t sep_end = out.find('\n', header_end + 1);
+  size_t data_end = out.find('\n', sep_end + 1);
+  EXPECT_EQ(out.substr(0, header_end).size(),
+            out.substr(sep_end + 1, data_end - sep_end - 1).size());
+}
+
+TEST(TablePrinter, BannerWiderThanColumnsWidensGroup) {
+  TablePrinter p;
+  p.AddGroup("a very wide banner indeed", {"(a)", "(b)"}, false);
+  p.AddRow({"1", "2"});
+  std::string out = p.Render();
+  EXPECT_NE(out.find("a very wide banner indeed"), std::string::npos);
+}
+
+TEST(TablePrinter, EmptyTableStillRendersHeader) {
+  TablePrinter p;
+  p.AddColumn("only");
+  std::string out = p.Render();
+  EXPECT_NE(out.find("only"), std::string::npos);
+}
+
+TEST(TablePrinter, NumColumns) {
+  TablePrinter p;
+  p.AddColumn("a");
+  p.AddGroup("g", {"x", "y", "z"});
+  EXPECT_EQ(p.num_columns(), 4u);
+}
+
+TEST(TablePrinter, AllLinesSameWidth) {
+  TablePrinter p;
+  p.AddColumn("name");
+  p.AddGroup("valid time", {"(from)", "(to)"});
+  p.AddRow({"Merrie", "09/01/77", "inf"});
+  p.AddRow({"T", "1", "2"});
+  std::string out = p.Render();
+  size_t width = std::string::npos;
+  size_t pos = 0;
+  while (pos < out.size()) {
+    size_t eol = out.find('\n', pos);
+    if (eol == std::string::npos) break;
+    size_t len = eol - pos;
+    if (width == std::string::npos) {
+      width = len;
+    } else {
+      EXPECT_EQ(len, width) << out;
+    }
+    pos = eol + 1;
+  }
+}
+
+}  // namespace
+}  // namespace temporadb

@@ -1,0 +1,113 @@
+#include "core/taxonomy.h"
+
+#include <gtest/gtest.h>
+
+namespace temporadb {
+namespace {
+
+TEST(Taxonomy, Figure1HasThePapersRows) {
+  const auto& entries = Figure1Literature();
+  EXPECT_EQ(entries.size(), 13u);
+  // Spot-check characteristic rows.
+  bool found_benzvi_registration = false;
+  bool found_snodgrass_valid = false;
+  for (const auto& e : entries) {
+    if (std::string(e.terminology) == "Registration") {
+      found_benzvi_registration = true;
+      EXPECT_STREQ(e.append_only, "Yes");
+      EXPECT_STREQ(e.repr_vs_reality, "Representation");
+    }
+    if (std::string(e.terminology) == "Valid Time") {
+      found_snodgrass_valid = true;
+      EXPECT_STREQ(e.append_only, "No");
+      EXPECT_STREQ(e.repr_vs_reality, "Reality");
+    }
+  }
+  EXPECT_TRUE(found_benzvi_registration);
+  EXPECT_TRUE(found_snodgrass_valid);
+  EXPECT_EQ(Figure1Footnotes().size(), 4u);
+}
+
+TEST(Taxonomy, Figure12MatchesThePaper) {
+  const auto& kinds = Figure12TimeKinds();
+  ASSERT_EQ(kinds.size(), 3u);
+  // | Transaction | Yes | Yes | Representation |
+  EXPECT_STREQ(kinds[0].terminology, "Transaction");
+  EXPECT_TRUE(kinds[0].append_only);
+  EXPECT_TRUE(kinds[0].application_independent);
+  EXPECT_STREQ(kinds[0].repr_vs_reality, "Representation");
+  // | Valid | No | Yes | Reality |
+  EXPECT_FALSE(kinds[1].append_only);
+  EXPECT_TRUE(kinds[1].application_independent);
+  EXPECT_STREQ(kinds[1].repr_vs_reality, "Reality");
+  // | User-defined | No | No | Reality |
+  EXPECT_FALSE(kinds[2].append_only);
+  EXPECT_FALSE(kinds[2].application_independent);
+}
+
+TEST(Taxonomy, Figure12AgreesWithEnforcement) {
+  // The table's "Append-Only: Yes" for transaction time is exactly the
+  // engine's IsAppendOnly predicate for kinds that maintain it.
+  EXPECT_EQ(Figure12TimeKinds()[0].append_only,
+            IsAppendOnly(TemporalClass::kRollback));
+  EXPECT_EQ(Figure12TimeKinds()[0].append_only,
+            IsAppendOnly(TemporalClass::kTemporal));
+}
+
+TEST(Taxonomy, Figure13Has17Systems) {
+  const auto& systems = Figure13Systems();
+  EXPECT_EQ(systems.size(), 17u);
+  int tt = 0, vt = 0, udt = 0;
+  bool tquel_all_three = false;
+  for (const auto& s : systems) {
+    tt += s.transaction_time ? 1 : 0;
+    vt += s.valid_time ? 1 : 0;
+    udt += s.user_defined_time ? 1 : 0;
+    if (std::string(s.system) == "TQuel") {
+      tquel_all_three =
+          s.transaction_time && s.valid_time && s.user_defined_time;
+    }
+  }
+  // The paper's point: only TQuel (and TRM partially) span the taxonomy.
+  EXPECT_TRUE(tquel_all_three);
+  EXPECT_EQ(tt, 7);
+  EXPECT_EQ(vt, 8);
+  EXPECT_EQ(udt, 6);
+}
+
+TEST(Taxonomy, RenderedFigure10HasTheQuadrants) {
+  std::string fig = RenderFigure10();
+  EXPECT_NE(fig.find("Figure 10"), std::string::npos);
+  EXPECT_NE(fig.find("Static Queries"), std::string::npos);
+  EXPECT_NE(fig.find("Historical Queries"), std::string::npos);
+  EXPECT_NE(fig.find("Static Rollback"), std::string::npos);
+  EXPECT_NE(fig.find("Temporal"), std::string::npos);
+  EXPECT_NE(fig.find("Historical"), std::string::npos);
+}
+
+TEST(Taxonomy, RenderedFigure11MarksTheRightCells) {
+  std::string fig = RenderFigure11();
+  // Four data rows; static has no X at all.
+  size_t static_pos = fig.find("| Static ");
+  ASSERT_NE(static_pos, std::string::npos);
+  size_t eol = fig.find('\n', static_pos);
+  EXPECT_EQ(fig.substr(static_pos, eol - static_pos).find('X'),
+            std::string::npos);
+  size_t temporal_pos = fig.find("| Temporal");
+  ASSERT_NE(temporal_pos, std::string::npos);
+  eol = fig.find('\n', temporal_pos);
+  std::string temporal_row = fig.substr(temporal_pos, eol - temporal_pos);
+  EXPECT_EQ(std::count(temporal_row.begin(), temporal_row.end(), 'X'), 3);
+}
+
+TEST(Taxonomy, RenderedFiguresAreNonEmpty) {
+  EXPECT_GT(RenderFigure1().size(), 400u);
+  EXPECT_GT(RenderFigure12().size(), 100u);
+  EXPECT_GT(RenderFigure13().size(), 400u);
+  EXPECT_NE(RenderFigure1().find("(1) Not actually supported"),
+            std::string::npos);
+  EXPECT_NE(RenderFigure13().find("SWALLOW"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace temporadb

@@ -1,0 +1,194 @@
+#include "rel/temporal_ops.h"
+
+#include <gtest/gtest.h>
+
+#include "tests/relation_test_util.h"
+
+namespace temporadb {
+namespace {
+
+class TemporalOpsTest : public testutil::RelationFixture {};
+
+TEST_F(TemporalOpsTest, ScanStoredCarriesNaturalColumns) {
+  MakeRelation(TemporalClass::kTemporal);
+  ASSERT_TRUE(Append("01/01/80", "a", "1").ok());
+  Result<Rowset> rows = ScanStored(*relation_);
+  ASSERT_TRUE(rows.ok());
+  EXPECT_EQ(rows->temporal_class(), TemporalClass::kTemporal);
+  ASSERT_EQ(rows->size(), 1u);
+  EXPECT_TRUE(rows->rows()[0].valid.has_value());
+  EXPECT_TRUE(rows->rows()[0].txn.has_value());
+
+  MakeRelation(TemporalClass::kStatic);
+  ASSERT_TRUE(Append("01/01/80", "a", "1").ok());
+  Result<Rowset> stat = ScanStored(*relation_);
+  ASSERT_TRUE(stat.ok());
+  EXPECT_FALSE(stat->rows()[0].valid.has_value());
+  EXPECT_FALSE(stat->rows()[0].txn.has_value());
+}
+
+TEST_F(TemporalOpsTest, RollbackDerivedClasses) {
+  MakeRelation(TemporalClass::kRollback);
+  ASSERT_TRUE(Append("01/01/80", "a", "1").ok());
+  Result<Rowset> rows = Rollback(*relation_, Day("06/01/80"));
+  ASSERT_TRUE(rows.ok());
+  EXPECT_EQ(rows->temporal_class(), TemporalClass::kStatic);
+  EXPECT_EQ(rows->size(), 1u);
+
+  MakeRelation(TemporalClass::kTemporal);
+  ASSERT_TRUE(Append("01/01/80", "a", "1").ok());
+  Result<Rowset> hist = Rollback(*relation_, Day("06/01/80"));
+  ASSERT_TRUE(hist.ok());
+  EXPECT_EQ(hist->temporal_class(), TemporalClass::kHistorical);
+  EXPECT_TRUE(hist->rows()[0].valid.has_value());
+}
+
+TEST_F(TemporalOpsTest, RollbackRejectedWithoutTransactionTime) {
+  MakeRelation(TemporalClass::kHistorical);
+  EXPECT_TRUE(Rollback(*relation_, Chronon(0)).status().IsNotSupported());
+  MakeRelation(TemporalClass::kStatic);
+  EXPECT_TRUE(Rollback(*relation_, Chronon(0)).status().IsNotSupported());
+  EXPECT_TRUE(
+      RollbackKeepTxn(*relation_, Chronon(0)).status().IsNotSupported());
+}
+
+TEST_F(TemporalOpsTest, RollbackBeforeCreationIsEmpty) {
+  MakeRelation(TemporalClass::kRollback);
+  ASSERT_TRUE(Append("01/01/80", "a", "1").ok());
+  Result<Rowset> rows = Rollback(*relation_, Day("01/01/79"));
+  ASSERT_TRUE(rows.ok());
+  EXPECT_TRUE(rows->empty());
+}
+
+TEST_F(TemporalOpsTest, RollbackKeepTxnKeepsPeriods) {
+  MakeRelation(TemporalClass::kTemporal);
+  ASSERT_TRUE(Append("01/01/80", "a", "1").ok());
+  Result<Rowset> rows = RollbackKeepTxn(*relation_, Day("06/01/80"));
+  ASSERT_TRUE(rows.ok());
+  EXPECT_EQ(rows->temporal_class(), TemporalClass::kTemporal);
+  EXPECT_EQ(*rows->rows()[0].txn, Since("01/01/80"));
+}
+
+TEST_F(TemporalOpsTest, TimesliceHistoricalToStatic) {
+  MakeRelation(TemporalClass::kHistorical);
+  ASSERT_TRUE(Append("01/01/80", "a", "old",
+                     Between("01/01/80", "06/01/80")).ok());
+  ASSERT_TRUE(Append("01/01/80", "a", "new", Since("06/01/80")).ok());
+  Result<Rowset> scan = ScanStored(*relation_);
+  ASSERT_TRUE(scan.ok());
+  Result<Rowset> slice = Timeslice(*scan, Day("03/01/80"));
+  ASSERT_TRUE(slice.ok());
+  EXPECT_EQ(slice->temporal_class(), TemporalClass::kStatic);
+  ASSERT_EQ(slice->size(), 1u);
+  EXPECT_EQ(slice->rows()[0].values[1].AsString(), "old");
+}
+
+TEST_F(TemporalOpsTest, TimesliceTemporalKeepsTxn) {
+  MakeRelation(TemporalClass::kTemporal);
+  ASSERT_TRUE(Append("01/01/80", "a", "1").ok());
+  Result<Rowset> scan = ScanStored(*relation_);
+  ASSERT_TRUE(scan.ok());
+  Result<Rowset> slice = Timeslice(*scan, Day("06/01/80"));
+  ASSERT_TRUE(slice.ok());
+  EXPECT_EQ(slice->temporal_class(), TemporalClass::kRollback);
+  EXPECT_TRUE(slice->rows()[0].txn.has_value());
+}
+
+TEST_F(TemporalOpsTest, TimesliceRequiresValidTime) {
+  MakeRelation(TemporalClass::kStatic);
+  ASSERT_TRUE(Append("01/01/80", "a", "1").ok());
+  Result<Rowset> scan = ScanStored(*relation_);
+  ASSERT_TRUE(scan.ok());
+  EXPECT_TRUE(Timeslice(*scan, Chronon(0)).status().IsNotSupported());
+}
+
+TEST_F(TemporalOpsTest, CurrentStateShapes) {
+  MakeRelation(TemporalClass::kTemporal);
+  ASSERT_TRUE(Append("01/01/80", "a", "1").ok());
+  ASSERT_TRUE(Replace("02/01/80", "a", "2", Since("01/01/80")).ok());
+  Result<Rowset> current = CurrentState(*relation_);
+  ASSERT_TRUE(current.ok());
+  EXPECT_EQ(current->temporal_class(), TemporalClass::kHistorical);
+  ASSERT_EQ(current->size(), 1u);  // Only the current belief.
+  EXPECT_EQ(current->rows()[0].values[1].AsString(), "2");
+}
+
+// --- Temporal expression machinery ---------------------------------------
+
+TEST(TemporalExprs, VarAndLiteral) {
+  PeriodBinding binding{Period(Chronon(0), Chronon(10))};
+  TemporalExprPtr var = MakeVarPeriod(0, "f");
+  EXPECT_EQ(*var->Eval(binding), Period(Chronon(0), Chronon(10)));
+  EXPECT_EQ(var->ToString(), "f");
+  EXPECT_FALSE(MakeVarPeriod(3, "g")->Eval(binding).ok());
+  TemporalExprPtr lit = MakePeriodLiteral(Period::At(Chronon(5)), "\"d\"");
+  EXPECT_EQ(*lit->Eval({}), Period::At(Chronon(5)));
+}
+
+TEST(TemporalExprs, Endpoints) {
+  PeriodBinding binding{Period(Chronon(10), Chronon(20))};
+  TemporalExprPtr var = MakeVarPeriod(0, "f");
+  EXPECT_EQ(*MakeBeginOf(var)->Eval(binding), Period::At(Chronon(10)));
+  EXPECT_EQ(*MakeEndOf(var)->Eval(binding), Period::At(Chronon(20)));
+  // Endpoint of an empty period is an error.
+  PeriodBinding empty{Period(Chronon(5), Chronon(5))};
+  EXPECT_FALSE(MakeBeginOf(var)->Eval(empty).ok());
+}
+
+TEST(TemporalExprs, OverlapAndExtend) {
+  PeriodBinding binding{Period(Chronon(0), Chronon(10)),
+                        Period(Chronon(5), Chronon(15))};
+  TemporalExprPtr a = MakeVarPeriod(0, "a");
+  TemporalExprPtr b = MakeVarPeriod(1, "b");
+  EXPECT_EQ(*MakeOverlapExpr(a, b)->Eval(binding),
+            Period(Chronon(5), Chronon(10)));
+  EXPECT_EQ(*MakeExtendExpr(a, b)->Eval(binding),
+            Period(Chronon(0), Chronon(15)));
+}
+
+TEST(TemporalPreds, CompareKinds) {
+  PeriodBinding binding{Period(Chronon(0), Chronon(10)),
+                        Period(Chronon(10), Chronon(20))};
+  TemporalExprPtr a = MakeVarPeriod(0, "a");
+  TemporalExprPtr b = MakeVarPeriod(1, "b");
+  EXPECT_TRUE(*MakePrecedePred(a, b)->Eval(binding));
+  EXPECT_FALSE(*MakePrecedePred(b, a)->Eval(binding));
+  EXPECT_FALSE(*MakeOverlapPred(a, b)->Eval(binding));
+  EXPECT_TRUE(*MakeEqualPred(a, a)->Eval(binding));
+  EXPECT_FALSE(*MakeEqualPred(a, b)->Eval(binding));
+}
+
+TEST(TemporalPreds, Connectives) {
+  PeriodBinding binding{Period(Chronon(0), Chronon(10)),
+                        Period(Chronon(5), Chronon(15))};
+  TemporalExprPtr a = MakeVarPeriod(0, "a");
+  TemporalExprPtr b = MakeVarPeriod(1, "b");
+  TemporalPredPtr overlap = MakeOverlapPred(a, b);   // true
+  TemporalPredPtr precede = MakePrecedePred(a, b);   // false
+  EXPECT_FALSE(*MakeAndPred(overlap, precede)->Eval(binding));
+  EXPECT_TRUE(*MakeOrPred(overlap, precede)->Eval(binding));
+  EXPECT_TRUE(*MakeNotPred(precede)->Eval(binding));
+  EXPECT_EQ(MakeAndPred(overlap, precede)->ToString(),
+            "((a overlap b) and (a precede b))");
+}
+
+TEST(TemporalPreds, PaperWhenClause) {
+  // "when f1 overlap start of f2": Merrie-full valid [12/01/82, inf),
+  // Tom valid [12/05/82, inf).
+  PeriodBinding binding{
+      Period(Date::Parse("12/01/82")->chronon(), Chronon::Forever()),
+      Period(Date::Parse("12/05/82")->chronon(), Chronon::Forever())};
+  TemporalPredPtr when = MakeOverlapPred(
+      MakeVarPeriod(0, "f1"), MakeBeginOf(MakeVarPeriod(1, "f2")));
+  EXPECT_TRUE(*when->Eval(binding));
+  // Merrie-associate valid [09/01/77, 12/01/82) does NOT overlap Tom's
+  // arrival.
+  PeriodBinding binding2{
+      Period(Date::Parse("09/01/77")->chronon(),
+             Date::Parse("12/01/82")->chronon()),
+      binding[1]};
+  EXPECT_FALSE(*when->Eval(binding2));
+}
+
+}  // namespace
+}  // namespace temporadb

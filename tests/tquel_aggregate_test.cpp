@@ -1,0 +1,199 @@
+// TQuel aggregates (count/sum/avg/min/max/any in target lists) and the
+// transaction-control statements (begin transaction / commit / abort).
+
+#include <gtest/gtest.h>
+
+#include "core/database.h"
+
+namespace temporadb {
+namespace {
+
+class TquelAggregateTest : public ::testing::Test {
+ protected:
+  TquelAggregateTest() {
+    DatabaseOptions options;
+    options.clock = &clock_;
+    db_ = std::move(*Database::Open(options));
+    clock_.SetDate("01/01/80").ok();
+    (void)db_->Execute(
+        "create relation emp (name = string, dept = string, salary = int)");
+    (void)db_->Execute("range of e is emp");
+    const char* rows[] = {
+        "append to emp (name = \"a\", dept = \"cs\", salary = 100)",
+        "append to emp (name = \"b\", dept = \"cs\", salary = 200)",
+        "append to emp (name = \"c\", dept = \"math\", salary = 50)",
+        "append to emp (name = \"d\", dept = \"math\", salary = 70)",
+    };
+    for (const char* r : rows) (void)db_->Execute(r);
+  }
+
+  ManualClock clock_;
+  std::unique_ptr<Database> db_;
+};
+
+TEST_F(TquelAggregateTest, GlobalCount) {
+  Result<Rowset> rows = db_->Query("retrieve (n = count(e.name))");
+  ASSERT_TRUE(rows.ok()) << rows.status().ToString();
+  ASSERT_EQ(rows->size(), 1u);
+  EXPECT_EQ(rows->rows()[0].values[0].AsInt(), 4);
+  EXPECT_EQ(rows->temporal_class(), TemporalClass::kStatic);
+}
+
+TEST_F(TquelAggregateTest, BareAggregateAutoNamed) {
+  Result<Rowset> rows = db_->Query("retrieve (count(e.name))");
+  ASSERT_TRUE(rows.ok()) << rows.status().ToString();
+  EXPECT_EQ(rows->schema().at(0).name, "count");
+}
+
+TEST_F(TquelAggregateTest, GroupedAggregates) {
+  Result<Rowset> rows = db_->Query(
+      "retrieve (e.dept, total = sum(e.salary), mean = avg(e.salary), "
+      "top = max(e.salary))");
+  ASSERT_TRUE(rows.ok()) << rows.status().ToString();
+  ASSERT_EQ(rows->size(), 2u);
+  // Group keys sort ascending (cs, math).
+  EXPECT_EQ(rows->rows()[0].values[0].AsString(), "cs");
+  EXPECT_EQ(rows->rows()[0].values[1].AsInt(), 300);
+  EXPECT_DOUBLE_EQ(rows->rows()[0].values[2].AsFloat(), 150.0);
+  EXPECT_EQ(rows->rows()[0].values[3].AsInt(), 200);
+  EXPECT_EQ(rows->rows()[1].values[1].AsInt(), 120);
+}
+
+TEST_F(TquelAggregateTest, ColumnOrderPreserved) {
+  // Aggregate first, key second: the output must keep the written order.
+  Result<Rowset> rows =
+      db_->Query("retrieve (n = count(e.name), e.dept)");
+  ASSERT_TRUE(rows.ok()) << rows.status().ToString();
+  EXPECT_EQ(rows->schema().at(0).name, "n");
+  EXPECT_EQ(rows->schema().at(1).name, "dept");
+  EXPECT_EQ(rows->rows()[0].values[0].type(), ValueType::kInt);
+  EXPECT_EQ(rows->rows()[0].values[1].type(), ValueType::kString);
+}
+
+TEST_F(TquelAggregateTest, WhereFiltersBeforeAggregation) {
+  Result<Rowset> rows = db_->Query(
+      "retrieve (n = count(e.name)) where e.salary > 60");
+  ASSERT_TRUE(rows.ok()) << rows.status().ToString();
+  EXPECT_EQ(rows->rows()[0].values[0].AsInt(), 3);
+}
+
+TEST_F(TquelAggregateTest, AggregateOverExpression) {
+  Result<Rowset> rows = db_->Query(
+      "retrieve (raised = sum(e.salary * 2))");
+  ASSERT_TRUE(rows.ok()) << rows.status().ToString();
+  EXPECT_EQ(rows->rows()[0].values[0].AsInt(), 840);
+}
+
+TEST_F(TquelAggregateTest, EmptyInputGlobalAggregate) {
+  (void)db_->Execute("create relation void (x = int)");
+  (void)db_->Execute("range of v is void");
+  Result<Rowset> rows = db_->Query("retrieve (n = count(v.x))");
+  ASSERT_TRUE(rows.ok()) << rows.status().ToString();
+  ASSERT_EQ(rows->size(), 1u);
+  EXPECT_EQ(rows->rows()[0].values[0].AsInt(), 0);
+}
+
+TEST_F(TquelAggregateTest, MisplacedAggregatesRejected) {
+  EXPECT_TRUE(db_->Query("retrieve (x = count(e.name) + 1)")
+                  .status()
+                  .IsNotSupported());
+  EXPECT_TRUE(db_->Query("retrieve (e.name) where count(e.name) > 1")
+                  .status()
+                  .IsNotSupported());
+}
+
+TEST_F(TquelAggregateTest, ValidClauseWithAggregateRejected) {
+  (void)db_->Execute("create historical relation h (name = string)");
+  (void)db_->Execute("range of x is h");
+  (void)db_->Execute("append to h (name = \"a\")");
+  Result<Rowset> rows = db_->Query(
+      "retrieve (n = count(x.name)) valid from \"01/01/80\" to \"inf\"");
+  EXPECT_TRUE(rows.status().IsNotSupported());
+  // when as a pre-aggregation filter is fine.
+  Result<Rowset> when_ok = db_->Query(
+      "retrieve (n = count(x.name)) when x overlap \"06/01/80\"");
+  ASSERT_TRUE(when_ok.ok()) << when_ok.status().ToString();
+  EXPECT_EQ(when_ok->rows()[0].values[0].AsInt(), 1);
+}
+
+TEST_F(TquelAggregateTest, HistoricalTrendViaWhenPlusAggregate) {
+  // The paper's "how did the number of faculty change?" — now purely in
+  // TQuel: count per timeslice via a when filter.
+  (void)db_->Execute(
+      "create historical relation fac (name = string, rank = string)");
+  (void)db_->Execute("range of f is fac");
+  (void)db_->Execute("append to fac (name = \"m\", rank = \"a\") "
+                     "valid from \"01/01/78\" to \"inf\"");
+  (void)db_->Execute("append to fac (name = \"t\", rank = \"a\") "
+                     "valid from \"01/01/81\" to \"inf\"");
+  (void)db_->Execute("append to fac (name = \"k\", rank = \"a\") "
+                     "valid from \"01/01/82\" to \"06/01/83\"");
+  int expected[] = {1, 1, 2, 3, 3, 2};
+  int year = 1979;
+  for (int want : expected) {
+    std::string q = "retrieve (n = count(f.name)) when f overlap \"01/15/" +
+                    std::to_string(year % 100) + "\"";
+    Result<Rowset> rows = db_->Query(q);
+    ASSERT_TRUE(rows.ok()) << q << ": " << rows.status().ToString();
+    EXPECT_EQ(rows->rows()[0].values[0].AsInt(), want) << year;
+    ++year;
+  }
+}
+
+TEST_F(TquelAggregateTest, TransactionStatements) {
+  ASSERT_TRUE(db_->Execute("begin transaction").ok());
+  ASSERT_TRUE(db_->Execute(
+                    "append to emp (name = \"x\", dept = \"cs\", salary = 1)")
+                  .ok());
+  ASSERT_TRUE(db_->Execute(
+                    "append to emp (name = \"y\", dept = \"cs\", salary = 2)")
+                  .ok());
+  ASSERT_TRUE(db_->Execute("commit").ok());
+  EXPECT_EQ(db_->Query("retrieve (n = count(e.name))")
+                ->rows()[0]
+                .values[0]
+                .AsInt(),
+            6);
+
+  ASSERT_TRUE(db_->Execute("begin transaction").ok());
+  ASSERT_TRUE(db_->Execute("delete e").ok());
+  ASSERT_TRUE(db_->Execute("abort").ok());
+  EXPECT_EQ(db_->Query("retrieve (n = count(e.name))")
+                ->rows()[0]
+                .values[0]
+                .AsInt(),
+            6);
+}
+
+TEST_F(TquelAggregateTest, TransactionStatementsInOneSource) {
+  Result<tquel::ExecResult> r = db_->Execute(
+      "begin transaction; "
+      "append to emp (name = \"z\", dept = \"q\", salary = 9); "
+      "abort");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(db_->Query("retrieve (n = count(e.name))")
+                ->rows()[0]
+                .values[0]
+                .AsInt(),
+            4);
+}
+
+TEST_F(TquelAggregateTest, CommitWithoutBeginFails) {
+  EXPECT_EQ(db_->Execute("commit").status().code(),
+            StatusCode::kFailedPrecondition);
+  EXPECT_EQ(db_->Execute("abort").status().code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST_F(TquelAggregateTest, CountOnlyColumnNotFunction) {
+  // An attribute named like an aggregate is still usable without parens.
+  (void)db_->Execute("create relation weird (count = int)");
+  (void)db_->Execute("range of w is weird");
+  (void)db_->Execute("append to weird (count = 5)");
+  Result<Rowset> rows = db_->Query("retrieve (w.count)");
+  ASSERT_TRUE(rows.ok()) << rows.status().ToString();
+  EXPECT_EQ(rows->rows()[0].values[0].AsInt(), 5);
+}
+
+}  // namespace
+}  // namespace temporadb

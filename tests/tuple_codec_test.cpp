@@ -1,0 +1,132 @@
+#include "storage/tuple.h"
+
+#include <gtest/gtest.h>
+
+#include "temporal/bitemporal_tuple.h"
+
+namespace temporadb {
+namespace {
+
+Schema MixedSchema() {
+  return *Schema::Make({Attribute{"s", Type::String()},
+                        Attribute{"i", Type::Int()},
+                        Attribute{"f", Type::Float()},
+                        Attribute{"d", Type::DateType()},
+                        Attribute{"b", Type::Bool()}});
+}
+
+TEST(TupleCodec, RoundTripAllTypes) {
+  Schema schema = MixedSchema();
+  std::vector<Value> values{Value("hello"), Value(int64_t{-42}), Value(2.75),
+                            Value(*Date::Parse("12/15/82")), Value(true)};
+  std::string buf;
+  ASSERT_TRUE(tuple_codec::EncodeValues(schema, values, &buf).ok());
+  std::string_view in = buf;
+  Result<std::vector<Value>> round = tuple_codec::DecodeValues(&in);
+  ASSERT_TRUE(round.ok());
+  EXPECT_EQ(*round, values);
+  EXPECT_TRUE(in.empty());
+}
+
+TEST(TupleCodec, RoundTripNulls) {
+  std::vector<Value> values{Value::Null(), Value::Null()};
+  std::string buf;
+  tuple_codec::EncodeValuesUnchecked(values, &buf);
+  std::string_view in = buf;
+  Result<std::vector<Value>> round = tuple_codec::DecodeValues(&in);
+  ASSERT_TRUE(round.ok());
+  EXPECT_TRUE((*round)[0].is_null());
+}
+
+TEST(TupleCodec, ArityMismatchRejected) {
+  Schema schema = MixedSchema();
+  std::string buf;
+  EXPECT_FALSE(
+      tuple_codec::EncodeValues(schema, {Value("only one")}, &buf).ok());
+}
+
+TEST(TupleCodec, TypeMismatchRejected) {
+  Schema schema = *Schema::Make({Attribute{"i", Type::Int()}});
+  std::string buf;
+  EXPECT_FALSE(tuple_codec::EncodeValues(schema, {Value("str")}, &buf).ok());
+  // Int into float is admitted (promotion).
+  Schema fschema = *Schema::Make({Attribute{"f", Type::Float()}});
+  EXPECT_TRUE(
+      tuple_codec::EncodeValues(fschema, {Value(int64_t{1})}, &buf).ok());
+}
+
+TEST(TupleCodec, TruncationDetected) {
+  std::vector<Value> values{Value("a long-ish string value")};
+  std::string buf;
+  tuple_codec::EncodeValuesUnchecked(values, &buf);
+  for (size_t cut = 1; cut < buf.size(); cut += 3) {
+    std::string_view in(buf.data(), buf.size() - cut);
+    Result<std::vector<Value>> round = tuple_codec::DecodeValues(&in);
+    EXPECT_FALSE(round.ok());
+    EXPECT_TRUE(round.status().IsCorruption());
+  }
+}
+
+TEST(TupleCodec, EmptyStringAndUnicode) {
+  std::vector<Value> values{Value(""), Value("caf\xc3\xa9 \xe2\x88\x9e")};
+  std::string buf;
+  tuple_codec::EncodeValuesUnchecked(values, &buf);
+  std::string_view in = buf;
+  Result<std::vector<Value>> round = tuple_codec::DecodeValues(&in);
+  ASSERT_TRUE(round.ok());
+  EXPECT_EQ(*round, values);
+}
+
+TEST(BitemporalTupleCodec, RoundTrip) {
+  BitemporalTuple t;
+  t.values = {Value("Merrie"), Value("associate")};
+  t.valid = Period(Date::Parse("09/01/77")->chronon(), Chronon::Forever());
+  t.txn = Period(Date::Parse("08/25/77")->chronon(),
+                 Date::Parse("12/15/82")->chronon());
+  std::string buf;
+  t.EncodeTo(&buf);
+  std::string_view in = buf;
+  Result<BitemporalTuple> round = BitemporalTuple::DecodeFrom(&in);
+  ASSERT_TRUE(round.ok());
+  EXPECT_EQ(*round, t);
+}
+
+TEST(BitemporalTupleCodec, SentinelPeriodsSurvive) {
+  BitemporalTuple t;
+  t.values = {Value(int64_t{1})};
+  t.valid = Period::All();
+  t.txn = Period::From(Chronon(100));
+  std::string buf;
+  t.EncodeTo(&buf);
+  std::string_view in = buf;
+  Result<BitemporalTuple> round = BitemporalTuple::DecodeFrom(&in);
+  ASSERT_TRUE(round.ok());
+  EXPECT_TRUE(round->valid.begin().IsBeginning());
+  EXPECT_TRUE(round->valid.end().IsForever());
+  EXPECT_TRUE(round->IsCurrentState());
+}
+
+TEST(BitemporalTuple, Predicates) {
+  BitemporalTuple t;
+  t.valid = Period(Chronon(10), Chronon(20));
+  t.txn = Period::From(Chronon(5));
+  EXPECT_TRUE(t.IsCurrentState());
+  EXPECT_TRUE(t.IsValidNow(Chronon(15)));
+  EXPECT_FALSE(t.IsValidNow(Chronon(25)));
+  t.txn = Period(Chronon(5), Chronon(8));
+  EXPECT_FALSE(t.IsCurrentState());
+}
+
+TEST(BitemporalTuple, ToStringShowsBothPeriods) {
+  BitemporalTuple t;
+  t.values = {Value("x")};
+  t.valid = Period(Chronon(0), Chronon::Forever());
+  t.txn = Period::All();
+  std::string s = t.ToString();
+  EXPECT_NE(s.find("(x)"), std::string::npos);
+  EXPECT_NE(s.find(" v["), std::string::npos);
+  EXPECT_NE(s.find(" t["), std::string::npos);
+}
+
+}  // namespace
+}  // namespace temporadb

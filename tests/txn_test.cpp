@@ -1,0 +1,138 @@
+#include <gtest/gtest.h>
+
+#include "txn/clock.h"
+#include "txn/transaction.h"
+#include "txn/txn_manager.h"
+
+namespace temporadb {
+namespace {
+
+TEST(Clock, SystemClockIsSane) {
+  SystemClock clock;
+  Chronon now = clock.Now();
+  // Somewhere between 2020 and 2100.
+  EXPECT_GT(now, Date::Parse("2020-01-01")->chronon());
+  EXPECT_LT(now, Date::Parse("2100-01-01")->chronon());
+}
+
+TEST(Clock, ManualClockControls) {
+  ManualClock clock;
+  EXPECT_EQ(clock.Now(), Chronon::Epoch());
+  ASSERT_TRUE(clock.SetDate("12/15/82").ok());
+  EXPECT_EQ(clock.Now(), Date::Parse("12/15/82")->chronon());
+  clock.AdvanceDays(10);
+  EXPECT_EQ(clock.Now(), Date::Parse("12/25/82")->chronon());
+  EXPECT_FALSE(clock.SetDate("garbage").ok());
+}
+
+TEST(TxnManager, BeginAssignsClockTimestamp) {
+  ManualClock clock;
+  ASSERT_TRUE(clock.SetDate("08/25/77").ok());
+  TxnManager manager(&clock);
+  Result<Transaction*> txn = manager.Begin();
+  ASSERT_TRUE(txn.ok());
+  EXPECT_EQ((*txn)->timestamp(), Date::Parse("08/25/77")->chronon());
+  EXPECT_TRUE((*txn)->IsActive());
+  ASSERT_TRUE(manager.Commit(*txn).ok());
+  EXPECT_EQ((*txn)->state(), TxnState::kCommitted);
+}
+
+TEST(TxnManager, OnlyOneActiveTransaction) {
+  ManualClock clock;
+  TxnManager manager(&clock);
+  Result<Transaction*> first = manager.Begin();
+  ASSERT_TRUE(first.ok());
+  EXPECT_EQ(manager.Begin().status().code(),
+            StatusCode::kFailedPrecondition);
+  ASSERT_TRUE(manager.Commit(*first).ok());
+  EXPECT_TRUE(manager.Begin().ok());
+}
+
+TEST(TxnManager, TimestampsNeverRunBackwards) {
+  ManualClock clock;
+  ASSERT_TRUE(clock.SetDate("12/15/82").ok());
+  TxnManager manager(&clock);
+  Result<Transaction*> t1 = manager.Begin();
+  ASSERT_TRUE(t1.ok());
+  ASSERT_TRUE(manager.Commit(*t1).ok());
+  // Clock jumps backwards; the issued timestamp must not.
+  ASSERT_TRUE(clock.SetDate("01/01/80").ok());
+  Result<Transaction*> t2 = manager.Begin();
+  ASSERT_TRUE(t2.ok());
+  EXPECT_EQ((*t2)->timestamp(), Date::Parse("12/15/82")->chronon());
+  ASSERT_TRUE(manager.Commit(*t2).ok());
+}
+
+TEST(TxnManager, AbortRunsUndoInReverse) {
+  ManualClock clock;
+  TxnManager manager(&clock);
+  Result<Transaction*> txn = manager.Begin();
+  ASSERT_TRUE(txn.ok());
+  std::vector<int> order;
+  (*txn)->PushUndo([&] { order.push_back(1); });
+  (*txn)->PushUndo([&] { order.push_back(2); });
+  (*txn)->PushUndo([&] { order.push_back(3); });
+  EXPECT_EQ((*txn)->mutation_count(), 3u);
+  ASSERT_TRUE(manager.Abort(*txn).ok());
+  EXPECT_EQ(order, (std::vector<int>{3, 2, 1}));
+  EXPECT_EQ((*txn)->state(), TxnState::kAborted);
+  EXPECT_EQ(manager.aborted_count(), 1u);
+}
+
+TEST(TxnManager, CommitDiscardsUndo) {
+  ManualClock clock;
+  TxnManager manager(&clock);
+  Result<Transaction*> txn = manager.Begin();
+  ASSERT_TRUE(txn.ok());
+  bool ran = false;
+  (*txn)->PushUndo([&] { ran = true; });
+  ASSERT_TRUE(manager.Commit(*txn).ok());
+  EXPECT_FALSE(ran);
+  EXPECT_EQ(manager.committed_count(), 1u);
+  EXPECT_EQ(manager.last_commit(), (*txn)->timestamp());
+}
+
+TEST(TxnManager, DoubleCommitRejected) {
+  ManualClock clock;
+  TxnManager manager(&clock);
+  Result<Transaction*> txn = manager.Begin();
+  ASSERT_TRUE(txn.ok());
+  ASSERT_TRUE(manager.Commit(*txn).ok());
+  EXPECT_FALSE(manager.Commit(*txn).ok());
+  EXPECT_FALSE(manager.Abort(*txn).ok());
+}
+
+TEST(TxnManager, ForeignTransactionRejected) {
+  ManualClock clock;
+  TxnManager manager(&clock);
+  Transaction foreign(999, Chronon(0));
+  EXPECT_TRUE(manager.Commit(&foreign).IsInvalidArgument());
+  EXPECT_TRUE(manager.Commit(nullptr).IsInvalidArgument());
+}
+
+TEST(TxnManager, NowClampsLikeBegin) {
+  ManualClock clock;
+  ASSERT_TRUE(clock.SetDate("12/15/82").ok());
+  TxnManager manager(&clock);
+  ASSERT_TRUE(manager.Commit(*manager.Begin()).ok());
+  ASSERT_TRUE(clock.SetDate("01/01/80").ok());
+  EXPECT_EQ(manager.Now(), Date::Parse("12/15/82")->chronon());
+}
+
+TEST(TxnManager, ObserveRecoveredTimestamp) {
+  ManualClock clock;  // At epoch.
+  TxnManager manager(&clock);
+  manager.ObserveRecoveredTimestamp(Date::Parse("12/15/82")->chronon());
+  Result<Transaction*> txn = manager.Begin();
+  ASSERT_TRUE(txn.ok());
+  EXPECT_EQ((*txn)->timestamp(), Date::Parse("12/15/82")->chronon());
+}
+
+TEST(TxnStateName, Names) {
+  EXPECT_EQ(TxnStateName(TxnState::kActive), "active");
+  EXPECT_EQ(TxnStateName(TxnState::kCommitted), "committed");
+  EXPECT_EQ(TxnStateName(TxnState::kAborted), "aborted");
+}
+
+}  // namespace
+}  // namespace temporadb

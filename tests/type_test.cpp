@@ -1,0 +1,87 @@
+#include "catalog/type.h"
+
+#include <gtest/gtest.h>
+
+namespace temporadb {
+namespace {
+
+TEST(Type, ParseQuelTypeNames) {
+  EXPECT_EQ(Type::ParseQuelType("int")->value_type(), ValueType::kInt);
+  EXPECT_EQ(Type::ParseQuelType("integer")->value_type(), ValueType::kInt);
+  EXPECT_EQ(Type::ParseQuelType("float")->value_type(), ValueType::kFloat);
+  EXPECT_EQ(Type::ParseQuelType("string")->value_type(), ValueType::kString);
+  EXPECT_EQ(Type::ParseQuelType("text")->value_type(), ValueType::kString);
+  EXPECT_EQ(Type::ParseQuelType("date")->value_type(), ValueType::kDate);
+  EXPECT_EQ(Type::ParseQuelType("bool")->value_type(), ValueType::kBool);
+}
+
+TEST(Type, ParseQuelWidthQualifiedNames) {
+  // Quel's i1/i2/i4, f4/f8, c10 style.
+  EXPECT_EQ(Type::ParseQuelType("i4")->value_type(), ValueType::kInt);
+  EXPECT_EQ(Type::ParseQuelType("f8")->value_type(), ValueType::kFloat);
+  EXPECT_EQ(Type::ParseQuelType("c20")->value_type(), ValueType::kString);
+  EXPECT_EQ(Type::ParseQuelType("C20")->value_type(), ValueType::kString);
+}
+
+TEST(Type, ParseRejectsUnknown) {
+  EXPECT_FALSE(Type::ParseQuelType("blob").ok());
+  EXPECT_FALSE(Type::ParseQuelType("").ok());
+  EXPECT_TRUE(Type::ParseQuelType("c").ok());  // Bare "c" is a string.
+  EXPECT_FALSE(Type::ParseQuelType("x9").ok());
+  EXPECT_FALSE(Type::ParseQuelType("i").ok());
+}
+
+TEST(Type, Admits) {
+  EXPECT_TRUE(Type::Int().Admits(Value(int64_t{1})));
+  EXPECT_FALSE(Type::Int().Admits(Value(1.5)));
+  EXPECT_TRUE(Type::Float().Admits(Value(int64_t{1})));  // Promotion.
+  EXPECT_TRUE(Type::Float().Admits(Value(1.5)));
+  EXPECT_TRUE(Type::String().Admits(Value("x")));
+  EXPECT_FALSE(Type::String().Admits(Value(int64_t{1})));
+  // NULL admitted everywhere.
+  EXPECT_TRUE(Type::DateType().Admits(Value::Null()));
+}
+
+TEST(Type, CoercePromotesIntToFloat) {
+  Result<Value> v = Type::Float().Coerce(Value(int64_t{3}));
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(v->type(), ValueType::kFloat);
+  EXPECT_DOUBLE_EQ(v->AsFloat(), 3.0);
+  EXPECT_FALSE(Type::Int().Coerce(Value("x")).ok());
+}
+
+TEST(Type, ParseValueInt) {
+  EXPECT_EQ(Type::Int().ParseValue("42")->AsInt(), 42);
+  EXPECT_EQ(Type::Int().ParseValue("-7")->AsInt(), -7);
+  EXPECT_FALSE(Type::Int().ParseValue("4.5").ok());
+  EXPECT_FALSE(Type::Int().ParseValue("abc").ok());
+}
+
+TEST(Type, ParseValueFloat) {
+  EXPECT_DOUBLE_EQ(Type::Float().ParseValue("2.5")->AsFloat(), 2.5);
+  EXPECT_DOUBLE_EQ(Type::Float().ParseValue("3")->AsFloat(), 3.0);
+  EXPECT_FALSE(Type::Float().ParseValue("x").ok());
+}
+
+TEST(Type, ParseValueDate) {
+  Result<Value> v = Type::DateType().ParseValue("12/15/82");
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(v->AsDate(), *Date::Parse("12/15/82"));
+  EXPECT_FALSE(Type::DateType().ParseValue("not a date").ok());
+}
+
+TEST(Type, ParseValueBoolAndNull) {
+  EXPECT_EQ(Type::Bool().ParseValue("true")->AsBool(), true);
+  EXPECT_EQ(Type::Bool().ParseValue("FALSE")->AsBool(), false);
+  EXPECT_FALSE(Type::Bool().ParseValue("yes").ok());
+  EXPECT_TRUE(Type::Int().ParseValue("null")->is_null());
+}
+
+TEST(Type, NameAndEquality) {
+  EXPECT_EQ(Type::Int().name(), "int");
+  EXPECT_EQ(Type::Int(), Type::Int());
+  EXPECT_NE(Type::Int(), Type::Float());
+}
+
+}  // namespace
+}  // namespace temporadb

@@ -1,0 +1,115 @@
+#include "common/value.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace temporadb {
+namespace {
+
+TEST(Value, TypesAndAccessors) {
+  EXPECT_EQ(Value().type(), ValueType::kNull);
+  EXPECT_TRUE(Value().is_null());
+  EXPECT_EQ(Value(int64_t{42}).AsInt(), 42);
+  EXPECT_DOUBLE_EQ(Value(3.5).AsFloat(), 3.5);
+  EXPECT_EQ(Value("hello").AsString(), "hello");
+  EXPECT_EQ(Value(true).AsBool(), true);
+  Date d = *Date::Parse("12/15/82");
+  EXPECT_EQ(Value(d).AsDate(), d);
+}
+
+TEST(Value, Equality) {
+  EXPECT_EQ(Value(int64_t{1}), Value(int64_t{1}));
+  EXPECT_NE(Value(int64_t{1}), Value(int64_t{2}));
+  EXPECT_NE(Value(int64_t{1}), Value(1.0));  // Different representations.
+  EXPECT_EQ(Value("a"), Value(std::string("a")));
+  EXPECT_EQ(Value::Null(), Value::Null());
+}
+
+TEST(Value, CompareNumericPromotion) {
+  Result<int> c = Value::Compare(Value(int64_t{3}), Value(3.0));
+  ASSERT_TRUE(c.ok());
+  EXPECT_EQ(*c, 0);
+  EXPECT_EQ(*Value::Compare(Value(int64_t{2}), Value(2.5)), -1);
+  EXPECT_EQ(*Value::Compare(Value(2.5), Value(int64_t{2})), 1);
+}
+
+TEST(Value, CompareStringsAndDates) {
+  EXPECT_EQ(*Value::Compare(Value("abc"), Value("abd")), -1);
+  Date d1 = *Date::Parse("09/01/77");
+  Date d2 = *Date::Parse("12/01/82");
+  EXPECT_EQ(*Value::Compare(Value(d1), Value(d2)), -1);
+  EXPECT_EQ(*Value::Compare(Value(d2), Value(d2)), 0);
+}
+
+TEST(Value, CompareCrossTypeIsError) {
+  EXPECT_FALSE(Value::Compare(Value("a"), Value(int64_t{1})).ok());
+  EXPECT_FALSE(
+      Value::Compare(Value(*Date::Parse("09/01/77")), Value("09/01/77")).ok());
+}
+
+TEST(Value, CompareNulls) {
+  EXPECT_EQ(*Value::Compare(Value::Null(), Value::Null()), 0);
+  EXPECT_EQ(*Value::Compare(Value::Null(), Value(int64_t{1})), -1);
+  EXPECT_EQ(*Value::Compare(Value(int64_t{1}), Value::Null()), 1);
+}
+
+TEST(Value, TotalOrderAcrossTypes) {
+  // NULL < bool < numeric < string < date.
+  std::vector<Value> values{Value(*Date::Parse("01/01/80")), Value("s"),
+                            Value(int64_t{5}), Value(true), Value::Null()};
+  std::sort(values.begin(), values.end(),
+            [](const Value& a, const Value& b) { return a < b; });
+  EXPECT_TRUE(values[0].is_null());
+  EXPECT_EQ(values[1].type(), ValueType::kBool);
+  EXPECT_EQ(values[2].type(), ValueType::kInt);
+  EXPECT_EQ(values[3].type(), ValueType::kString);
+  EXPECT_EQ(values[4].type(), ValueType::kDate);
+}
+
+TEST(Value, IntFloatInterleaveInOrder) {
+  EXPECT_TRUE(Value(int64_t{1}) < Value(1.5));
+  EXPECT_TRUE(Value(1.5) < Value(int64_t{2}));
+}
+
+TEST(Value, HashEqualValuesAgree) {
+  EXPECT_EQ(Value("abc").Hash(), Value("abc").Hash());
+  EXPECT_EQ(Value(int64_t{7}).Hash(), Value(int64_t{7}).Hash());
+  // Type participates in the hash.
+  EXPECT_NE(Value(int64_t{0}).Hash(), Value(false).Hash());
+}
+
+TEST(Value, HashSpreads) {
+  std::set<size_t> hashes;
+  for (int64_t i = 0; i < 1000; ++i) {
+    hashes.insert(Value(i).Hash());
+  }
+  EXPECT_EQ(hashes.size(), 1000u);
+}
+
+TEST(Value, AsNumeric) {
+  EXPECT_DOUBLE_EQ(*Value(int64_t{4}).AsNumeric(), 4.0);
+  EXPECT_DOUBLE_EQ(*Value(2.5).AsNumeric(), 2.5);
+  EXPECT_FALSE(Value("4").AsNumeric().ok());
+  EXPECT_FALSE(Value::Null().AsNumeric().ok());
+}
+
+TEST(Value, ToString) {
+  EXPECT_EQ(Value::Null().ToString(), "null");
+  EXPECT_EQ(Value(int64_t{42}).ToString(), "42");
+  EXPECT_EQ(Value(true).ToString(), "true");
+  EXPECT_EQ(Value("x").ToString(), "x");
+  EXPECT_EQ(Value(*Date::Parse("12/15/82")).ToString(), "12/15/82");
+}
+
+TEST(ValueTypeName, Coverage) {
+  EXPECT_EQ(ValueTypeName(ValueType::kNull), "null");
+  EXPECT_EQ(ValueTypeName(ValueType::kInt), "int");
+  EXPECT_EQ(ValueTypeName(ValueType::kFloat), "float");
+  EXPECT_EQ(ValueTypeName(ValueType::kString), "string");
+  EXPECT_EQ(ValueTypeName(ValueType::kDate), "date");
+  EXPECT_EQ(ValueTypeName(ValueType::kBool), "bool");
+}
+
+}  // namespace
+}  // namespace temporadb
