@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_attr_index.dir/ablation_attr_index.cpp.o"
+  "CMakeFiles/ablation_attr_index.dir/ablation_attr_index.cpp.o.d"
+  "ablation_attr_index"
+  "ablation_attr_index.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_attr_index.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

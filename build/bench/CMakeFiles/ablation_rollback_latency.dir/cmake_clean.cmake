@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_rollback_latency.dir/ablation_rollback_latency.cpp.o"
+  "CMakeFiles/ablation_rollback_latency.dir/ablation_rollback_latency.cpp.o.d"
+  "ablation_rollback_latency"
+  "ablation_rollback_latency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_rollback_latency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

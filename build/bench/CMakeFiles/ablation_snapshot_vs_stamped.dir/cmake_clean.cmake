@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_snapshot_vs_stamped.dir/ablation_snapshot_vs_stamped.cpp.o"
+  "CMakeFiles/ablation_snapshot_vs_stamped.dir/ablation_snapshot_vs_stamped.cpp.o.d"
+  "ablation_snapshot_vs_stamped"
+  "ablation_snapshot_vs_stamped.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_snapshot_vs_stamped.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for ablation_snapshot_vs_stamped.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_storage_growth.dir/ablation_storage_growth.cpp.o"
+  "CMakeFiles/ablation_storage_growth.dir/ablation_storage_growth.cpp.o.d"
+  "ablation_storage_growth"
+  "ablation_storage_growth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_storage_growth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/ablation_timeslice_latency.cpp" "bench/CMakeFiles/ablation_timeslice_latency.dir/ablation_timeslice_latency.cpp.o" "gcc" "bench/CMakeFiles/ablation_timeslice_latency.dir/ablation_timeslice_latency.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/bench/CMakeFiles/tdb_bench_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tdb_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tdb_tquel.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tdb_rel.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tdb_temporal.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tdb_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tdb_catalog.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tdb_index.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tdb_txn.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tdb_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_timeslice_latency.dir/ablation_timeslice_latency.cpp.o"
+  "CMakeFiles/ablation_timeslice_latency.dir/ablation_timeslice_latency.cpp.o.d"
+  "ablation_timeslice_latency"
+  "ablation_timeslice_latency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_timeslice_latency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_when_join.dir/ablation_when_join.cpp.o"
+  "CMakeFiles/ablation_when_join.dir/ablation_when_join.cpp.o.d"
+  "ablation_when_join"
+  "ablation_when_join.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_when_join.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

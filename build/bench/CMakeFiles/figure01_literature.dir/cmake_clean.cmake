@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/figure01_literature.dir/figure01_literature.cpp.o"
+  "CMakeFiles/figure01_literature.dir/figure01_literature.cpp.o.d"
+  "figure01_literature"
+  "figure01_literature.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/figure01_literature.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

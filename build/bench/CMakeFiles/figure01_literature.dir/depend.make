@@ -1,0 +1,2 @@
+# Empty dependencies file for figure01_literature.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/figure02_static.dir/figure02_static.cpp.o"
+  "CMakeFiles/figure02_static.dir/figure02_static.cpp.o.d"
+  "figure02_static"
+  "figure02_static.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/figure02_static.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/figure03_rollback_cube.dir/figure03_rollback_cube.cpp.o"
+  "CMakeFiles/figure03_rollback_cube.dir/figure03_rollback_cube.cpp.o.d"
+  "figure03_rollback_cube"
+  "figure03_rollback_cube.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/figure03_rollback_cube.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

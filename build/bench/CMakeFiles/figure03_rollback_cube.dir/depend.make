@@ -1,0 +1,2 @@
+# Empty dependencies file for figure03_rollback_cube.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/figure04_rollback_relation.dir/figure04_rollback_relation.cpp.o"
+  "CMakeFiles/figure04_rollback_relation.dir/figure04_rollback_relation.cpp.o.d"
+  "figure04_rollback_relation"
+  "figure04_rollback_relation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/figure04_rollback_relation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for figure04_rollback_relation.
+# This may be replaced when dependencies are built.

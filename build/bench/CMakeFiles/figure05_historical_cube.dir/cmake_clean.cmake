@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/figure05_historical_cube.dir/figure05_historical_cube.cpp.o"
+  "CMakeFiles/figure05_historical_cube.dir/figure05_historical_cube.cpp.o.d"
+  "figure05_historical_cube"
+  "figure05_historical_cube.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/figure05_historical_cube.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

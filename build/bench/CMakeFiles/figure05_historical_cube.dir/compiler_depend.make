@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for figure05_historical_cube.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for figure05_historical_cube.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/figure06_historical_relation.dir/figure06_historical_relation.cpp.o"
+  "CMakeFiles/figure06_historical_relation.dir/figure06_historical_relation.cpp.o.d"
+  "figure06_historical_relation"
+  "figure06_historical_relation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/figure06_historical_relation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/figure07_temporal_cube.dir/figure07_temporal_cube.cpp.o"
+  "CMakeFiles/figure07_temporal_cube.dir/figure07_temporal_cube.cpp.o.d"
+  "figure07_temporal_cube"
+  "figure07_temporal_cube.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/figure07_temporal_cube.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

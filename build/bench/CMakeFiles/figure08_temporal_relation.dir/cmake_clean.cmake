@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/figure08_temporal_relation.dir/figure08_temporal_relation.cpp.o"
+  "CMakeFiles/figure08_temporal_relation.dir/figure08_temporal_relation.cpp.o.d"
+  "figure08_temporal_relation"
+  "figure08_temporal_relation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/figure08_temporal_relation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/figure09_event_relation.dir/figure09_event_relation.cpp.o"
+  "CMakeFiles/figure09_event_relation.dir/figure09_event_relation.cpp.o.d"
+  "figure09_event_relation"
+  "figure09_event_relation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/figure09_event_relation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

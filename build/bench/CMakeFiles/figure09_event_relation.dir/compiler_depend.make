@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for figure09_event_relation.
+# This may be replaced when dependencies are built.

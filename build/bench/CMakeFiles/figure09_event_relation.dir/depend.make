@@ -1,0 +1,2 @@
+# Empty dependencies file for figure09_event_relation.
+# This may be replaced when dependencies are built.

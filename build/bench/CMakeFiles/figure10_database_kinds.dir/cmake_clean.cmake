@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/figure10_database_kinds.dir/figure10_database_kinds.cpp.o"
+  "CMakeFiles/figure10_database_kinds.dir/figure10_database_kinds.cpp.o.d"
+  "figure10_database_kinds"
+  "figure10_database_kinds.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/figure10_database_kinds.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for figure10_database_kinds.
+# This may be replaced when dependencies are built.

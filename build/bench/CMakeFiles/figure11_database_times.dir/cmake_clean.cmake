@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/figure11_database_times.dir/figure11_database_times.cpp.o"
+  "CMakeFiles/figure11_database_times.dir/figure11_database_times.cpp.o.d"
+  "figure11_database_times"
+  "figure11_database_times.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/figure11_database_times.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/figure12_time_attributes.dir/figure12_time_attributes.cpp.o"
+  "CMakeFiles/figure12_time_attributes.dir/figure12_time_attributes.cpp.o.d"
+  "figure12_time_attributes"
+  "figure12_time_attributes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/figure12_time_attributes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for figure12_time_attributes.
+# This may be replaced when dependencies are built.

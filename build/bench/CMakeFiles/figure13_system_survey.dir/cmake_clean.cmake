@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/figure13_system_survey.dir/figure13_system_survey.cpp.o"
+  "CMakeFiles/figure13_system_survey.dir/figure13_system_survey.cpp.o.d"
+  "figure13_system_survey"
+  "figure13_system_survey.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/figure13_system_survey.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

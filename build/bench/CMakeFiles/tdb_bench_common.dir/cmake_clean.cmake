@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tdb_bench_common.dir/bench_common.cpp.o"
+  "CMakeFiles/tdb_bench_common.dir/bench_common.cpp.o.d"
+  "libtdb_bench_common.a"
+  "libtdb_bench_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tdb_bench_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

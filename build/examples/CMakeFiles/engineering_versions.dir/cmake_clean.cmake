@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/engineering_versions.dir/engineering_versions.cpp.o"
+  "CMakeFiles/engineering_versions.dir/engineering_versions.cpp.o.d"
+  "engineering_versions"
+  "engineering_versions.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/engineering_versions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tdb_shell.dir/tdb_shell.cpp.o"
+  "CMakeFiles/tdb_shell.dir/tdb_shell.cpp.o.d"
+  "tdb_shell"
+  "tdb_shell.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tdb_shell.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

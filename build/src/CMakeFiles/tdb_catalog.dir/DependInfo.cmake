@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/catalog/catalog.cpp" "src/CMakeFiles/tdb_catalog.dir/catalog/catalog.cpp.o" "gcc" "src/CMakeFiles/tdb_catalog.dir/catalog/catalog.cpp.o.d"
+  "/root/repo/src/catalog/schema.cpp" "src/CMakeFiles/tdb_catalog.dir/catalog/schema.cpp.o" "gcc" "src/CMakeFiles/tdb_catalog.dir/catalog/schema.cpp.o.d"
+  "/root/repo/src/catalog/temporal_class.cpp" "src/CMakeFiles/tdb_catalog.dir/catalog/temporal_class.cpp.o" "gcc" "src/CMakeFiles/tdb_catalog.dir/catalog/temporal_class.cpp.o.d"
+  "/root/repo/src/catalog/type.cpp" "src/CMakeFiles/tdb_catalog.dir/catalog/type.cpp.o" "gcc" "src/CMakeFiles/tdb_catalog.dir/catalog/type.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/tdb_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

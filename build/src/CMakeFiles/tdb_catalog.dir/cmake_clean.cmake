@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tdb_catalog.dir/catalog/catalog.cpp.o"
+  "CMakeFiles/tdb_catalog.dir/catalog/catalog.cpp.o.d"
+  "CMakeFiles/tdb_catalog.dir/catalog/schema.cpp.o"
+  "CMakeFiles/tdb_catalog.dir/catalog/schema.cpp.o.d"
+  "CMakeFiles/tdb_catalog.dir/catalog/temporal_class.cpp.o"
+  "CMakeFiles/tdb_catalog.dir/catalog/temporal_class.cpp.o.d"
+  "CMakeFiles/tdb_catalog.dir/catalog/type.cpp.o"
+  "CMakeFiles/tdb_catalog.dir/catalog/type.cpp.o.d"
+  "libtdb_catalog.a"
+  "libtdb_catalog.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tdb_catalog.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/common/chronon.cpp" "src/CMakeFiles/tdb_common.dir/common/chronon.cpp.o" "gcc" "src/CMakeFiles/tdb_common.dir/common/chronon.cpp.o.d"
+  "/root/repo/src/common/date.cpp" "src/CMakeFiles/tdb_common.dir/common/date.cpp.o" "gcc" "src/CMakeFiles/tdb_common.dir/common/date.cpp.o.d"
+  "/root/repo/src/common/period.cpp" "src/CMakeFiles/tdb_common.dir/common/period.cpp.o" "gcc" "src/CMakeFiles/tdb_common.dir/common/period.cpp.o.d"
+  "/root/repo/src/common/random.cpp" "src/CMakeFiles/tdb_common.dir/common/random.cpp.o" "gcc" "src/CMakeFiles/tdb_common.dir/common/random.cpp.o.d"
+  "/root/repo/src/common/slice.cpp" "src/CMakeFiles/tdb_common.dir/common/slice.cpp.o" "gcc" "src/CMakeFiles/tdb_common.dir/common/slice.cpp.o.d"
+  "/root/repo/src/common/status.cpp" "src/CMakeFiles/tdb_common.dir/common/status.cpp.o" "gcc" "src/CMakeFiles/tdb_common.dir/common/status.cpp.o.d"
+  "/root/repo/src/common/strings.cpp" "src/CMakeFiles/tdb_common.dir/common/strings.cpp.o" "gcc" "src/CMakeFiles/tdb_common.dir/common/strings.cpp.o.d"
+  "/root/repo/src/common/table_printer.cpp" "src/CMakeFiles/tdb_common.dir/common/table_printer.cpp.o" "gcc" "src/CMakeFiles/tdb_common.dir/common/table_printer.cpp.o.d"
+  "/root/repo/src/common/value.cpp" "src/CMakeFiles/tdb_common.dir/common/value.cpp.o" "gcc" "src/CMakeFiles/tdb_common.dir/common/value.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

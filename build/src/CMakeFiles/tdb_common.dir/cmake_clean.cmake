@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tdb_common.dir/common/chronon.cpp.o"
+  "CMakeFiles/tdb_common.dir/common/chronon.cpp.o.d"
+  "CMakeFiles/tdb_common.dir/common/date.cpp.o"
+  "CMakeFiles/tdb_common.dir/common/date.cpp.o.d"
+  "CMakeFiles/tdb_common.dir/common/period.cpp.o"
+  "CMakeFiles/tdb_common.dir/common/period.cpp.o.d"
+  "CMakeFiles/tdb_common.dir/common/random.cpp.o"
+  "CMakeFiles/tdb_common.dir/common/random.cpp.o.d"
+  "CMakeFiles/tdb_common.dir/common/slice.cpp.o"
+  "CMakeFiles/tdb_common.dir/common/slice.cpp.o.d"
+  "CMakeFiles/tdb_common.dir/common/status.cpp.o"
+  "CMakeFiles/tdb_common.dir/common/status.cpp.o.d"
+  "CMakeFiles/tdb_common.dir/common/strings.cpp.o"
+  "CMakeFiles/tdb_common.dir/common/strings.cpp.o.d"
+  "CMakeFiles/tdb_common.dir/common/table_printer.cpp.o"
+  "CMakeFiles/tdb_common.dir/common/table_printer.cpp.o.d"
+  "CMakeFiles/tdb_common.dir/common/value.cpp.o"
+  "CMakeFiles/tdb_common.dir/common/value.cpp.o.d"
+  "libtdb_common.a"
+  "libtdb_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tdb_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tdb_core.dir/core/bulk.cpp.o"
+  "CMakeFiles/tdb_core.dir/core/bulk.cpp.o.d"
+  "CMakeFiles/tdb_core.dir/core/database.cpp.o"
+  "CMakeFiles/tdb_core.dir/core/database.cpp.o.d"
+  "CMakeFiles/tdb_core.dir/core/paper_scenario.cpp.o"
+  "CMakeFiles/tdb_core.dir/core/paper_scenario.cpp.o.d"
+  "CMakeFiles/tdb_core.dir/core/taxonomy.cpp.o"
+  "CMakeFiles/tdb_core.dir/core/taxonomy.cpp.o.d"
+  "libtdb_core.a"
+  "libtdb_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tdb_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

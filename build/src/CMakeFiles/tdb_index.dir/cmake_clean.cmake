@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tdb_index.dir/index/btree.cpp.o"
+  "CMakeFiles/tdb_index.dir/index/btree.cpp.o.d"
+  "CMakeFiles/tdb_index.dir/index/interval_index.cpp.o"
+  "CMakeFiles/tdb_index.dir/index/interval_index.cpp.o.d"
+  "CMakeFiles/tdb_index.dir/index/snapshot_index.cpp.o"
+  "CMakeFiles/tdb_index.dir/index/snapshot_index.cpp.o.d"
+  "libtdb_index.a"
+  "libtdb_index.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tdb_index.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/rel/aggregate.cpp" "src/CMakeFiles/tdb_rel.dir/rel/aggregate.cpp.o" "gcc" "src/CMakeFiles/tdb_rel.dir/rel/aggregate.cpp.o.d"
+  "/root/repo/src/rel/expression.cpp" "src/CMakeFiles/tdb_rel.dir/rel/expression.cpp.o" "gcc" "src/CMakeFiles/tdb_rel.dir/rel/expression.cpp.o.d"
+  "/root/repo/src/rel/join.cpp" "src/CMakeFiles/tdb_rel.dir/rel/join.cpp.o" "gcc" "src/CMakeFiles/tdb_rel.dir/rel/join.cpp.o.d"
+  "/root/repo/src/rel/operators.cpp" "src/CMakeFiles/tdb_rel.dir/rel/operators.cpp.o" "gcc" "src/CMakeFiles/tdb_rel.dir/rel/operators.cpp.o.d"
+  "/root/repo/src/rel/relation.cpp" "src/CMakeFiles/tdb_rel.dir/rel/relation.cpp.o" "gcc" "src/CMakeFiles/tdb_rel.dir/rel/relation.cpp.o.d"
+  "/root/repo/src/rel/row.cpp" "src/CMakeFiles/tdb_rel.dir/rel/row.cpp.o" "gcc" "src/CMakeFiles/tdb_rel.dir/rel/row.cpp.o.d"
+  "/root/repo/src/rel/temporal_ops.cpp" "src/CMakeFiles/tdb_rel.dir/rel/temporal_ops.cpp.o" "gcc" "src/CMakeFiles/tdb_rel.dir/rel/temporal_ops.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/tdb_temporal.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tdb_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tdb_catalog.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tdb_index.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tdb_txn.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tdb_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tdb_rel.dir/rel/aggregate.cpp.o"
+  "CMakeFiles/tdb_rel.dir/rel/aggregate.cpp.o.d"
+  "CMakeFiles/tdb_rel.dir/rel/expression.cpp.o"
+  "CMakeFiles/tdb_rel.dir/rel/expression.cpp.o.d"
+  "CMakeFiles/tdb_rel.dir/rel/join.cpp.o"
+  "CMakeFiles/tdb_rel.dir/rel/join.cpp.o.d"
+  "CMakeFiles/tdb_rel.dir/rel/operators.cpp.o"
+  "CMakeFiles/tdb_rel.dir/rel/operators.cpp.o.d"
+  "CMakeFiles/tdb_rel.dir/rel/relation.cpp.o"
+  "CMakeFiles/tdb_rel.dir/rel/relation.cpp.o.d"
+  "CMakeFiles/tdb_rel.dir/rel/row.cpp.o"
+  "CMakeFiles/tdb_rel.dir/rel/row.cpp.o.d"
+  "CMakeFiles/tdb_rel.dir/rel/temporal_ops.cpp.o"
+  "CMakeFiles/tdb_rel.dir/rel/temporal_ops.cpp.o.d"
+  "libtdb_rel.a"
+  "libtdb_rel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tdb_rel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libtdb_rel.a"
+)

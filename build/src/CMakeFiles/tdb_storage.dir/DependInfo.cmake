@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/storage/buffer_pool.cpp" "src/CMakeFiles/tdb_storage.dir/storage/buffer_pool.cpp.o" "gcc" "src/CMakeFiles/tdb_storage.dir/storage/buffer_pool.cpp.o.d"
+  "/root/repo/src/storage/heap_file.cpp" "src/CMakeFiles/tdb_storage.dir/storage/heap_file.cpp.o" "gcc" "src/CMakeFiles/tdb_storage.dir/storage/heap_file.cpp.o.d"
+  "/root/repo/src/storage/page.cpp" "src/CMakeFiles/tdb_storage.dir/storage/page.cpp.o" "gcc" "src/CMakeFiles/tdb_storage.dir/storage/page.cpp.o.d"
+  "/root/repo/src/storage/pager.cpp" "src/CMakeFiles/tdb_storage.dir/storage/pager.cpp.o" "gcc" "src/CMakeFiles/tdb_storage.dir/storage/pager.cpp.o.d"
+  "/root/repo/src/storage/tuple.cpp" "src/CMakeFiles/tdb_storage.dir/storage/tuple.cpp.o" "gcc" "src/CMakeFiles/tdb_storage.dir/storage/tuple.cpp.o.d"
+  "/root/repo/src/storage/wal.cpp" "src/CMakeFiles/tdb_storage.dir/storage/wal.cpp.o" "gcc" "src/CMakeFiles/tdb_storage.dir/storage/wal.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/tdb_catalog.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tdb_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

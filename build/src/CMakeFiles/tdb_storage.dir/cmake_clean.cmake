@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tdb_storage.dir/storage/buffer_pool.cpp.o"
+  "CMakeFiles/tdb_storage.dir/storage/buffer_pool.cpp.o.d"
+  "CMakeFiles/tdb_storage.dir/storage/heap_file.cpp.o"
+  "CMakeFiles/tdb_storage.dir/storage/heap_file.cpp.o.d"
+  "CMakeFiles/tdb_storage.dir/storage/page.cpp.o"
+  "CMakeFiles/tdb_storage.dir/storage/page.cpp.o.d"
+  "CMakeFiles/tdb_storage.dir/storage/pager.cpp.o"
+  "CMakeFiles/tdb_storage.dir/storage/pager.cpp.o.d"
+  "CMakeFiles/tdb_storage.dir/storage/tuple.cpp.o"
+  "CMakeFiles/tdb_storage.dir/storage/tuple.cpp.o.d"
+  "CMakeFiles/tdb_storage.dir/storage/wal.cpp.o"
+  "CMakeFiles/tdb_storage.dir/storage/wal.cpp.o.d"
+  "libtdb_storage.a"
+  "libtdb_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tdb_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

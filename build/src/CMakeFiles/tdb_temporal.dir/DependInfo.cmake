@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/temporal/bitemporal_tuple.cpp" "src/CMakeFiles/tdb_temporal.dir/temporal/bitemporal_tuple.cpp.o" "gcc" "src/CMakeFiles/tdb_temporal.dir/temporal/bitemporal_tuple.cpp.o.d"
+  "/root/repo/src/temporal/coalesce.cpp" "src/CMakeFiles/tdb_temporal.dir/temporal/coalesce.cpp.o" "gcc" "src/CMakeFiles/tdb_temporal.dir/temporal/coalesce.cpp.o.d"
+  "/root/repo/src/temporal/historical_relation.cpp" "src/CMakeFiles/tdb_temporal.dir/temporal/historical_relation.cpp.o" "gcc" "src/CMakeFiles/tdb_temporal.dir/temporal/historical_relation.cpp.o.d"
+  "/root/repo/src/temporal/rollback_relation.cpp" "src/CMakeFiles/tdb_temporal.dir/temporal/rollback_relation.cpp.o" "gcc" "src/CMakeFiles/tdb_temporal.dir/temporal/rollback_relation.cpp.o.d"
+  "/root/repo/src/temporal/snapshot.cpp" "src/CMakeFiles/tdb_temporal.dir/temporal/snapshot.cpp.o" "gcc" "src/CMakeFiles/tdb_temporal.dir/temporal/snapshot.cpp.o.d"
+  "/root/repo/src/temporal/static_relation.cpp" "src/CMakeFiles/tdb_temporal.dir/temporal/static_relation.cpp.o" "gcc" "src/CMakeFiles/tdb_temporal.dir/temporal/static_relation.cpp.o.d"
+  "/root/repo/src/temporal/stored_relation.cpp" "src/CMakeFiles/tdb_temporal.dir/temporal/stored_relation.cpp.o" "gcc" "src/CMakeFiles/tdb_temporal.dir/temporal/stored_relation.cpp.o.d"
+  "/root/repo/src/temporal/temporal_relation.cpp" "src/CMakeFiles/tdb_temporal.dir/temporal/temporal_relation.cpp.o" "gcc" "src/CMakeFiles/tdb_temporal.dir/temporal/temporal_relation.cpp.o.d"
+  "/root/repo/src/temporal/version_store.cpp" "src/CMakeFiles/tdb_temporal.dir/temporal/version_store.cpp.o" "gcc" "src/CMakeFiles/tdb_temporal.dir/temporal/version_store.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/tdb_catalog.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tdb_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tdb_index.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tdb_txn.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tdb_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

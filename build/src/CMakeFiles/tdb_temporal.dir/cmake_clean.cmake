@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tdb_temporal.dir/temporal/bitemporal_tuple.cpp.o"
+  "CMakeFiles/tdb_temporal.dir/temporal/bitemporal_tuple.cpp.o.d"
+  "CMakeFiles/tdb_temporal.dir/temporal/coalesce.cpp.o"
+  "CMakeFiles/tdb_temporal.dir/temporal/coalesce.cpp.o.d"
+  "CMakeFiles/tdb_temporal.dir/temporal/historical_relation.cpp.o"
+  "CMakeFiles/tdb_temporal.dir/temporal/historical_relation.cpp.o.d"
+  "CMakeFiles/tdb_temporal.dir/temporal/rollback_relation.cpp.o"
+  "CMakeFiles/tdb_temporal.dir/temporal/rollback_relation.cpp.o.d"
+  "CMakeFiles/tdb_temporal.dir/temporal/snapshot.cpp.o"
+  "CMakeFiles/tdb_temporal.dir/temporal/snapshot.cpp.o.d"
+  "CMakeFiles/tdb_temporal.dir/temporal/static_relation.cpp.o"
+  "CMakeFiles/tdb_temporal.dir/temporal/static_relation.cpp.o.d"
+  "CMakeFiles/tdb_temporal.dir/temporal/stored_relation.cpp.o"
+  "CMakeFiles/tdb_temporal.dir/temporal/stored_relation.cpp.o.d"
+  "CMakeFiles/tdb_temporal.dir/temporal/temporal_relation.cpp.o"
+  "CMakeFiles/tdb_temporal.dir/temporal/temporal_relation.cpp.o.d"
+  "CMakeFiles/tdb_temporal.dir/temporal/version_store.cpp.o"
+  "CMakeFiles/tdb_temporal.dir/temporal/version_store.cpp.o.d"
+  "libtdb_temporal.a"
+  "libtdb_temporal.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tdb_temporal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

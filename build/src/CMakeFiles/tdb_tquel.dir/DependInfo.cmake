@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/tquel/analyzer.cpp" "src/CMakeFiles/tdb_tquel.dir/tquel/analyzer.cpp.o" "gcc" "src/CMakeFiles/tdb_tquel.dir/tquel/analyzer.cpp.o.d"
+  "/root/repo/src/tquel/ast.cpp" "src/CMakeFiles/tdb_tquel.dir/tquel/ast.cpp.o" "gcc" "src/CMakeFiles/tdb_tquel.dir/tquel/ast.cpp.o.d"
+  "/root/repo/src/tquel/evaluator.cpp" "src/CMakeFiles/tdb_tquel.dir/tquel/evaluator.cpp.o" "gcc" "src/CMakeFiles/tdb_tquel.dir/tquel/evaluator.cpp.o.d"
+  "/root/repo/src/tquel/lexer.cpp" "src/CMakeFiles/tdb_tquel.dir/tquel/lexer.cpp.o" "gcc" "src/CMakeFiles/tdb_tquel.dir/tquel/lexer.cpp.o.d"
+  "/root/repo/src/tquel/parser.cpp" "src/CMakeFiles/tdb_tquel.dir/tquel/parser.cpp.o" "gcc" "src/CMakeFiles/tdb_tquel.dir/tquel/parser.cpp.o.d"
+  "/root/repo/src/tquel/printer.cpp" "src/CMakeFiles/tdb_tquel.dir/tquel/printer.cpp.o" "gcc" "src/CMakeFiles/tdb_tquel.dir/tquel/printer.cpp.o.d"
+  "/root/repo/src/tquel/token.cpp" "src/CMakeFiles/tdb_tquel.dir/tquel/token.cpp.o" "gcc" "src/CMakeFiles/tdb_tquel.dir/tquel/token.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/tdb_rel.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tdb_temporal.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tdb_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tdb_catalog.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tdb_index.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tdb_txn.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tdb_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

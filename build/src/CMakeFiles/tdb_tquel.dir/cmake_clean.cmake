@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tdb_tquel.dir/tquel/analyzer.cpp.o"
+  "CMakeFiles/tdb_tquel.dir/tquel/analyzer.cpp.o.d"
+  "CMakeFiles/tdb_tquel.dir/tquel/ast.cpp.o"
+  "CMakeFiles/tdb_tquel.dir/tquel/ast.cpp.o.d"
+  "CMakeFiles/tdb_tquel.dir/tquel/evaluator.cpp.o"
+  "CMakeFiles/tdb_tquel.dir/tquel/evaluator.cpp.o.d"
+  "CMakeFiles/tdb_tquel.dir/tquel/lexer.cpp.o"
+  "CMakeFiles/tdb_tquel.dir/tquel/lexer.cpp.o.d"
+  "CMakeFiles/tdb_tquel.dir/tquel/parser.cpp.o"
+  "CMakeFiles/tdb_tquel.dir/tquel/parser.cpp.o.d"
+  "CMakeFiles/tdb_tquel.dir/tquel/printer.cpp.o"
+  "CMakeFiles/tdb_tquel.dir/tquel/printer.cpp.o.d"
+  "CMakeFiles/tdb_tquel.dir/tquel/token.cpp.o"
+  "CMakeFiles/tdb_tquel.dir/tquel/token.cpp.o.d"
+  "libtdb_tquel.a"
+  "libtdb_tquel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tdb_tquel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

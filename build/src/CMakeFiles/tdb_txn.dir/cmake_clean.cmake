@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tdb_txn.dir/txn/clock.cpp.o"
+  "CMakeFiles/tdb_txn.dir/txn/clock.cpp.o.d"
+  "CMakeFiles/tdb_txn.dir/txn/transaction.cpp.o"
+  "CMakeFiles/tdb_txn.dir/txn/transaction.cpp.o.d"
+  "CMakeFiles/tdb_txn.dir/txn/txn_manager.cpp.o"
+  "CMakeFiles/tdb_txn.dir/txn/txn_manager.cpp.o.d"
+  "libtdb_txn.a"
+  "libtdb_txn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tdb_txn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/attribute_index_test.dir/attribute_index_test.cpp.o"
+  "CMakeFiles/attribute_index_test.dir/attribute_index_test.cpp.o.d"
+  "attribute_index_test"
+  "attribute_index_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/attribute_index_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/btree_test.cpp" "tests/CMakeFiles/btree_test.dir/btree_test.cpp.o" "gcc" "tests/CMakeFiles/btree_test.dir/btree_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/tdb_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tdb_tquel.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tdb_rel.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tdb_temporal.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tdb_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tdb_catalog.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tdb_index.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tdb_txn.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tdb_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bulk_test.dir/bulk_test.cpp.o"
+  "CMakeFiles/bulk_test.dir/bulk_test.cpp.o.d"
+  "bulk_test"
+  "bulk_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bulk_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

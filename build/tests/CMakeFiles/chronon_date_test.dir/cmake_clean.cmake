@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/chronon_date_test.dir/chronon_date_test.cpp.o"
+  "CMakeFiles/chronon_date_test.dir/chronon_date_test.cpp.o.d"
+  "chronon_date_test"
+  "chronon_date_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/chronon_date_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

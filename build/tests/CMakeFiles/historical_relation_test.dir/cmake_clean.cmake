@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/historical_relation_test.dir/historical_relation_test.cpp.o"
+  "CMakeFiles/historical_relation_test.dir/historical_relation_test.cpp.o.d"
+  "historical_relation_test"
+  "historical_relation_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/historical_relation_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pager_buffer_pool_test.dir/pager_buffer_pool_test.cpp.o"
+  "CMakeFiles/pager_buffer_pool_test.dir/pager_buffer_pool_test.cpp.o.d"
+  "pager_buffer_pool_test"
+  "pager_buffer_pool_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pager_buffer_pool_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

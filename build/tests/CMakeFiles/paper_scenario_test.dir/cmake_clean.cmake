@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/paper_scenario_test.dir/paper_scenario_test.cpp.o"
+  "CMakeFiles/paper_scenario_test.dir/paper_scenario_test.cpp.o.d"
+  "paper_scenario_test"
+  "paper_scenario_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/paper_scenario_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

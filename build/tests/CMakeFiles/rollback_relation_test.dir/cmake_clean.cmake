@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rollback_relation_test.dir/rollback_relation_test.cpp.o"
+  "CMakeFiles/rollback_relation_test.dir/rollback_relation_test.cpp.o.d"
+  "rollback_relation_test"
+  "rollback_relation_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rollback_relation_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

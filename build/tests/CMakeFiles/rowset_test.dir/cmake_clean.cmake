@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rowset_test.dir/rowset_test.cpp.o"
+  "CMakeFiles/rowset_test.dir/rowset_test.cpp.o.d"
+  "rowset_test"
+  "rowset_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rowset_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/schema_catalog_test.dir/schema_catalog_test.cpp.o"
+  "CMakeFiles/schema_catalog_test.dir/schema_catalog_test.cpp.o.d"
+  "schema_catalog_test"
+  "schema_catalog_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/schema_catalog_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

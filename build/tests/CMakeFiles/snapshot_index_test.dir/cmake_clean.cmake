@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/snapshot_index_test.dir/snapshot_index_test.cpp.o"
+  "CMakeFiles/snapshot_index_test.dir/snapshot_index_test.cpp.o.d"
+  "snapshot_index_test"
+  "snapshot_index_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/snapshot_index_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

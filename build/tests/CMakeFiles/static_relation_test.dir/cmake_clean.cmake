@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/static_relation_test.dir/static_relation_test.cpp.o"
+  "CMakeFiles/static_relation_test.dir/static_relation_test.cpp.o.d"
+  "static_relation_test"
+  "static_relation_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/static_relation_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

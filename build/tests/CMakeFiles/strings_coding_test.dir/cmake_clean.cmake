@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/strings_coding_test.dir/strings_coding_test.cpp.o"
+  "CMakeFiles/strings_coding_test.dir/strings_coding_test.cpp.o.d"
+  "strings_coding_test"
+  "strings_coding_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/strings_coding_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/temporal_ops_test.dir/temporal_ops_test.cpp.o"
+  "CMakeFiles/temporal_ops_test.dir/temporal_ops_test.cpp.o.d"
+  "temporal_ops_test"
+  "temporal_ops_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/temporal_ops_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

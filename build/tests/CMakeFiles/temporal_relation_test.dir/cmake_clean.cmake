@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/temporal_relation_test.dir/temporal_relation_test.cpp.o"
+  "CMakeFiles/temporal_relation_test.dir/temporal_relation_test.cpp.o.d"
+  "temporal_relation_test"
+  "temporal_relation_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/temporal_relation_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tquel_aggregate_test.dir/tquel_aggregate_test.cpp.o"
+  "CMakeFiles/tquel_aggregate_test.dir/tquel_aggregate_test.cpp.o.d"
+  "tquel_aggregate_test"
+  "tquel_aggregate_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tquel_aggregate_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

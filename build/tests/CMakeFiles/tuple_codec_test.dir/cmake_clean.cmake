@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tuple_codec_test.dir/tuple_codec_test.cpp.o"
+  "CMakeFiles/tuple_codec_test.dir/tuple_codec_test.cpp.o.d"
+  "tuple_codec_test"
+  "tuple_codec_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tuple_codec_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
