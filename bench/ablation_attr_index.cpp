@@ -5,6 +5,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench/bench_json.h"
+
 #include "bench/bench_common.h"
 
 using namespace temporadb;
@@ -85,3 +87,5 @@ BENCHMARK(BM_PointQuery_Indexed)->Arg(1000)->Arg(4000)->Arg(16000);
 BENCHMARK(BM_PointQuery_Scan)->Arg(1000)->Arg(4000)->Arg(16000);
 BENCHMARK(BM_Append_Indexed);
 BENCHMARK(BM_Append_NoIndex);
+
+TDB_BENCH_MAIN("ablation_attr_index")

@@ -5,6 +5,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench/bench_json.h"
+
 #include "bench/bench_common.h"
 #include "temporal/coalesce.h"
 
@@ -77,3 +79,5 @@ void BM_SliceScan_Coalesced(benchmark::State& state) {
 BENCHMARK(BM_CoalesceCost)->Arg(500)->Arg(2000)->Arg(8000);
 BENCHMARK(BM_SliceScan_Fragmented)->Arg(0);
 BENCHMARK(BM_SliceScan_Coalesced)->Arg(0);
+
+TDB_BENCH_MAIN("ablation_coalescing")

@@ -6,6 +6,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench/bench_json.h"
+
 #include "bench/bench_common.h"
 #include "temporal/snapshot.h"
 
@@ -65,3 +67,5 @@ BENCHMARK(BM_AsOf_Indexed)->Arg(1000)->Arg(4000)->Arg(16000);
 BENCHMARK(BM_AsOf_Scan)->Arg(1000)->Arg(4000)->Arg(16000);
 BENCHMARK(BM_Current_Indexed)->Arg(1000)->Arg(4000)->Arg(16000);
 BENCHMARK(BM_Current_Scan)->Arg(1000)->Arg(4000)->Arg(16000);
+
+TDB_BENCH_MAIN("ablation_rollback_latency")

@@ -10,6 +10,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench/bench_json.h"
+
 #include <map>
 #include <vector>
 
@@ -141,3 +143,5 @@ BENCHMARK(BM_SnapshotCopy)->Arg(250)->Arg(1000)->Arg(4000)
     ->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_TupleStamped)->Arg(250)->Arg(1000)->Arg(4000)
     ->Unit(benchmark::kMillisecond);
+
+TDB_BENCH_MAIN("ablation_snapshot_vs_stamped")

@@ -9,6 +9,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench/bench_json.h"
+
 #include "bench/bench_common.h"
 
 using namespace temporadb;
@@ -56,3 +58,5 @@ BENCHMARK(BM_Growth_Static)->Arg(1000)->Arg(4000)->Unit(benchmark::kMillisecond)
 BENCHMARK(BM_Growth_Rollback)->Arg(1000)->Arg(4000)->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_Growth_Historical)->Arg(1000)->Arg(4000)->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_Growth_Temporal)->Arg(1000)->Arg(4000)->Unit(benchmark::kMillisecond);
+
+TDB_BENCH_MAIN("ablation_storage_growth")

@@ -3,6 +3,8 @@
 // of WAL length.
 
 #include <benchmark/benchmark.h>
+
+#include "bench/bench_json.h"
 #include <unistd.h>
 
 #include <filesystem>
@@ -152,3 +154,5 @@ BENCHMARK(BM_RecoveryAfterCheckpoint)->Arg(1000)->Arg(8000)
     ->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_CheckpointCost)->Arg(1000)->Arg(8000)
     ->Unit(benchmark::kMillisecond);
+
+TDB_BENCH_MAIN("ablation_wal_recovery")

@@ -1,8 +1,11 @@
 // A5 — Temporal join scaling: the TQuel `when f1 overlap f2` join evaluated
-// through the full query stack at increasing relation sizes, against the
-// non-temporal equi-join as a baseline.
+// through the full query stack at increasing relation sizes, with the
+// executor's `when` scan pushdown on and off, against the non-temporal
+// equi-join as a baseline.
 
 #include <benchmark/benchmark.h>
+
+#include "bench/bench_json.h"
 
 #include "bench/bench_common.h"
 
@@ -10,8 +13,10 @@ using namespace temporadb;
 
 namespace {
 
-bench::ScenarioDb BuildPair(size_t per_relation) {
-  bench::ScenarioDb sdb = bench::OpenScenarioDb();
+bench::ScenarioDb BuildPair(size_t per_relation, bool time_pushdown = true) {
+  VersionStoreOptions options;
+  options.time_pushdown = time_pushdown;
+  bench::ScenarioDb sdb = bench::OpenScenarioDb(options);
   Random rng(5);
   for (const char* name : {"a", "b"}) {
     Schema schema = *Schema::Make({Attribute{"key", Type::String()},
@@ -37,8 +42,13 @@ bench::ScenarioDb BuildPair(size_t per_relation) {
   return sdb;
 }
 
-void BM_WhenJoin(benchmark::State& state) {
-  bench::ScenarioDb sdb = BuildPair(static_cast<size_t>(state.range(0)));
+// With pushdown, the executor re-derives x's period per outer tuple and
+// probes b's interval index (`ScanValidDuring`), so the inner scan touches
+// only overlapping versions; without it, every inner version is surfaced
+// and the `when` predicate filters above the store.
+void RunWhenJoin(benchmark::State& state, bool time_pushdown) {
+  bench::ScenarioDb sdb =
+      BuildPair(static_cast<size_t>(state.range(0)), time_pushdown);
   size_t answer = 0;
   for (auto _ : state) {
     Result<Rowset> rows = sdb.db->Query(
@@ -51,6 +61,13 @@ void BM_WhenJoin(benchmark::State& state) {
     benchmark::DoNotOptimize(rows);
   }
   state.counters["answer_rows"] = static_cast<double>(answer);
+}
+
+void BM_WhenJoin_Pushdown(benchmark::State& state) {
+  RunWhenJoin(state, true);
+}
+void BM_WhenJoin_NoPushdown(benchmark::State& state) {
+  RunWhenJoin(state, false);
 }
 
 void BM_EquiJoinOnly(benchmark::State& state) {
@@ -71,7 +88,11 @@ void BM_EquiJoinOnly(benchmark::State& state) {
 
 }  // namespace
 
-BENCHMARK(BM_WhenJoin)->Arg(50)->Arg(200)->Arg(800)
+BENCHMARK(BM_WhenJoin_Pushdown)->Arg(50)->Arg(200)->Arg(800)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_WhenJoin_NoPushdown)->Arg(50)->Arg(200)->Arg(800)
     ->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_EquiJoinOnly)->Arg(50)->Arg(200)->Arg(800)
     ->Unit(benchmark::kMillisecond);
+
+TDB_BENCH_MAIN("ablation_when_join")

@@ -23,6 +23,24 @@ ScenarioDb OpenScenarioDb(VersionStoreOptions store_options) {
   return out;
 }
 
+FigureRun::FigureRun(std::string id)
+    : id_(std::move(id)), start_(std::chrono::steady_clock::now()) {}
+
+FigureRun::~FigureRun() {
+  const double elapsed_ms =
+      std::chrono::duration<double, std::milli>(
+          std::chrono::steady_clock::now() - start_)
+          .count();
+  const std::string path = "BENCH_" + id_ + ".json";
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return;  // Read-only working directory: skip the file.
+  std::fprintf(f,
+               "{\n  \"bench\": \"%s\",\n  \"kind\": \"figure\",\n"
+               "  \"elapsed_ms\": %.3f\n}\n",
+               id_.c_str(), elapsed_ms);
+  std::fclose(f);
+}
+
 void PrintFigureHeader(const std::string& id, const std::string& title,
                        const std::string& note) {
   std::printf("=====================================================\n");
@@ -35,8 +53,8 @@ void PrintFigureHeader(const std::string& id, const std::string& title,
 
 StoredRelation* PopulateStream(Database* db, ManualClock* clock,
                                const std::string& relation, TemporalClass cls,
-                               size_t n_entities, size_t churn,
-                               uint64_t seed) {
+                               size_t n_entities, size_t churn, uint64_t seed,
+                               bool bounded_valid) {
   Schema schema = *Schema::Make({Attribute{"name", Type::String()},
                                  Attribute{"rank", Type::String()}});
   Result<RelationInfo> info = db->CreateRelation(relation, schema, cls);
@@ -58,7 +76,7 @@ StoredRelation* PopulateStream(Database* db, ManualClock* clock,
     std::optional<Period> valid;
     if (has_valid) {
       int64_t from = day - 30 + static_cast<int64_t>(rng.Uniform(60));
-      valid = rng.OneIn(2)
+      valid = (!bounded_valid && rng.OneIn(2))
                   ? Period::From(Chronon(from))
                   : Period(Chronon(from),
                            Chronon(from + 1 +

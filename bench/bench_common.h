@@ -1,6 +1,7 @@
 #ifndef TEMPORADB_BENCH_BENCH_COMMON_H_
 #define TEMPORADB_BENCH_BENCH_COMMON_H_
 
+#include <chrono>
 #include <memory>
 #include <string>
 
@@ -27,15 +28,36 @@ ScenarioDb OpenScenarioDb(VersionStoreOptions store_options = {});
 void PrintFigureHeader(const std::string& id, const std::string& title,
                        const std::string& note);
 
+/// RAII marker for a figure reproducer run: on destruction writes the
+/// machine-readable result file `BENCH_<id>.json` (kind, wall-clock ms)
+/// next to the binary, mirroring what --benchmark_out produces for the
+/// google-benchmark ablations.  Declare one at the top of main().
+class FigureRun {
+ public:
+  explicit FigureRun(std::string id);
+  ~FigureRun();
+
+  FigureRun(const FigureRun&) = delete;
+  FigureRun& operator=(const FigureRun&) = delete;
+
+ private:
+  std::string id_;
+  std::chrono::steady_clock::time_point start_;
+};
+
 /// A synthetic update stream against one (name, rank) relation: `n_entities`
 /// keys receiving inserts/replaces/deletes with retroactive and postactive
 /// valid periods.  Used by the ablation benches.  Returns the relation.
 ///
 /// `churn` ops are applied; transaction days advance by 1..3 per op.
+/// By default half the valid periods are open-ended (`from` onwards); with
+/// `bounded_valid` every period closes within ~90 days, so valid-time
+/// stabs stay selective at any history size.
 StoredRelation* PopulateStream(Database* db, ManualClock* clock,
                                const std::string& relation,
                                TemporalClass cls, size_t n_entities,
-                               size_t churn, uint64_t seed);
+                               size_t churn, uint64_t seed,
+                               bool bounded_valid = false);
 
 }  // namespace bench
 }  // namespace temporadb

@@ -1,0 +1,45 @@
+#ifndef TEMPORADB_BENCH_BENCH_JSON_H_
+#define TEMPORADB_BENCH_BENCH_JSON_H_
+
+#include <benchmark/benchmark.h>
+
+#include <string>
+#include <vector>
+
+namespace temporadb {
+namespace bench {
+
+/// Shared main() body for the google-benchmark ablations.  Unless the
+/// caller already picked an output file, every run also emits the
+/// machine-readable `BENCH_<id>.json` (google-benchmark's JSON format) next
+/// to the console report, so figure/ablation results can be collected by
+/// scripts without scraping stdout.
+inline int RunBenchmarksWithJson(const char* id, int argc, char** argv) {
+  std::vector<char*> args(argv, argv + argc);
+  bool has_out = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]).rfind("--benchmark_out", 0) == 0) has_out = true;
+  }
+  std::string out_flag = std::string("--benchmark_out=BENCH_") + id + ".json";
+  std::string fmt_flag = "--benchmark_out_format=json";
+  if (!has_out) {
+    args.push_back(out_flag.data());
+    args.push_back(fmt_flag.data());
+  }
+  int n = static_cast<int>(args.size());
+  benchmark::Initialize(&n, args.data());
+  if (benchmark::ReportUnrecognizedArguments(n, args.data())) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}
+
+}  // namespace bench
+}  // namespace temporadb
+
+/// Defines main() for an ablation bench; `id` names the JSON result file.
+#define TDB_BENCH_MAIN(id)                                         \
+  int main(int argc, char** argv) {                                \
+    return temporadb::bench::RunBenchmarksWithJson(id, argc, argv); \
+  }
+
+#endif  // TEMPORADB_BENCH_BENCH_JSON_H_

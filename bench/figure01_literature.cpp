@@ -3,9 +3,11 @@
 
 #include <cstdio>
 
+#include "bench/bench_common.h"
 #include "core/taxonomy.h"
 
 int main() {
+  temporadb::bench::FigureRun bench_run("figure01_literature");
   std::printf("%s\n", temporadb::RenderFigure1().c_str());
   return 0;
 }

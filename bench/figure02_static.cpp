@@ -11,6 +11,7 @@
 using namespace temporadb;
 
 int main() {
+  bench::FigureRun bench_run("figure02_static");
   bench::PrintFigureHeader("Figure 2", "A Static Relation", "");
   bench::ScenarioDb sdb = bench::OpenScenarioDb();
   if (!paper::BuildStaticFaculty(sdb.db.get()).ok()) return 1;

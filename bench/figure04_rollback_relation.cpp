@@ -12,6 +12,7 @@
 using namespace temporadb;
 
 int main() {
+  bench::FigureRun bench_run("figure04_rollback_relation");
   bench::PrintFigureHeader("Figure 4", "A Static Rollback Relation", "");
   bench::ScenarioDb sdb = bench::OpenScenarioDb();
   if (!paper::BuildRollbackFaculty(sdb.db.get(), sdb.clock.get()).ok()) {

@@ -11,6 +11,7 @@
 using namespace temporadb;
 
 int main() {
+  bench::FigureRun bench_run("figure05_historical_cube");
   bench::PrintFigureHeader(
       "Figure 5", "An Historical Relation",
       "Same transactions as Figure 3, plus a correction erasing an "

@@ -13,6 +13,7 @@
 using namespace temporadb;
 
 int main() {
+  bench::FigureRun bench_run("figure06_historical_relation");
   bench::PrintFigureHeader("Figure 6", "An Historical Relation", "");
   bench::ScenarioDb sdb = bench::OpenScenarioDb();
   if (!paper::BuildHistoricalFaculty(sdb.db.get(), sdb.clock.get()).ok()) {

@@ -11,6 +11,7 @@
 using namespace temporadb;
 
 int main() {
+  bench::FigureRun bench_run("figure07_temporal_cube");
   bench::PrintFigureHeader(
       "Figure 7", "A Temporal Relation",
       "Four transactions; the last removes an erroneous tuple from the "

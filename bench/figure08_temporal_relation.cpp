@@ -16,6 +16,7 @@
 using namespace temporadb;
 
 int main() {
+  bench::FigureRun bench_run("figure08_temporal_relation");
   bench::PrintFigureHeader("Figure 8", "A Temporal Relation", "");
   bench::ScenarioDb sdb = bench::OpenScenarioDb();
   if (!paper::BuildTemporalFaculty(sdb.db.get(), sdb.clock.get()).ok()) {

@@ -12,6 +12,7 @@
 using namespace temporadb;
 
 int main() {
+  bench::FigureRun bench_run("figure09_event_relation");
   bench::PrintFigureHeader("Figure 9", "A Temporal Event Relation", "");
   bench::ScenarioDb sdb = bench::OpenScenarioDb();
   if (!paper::BuildPromotionEvents(sdb.db.get(), sdb.clock.get()).ok()) {

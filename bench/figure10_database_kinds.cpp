@@ -11,6 +11,7 @@
 using namespace temporadb;
 
 int main() {
+  bench::FigureRun bench_run("figure10_database_kinds");
   std::printf("%s\n", RenderFigure10().c_str());
 
   // Executable proof: per kind, which constructs does the engine accept?

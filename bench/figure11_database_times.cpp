@@ -3,9 +3,11 @@
 
 #include <cstdio>
 
+#include "bench/bench_common.h"
 #include "core/taxonomy.h"
 
 int main() {
+  temporadb::bench::FigureRun bench_run("figure11_database_times");
   std::printf("%s\n", temporadb::RenderFigure11().c_str());
   return 0;
 }

@@ -12,6 +12,7 @@
 using namespace temporadb;
 
 int main() {
+  bench::FigureRun bench_run("figure12_time_attributes");
   std::printf("%s\n", RenderFigure12().c_str());
 
   bench::ScenarioDb sdb = bench::OpenScenarioDb();

@@ -3,9 +3,11 @@
 
 #include <cstdio>
 
+#include "bench/bench_common.h"
 #include "core/taxonomy.h"
 
 int main() {
+  temporadb::bench::FigureRun bench_run("figure13_system_survey");
   std::printf("%s\n", temporadb::RenderFigure13().c_str());
   return 0;
 }

@@ -49,6 +49,17 @@ void SnapshotIndex::AsOf(Chronon t, const std::function<void(RowId)>& fn) const 
   }
 }
 
+void SnapshotIndex::Overlapping(Period q,
+                                const std::function<void(RowId)>& fn) const {
+  if (q.IsEmpty()) return;
+  closed_.Overlapping(q, [&](Period, RowId row) { fn(row); });
+  for (const auto& [row, start] : current_) {
+    // A current version covers [start, ∞), which overlaps q iff q extends
+    // past its start.
+    if (start < q.end()) fn(row);
+  }
+}
+
 void SnapshotIndex::Current(const std::function<void(RowId)>& fn) const {
   for (const auto& [row, start] : current_) fn(row);
 }

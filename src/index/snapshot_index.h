@@ -50,6 +50,11 @@ class SnapshotIndex {
   /// Calls `fn(row)` for every version in the stored state as of `t`.
   void AsOf(Chronon t, const std::function<void(RowId)>& fn) const;
 
+  /// Calls `fn(row)` for every version whose transaction period overlaps
+  /// `q` (the `as of ... through ...` access path): a range query of the
+  /// closed set plus the current versions that started before `q` ends.
+  void Overlapping(Period q, const std::function<void(RowId)>& fn) const;
+
   /// Calls `fn(row)` for every current (open-ended) version.
   void Current(const std::function<void(RowId)>& fn) const;
 

@@ -1,0 +1,418 @@
+#include "rel/cursor.h"
+
+#include <algorithm>
+#include <set>
+#include <utility>
+
+#include "common/strings.h"
+
+namespace temporadb {
+
+namespace {
+
+class RowsetCursor final : public RowCursor {
+ public:
+  explicit RowsetCursor(const Rowset* input) : input_(input) {}
+
+  Status Open() override {
+    pos_ = 0;
+    return Status::OK();
+  }
+
+  Result<std::optional<Row>> Next() override {
+    if (pos_ >= input_->rows().size()) return std::optional<Row>();
+    return std::optional<Row>(input_->rows()[pos_++]);
+  }
+
+  const Schema& schema() const override { return input_->schema(); }
+  TemporalClass temporal_class() const override {
+    return input_->temporal_class();
+  }
+  TemporalDataModel data_model() const override {
+    return input_->data_model();
+  }
+
+ private:
+  const Rowset* input_;
+  size_t pos_ = 0;
+};
+
+class SelectCursor final : public RowCursor {
+ public:
+  SelectCursor(RowCursorPtr input, const Expr* pred)
+      : input_(std::move(input)), pred_(pred) {}
+
+  Status Open() override { return input_->Open(); }
+
+  Result<std::optional<Row>> Next() override {
+    while (true) {
+      TDB_ASSIGN_OR_RETURN(std::optional<Row> row, input_->Next());
+      if (!row.has_value()) return row;
+      TDB_ASSIGN_OR_RETURN(bool keep, EvalPredicate(*pred_, row->values));
+      if (keep) return row;
+    }
+  }
+
+  const Schema& schema() const override { return input_->schema(); }
+  TemporalClass temporal_class() const override {
+    return input_->temporal_class();
+  }
+  TemporalDataModel data_model() const override {
+    return input_->data_model();
+  }
+
+ private:
+  RowCursorPtr input_;
+  const Expr* pred_;
+};
+
+class ProjectCursor final : public RowCursor {
+ public:
+  ProjectCursor(RowCursorPtr input, const std::vector<ExprPtr>* exprs,
+                std::vector<std::string> names)
+      : input_(std::move(input)), exprs_(exprs), names_(std::move(names)) {}
+
+  Status Open() override {
+    if (exprs_->size() != names_.size()) {
+      return Status::InvalidArgument("projection names/expressions mismatch");
+    }
+    TDB_RETURN_IF_ERROR(input_->Open());
+    // Output attribute types: inferred from the first row, defaulting to
+    // string for empty inputs (types are advisory on derived rowsets).
+    TDB_ASSIGN_OR_RETURN(lookahead_, input_->Next());
+    std::vector<Attribute> attrs;
+    attrs.reserve(exprs_->size());
+    for (size_t i = 0; i < exprs_->size(); ++i) {
+      ValueType vt = ValueType::kString;
+      if (lookahead_.has_value()) {
+        TDB_ASSIGN_OR_RETURN(Value v, (*exprs_)[i]->Eval(lookahead_->values));
+        if (!v.is_null()) vt = v.type();
+      }
+      attrs.push_back(Attribute{names_[i], Type(vt)});
+    }
+    TDB_ASSIGN_OR_RETURN(schema_, Schema::Make(std::move(attrs)));
+    return Status::OK();
+  }
+
+  Result<std::optional<Row>> Next() override {
+    std::optional<Row> row;
+    if (lookahead_.has_value()) {
+      row = std::move(lookahead_);
+      lookahead_.reset();
+    } else {
+      TDB_ASSIGN_OR_RETURN(row, input_->Next());
+    }
+    if (!row.has_value()) return row;
+    Row projected;
+    projected.valid = row->valid;
+    projected.txn = row->txn;
+    projected.values.reserve(exprs_->size());
+    for (const ExprPtr& e : *exprs_) {
+      TDB_ASSIGN_OR_RETURN(Value v, e->Eval(row->values));
+      projected.values.push_back(std::move(v));
+    }
+    return std::optional<Row>(std::move(projected));
+  }
+
+  const Schema& schema() const override { return schema_; }
+  TemporalClass temporal_class() const override {
+    return input_->temporal_class();
+  }
+  TemporalDataModel data_model() const override {
+    return input_->data_model();
+  }
+
+ private:
+  RowCursorPtr input_;
+  const std::vector<ExprPtr>* exprs_;
+  std::vector<std::string> names_;
+  std::optional<Row> lookahead_;
+  Schema schema_;
+};
+
+class UnionCursor final : public RowCursor {
+ public:
+  UnionCursor(RowCursorPtr a, RowCursorPtr b)
+      : a_(std::move(a)), b_(std::move(b)) {}
+
+  Status Open() override {
+    TDB_RETURN_IF_ERROR(a_->Open());
+    TDB_RETURN_IF_ERROR(b_->Open());
+    if (a_->schema() != b_->schema()) {
+      return Status::InvalidArgument("union of incompatible schemas");
+    }
+    if (a_->temporal_class() != b_->temporal_class()) {
+      return Status::InvalidArgument(StringPrintf(
+          "union of %s and %s relations",
+          std::string(TemporalClassName(a_->temporal_class())).c_str(),
+          std::string(TemporalClassName(b_->temporal_class())).c_str()));
+    }
+    return Status::OK();
+  }
+
+  Result<std::optional<Row>> Next() override {
+    if (!a_done_) {
+      TDB_ASSIGN_OR_RETURN(std::optional<Row> row, a_->Next());
+      if (row.has_value()) return row;
+      a_done_ = true;
+    }
+    return b_->Next();
+  }
+
+  const Schema& schema() const override { return a_->schema(); }
+  TemporalClass temporal_class() const override {
+    return a_->temporal_class();
+  }
+  TemporalDataModel data_model() const override { return a_->data_model(); }
+
+ private:
+  RowCursorPtr a_;
+  RowCursorPtr b_;
+  bool a_done_ = false;
+};
+
+class DifferenceCursor final : public RowCursor {
+ public:
+  DifferenceCursor(RowCursorPtr a, RowCursorPtr b)
+      : a_(std::move(a)), b_(std::move(b)) {}
+
+  Status Open() override {
+    TDB_RETURN_IF_ERROR(a_->Open());
+    TDB_RETURN_IF_ERROR(b_->Open());
+    if (a_->schema() != b_->schema() ||
+        a_->temporal_class() != b_->temporal_class()) {
+      return Status::InvalidArgument("difference of incompatible relations");
+    }
+    // Pipeline breaker on the excluded side only: `b` is drained into a
+    // set, `a` streams through.
+    while (true) {
+      TDB_ASSIGN_OR_RETURN(std::optional<Row> row, b_->Next());
+      if (!row.has_value()) break;
+      exclude_.insert(std::move(*row));
+    }
+    return Status::OK();
+  }
+
+  Result<std::optional<Row>> Next() override {
+    while (true) {
+      TDB_ASSIGN_OR_RETURN(std::optional<Row> row, a_->Next());
+      if (!row.has_value()) return row;
+      if (!exclude_.contains(*row)) return row;
+    }
+  }
+
+  const Schema& schema() const override { return a_->schema(); }
+  TemporalClass temporal_class() const override {
+    return a_->temporal_class();
+  }
+  TemporalDataModel data_model() const override { return a_->data_model(); }
+
+ private:
+  RowCursorPtr a_;
+  RowCursorPtr b_;
+  std::set<Row> exclude_;
+};
+
+class DistinctCursor final : public RowCursor {
+ public:
+  explicit DistinctCursor(RowCursorPtr input) : input_(std::move(input)) {}
+
+  Status Open() override { return input_->Open(); }
+
+  Result<std::optional<Row>> Next() override {
+    while (true) {
+      TDB_ASSIGN_OR_RETURN(std::optional<Row> row, input_->Next());
+      if (!row.has_value()) return row;
+      if (seen_.insert(*row).second) return row;
+    }
+  }
+
+  const Schema& schema() const override { return input_->schema(); }
+  TemporalClass temporal_class() const override {
+    return input_->temporal_class();
+  }
+  TemporalDataModel data_model() const override {
+    return input_->data_model();
+  }
+
+ private:
+  RowCursorPtr input_;
+  std::set<Row> seen_;
+};
+
+class SortCursor final : public RowCursor {
+ public:
+  SortCursor(RowCursorPtr input, std::vector<size_t> keys)
+      : input_(std::move(input)), keys_(std::move(keys)) {}
+
+  Status Open() override {
+    TDB_RETURN_IF_ERROR(input_->Open());
+    for (size_t k : keys_) {
+      if (k >= input_->schema().size()) {
+        return Status::InvalidArgument("sort key index out of range");
+      }
+    }
+    while (true) {
+      TDB_ASSIGN_OR_RETURN(std::optional<Row> row, input_->Next());
+      if (!row.has_value()) break;
+      rows_.push_back(std::move(*row));
+    }
+    std::stable_sort(rows_.begin(), rows_.end(),
+                     [this](const Row& a, const Row& b) {
+                       for (size_t k : keys_) {
+                         if (a.values[k] < b.values[k]) return true;
+                         if (b.values[k] < a.values[k]) return false;
+                       }
+                       return a < b;
+                     });
+    return Status::OK();
+  }
+
+  Result<std::optional<Row>> Next() override {
+    if (pos_ >= rows_.size()) return std::optional<Row>();
+    return std::optional<Row>(std::move(rows_[pos_++]));
+  }
+
+  const Schema& schema() const override { return input_->schema(); }
+  TemporalClass temporal_class() const override {
+    return input_->temporal_class();
+  }
+  TemporalDataModel data_model() const override {
+    return input_->data_model();
+  }
+
+ private:
+  RowCursorPtr input_;
+  std::vector<size_t> keys_;
+  std::vector<Row> rows_;
+  size_t pos_ = 0;
+};
+
+class CrossProductCursor final : public RowCursor {
+ public:
+  CrossProductCursor(RowCursorPtr a, RowCursorPtr b)
+      : a_(std::move(a)), b_(std::move(b)) {}
+
+  Status Open() override {
+    TDB_RETURN_IF_ERROR(a_->Open());
+    TDB_RETURN_IF_ERROR(b_->Open());
+    if (!HasMeetClass(a_->temporal_class(), b_->temporal_class())) {
+      return Status::InvalidArgument(StringPrintf(
+          "cross product of %s and %s relations: the temporal classes have "
+          "no meet (one maintains only transaction time, the other only "
+          "valid time), so every pairing would silently drop both time "
+          "dimensions",
+          std::string(TemporalClassName(a_->temporal_class())).c_str(),
+          std::string(TemporalClassName(b_->temporal_class())).c_str()));
+    }
+    class_ = MeetClass(a_->temporal_class(), b_->temporal_class());
+    want_valid_ = SupportsValidTime(class_);
+    want_txn_ = SupportsTransactionTime(class_);
+    schema_ = a_->schema().Concat(b_->schema());
+    // Pipeline breaker on the inner side: `b` is buffered, `a` streams.
+    while (true) {
+      TDB_ASSIGN_OR_RETURN(std::optional<Row> row, b_->Next());
+      if (!row.has_value()) break;
+      inner_.push_back(std::move(*row));
+    }
+    return Status::OK();
+  }
+
+  Result<std::optional<Row>> Next() override {
+    while (true) {
+      if (!outer_.has_value() || inner_pos_ >= inner_.size()) {
+        TDB_ASSIGN_OR_RETURN(outer_, a_->Next());
+        if (!outer_.has_value()) return std::optional<Row>();
+        inner_pos_ = 0;
+      }
+      for (; inner_pos_ < inner_.size();) {
+        const Row& rb = inner_[inner_pos_++];
+        Row combined;
+        if (want_valid_) {
+          Period v = outer_->valid->Intersect(*rb.valid);
+          if (v.IsEmpty()) continue;  // The facts never coexist in reality.
+          combined.valid = v;
+        }
+        if (want_txn_) {
+          Period t = outer_->txn->Intersect(*rb.txn);
+          if (t.IsEmpty()) continue;  // Never co-stored.
+          combined.txn = t;
+        }
+        combined.values = outer_->values;
+        combined.values.insert(combined.values.end(), rb.values.begin(),
+                               rb.values.end());
+        return std::optional<Row>(std::move(combined));
+      }
+    }
+  }
+
+  const Schema& schema() const override { return schema_; }
+  TemporalClass temporal_class() const override { return class_; }
+  // Matches the materializing operator: the product is rebuilt as an
+  // interval rowset regardless of the operands' models.
+  TemporalDataModel data_model() const override {
+    return TemporalDataModel::kInterval;
+  }
+
+ private:
+  RowCursorPtr a_;
+  RowCursorPtr b_;
+  Schema schema_;
+  TemporalClass class_ = TemporalClass::kStatic;
+  bool want_valid_ = false;
+  bool want_txn_ = false;
+  std::vector<Row> inner_;
+  std::optional<Row> outer_;
+  size_t inner_pos_ = 0;
+};
+
+}  // namespace
+
+RowCursorPtr MakeRowsetCursor(const Rowset* input) {
+  return std::make_unique<RowsetCursor>(input);
+}
+
+RowCursorPtr MakeSelectCursor(RowCursorPtr input, const Expr* pred) {
+  return std::make_unique<SelectCursor>(std::move(input), pred);
+}
+
+RowCursorPtr MakeProjectCursor(RowCursorPtr input,
+                               const std::vector<ExprPtr>* exprs,
+                               std::vector<std::string> names) {
+  return std::make_unique<ProjectCursor>(std::move(input), exprs,
+                                         std::move(names));
+}
+
+RowCursorPtr MakeUnionCursor(RowCursorPtr a, RowCursorPtr b) {
+  return std::make_unique<UnionCursor>(std::move(a), std::move(b));
+}
+
+RowCursorPtr MakeDifferenceCursor(RowCursorPtr a, RowCursorPtr b) {
+  return std::make_unique<DifferenceCursor>(std::move(a), std::move(b));
+}
+
+RowCursorPtr MakeDistinctCursor(RowCursorPtr input) {
+  return std::make_unique<DistinctCursor>(std::move(input));
+}
+
+RowCursorPtr MakeSortCursor(RowCursorPtr input, std::vector<size_t> keys) {
+  return std::make_unique<SortCursor>(std::move(input), std::move(keys));
+}
+
+RowCursorPtr MakeCrossProductCursor(RowCursorPtr a, RowCursorPtr b) {
+  return std::make_unique<CrossProductCursor>(std::move(a), std::move(b));
+}
+
+Result<Rowset> MaterializeCursor(RowCursor* cursor) {
+  TDB_RETURN_IF_ERROR(cursor->Open());
+  Rowset out(cursor->schema(), cursor->temporal_class(),
+             cursor->data_model());
+  while (true) {
+    TDB_ASSIGN_OR_RETURN(std::optional<Row> row, cursor->Next());
+    if (!row.has_value()) break;
+    TDB_RETURN_IF_ERROR(out.AddRow(std::move(*row)));
+  }
+  return out;
+}
+
+}  // namespace temporadb

@@ -1,0 +1,83 @@
+#ifndef TEMPORADB_REL_CURSOR_H_
+#define TEMPORADB_REL_CURSOR_H_
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "rel/expression.h"
+#include "rel/relation.h"
+
+namespace temporadb {
+
+/// A pull-based (Volcano-style) row stream: the unit of composition of the
+/// streaming executor.
+///
+/// Life cycle: construct, `Open()` once, then `Next()` until it yields
+/// nullopt.  Schema, temporal class, and data model are only guaranteed to
+/// be final after `Open()` (projection infers output types from its first
+/// input row, exactly as the materializing `Project` always has).
+///
+/// Cursors *borrow* their inputs — source rowsets, expressions, and child
+/// cursors they do not own must outlive them.  The materializing operator
+/// functions in `rel/operators.h` are thin wrappers that build a cursor
+/// tree over their argument rowsets and drain it; callers that want
+/// streaming build the tree themselves and pull.
+class RowCursor {
+ public:
+  virtual ~RowCursor() = default;
+
+  /// Prepares the cursor (and its children) for pulling; validates operand
+  /// compatibility and resolves the output schema.  Must be called exactly
+  /// once, before `Next()` or the shape accessors.
+  virtual Status Open() = 0;
+
+  /// The next row, or nullopt when the stream is exhausted.
+  virtual Result<std::optional<Row>> Next() = 0;
+
+  /// Output shape; valid after `Open()` succeeded.
+  virtual const Schema& schema() const = 0;
+  virtual TemporalClass temporal_class() const = 0;
+  virtual TemporalDataModel data_model() const = 0;
+};
+
+using RowCursorPtr = std::unique_ptr<RowCursor>;
+
+/// Source: streams the rows of a materialized rowset (borrowed).
+RowCursorPtr MakeRowsetCursor(const Rowset* input);
+
+/// Rows for which `pred` (borrowed) evaluates to true.
+RowCursorPtr MakeSelectCursor(RowCursorPtr input, const Expr* pred);
+
+/// One output column per expression; output types are inferred from the
+/// first input row (string for an empty input).  `exprs` is borrowed.
+RowCursorPtr MakeProjectCursor(RowCursorPtr input,
+                               const std::vector<ExprPtr>* exprs,
+                               std::vector<std::string> names);
+
+/// Bag union; schemas and temporal classes must agree (checked at Open).
+RowCursorPtr MakeUnionCursor(RowCursorPtr a, RowCursorPtr b);
+
+/// Rows of `a` not present in `b`; `b` is drained and hashed at Open.
+RowCursorPtr MakeDifferenceCursor(RowCursorPtr a, RowCursorPtr b);
+
+/// Streaming duplicate elimination (full-row equality).
+RowCursorPtr MakeDistinctCursor(RowCursorPtr input);
+
+/// Sort by the given column indexes ascending; a pipeline breaker (drains
+/// its input at Open, then streams the sorted buffer).
+RowCursorPtr MakeSortCursor(RowCursorPtr input, std::vector<size_t> keys);
+
+/// Cartesian product in the meet class; the inner operand `b` is drained
+/// and buffered at Open, `a` streams.  Pairs whose periods do not intersect
+/// in a maintained dimension are dropped; operand classes without a meet
+/// (rollback x historical) are rejected at Open.
+RowCursorPtr MakeCrossProductCursor(RowCursorPtr a, RowCursorPtr b);
+
+/// Drains a cursor into a rowset (Open + Next loop).
+Result<Rowset> MaterializeCursor(RowCursor* cursor);
+
+}  // namespace temporadb
+
+#endif  // TEMPORADB_REL_CURSOR_H_

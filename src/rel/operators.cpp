@@ -1,54 +1,26 @@
 #include "rel/operators.h"
 
-#include <algorithm>
-#include <set>
+#include <utility>
 
-#include "common/strings.h"
+#include "rel/cursor.h"
 
 namespace temporadb {
 
+// Each materializing operator is a thin wrapper over the streaming cursor
+// executor in rel/cursor.{h,cpp}: build the (one- or two-node) cursor tree
+// over the argument rowsets and drain it.  Callers migrate to composing
+// cursors directly when they want pipelining; the rowset API keeps its
+// historical signatures and semantics.
+
 Result<Rowset> Select(const Rowset& input, const Expr& pred) {
-  Rowset out(input.schema(), input.temporal_class(), input.data_model());
-  for (const Row& row : input.rows()) {
-    TDB_ASSIGN_OR_RETURN(bool keep, EvalPredicate(pred, row.values));
-    if (keep) {
-      TDB_RETURN_IF_ERROR(out.AddRow(row));
-    }
-  }
-  return out;
+  RowCursorPtr c = MakeSelectCursor(MakeRowsetCursor(&input), &pred);
+  return MaterializeCursor(c.get());
 }
 
 Result<Rowset> Project(const Rowset& input, const std::vector<ExprPtr>& exprs,
                        const std::vector<std::string>& names) {
-  if (exprs.size() != names.size()) {
-    return Status::InvalidArgument("projection names/expressions mismatch");
-  }
-  // Output attribute types: inferred from the first row, defaulting to
-  // string for empty inputs (types are advisory on derived rowsets).
-  std::vector<Attribute> attrs;
-  attrs.reserve(exprs.size());
-  for (size_t i = 0; i < exprs.size(); ++i) {
-    ValueType vt = ValueType::kString;
-    if (!input.rows().empty()) {
-      TDB_ASSIGN_OR_RETURN(Value v, exprs[i]->Eval(input.rows()[0].values));
-      if (!v.is_null()) vt = v.type();
-    }
-    attrs.push_back(Attribute{names[i], Type(vt)});
-  }
-  TDB_ASSIGN_OR_RETURN(Schema schema, Schema::Make(std::move(attrs)));
-  Rowset out(std::move(schema), input.temporal_class(), input.data_model());
-  for (const Row& row : input.rows()) {
-    Row projected;
-    projected.valid = row.valid;
-    projected.txn = row.txn;
-    projected.values.reserve(exprs.size());
-    for (const ExprPtr& e : exprs) {
-      TDB_ASSIGN_OR_RETURN(Value v, e->Eval(row.values));
-      projected.values.push_back(std::move(v));
-    }
-    TDB_RETURN_IF_ERROR(out.AddRow(std::move(projected)));
-  }
-  return out;
+  RowCursorPtr c = MakeProjectCursor(MakeRowsetCursor(&input), &exprs, names);
+  return MaterializeCursor(c.get());
 }
 
 Result<Rowset> ProjectColumns(const Rowset& input,
@@ -66,94 +38,37 @@ Result<Rowset> ProjectColumns(const Rowset& input,
 }
 
 Result<Rowset> Union(const Rowset& a, const Rowset& b) {
-  if (a.schema() != b.schema()) {
-    return Status::InvalidArgument("union of incompatible schemas");
-  }
-  if (a.temporal_class() != b.temporal_class()) {
-    return Status::InvalidArgument(StringPrintf(
-        "union of %s and %s relations",
-        std::string(TemporalClassName(a.temporal_class())).c_str(),
-        std::string(TemporalClassName(b.temporal_class())).c_str()));
-  }
-  Rowset out(a.schema(), a.temporal_class(), a.data_model());
-  for (const Row& row : a.rows()) TDB_RETURN_IF_ERROR(out.AddRow(row));
-  for (const Row& row : b.rows()) TDB_RETURN_IF_ERROR(out.AddRow(row));
-  return out;
+  RowCursorPtr c =
+      MakeUnionCursor(MakeRowsetCursor(&a), MakeRowsetCursor(&b));
+  return MaterializeCursor(c.get());
 }
 
 Result<Rowset> Difference(const Rowset& a, const Rowset& b) {
-  if (a.schema() != b.schema() || a.temporal_class() != b.temporal_class()) {
-    return Status::InvalidArgument("difference of incompatible relations");
-  }
-  std::set<Row> exclude(b.rows().begin(), b.rows().end());
-  Rowset out(a.schema(), a.temporal_class(), a.data_model());
-  for (const Row& row : a.rows()) {
-    if (!exclude.contains(row)) {
-      TDB_RETURN_IF_ERROR(out.AddRow(row));
-    }
-  }
-  return out;
+  RowCursorPtr c =
+      MakeDifferenceCursor(MakeRowsetCursor(&a), MakeRowsetCursor(&b));
+  return MaterializeCursor(c.get());
 }
 
 Rowset Distinct(const Rowset& input) {
-  Rowset out(input.schema(), input.temporal_class(), input.data_model());
-  std::set<Row> seen;
-  for (const Row& row : input.rows()) {
-    if (seen.insert(row).second) {
-      (void)out.AddRow(row);
-    }
+  RowCursorPtr c = MakeDistinctCursor(MakeRowsetCursor(&input));
+  Result<Rowset> out = MaterializeCursor(c.get());
+  if (!out.ok()) {
+    // Unreachable: distinct introduces no failure mode over a well-formed
+    // rowset; keep the historical non-Result signature.
+    return Rowset(input.schema(), input.temporal_class(), input.data_model());
   }
-  return out;
+  return std::move(*out);
 }
 
 Result<Rowset> SortBy(const Rowset& input, const std::vector<size_t>& keys) {
-  for (size_t k : keys) {
-    if (k >= input.schema().size()) {
-      return Status::InvalidArgument("sort key index out of range");
-    }
-  }
-  Rowset out(input.schema(), input.temporal_class(), input.data_model());
-  std::vector<Row> rows = input.rows();
-  std::stable_sort(rows.begin(), rows.end(),
-                   [&keys](const Row& a, const Row& b) {
-                     for (size_t k : keys) {
-                       if (a.values[k] < b.values[k]) return true;
-                       if (b.values[k] < a.values[k]) return false;
-                     }
-                     return a < b;
-                   });
-  for (Row& row : rows) {
-    (void)out.AddRow(std::move(row));
-  }
-  return out;
+  RowCursorPtr c = MakeSortCursor(MakeRowsetCursor(&input), keys);
+  return MaterializeCursor(c.get());
 }
 
 Result<Rowset> CrossProduct(const Rowset& a, const Rowset& b) {
-  TemporalClass cls = MeetClass(a.temporal_class(), b.temporal_class());
-  Schema schema = a.schema().Concat(b.schema());
-  Rowset out(std::move(schema), cls);
-  const bool want_valid = SupportsValidTime(cls);
-  const bool want_txn = SupportsTransactionTime(cls);
-  for (const Row& ra : a.rows()) {
-    for (const Row& rb : b.rows()) {
-      Row combined;
-      if (want_valid) {
-        Period v = ra.valid->Intersect(*rb.valid);
-        if (v.IsEmpty()) continue;  // The facts never coexist in reality.
-        combined.valid = v;
-      }
-      if (want_txn) {
-        Period t = ra.txn->Intersect(*rb.txn);
-        if (t.IsEmpty()) continue;  // Never co-stored.
-        combined.txn = t;
-      }
-      combined.values = ra.values;
-      combined.values.insert(combined.values.end(), rb.values.begin(),
-                             rb.values.end());
-      TDB_RETURN_IF_ERROR(out.AddRow(std::move(combined)));
-    }
-  }
-  return out;
+  RowCursorPtr c =
+      MakeCrossProductCursor(MakeRowsetCursor(&a), MakeRowsetCursor(&b));
+  return MaterializeCursor(c.get());
 }
 
 }  // namespace temporadb

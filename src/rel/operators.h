@@ -12,6 +12,10 @@ namespace temporadb {
 /// new rowset; temporal columns ride along untouched (selection and
 /// projection are snapshot-reducible — applying them per state is the same
 /// as applying them to the stamped representation).
+///
+/// These are thin materializing wrappers over the streaming cursor
+/// operators in rel/cursor.h; build a cursor tree directly to pipeline
+/// without intermediate rowsets.
 
 /// Rows for which `pred` evaluates to true.
 Result<Rowset> Select(const Rowset& input, const Expr& pred);
@@ -46,7 +50,9 @@ Result<Rowset> SortBy(const Rowset& input, const std::vector<size_t>& keys);
 /// inputs' classes; the combined row's periods are the intersections of the
 /// operands' periods (a pair exists exactly when both facts coexist).
 /// Pairs with an empty intersection in any maintained dimension are
-/// dropped.
+/// dropped.  Operand classes without a meet (rollback x historical, which
+/// share no time dimension) are rejected with InvalidArgument rather than
+/// silently discarding both dimensions.
 Result<Rowset> CrossProduct(const Rowset& a, const Rowset& b);
 
 }  // namespace temporadb

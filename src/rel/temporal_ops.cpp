@@ -95,20 +95,12 @@ Result<Rowset> CurrentState(const StoredRelation& rel) {
   TemporalClass derived =
       with_valid ? TemporalClass::kHistorical : TemporalClass::kStatic;
   Rowset out(rel.schema(), derived, rel.data_model());
-  if (SupportsTransactionTime(cls)) {
-    for (RowId row : rel.store()->CurrentRows()) {
-      TDB_ASSIGN_OR_RETURN(const BitemporalTuple* tuple,
-                           rel.store()->Get(row));
-      TDB_RETURN_IF_ERROR(out.AddRow(RowFrom(*tuple, with_valid, false)));
-    }
-    return out;
+  // An empty spec resolves to the current stored state for kinds with
+  // transaction time and a full sweep otherwise, in row order either way.
+  VersionScan scan = rel.Scan({});
+  while (const BitemporalTuple* t = scan.Next()) {
+    TDB_RETURN_IF_ERROR(out.AddRow(RowFrom(*t, with_valid, false)));
   }
-  Status status = Status::OK();
-  rel.store()->ForEach([&](RowId, const BitemporalTuple& t) {
-    if (!status.ok()) return;
-    status = out.AddRow(RowFrom(t, with_valid, false));
-  });
-  TDB_RETURN_IF_ERROR(status);
   return out;
 }
 
@@ -131,6 +123,12 @@ class VarPeriodExpr final : public TemporalExpr {
   }
 
   std::string ToString() const override { return name_; }
+
+  std::optional<size_t> AsVarRef() const override { return index_; }
+
+  bool OnlyBindsBelow(size_t prefix) const override {
+    return index_ < prefix;
+  }
 
  private:
   size_t index_;
@@ -168,6 +166,10 @@ class EndpointExpr final : public TemporalExpr {
     return std::string(begin_ ? "begin of " : "end of ") + inner_->ToString();
   }
 
+  bool OnlyBindsBelow(size_t prefix) const override {
+    return inner_->OnlyBindsBelow(prefix);
+  }
+
  private:
   bool begin_;
   TemporalExprPtr inner_;
@@ -187,6 +189,10 @@ class BinaryPeriodExpr final : public TemporalExpr {
   std::string ToString() const override {
     return "(" + left_->ToString() + (overlap_ ? " overlap " : " extend ") +
            right_->ToString() + ")";
+  }
+
+  bool OnlyBindsBelow(size_t prefix) const override {
+    return left_->OnlyBindsBelow(prefix) && right_->OnlyBindsBelow(prefix);
   }
 
  private:
@@ -224,6 +230,44 @@ class ComparePred final : public TemporalPred {
     return "(" + left_->ToString() + op + right_->ToString() + ")";
   }
 
+  std::optional<Period> PushdownWindow(size_t var,
+                                       const PeriodBinding& binding,
+                                       size_t prefix) const override {
+    // Recognize `<var> <op> e` / `e <op> <var>` where `e` is evaluable from
+    // the already-bound prefix (so it cannot reference `var` itself).
+    const bool var_left =
+        left_->AsVarRef() == var && right_->OnlyBindsBelow(prefix);
+    const bool var_right =
+        right_->AsVarRef() == var && left_->OnlyBindsBelow(prefix);
+    if (!var_left && !var_right) return std::nullopt;
+    Result<Period> other =
+        var_left ? right_->Eval(binding) : left_->Eval(binding);
+    // An unevaluable window (e.g. `end of` an empty intersection) is not an
+    // error here: extraction just declines and the scan stays full.  The
+    // leaf predicate evaluation reports the error with full context.
+    if (!other.ok()) return std::nullopt;
+    const Period w = *other;
+    switch (kind_) {
+      case PredKind::kOverlap:
+      case PredKind::kEqual:
+        // `p overlap w` is the window verbatim; `p equal w` implies it
+        // (stored valid periods are nonempty, so an empty `w` means the
+        // predicate can never hold — an empty window, prune all).
+        return w;
+      case PredKind::kPrecede:
+        // Precedes is false against an empty operand; surface that as an
+        // empty window rather than a half-line one.
+        if (w.IsEmpty()) return w;
+        if (var_left) {
+          // p precede w  ⇒  p ⊆ [beginning, w.begin)
+          return Period(Chronon::Beginning(), w.begin());
+        }
+        // w precede p  ⇒  p ⊆ [w.end, forever)
+        return Period::From(w.end());
+    }
+    return std::nullopt;
+  }
+
  private:
   PredKind kind_;
   TemporalExprPtr left_;
@@ -245,6 +289,29 @@ class LogicalPred final : public TemporalPred {
   std::string ToString() const override {
     return "(" + left_->ToString() + (is_and_ ? " and " : " or ") +
            right_->ToString() + ")";
+  }
+
+  std::optional<Period> PushdownWindow(size_t var,
+                                       const PeriodBinding& binding,
+                                       size_t prefix) const override {
+    std::optional<Period> l = left_->PushdownWindow(var, binding, prefix);
+    std::optional<Period> r = right_->PushdownWindow(var, binding, prefix);
+    if (is_and_) {
+      // Both conjuncts must hold, so either side's window alone is sound.
+      // Intersecting them is NOT (a period can overlap each of two windows
+      // while missing their intersection) — prefer the shorter one.
+      if (l.has_value() && r.has_value()) {
+        return l->Duration() <= r->Duration() ? l : r;
+      }
+      return l.has_value() ? l : r;
+    }
+    // A disjunction needs a window from *both* sides; their span covers
+    // every tuple either side could accept.  An empty side contributes
+    // nothing (that disjunct can never hold).
+    if (!l.has_value() || !r.has_value()) return std::nullopt;
+    if (l->IsEmpty()) return r;
+    if (r->IsEmpty()) return l;
+    return l->Extend(*r);
   }
 
  private:

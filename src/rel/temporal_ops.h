@@ -2,6 +2,7 @@
 #define TEMPORADB_REL_TEMPORAL_OPS_H_
 
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -60,6 +61,20 @@ class TemporalExpr {
   virtual ~TemporalExpr() = default;
   virtual Result<Period> Eval(const PeriodBinding& binding) const = 0;
   virtual std::string ToString() const = 0;
+
+  /// The range-variable ordinal when this expression is exactly a bare
+  /// range-variable reference; nullopt otherwise.  Used by pushdown
+  /// extraction to recognize `<var> overlap <window>` shapes.
+  virtual std::optional<size_t> AsVarRef() const { return std::nullopt; }
+
+  /// True when every range variable referenced by this expression has
+  /// ordinal < `prefix` — i.e. the expression can be evaluated once the
+  /// first `prefix` participants of a join are bound.  Literals bind
+  /// nothing and return true.
+  virtual bool OnlyBindsBelow(size_t prefix) const {
+    (void)prefix;
+    return true;
+  }
 };
 
 using TemporalExprPtr = std::shared_ptr<const TemporalExpr>;
@@ -79,6 +94,31 @@ class TemporalPred {
   virtual ~TemporalPred() = default;
   virtual Result<bool> Eval(const PeriodBinding& binding) const = 0;
   virtual std::string ToString() const = 0;
+
+  /// Extracts a *sound implied overlap window* for range variable `var`
+  /// from this predicate, given that participants with ordinal < `prefix`
+  /// are already bound in `binding` (entries at ordinal >= `prefix` are
+  /// never read).
+  ///
+  /// The contract: if the returned window is `W`, then for every tuple
+  /// whose (nonempty) valid period does NOT overlap `W`, this predicate is
+  /// guaranteed false under any extension of `binding` that binds `var` to
+  /// that tuple.  A scan may therefore skip such tuples.  An *empty* `W`
+  /// means the predicate can never hold (prune everything); nullopt means
+  /// no window could be derived (scan unconstrained) — always safe.
+  ///
+  /// Recognized shapes: `var overlap/equal e`, `var precede e`,
+  /// `e precede var` (with `e` evaluable from the bound prefix), plus
+  /// `and` (either side's window) and `or` (the span of both sides'
+  /// windows).  `not` derives nothing.
+  virtual std::optional<Period> PushdownWindow(size_t var,
+                                               const PeriodBinding& binding,
+                                               size_t prefix) const {
+    (void)var;
+    (void)binding;
+    (void)prefix;
+    return std::nullopt;
+  }
 };
 
 using TemporalPredPtr = std::shared_ptr<const TemporalPred>;

@@ -15,6 +15,13 @@ Status HistoricalRelation::Append(Transaction* txn, std::vector<Value> values,
   return Status::OK();
 }
 
+VersionScan HistoricalRelation::Scan(const ScanSpec& spec) const {
+  if (spec.valid_during.has_value() && store_.options().time_pushdown) {
+    return store_.ScanValidDuring(*spec.valid_during);
+  }
+  return store_.ScanAll();
+}
+
 Result<size_t> HistoricalRelation::DoDeleteWhere(Transaction* txn,
                                                  const TuplePredicate& pred,
                                                  std::optional<Period> valid,

@@ -15,6 +15,19 @@ Status RollbackRelation::Append(Transaction* txn, std::vector<Value> values,
   return Status::OK();
 }
 
+VersionScan RollbackRelation::Scan(const ScanSpec& spec) const {
+  if (spec.asof.has_value()) {
+    const Period w = *spec.asof;
+    if (store_.options().time_pushdown) {
+      if (w.IsInstant()) return store_.ScanAsOf(w.begin());
+      return store_.ScanTxnOverlapping(w);
+    }
+    return store_.ScanAll(
+        [w](const BitemporalTuple& t) { return t.txn.Overlaps(w); });
+  }
+  return store_.ScanCurrent();
+}
+
 Result<size_t> RollbackRelation::DoDeleteWhere(Transaction* txn,
                                                const TuplePredicate& pred,
                                                std::optional<Period> valid,

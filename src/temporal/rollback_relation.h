@@ -29,6 +29,12 @@ class RollbackRelation : public StoredRelation {
   Status Append(Transaction* txn, std::vector<Value> values,
                 std::optional<Period> valid) override;
 
+  /// `asof` probes the snapshot index (stab for an instant window, range
+  /// query for `as of ... through`); without it, only the current stored
+  /// state is scanned.  `valid_during` is ignored — valid time is not
+  /// maintained.
+  VersionScan Scan(const ScanSpec& spec) const override;
+
   Result<size_t> DoDeleteWhere(Transaction* txn, const TuplePredicate& pred,
                                std::optional<Period> valid,
                                const PeriodPredicate& when) override;

@@ -35,6 +35,18 @@ using UpdateSpec = std::vector<UpdateAction>;
 /// An assignment to a constant value.
 UpdateAction ConstUpdate(size_t index, Value v);
 
+/// The time windows a query pushes down into a relation scan.  Both are
+/// *candidate pruning* hints: a scan may yield a superset of the matching
+/// versions (the evaluator re-checks exact predicates per tuple), but must
+/// never drop a version whose transaction period overlaps `asof` / whose
+/// valid period overlaps `valid_during`.
+struct ScanSpec {
+  /// Transaction-time window of an `as of [... through ...]` clause.
+  std::optional<Period> asof;
+  /// Valid-time window implied by a `when` / `valid` predicate.
+  std::optional<Period> valid_during;
+};
+
 /// Applies an update spec to a copy of `values`.
 Result<std::vector<Value>> ApplyUpdates(const UpdateSpec& updates,
                                         const std::vector<Value>& values);
@@ -98,6 +110,23 @@ class StoredRelation {
   /// errors that have been corrected").  NotSupported elsewhere.
   virtual Result<size_t> CorrectErase(Transaction* txn,
                                       const TuplePredicate& pred);
+
+  /// Index-aware scan entry point.  Each kind resolves `spec` against the
+  /// time dimensions it maintains and the store's index configuration,
+  /// picking the narrowest access path:
+  ///
+  /// | kind       | `asof`                  | `valid_during`                |
+  /// |------------|-------------------------|-------------------------------|
+  /// | static     | ignored (no time)       | ignored (no time)             |
+  /// | rollback   | snapshot-index probe    | ignored (no valid time)       |
+  /// | historical | ignored (no txn time)   | interval-index probe          |
+  /// | temporal   | snapshot-index probe    | interval index / residual     |
+  ///
+  /// Without `asof`, kinds with transaction time scan only the current
+  /// stored state.  With `store()->options().time_pushdown == false`, every
+  /// window degrades to a sequential sweep plus filter (the ablation
+  /// baseline).  Yield order is ascending row id regardless of path.
+  virtual VersionScan Scan(const ScanSpec& spec) const = 0;
 
   /// Creates a secondary index on the named attribute (used by the query
   /// evaluator for equality predicates).

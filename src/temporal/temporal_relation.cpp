@@ -15,6 +15,33 @@ Status TemporalRelation::Append(Transaction* txn, std::vector<Value> values,
   return Status::OK();
 }
 
+VersionScan TemporalRelation::Scan(const ScanSpec& spec) const {
+  if (spec.asof.has_value()) {
+    const Period w = *spec.asof;
+    if (store_.options().time_pushdown) {
+      // When the query constrains both times, the interval index is the
+      // better access path: `when` windows are typically narrow, while in
+      // an append-heavy history almost every version is alive at any given
+      // as-of instant, so the snapshot index barely prunes.
+      if (spec.valid_during.has_value() && store_.options().index_valid_time) {
+        return store_.ScanValidDuring(
+            *spec.valid_during,
+            [w](const BitemporalTuple& t) { return t.txn.Overlaps(w); });
+      }
+      if (w.IsInstant()) return store_.ScanAsOf(w.begin());
+      return store_.ScanTxnOverlapping(w);
+    }
+    return store_.ScanAll(
+        [w](const BitemporalTuple& t) { return t.txn.Overlaps(w); });
+  }
+  if (spec.valid_during.has_value() && store_.options().time_pushdown) {
+    return store_.ScanValidDuring(
+        *spec.valid_during,
+        [](const BitemporalTuple& t) { return t.IsCurrentState(); });
+  }
+  return store_.ScanCurrent();
+}
+
 Result<size_t> TemporalRelation::DoDeleteWhere(Transaction* txn,
                                                const TuplePredicate& pred,
                                                std::optional<Period> valid,

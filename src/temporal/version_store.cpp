@@ -1,8 +1,39 @@
 #include "temporal/version_store.h"
 
+#include <algorithm>
 #include <cassert>
 
 namespace temporadb {
+
+VersionScan::VersionScan(const VersionStore* store, VersionFilter filter)
+    : store_(store), sequential_(true), filter_(std::move(filter)) {}
+
+VersionScan::VersionScan(const VersionStore* store, std::vector<RowId> rows,
+                         VersionFilter filter)
+    : store_(store),
+      sequential_(false),
+      rows_(std::move(rows)),
+      filter_(std::move(filter)) {
+  // Index probes return candidates in index order and may repeat a row
+  // (e.g. a txn-window query hitting both the closed and current sets);
+  // sort and dedupe so the yield order matches a sequential sweep.
+  std::sort(rows_.begin(), rows_.end());
+  rows_.erase(std::unique(rows_.begin(), rows_.end()), rows_.end());
+}
+
+const BitemporalTuple* VersionScan::Next(RowId* row_out) {
+  const size_t limit = sequential_ ? store_->version_count() : rows_.size();
+  while (pos_ < limit) {
+    const RowId row = sequential_ ? pos_ : rows_[pos_];
+    ++pos_;
+    Result<const BitemporalTuple*> t = store_->Get(row);
+    if (!t.ok()) continue;  // Tombstone (or a stale index entry).
+    if (filter_ && !filter_(**t)) continue;
+    if (row_out != nullptr) *row_out = row;
+    return *t;
+  }
+  return nullptr;
+}
 
 VersionStore::VersionStore(VersionStoreOptions options) : options_(options) {}
 
@@ -251,6 +282,70 @@ std::vector<RowId> VersionStore::ValidOverlapping(Period q) const {
     });
   }
   return out;
+}
+
+VersionScan VersionStore::ScanAll(VersionFilter extra) const {
+  return VersionScan(this, std::move(extra));
+}
+
+namespace {
+
+// Composes a time-window predicate with a caller-supplied residual filter.
+VersionFilter Compose(VersionFilter window, VersionFilter extra) {
+  if (!extra) return window;
+  if (!window) return extra;
+  return [window = std::move(window), extra = std::move(extra)](
+             const BitemporalTuple& t) { return window(t) && extra(t); };
+}
+
+}  // namespace
+
+VersionScan VersionStore::ScanCurrent(VersionFilter extra) const {
+  if (options_.index_txn_time) {
+    std::vector<RowId> rows;
+    txn_index_.Current([&](RowId row) { rows.push_back(row); });
+    return VersionScan(this, std::move(rows), std::move(extra));
+  }
+  return VersionScan(
+      this, Compose([](const BitemporalTuple& t) { return t.IsCurrentState(); },
+                    std::move(extra)));
+}
+
+VersionScan VersionStore::ScanAsOf(Chronon t, VersionFilter extra) const {
+  if (options_.index_txn_time) {
+    std::vector<RowId> rows;
+    txn_index_.AsOf(t, [&](RowId row) { rows.push_back(row); });
+    return VersionScan(this, std::move(rows), std::move(extra));
+  }
+  return VersionScan(
+      this,
+      Compose([t](const BitemporalTuple& v) { return v.txn.Contains(t); },
+              std::move(extra)));
+}
+
+VersionScan VersionStore::ScanTxnOverlapping(Period q,
+                                             VersionFilter extra) const {
+  if (options_.index_txn_time) {
+    std::vector<RowId> rows;
+    txn_index_.Overlapping(q, [&](RowId row) { rows.push_back(row); });
+    return VersionScan(this, std::move(rows), std::move(extra));
+  }
+  return VersionScan(
+      this,
+      Compose([q](const BitemporalTuple& v) { return v.txn.Overlaps(q); },
+              std::move(extra)));
+}
+
+VersionScan VersionStore::ScanValidDuring(Period q, VersionFilter extra) const {
+  if (options_.index_valid_time) {
+    std::vector<RowId> rows;
+    valid_index_.Overlapping(q, [&](Period, RowId row) { rows.push_back(row); });
+    return VersionScan(this, std::move(rows), std::move(extra));
+  }
+  return VersionScan(
+      this,
+      Compose([q](const BitemporalTuple& v) { return v.valid.Overlaps(q); },
+              std::move(extra)));
 }
 
 Status VersionStore::ApplyReplay(const VersionOp& op) {

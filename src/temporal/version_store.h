@@ -19,6 +19,42 @@ namespace temporadb {
 
 using RowId = uint64_t;
 
+class VersionStore;
+
+/// A predicate over a stored version, applied while a scan pulls.
+using VersionFilter = std::function<bool(const BitemporalTuple&)>;
+
+/// A pull-based scan over the live versions of a `VersionStore`, always
+/// yielding in ascending row order — whether the candidates came from an
+/// index or from a sequential sweep, the caller observes the same sequence
+/// (the executor's bit-identical-results guarantee rests on this).
+///
+/// Obtained from the `Scan*` entry points on `VersionStore` (or from a
+/// relation's `Scan`); pulls one version at a time, so callers pay for the
+/// tuples they consume, not for a copy of the store.
+class VersionScan {
+ public:
+  /// Sequential sweep of every live version, optionally filtered.
+  explicit VersionScan(const VersionStore* store, VersionFilter filter = {});
+
+  /// Scan over index-selected candidates; `rows` is sorted (and deduped)
+  /// so the yield order matches the equivalent sequential sweep.
+  VersionScan(const VersionStore* store, std::vector<RowId> rows,
+              VersionFilter filter = {});
+
+  /// The next live version passing the filter, or nullptr at end.  The
+  /// pointer stays valid until the store is next mutated.  `row_out`
+  /// (optional) receives the version's row id.
+  const BitemporalTuple* Next(RowId* row_out = nullptr);
+
+ private:
+  const VersionStore* store_;
+  bool sequential_;
+  std::vector<RowId> rows_;  // Index mode only.
+  size_t pos_ = 0;           // Next row id (sequential) or index into rows_.
+  VersionFilter filter_;
+};
+
 /// A low-level mutation on a version store, as observed by the redo log.
 struct VersionOp {
   enum class Kind : uint32_t {
@@ -38,6 +74,11 @@ struct VersionOp {
 struct VersionStoreOptions {
   bool index_valid_time = true;  ///< Interval index over valid periods.
   bool index_txn_time = true;    ///< Snapshot index over transaction periods.
+  /// Allow the query layer to push `as of` / `when` time predicates down
+  /// into the index-aware scan entry points.  Off: every relation scan
+  /// degrades to a full scan plus filter (the ablation baseline, and the
+  /// pre-executor behavior).
+  bool time_pushdown = true;
 };
 
 /// The physical container of tuple versions for one stored relation.
@@ -93,6 +134,34 @@ class VersionStore {
   /// Rows whose valid period overlaps `q`; falls back to a scan when the
   /// interval index is disabled.
   std::vector<RowId> ValidOverlapping(Period q) const;
+
+  // --- Index-aware scan entry points ---------------------------------------
+  //
+  // Pull-based counterparts of the copy-out accessors above: each resolves
+  // the best access path for its time predicate (snapshot index for
+  // transaction time, interval index for valid time, sequential sweep when
+  // the index is disabled) and yields matching live versions in row order.
+  // `extra` is a residual filter applied while pulling, letting callers
+  // compose predicates (e.g. valid-window scan + current-state check)
+  // without a second pass.
+
+  /// Every live version.
+  VersionScan ScanAll(VersionFilter extra = {}) const;
+
+  /// Versions in the current stored state (transaction end = ∞).
+  VersionScan ScanCurrent(VersionFilter extra = {}) const;
+
+  /// Versions whose transaction period contains `t` (rollback to an
+  /// instant); backed by the snapshot index.
+  VersionScan ScanAsOf(Chronon t, VersionFilter extra = {}) const;
+
+  /// Versions whose transaction period overlaps `q` (`as of ... through`
+  /// windows); backed by the snapshot index.
+  VersionScan ScanTxnOverlapping(Period q, VersionFilter extra = {}) const;
+
+  /// Versions whose valid period overlaps `q` (timeslices and `when`
+  /// windows); backed by the interval index.
+  VersionScan ScanValidDuring(Period q, VersionFilter extra = {}) const;
 
   /// Creates a secondary B+-tree index on explicit attribute `attr_index`,
   /// backfilling existing live versions.  Idempotent (AlreadyExists on a

@@ -1,5 +1,7 @@
 #include "tquel/evaluator.h"
 
+#include <functional>
+
 #include "common/strings.h"
 #include "rel/operators.h"
 #include "rel/temporal_ops.h"
@@ -19,58 +21,44 @@ struct Candidate {
 };
 
 // Materializes the candidate tuples of one participant.
-//  - Without `as of`: the current stored state (all rows for kinds without
-//    transaction time).
-//  - With `as of`: every version whose transaction period overlaps the
-//    rollback window.
 // When the where clause pinned an indexed attribute to a constant
 // (`eq_constraints`), the secondary index supplies the candidates instead
 // of a scan; visibility is re-checked, and the full where clause still runs
-// afterwards.
-std::vector<Candidate> Materialize(
-    const StoredRelation& rel, const std::optional<Period>& asof,
+// afterwards.  Otherwise the relation's `Scan` entry point resolves the
+// spec's `as of` / valid windows to its best access path (snapshot index,
+// interval index, or a sweep).
+std::vector<Candidate> MaterializeParticipant(
+    const StoredRelation& rel,
     const std::vector<std::pair<size_t, Value>>& eq_constraints,
-    std::vector<const BitemporalTuple*>* keep) {
+    const ScanSpec& spec) {
   std::vector<Candidate> out;
   const VersionStore* store = rel.store();
   const bool txn_kind = SupportsTransactionTime(rel.temporal_class());
   auto visible = [&](const BitemporalTuple& t) {
-    if (asof.has_value()) return t.txn.Overlaps(*asof);
+    if (spec.asof.has_value()) return t.txn.Overlaps(*spec.asof);
     if (txn_kind) return t.IsCurrentState();
     return true;
   };
-  auto add = [&](const BitemporalTuple& t) {
-    keep->push_back(&t);
-    out.push_back(Candidate{&t.values, t.valid, t.txn});
-  };
 
-  // Index probe path.
+  // Index probe path (yields in lookup order, not row order).
   for (const auto& [attr, key] : eq_constraints) {
     if (!store->HasAttributeIndex(attr)) continue;
     Result<std::vector<RowId>> rows = store->LookupAttribute(attr, key);
     if (!rows.ok()) break;
     for (RowId row : *rows) {
       Result<const BitemporalTuple*> t = store->Get(row);
-      if (t.ok() && visible(**t)) add(**t);
+      if (t.ok() && visible(**t)) {
+        out.push_back(Candidate{&(*t)->values, (*t)->valid, (*t)->txn});
+      }
     }
     return out;
   }
 
-  // Scan paths.
-  if (asof.has_value()) {
-    store->ForEach([&](RowId, const BitemporalTuple& t) {
-      if (t.txn.Overlaps(*asof)) add(t);
-    });
-    return out;
+  // Scan path.
+  VersionScan scan = rel.Scan(spec);
+  while (const BitemporalTuple* t = scan.Next()) {
+    out.push_back(Candidate{&t->values, t->valid, t->txn});
   }
-  if (txn_kind) {
-    for (RowId row : store->CurrentRows()) {
-      Result<const BitemporalTuple*> t = store->Get(row);
-      if (t.ok()) add(**t);
-    }
-    return out;
-  }
-  store->ForEach([&](RowId, const BitemporalTuple& t) { add(t); });
   return out;
 }
 
@@ -201,17 +189,48 @@ Result<Rowset> EvaluateRetrieve(const BoundRetrieve& bound,
     }
   }
 
-  // Materialize candidates per participant.
-  std::vector<const BitemporalTuple*> keepalive;
-  std::vector<std::vector<Candidate>> candidates;
-  candidates.reserve(bound.participants.size());
+  // Plan one access path per participant.
+  //
+  // A participant is *materialized* up front when its candidates do not
+  // depend on other participants: the attribute-index probe path, or a scan
+  // whose pushed-down windows (`as of`, plus any valid window the when
+  // clause implies from literals alone) are fixed.  A participant whose
+  // when-clause window depends on *earlier* participants becomes a
+  // *dynamic* scan — re-planned per bound prefix, i.e. an index-nested-loop
+  // join probing the interval index with the outer tuple's valid period.
+  const size_t n = bound.participants.size();
   const std::vector<std::pair<size_t, Value>> no_constraints;
-  for (size_t i = 0; i < bound.participants.size(); ++i) {
+  std::vector<char> dynamic(n, 0);
+  std::vector<std::vector<Candidate>> fixed(n);
+  for (size_t i = 0; i < n; ++i) {
+    const StoredRelation& rel = *bound.participants[i].relation;
     const auto& eqs = i < bound.eq_constraints.size()
                           ? bound.eq_constraints[i]
                           : no_constraints;
-    candidates.push_back(
-        Materialize(*bound.participants[i].relation, asof, eqs, &keepalive));
+    bool has_probe = false;
+    for (const auto& [attr, key] : eqs) {
+      (void)key;
+      if (rel.store()->HasAttributeIndex(attr)) {
+        has_probe = true;
+        break;
+      }
+    }
+    ScanSpec spec;
+    spec.asof = asof;
+    if (!has_probe && bound.when != nullptr &&
+        SupportsValidTime(rel.temporal_class()) &&
+        rel.store()->options().time_pushdown) {
+      // A window derivable with nothing bound (prefix 0) is static: push it
+      // into the one-shot materializing scan.  Otherwise probe whether one
+      // becomes derivable once participants 0..i-1 are bound.
+      spec.valid_during = bound.when->PushdownWindow(i, {}, 0);
+      if (!spec.valid_during.has_value() && i > 0) {
+        const PeriodBinding shape_probe(i, Period::All());
+        dynamic[i] =
+            bound.when->PushdownWindow(i, shape_probe, i).has_value();
+      }
+    }
+    if (!dynamic[i]) fixed[i] = MaterializeParticipant(rel, eqs, spec);
   }
 
   // Result schema.
@@ -225,24 +244,20 @@ Result<Rowset> EvaluateRetrieve(const BoundRetrieve& bound,
   const bool want_valid = SupportsValidTime(bound.result_class);
   const bool want_txn = SupportsTransactionTime(bound.result_class);
 
-  // Nested-loop over the candidate product.
-  const size_t n = bound.participants.size();
-  std::vector<size_t> cursor(n, 0);
-  for (const auto& c : candidates) {
-    if (c.empty()) return FinalizeAggregates(bound, std::move(out));  // Empty product.
-  }
+  // Nested-loop over the candidate product: participant 0 is the outermost
+  // loop.  `chosen`/`valid_binding` hold the tuple bound at each level.
+  std::vector<const Candidate*> chosen(n);
+  PeriodBinding valid_binding(n);
   std::vector<Value> flat;
   flat.reserve(bound.total_arity);
-  PeriodBinding valid_binding(n);
-  while (true) {
-    // Assemble the flattened row and period binding.
+
+  auto emit = [&]() -> Status {
+    // Assemble the flattened row.
     flat.clear();
     for (size_t i = 0; i < n; ++i) {
-      const Candidate& c = candidates[i][cursor[i]];
-      flat.insert(flat.end(), c.values->begin(), c.values->end());
-      valid_binding[i] = c.valid;
+      flat.insert(flat.end(), chosen[i]->values->begin(),
+                  chosen[i]->values->end());
     }
-
     bool keep = true;
     if (bound.where != nullptr) {
       TDB_ASSIGN_OR_RETURN(keep, EvalPredicate(*bound.where, flat));
@@ -250,59 +265,75 @@ Result<Rowset> EvaluateRetrieve(const BoundRetrieve& bound,
     if (keep && bound.when != nullptr) {
       TDB_ASSIGN_OR_RETURN(keep, bound.when->Eval(valid_binding));
     }
-    if (keep) {
-      Row row;
-      if (want_valid) {
-        Period v;
-        if (bound.valid_from != nullptr) {
-          TDB_ASSIGN_OR_RETURN(Period from,
-                               bound.valid_from->Eval(valid_binding));
-          if (bound.valid_at) {
-            v = Period::At(from.begin());
-          } else {
-            TDB_ASSIGN_OR_RETURN(Period to,
-                                 bound.valid_to->Eval(valid_binding));
-            v = Period(from.begin(), to.begin());
-          }
+    if (!keep) return Status::OK();
+    Row row;
+    if (want_valid) {
+      Period v;
+      if (bound.valid_from != nullptr) {
+        TDB_ASSIGN_OR_RETURN(Period from,
+                             bound.valid_from->Eval(valid_binding));
+        if (bound.valid_at) {
+          v = Period::At(from.begin());
         } else {
-          // Default: the intersection of the target-list variables' valid
-          // periods.
-          v = valid_binding[bound.target_vars[0]];
-          for (size_t k = 1; k < bound.target_vars.size(); ++k) {
-            v = v.Intersect(valid_binding[bound.target_vars[k]]);
-          }
+          TDB_ASSIGN_OR_RETURN(Period to,
+                               bound.valid_to->Eval(valid_binding));
+          v = Period(from.begin(), to.begin());
         }
-        if (v.IsEmpty()) keep = false;
-        row.valid = v;
-      }
-      if (keep && want_txn) {
-        Period t = candidates[bound.target_vars[0]]
-                       [cursor[bound.target_vars[0]]].txn;
+      } else {
+        // Default: the intersection of the target-list variables' valid
+        // periods.
+        v = valid_binding[bound.target_vars[0]];
         for (size_t k = 1; k < bound.target_vars.size(); ++k) {
-          size_t ord = bound.target_vars[k];
-          t = t.Intersect(candidates[ord][cursor[ord]].txn);
+          v = v.Intersect(valid_binding[bound.target_vars[k]]);
         }
-        if (t.IsEmpty()) keep = false;
-        row.txn = t;
       }
-      if (keep) {
-        for (const ExprPtr& e : bound.target_exprs) {
-          TDB_ASSIGN_OR_RETURN(Value v, e->Eval(flat));
-          row.values.push_back(std::move(v));
-        }
-        TDB_RETURN_IF_ERROR(out.AddRow(std::move(row)));
-      }
+      if (v.IsEmpty()) return Status::OK();
+      row.valid = v;
     }
+    if (want_txn) {
+      Period t = chosen[bound.target_vars[0]]->txn;
+      for (size_t k = 1; k < bound.target_vars.size(); ++k) {
+        t = t.Intersect(chosen[bound.target_vars[k]]->txn);
+      }
+      if (t.IsEmpty()) return Status::OK();
+      row.txn = t;
+    }
+    for (const ExprPtr& e : bound.target_exprs) {
+      TDB_ASSIGN_OR_RETURN(Value v, e->Eval(flat));
+      row.values.push_back(std::move(v));
+    }
+    return out.AddRow(std::move(row));
+  };
 
-    // Advance the odometer.
-    size_t i = n;
-    while (i > 0) {
-      --i;
-      if (++cursor[i] < candidates[i].size()) break;
-      cursor[i] = 0;
-      if (i == 0) return FinalizeAggregates(bound, std::move(out));
+  std::function<Status(size_t)> enumerate = [&](size_t i) -> Status {
+    if (i == n) return emit();
+    if (!dynamic[i]) {
+      for (const Candidate& c : fixed[i]) {
+        chosen[i] = &c;
+        valid_binding[i] = c.valid;
+        TDB_RETURN_IF_ERROR(enumerate(i + 1));
+      }
+      return Status::OK();
     }
-  }
+    // Index-nested-loop step: re-derive the implied valid window from the
+    // when clause under the bound prefix (entries >= i are never read) and
+    // let the relation pick the matching index path.  A failed derivation
+    // just scans unconstrained — the leaf predicates stay authoritative.
+    const StoredRelation& rel = *bound.participants[i].relation;
+    ScanSpec spec;
+    spec.asof = asof;
+    spec.valid_during = bound.when->PushdownWindow(i, valid_binding, i);
+    VersionScan scan = rel.Scan(spec);
+    while (const BitemporalTuple* t = scan.Next()) {
+      const Candidate c{&t->values, t->valid, t->txn};
+      chosen[i] = &c;
+      valid_binding[i] = t->valid;
+      TDB_RETURN_IF_ERROR(enumerate(i + 1));
+    }
+    return Status::OK();
+  };
+  TDB_RETURN_IF_ERROR(enumerate(0));
+  return FinalizeAggregates(bound, std::move(out));
 }
 
 Result<ExecResult> Execute(const Statement& stmt, EvalContext& ctx) {
