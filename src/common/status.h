@@ -101,6 +101,10 @@ class Status {
   }
   bool IsParseError() const { return code_ == StatusCode::kParseError; }
   bool IsCorruption() const { return code_ == StatusCode::kCorruption; }
+  bool IsIOError() const { return code_ == StatusCode::kIOError; }
+  bool IsFailedPrecondition() const {
+    return code_ == StatusCode::kFailedPrecondition;
+  }
 
   /// "OK" or "<CodeName>: <message>".
   std::string ToString() const;

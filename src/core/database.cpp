@@ -1,12 +1,7 @@
 #include "core/database.h"
 
-#include <dirent.h>
-#include <sys/stat.h>
-#include <unistd.h>
-
-#include <cerrno>
-#include <cstring>
-#include <fstream>
+#include <algorithm>
+#include <cstdlib>
 
 #include "common/coding.h"
 #include "common/strings.h"
@@ -79,54 +74,15 @@ Result<RelationInfo> DecodeRelationInfo(std::string_view in) {
   return info;
 }
 
-Status WriteFileAtomic(const std::string& path, const std::string& content) {
-  std::string tmp = path + ".tmp";
-  {
-    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
-    if (!out) return Status::IOError("cannot open " + tmp);
-    out.write(content.data(), static_cast<std::streamsize>(content.size()));
-    if (!out) return Status::IOError("short write to " + tmp);
-  }
-  if (::rename(tmp.c_str(), path.c_str()) != 0) {
-    return Status::IOError(StringPrintf("rename(%s): %s", path.c_str(),
-                                        std::strerror(errno)));
-  }
-  return Status::OK();
-}
-
-Result<std::string> ReadFileAll(const std::string& path) {
-  std::ifstream in(path, std::ios::binary);
-  if (!in) return Status::NotFound("cannot open " + path);
-  std::string content((std::istreambuf_iterator<char>(in)),
-                      std::istreambuf_iterator<char>());
-  return content;
-}
-
-bool DirExists(const std::string& path) {
-  struct stat st;
-  return ::stat(path.c_str(), &st) == 0 && S_ISDIR(st.st_mode);
-}
-
-Status RemoveDirRecursive(const std::string& path) {
-  DIR* dir = ::opendir(path.c_str());
-  if (dir == nullptr) return Status::OK();  // Already gone.
-  struct dirent* entry;
-  while ((entry = ::readdir(dir)) != nullptr) {
-    std::string name = entry->d_name;
-    if (name == "." || name == "..") continue;
-    std::string full = path + "/" + name;
-    ::unlink(full.c_str());
-  }
-  ::closedir(dir);
-  ::rmdir(path.c_str());
-  return Status::OK();
-}
+constexpr const char* kWalPoisonedMessage =
+    "WAL in failed state after an I/O error; reopen the database";
 
 }  // namespace
 
 Database::Database(DatabaseOptions options)
     : options_(std::move(options)),
       clock_(options_.clock != nullptr ? options_.clock : &default_clock_),
+      fs_(options_.fs != nullptr ? options_.fs : FileSystem::Default()),
       txn_manager_(std::make_unique<TxnManager>(clock_)) {}
 
 Database::~Database() {
@@ -145,24 +101,37 @@ Result<std::unique_ptr<Database>> Database::Open(DatabaseOptions options) {
 }
 
 Status Database::InitPersistence() {
-  if (!DirExists(options_.path)) {
-    if (::mkdir(options_.path.c_str(), 0755) != 0 && errno != EEXIST) {
-      return Status::IOError(StringPrintf("mkdir(%s): %s",
-                                          options_.path.c_str(),
-                                          std::strerror(errno)));
-    }
-  }
-  TDB_ASSIGN_OR_RETURN(wal_, WriteAheadLog::Open(options_.path + "/wal.log"));
-  return Status::OK();
+  // MakeDir tolerates an existing directory; going through the FileSystem
+  // lets the fault layer track the root's entries from here on.
+  return fs_->MakeDir(options_.path);
 }
 
 Status Database::Recover() {
   replaying_ = true;
   Status status = [&]() -> Status {
-    // 1. Load the checkpoint named by CURRENT, if any.
-    Result<std::string> current = ReadFileAll(options_.path + "/CURRENT");
+    // 1. Load the checkpoint named by CURRENT, if any.  The second line of
+    // CURRENT is the WAL resume LSN: records below it were already folded
+    // into the checkpoint, so replaying them would double-apply when a
+    // crash separated the CURRENT publish from the WAL truncation.
+    uint64_t resume_lsn = 0;
+    Result<std::string> current =
+        ReadFileToString(fs_, options_.path + "/CURRENT");
+    if (!current.ok() && !current.status().IsNotFound()) {
+      return current.status();
+    }
     if (current.ok()) {
-      std::string dir(Trim(*current));
+      std::string_view body = *current;
+      size_t newline = body.find('\n');
+      std::string dir(Trim(newline == std::string_view::npos
+                               ? body
+                               : body.substr(0, newline)));
+      if (newline != std::string_view::npos) {
+        std::string rest(Trim(body.substr(newline + 1)));
+        if (!rest.empty()) {
+          resume_lsn = static_cast<uint64_t>(
+              std::strtoull(rest.c_str(), nullptr, 10));
+        }
+      }
       checkpoint_seq_ = 0;
       size_t dash = dir.rfind('-');
       if (dash != std::string::npos) {
@@ -172,15 +141,25 @@ Status Database::Recover() {
       }
       TDB_RETURN_IF_ERROR(LoadCheckpoint(options_.path + "/" + dir));
     }
-    // 2. Replay the WAL on top.
-    return ReplayWal();
+    // 2. Open the log.  The resume LSN doubles as a lower bound for new
+    // LSNs, keeping the sequence monotone even if the log file was lost.
+    TDB_ASSIGN_OR_RETURN(
+        wal_, WriteAheadLog::Open(fs_, options_.path + "/wal.log",
+                                  std::max<uint64_t>(resume_lsn, 1)));
+    // The log file's directory entry must be durable before any commit can
+    // be acknowledged; a first commit whose fsync hit only the file would
+    // otherwise vanish with the dirent.
+    TDB_RETURN_IF_ERROR(fs_->SyncDir(options_.path));
+    // 3. Replay the WAL on top, skipping records the checkpoint absorbed.
+    return ReplayWal(resume_lsn);
   }();
   replaying_ = false;
   return status;
 }
 
 Status Database::LoadCheckpoint(const std::string& dir) {
-  TDB_ASSIGN_OR_RETURN(std::string blob, ReadFileAll(dir + "/catalog.tdb"));
+  TDB_ASSIGN_OR_RETURN(std::string blob,
+                       ReadFileToString(fs_, dir + "/catalog.tdb"));
   std::string_view view = blob;
   uint64_t stored_sum;
   if (!GetFixed64(&view, &stored_sum) ||
@@ -198,7 +177,7 @@ Status Database::LoadCheckpoint(const std::string& dir) {
     std::string heap_path = dir + StringPrintf("/rel-%llu.heap",
                                                (unsigned long long)info.id);
     TDB_ASSIGN_OR_RETURN(std::unique_ptr<FilePager> pager,
-                         FilePager::Open(heap_path));
+                         FilePager::Open(fs_, heap_path));
     TDB_ASSIGN_OR_RETURN(std::unique_ptr<HeapFile> heap,
                          HeapFile::Open(std::move(pager)));
     Status scan = heap->Scan([&](RecordId, Slice record) -> Status {
@@ -229,12 +208,12 @@ Status Database::LoadCheckpoint(const std::string& dir) {
   return Status::OK();
 }
 
-Status Database::ReplayWal() {
+Status Database::ReplayWal(uint64_t from_lsn) {
   // Buffer ops per transaction; apply on commit.  DDL records are applied
   // immediately (they were logged post-commit of the DDL itself).
   std::map<uint64_t, std::vector<std::pair<uint64_t, VersionOp>>> pending;
   uint64_t open_txn = 0;
-  return wal_->Replay(0, [&](const WalRecord& rec) -> Status {
+  return wal_->Replay(from_lsn, [&](const WalRecord& rec) -> Status {
     std::string_view payload = rec.payload;
     switch (rec.type) {
       case kWalTxnBegin: {
@@ -308,9 +287,22 @@ Status Database::ReplayWal() {
 
 Status Database::LogDdl(uint32_t type, const std::string& payload) {
   if (wal_ == nullptr || replaying_) return Status::OK();
-  TDB_ASSIGN_OR_RETURN(uint64_t lsn, wal_->Append(type, payload));
-  (void)lsn;
-  return wal_->Sync();
+  if (wal_poisoned_) return Status::FailedPrecondition(kWalPoisonedMessage);
+  uint64_t rewind_offset = wal_->append_offset();
+  uint64_t rewind_lsn = wal_->next_lsn();
+  Status status = [&]() -> Status {
+    TDB_ASSIGN_OR_RETURN(uint64_t lsn, wal_->Append(type, payload));
+    (void)lsn;
+    return wal_->Sync();
+  }();
+  if (!status.ok()) {
+    // Back the record out so a later successful sync cannot persist a DDL
+    // the caller was told failed.  The failed fsync may still have reached
+    // the platter, so the log stays poisoned until reopen.
+    (void)wal_->RewindTo(rewind_offset, rewind_lsn);
+    wal_poisoned_ = true;
+  }
+  return status;
 }
 
 void Database::WireObserver(StoredRelation* rel) {
@@ -496,21 +488,47 @@ Status Database::Commit(Transaction* txn) {
     return Status::InvalidArgument("commit of a non-active transaction");
   }
   if (wal_ != nullptr && !redo_buffer_.empty()) {
-    std::string begin_payload;
-    PutFixed64(&begin_payload, txn->id());
-    PutFixed64(&begin_payload, static_cast<uint64_t>(txn->timestamp().days()));
-    TDB_ASSIGN_OR_RETURN(uint64_t lsn,
-                         wal_->Append(kWalTxnBegin, begin_payload));
-    (void)lsn;
-    for (const auto& [rel_id, op] : redo_buffer_) {
-      TDB_ASSIGN_OR_RETURN(lsn, wal_->Append(kWalVersionOp,
-                                             EncodeVersionOp(rel_id, op)));
+    if (wal_poisoned_) {
+      Status poisoned = Status::FailedPrecondition(kWalPoisonedMessage);
+      (void)txn_manager_->Abort(txn);
+      redo_buffer_.clear();
+      active_txn_ = nullptr;
+      return poisoned;
     }
-    std::string commit_payload;
-    PutFixed64(&commit_payload, txn->id());
-    TDB_ASSIGN_OR_RETURN(lsn, wal_->Append(kWalTxnCommit, commit_payload));
-    if (options_.sync_commits) {
-      TDB_RETURN_IF_ERROR(wal_->Sync());
+    uint64_t rewind_offset = wal_->append_offset();
+    uint64_t rewind_lsn = wal_->next_lsn();
+    Status wal_status = [&]() -> Status {
+      std::string begin_payload;
+      PutFixed64(&begin_payload, txn->id());
+      PutFixed64(&begin_payload,
+                 static_cast<uint64_t>(txn->timestamp().days()));
+      TDB_ASSIGN_OR_RETURN(uint64_t lsn,
+                           wal_->Append(kWalTxnBegin, begin_payload));
+      (void)lsn;
+      for (const auto& [rel_id, op] : redo_buffer_) {
+        TDB_ASSIGN_OR_RETURN(lsn, wal_->Append(kWalVersionOp,
+                                               EncodeVersionOp(rel_id, op)));
+      }
+      std::string commit_payload;
+      PutFixed64(&commit_payload, txn->id());
+      TDB_ASSIGN_OR_RETURN(lsn, wal_->Append(kWalTxnCommit, commit_payload));
+      if (options_.sync_commits) {
+        TDB_RETURN_IF_ERROR(wal_->Sync());
+      }
+      return Status::OK();
+    }();
+    if (!wal_status.ok()) {
+      // The commit was never acknowledged.  Rewind the log so a later
+      // successful sync cannot make these records durable behind the
+      // caller's back, undo the in-memory effects, and poison the log: a
+      // failed fsync may have persisted an unknown prefix, so nothing more
+      // can be trusted until reopen rescans the file.
+      (void)wal_->RewindTo(rewind_offset, rewind_lsn);
+      wal_poisoned_ = true;
+      (void)txn_manager_->Abort(txn);
+      redo_buffer_.clear();
+      active_txn_ = nullptr;
+      return wal_status;
     }
   }
   redo_buffer_.clear();
@@ -523,8 +541,10 @@ Status Database::Abort(Transaction* txn) {
   if (txn != active_txn_) {
     return Status::InvalidArgument("abort of a non-active transaction");
   }
-  redo_buffer_.clear();
   Status s = txn_manager_->Abort(txn);
+  // Clear after the undo has run: the store observer records the undo's
+  // version ops too, and they must not leak into the next transaction.
+  redo_buffer_.clear();
   active_txn_ = nullptr;
   return s;
 }
@@ -542,6 +562,7 @@ Status Database::WithTransaction(
 
 Status Database::Checkpoint(bool compact) {
   if (wal_ == nullptr) return Status::OK();
+  if (wal_poisoned_) return Status::FailedPrecondition(kWalPoisonedMessage);
   if (active_txn_ != nullptr && active_txn_->IsActive()) {
     return Status::FailedPrecondition(
         "cannot checkpoint with an active transaction");
@@ -556,24 +577,21 @@ Status Database::Checkpoint(bool compact) {
   uint64_t seq = checkpoint_seq_ + 1;
   std::string dir_name = StringPrintf("ckpt-%llu", (unsigned long long)seq);
   std::string dir = options_.path + "/" + dir_name;
-  TDB_RETURN_IF_ERROR(RemoveDirRecursive(dir));  // Stale partial attempt.
-  if (::mkdir(dir.c_str(), 0755) != 0) {
-    return Status::IOError(StringPrintf("mkdir(%s): %s", dir.c_str(),
-                                        std::strerror(errno)));
-  }
+  TDB_RETURN_IF_ERROR(RemoveDirRecursive(fs_, dir));  // Stale partial attempt.
+  TDB_RETURN_IF_ERROR(fs_->MakeDir(dir));
   // Catalog.
   std::string payload;
   catalog_.EncodeTo(&payload);
   std::string blob;
   PutFixed64(&blob, Checksum64(payload.data(), payload.size()));
   blob += payload;
-  TDB_RETURN_IF_ERROR(WriteFileAtomic(dir + "/catalog.tdb", blob));
+  TDB_RETURN_IF_ERROR(WriteFileDurable(fs_, dir + "/catalog.tdb", blob));
   // Relations.
   for (const auto& [name, rel] : relations_) {
     std::string heap_path = dir + StringPrintf(
         "/rel-%llu.heap", (unsigned long long)rel->info().id);
     TDB_ASSIGN_OR_RETURN(std::unique_ptr<FilePager> pager,
-                         FilePager::Open(heap_path));
+                         FilePager::Open(fs_, heap_path));
     TDB_ASSIGN_OR_RETURN(std::unique_ptr<HeapFile> heap,
                          HeapFile::Open(std::move(pager)));
     Status status = Status::OK();
@@ -586,16 +604,30 @@ Status Database::Checkpoint(bool compact) {
       if (!id.ok()) status = id.status();
     });
     TDB_RETURN_IF_ERROR(status);
+    // Flush fsyncs the heap's pages; the SyncDir below persists its
+    // directory entry.
     TDB_RETURN_IF_ERROR(heap->Flush());
   }
-  // Publish: CURRENT -> new dir, then truncate the log and GC the old dir.
-  TDB_RETURN_IF_ERROR(WriteFileAtomic(options_.path + "/CURRENT", dir_name));
+  // Every file inside ckpt-N must be durable *and findable* before CURRENT
+  // can name the directory.
+  TDB_RETURN_IF_ERROR(fs_->SyncDir(dir));
+  // Publish.  CURRENT carries the WAL resume LSN: every record currently
+  // in the log is below it, so even if the truncation that follows never
+  // reaches the disk, recovery will not replay stale records on top of
+  // this checkpoint.
+  std::string current = dir_name + "\n" +
+                        StringPrintf("%llu", (unsigned long long)
+                                     wal_->next_lsn()) + "\n";
+  TDB_RETURN_IF_ERROR(
+      WriteFileDurable(fs_, options_.path + "/CURRENT", current));
+  // Only after CURRENT is durable may the log be emptied; the reverse
+  // order would drop committed transactions if the crash landed between.
   TDB_RETURN_IF_ERROR(wal_->Truncate());
   if (checkpoint_seq_ > 0) {
     std::string old_dir = options_.path +
                           StringPrintf("/ckpt-%llu",
                                        (unsigned long long)checkpoint_seq_);
-    (void)RemoveDirRecursive(old_dir);
+    (void)RemoveDirRecursive(fs_, old_dir);
   }
   checkpoint_seq_ = seq;
   return Status::OK();

@@ -9,6 +9,7 @@
 
 #include "catalog/catalog.h"
 #include "rel/relation.h"
+#include "storage/fs.h"
 #include "storage/wal.h"
 #include "temporal/stored_relation.h"
 #include "tquel/evaluator.h"
@@ -34,6 +35,11 @@ struct DatabaseOptions {
   /// fsync the WAL on every commit (durability); off for benchmarks that
   /// measure the engine rather than the disk.
   bool sync_commits = true;
+
+  /// Filesystem for all persistence I/O.  Null: the real POSIX filesystem.
+  /// Crash tests pass a `FaultInjectionFileSystem`; it must outlive the
+  /// database.
+  FileSystem* fs = nullptr;
 };
 
 /// The temporadb embedded database: catalog + relations + transactions +
@@ -128,7 +134,7 @@ class Database {
   Status InitPersistence();
   Status Recover();
   Status LoadCheckpoint(const std::string& dir);
-  Status ReplayWal();
+  Status ReplayWal(uint64_t from_lsn);
   Status LogDdl(uint32_t type, const std::string& payload);
   void WireObserver(StoredRelation* rel);
   tquel::EvalContext MakeEvalContext(Transaction* txn);
@@ -138,6 +144,7 @@ class Database {
   DatabaseOptions options_;
   SystemClock default_clock_;
   const Clock* clock_;
+  FileSystem* fs_;
   std::unique_ptr<TxnManager> txn_manager_;
   Catalog catalog_;
   std::unordered_map<std::string, std::unique_ptr<StoredRelation>> relations_;
@@ -151,6 +158,11 @@ class Database {
   std::vector<std::pair<uint64_t, VersionOp>> redo_buffer_;
   Transaction* active_txn_ = nullptr;
   bool replaying_ = false;
+  // Set when a WAL write or sync failed after records were appended: the
+  // fsync may or may not have persisted anything, so no further commit or
+  // checkpoint can be trusted until the database is reopened and the log
+  // rescanned.
+  bool wal_poisoned_ = false;
   uint64_t checkpoint_seq_ = 0;
 };
 

@@ -1,0 +1,220 @@
+#include "storage/fs.h"
+
+#include <dirent.h>
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "common/strings.h"
+
+namespace temporadb {
+
+namespace {
+
+Status ErrnoStatus(const char* op, const std::string& path, int err) {
+  return Status::IOError(
+      StringPrintf("%s(%s): %s", op, path.c_str(), std::strerror(err)));
+}
+
+class PosixFile : public File {
+ public:
+  PosixFile(std::string path, int fd) : path_(std::move(path)), fd_(fd) {}
+  ~PosixFile() override {
+    if (fd_ >= 0) ::close(fd_);
+  }
+
+  Result<size_t> ReadAt(uint64_t offset, char* buf, size_t n) override {
+    size_t done = 0;
+    while (done < n) {
+      ssize_t r = ::pread(fd_, buf + done, n - done,
+                          static_cast<off_t>(offset + done));
+      if (r < 0) {
+        if (errno == EINTR) continue;
+        return ErrnoStatus("pread", path_, errno);
+      }
+      if (r == 0) break;  // EOF.
+      done += static_cast<size_t>(r);
+    }
+    return done;
+  }
+
+  Status WriteAt(uint64_t offset, const char* data, size_t n) override {
+    size_t done = 0;
+    while (done < n) {
+      ssize_t w = ::pwrite(fd_, data + done, n - done,
+                           static_cast<off_t>(offset + done));
+      if (w < 0) {
+        if (errno == EINTR) continue;
+        return ErrnoStatus("pwrite", path_, errno);
+      }
+      done += static_cast<size_t>(w);
+    }
+    return Status::OK();
+  }
+
+  Status Truncate(uint64_t size) override {
+    if (::ftruncate(fd_, static_cast<off_t>(size)) != 0) {
+      return ErrnoStatus("ftruncate", path_, errno);
+    }
+    return Status::OK();
+  }
+
+  Status Sync() override {
+    if (::fsync(fd_) != 0) {
+      return ErrnoStatus("fsync", path_, errno);
+    }
+    return Status::OK();
+  }
+
+  Result<uint64_t> Size() override {
+    struct stat st;
+    if (::fstat(fd_, &st) != 0) {
+      return ErrnoStatus("fstat", path_, errno);
+    }
+    return static_cast<uint64_t>(st.st_size);
+  }
+
+ private:
+  std::string path_;
+  int fd_;
+};
+
+class PosixFileSystem : public FileSystem {
+ public:
+  Result<std::unique_ptr<File>> OpenFile(const std::string& path,
+                                         bool create) override {
+    int flags = O_RDWR | (create ? O_CREAT : 0);
+    int fd = ::open(path.c_str(), flags, 0644);
+    if (fd < 0) {
+      if (errno == ENOENT) return Status::NotFound("cannot open " + path);
+      return ErrnoStatus("open", path, errno);
+    }
+    return std::unique_ptr<File>(new PosixFile(path, fd));
+  }
+
+  Status RenameFile(const std::string& from, const std::string& to) override {
+    if (::rename(from.c_str(), to.c_str()) != 0) {
+      return ErrnoStatus("rename", to, errno);
+    }
+    return Status::OK();
+  }
+
+  Status RemoveFile(const std::string& path) override {
+    if (::unlink(path.c_str()) != 0 && errno != ENOENT) {
+      return ErrnoStatus("unlink", path, errno);
+    }
+    return Status::OK();
+  }
+
+  Status MakeDir(const std::string& path) override {
+    if (::mkdir(path.c_str(), 0755) != 0 && errno != EEXIST) {
+      return ErrnoStatus("mkdir", path, errno);
+    }
+    return Status::OK();
+  }
+
+  Status RemoveDir(const std::string& path) override {
+    if (::rmdir(path.c_str()) != 0 && errno != ENOENT) {
+      return ErrnoStatus("rmdir", path, errno);
+    }
+    return Status::OK();
+  }
+
+  Status SyncDir(const std::string& path) override {
+    int fd = ::open(path.c_str(), O_RDONLY);
+    if (fd < 0) return ErrnoStatus("open", path, errno);
+    int rc = ::fsync(fd);
+    int err = errno;
+    ::close(fd);
+    if (rc != 0) return ErrnoStatus("fsync", path, err);
+    return Status::OK();
+  }
+
+  Result<std::vector<std::string>> ListDir(const std::string& path) override {
+    DIR* dir = ::opendir(path.c_str());
+    if (dir == nullptr) {
+      if (errno == ENOENT) return Status::NotFound("no directory " + path);
+      return ErrnoStatus("opendir", path, errno);
+    }
+    std::vector<std::string> names;
+    struct dirent* entry;
+    while ((entry = ::readdir(dir)) != nullptr) {
+      std::string name = entry->d_name;
+      if (name != "." && name != "..") names.push_back(std::move(name));
+    }
+    ::closedir(dir);
+    return names;
+  }
+
+  bool FileExists(const std::string& path) override {
+    struct stat st;
+    return ::stat(path.c_str(), &st) == 0 && !S_ISDIR(st.st_mode);
+  }
+
+  bool DirExists(const std::string& path) override {
+    struct stat st;
+    return ::stat(path.c_str(), &st) == 0 && S_ISDIR(st.st_mode);
+  }
+};
+
+}  // namespace
+
+FileSystem* FileSystem::Default() {
+  static PosixFileSystem posix;
+  return &posix;
+}
+
+Result<std::string> ReadFileToString(FileSystem* fs, const std::string& path) {
+  TDB_ASSIGN_OR_RETURN(std::unique_ptr<File> file,
+                       fs->OpenFile(path, /*create=*/false));
+  TDB_ASSIGN_OR_RETURN(uint64_t size, file->Size());
+  std::string content(size, '\0');
+  TDB_ASSIGN_OR_RETURN(size_t n, file->ReadAt(0, content.data(), size));
+  content.resize(n);
+  return content;
+}
+
+Status WriteFileDurable(FileSystem* fs, const std::string& path,
+                        std::string_view content) {
+  std::string tmp = path + ".tmp";
+  {
+    TDB_ASSIGN_OR_RETURN(std::unique_ptr<File> file,
+                         fs->OpenFile(tmp, /*create=*/true));
+    TDB_RETURN_IF_ERROR(file->Truncate(0));
+    TDB_RETURN_IF_ERROR(file->WriteAt(0, content.data(), content.size()));
+    // The tmp file's bytes must be durable before the rename can expose
+    // them under the final name; otherwise a crash can leave `path`
+    // pointing at a torn or empty file.
+    TDB_RETURN_IF_ERROR(file->Sync());
+  }
+  TDB_RETURN_IF_ERROR(fs->RenameFile(tmp, path));
+  return fs->SyncDir(DirName(path));
+}
+
+Status RemoveDirRecursive(FileSystem* fs, const std::string& path) {
+  Result<std::vector<std::string>> names = fs->ListDir(path);
+  if (!names.ok()) {
+    return names.status().IsNotFound() ? Status::OK() : names.status();
+  }
+  for (const std::string& name : *names) {
+    std::string full = path + "/" + name;
+    if (fs->DirExists(full)) {
+      TDB_RETURN_IF_ERROR(RemoveDirRecursive(fs, full));
+    } else {
+      TDB_RETURN_IF_ERROR(fs->RemoveFile(full));
+    }
+  }
+  return fs->RemoveDir(path);
+}
+
+std::string DirName(const std::string& path) {
+  size_t slash = path.rfind('/');
+  if (slash == std::string::npos) return ".";
+  if (slash == 0) return "/";
+  return path.substr(0, slash);
+}
+
+}  // namespace temporadb

@@ -1,10 +1,5 @@
 #include "storage/pager.h"
 
-#include <fcntl.h>
-#include <sys/stat.h>
-#include <unistd.h>
-
-#include <cerrno>
 #include <cstring>
 
 #include "common/strings.h"
@@ -13,40 +8,33 @@ namespace temporadb {
 
 static_assert(kPageSize % 512 == 0, "page size should be sector aligned");
 
-Result<std::unique_ptr<FilePager>> FilePager::Open(const std::string& path) {
-  int fd = ::open(path.c_str(), O_RDWR | O_CREAT, 0644);
-  if (fd < 0) {
-    return Status::IOError(StringPrintf("open(%s): %s", path.c_str(),
-                                        std::strerror(errno)));
-  }
-  struct stat st;
-  if (::fstat(fd, &st) != 0) {
-    int err = errno;
-    ::close(fd);
-    return Status::IOError(StringPrintf("fstat(%s): %s", path.c_str(),
-                                        std::strerror(err)));
-  }
-  if (st.st_size % static_cast<off_t>(kPageSize) != 0) {
-    ::close(fd);
+Result<std::unique_ptr<FilePager>> FilePager::Open(FileSystem* fs,
+                                                   const std::string& path) {
+  TDB_ASSIGN_OR_RETURN(std::unique_ptr<File> file,
+                       fs->OpenFile(path, /*create=*/true));
+  TDB_ASSIGN_OR_RETURN(uint64_t size, file->Size());
+  if (size % kPageSize != 0) {
     return Status::Corruption(
-        StringPrintf("%s: size %lld is not page-aligned", path.c_str(),
-                     static_cast<long long>(st.st_size)));
+        StringPrintf("%s: size %llu is not page-aligned", path.c_str(),
+                     static_cast<unsigned long long>(size)));
   }
-  PageId pages = static_cast<PageId>(st.st_size / kPageSize);
-  return std::unique_ptr<FilePager>(new FilePager(path, fd, pages));
+  PageId pages = static_cast<PageId>(size / kPageSize);
+  return std::unique_ptr<FilePager>(
+      new FilePager(path, std::move(file), pages));
 }
 
-FilePager::~FilePager() {
-  if (fd_ >= 0) ::close(fd_);
+Result<std::unique_ptr<FilePager>> FilePager::Open(const std::string& path) {
+  return Open(FileSystem::Default(), path);
 }
 
 Status FilePager::ReadPage(PageId id, char* buf) {
   if (id >= page_count_) {
     return Status::OutOfRange(StringPrintf("page %u beyond EOF", id));
   }
-  ssize_t n = ::pread(fd_, buf, kPageSize,
-                      static_cast<off_t>(id) * static_cast<off_t>(kPageSize));
-  if (n != static_cast<ssize_t>(kPageSize)) {
+  TDB_ASSIGN_OR_RETURN(
+      size_t n,
+      file_->ReadAt(static_cast<uint64_t>(id) * kPageSize, buf, kPageSize));
+  if (n != kPageSize) {
     return Status::IOError(StringPrintf("short read of page %u", id));
   }
   return Status::OK();
@@ -56,33 +44,20 @@ Status FilePager::WritePage(PageId id, const char* buf) {
   if (id >= page_count_) {
     return Status::OutOfRange(StringPrintf("page %u beyond EOF", id));
   }
-  ssize_t n = ::pwrite(fd_, buf, kPageSize,
-                       static_cast<off_t>(id) * static_cast<off_t>(kPageSize));
-  if (n != static_cast<ssize_t>(kPageSize)) {
-    return Status::IOError(StringPrintf("short write of page %u", id));
-  }
-  return Status::OK();
+  return file_->WriteAt(static_cast<uint64_t>(id) * kPageSize, buf, kPageSize);
 }
 
 Result<PageId> FilePager::AllocatePage() {
   char zeros[kPageSize];
   std::memset(zeros, 0, kPageSize);
   PageId id = page_count_;
-  ssize_t n = ::pwrite(fd_, zeros, kPageSize,
-                       static_cast<off_t>(id) * static_cast<off_t>(kPageSize));
-  if (n != static_cast<ssize_t>(kPageSize)) {
-    return Status::IOError("failed to extend file");
-  }
+  TDB_RETURN_IF_ERROR(
+      file_->WriteAt(static_cast<uint64_t>(id) * kPageSize, zeros, kPageSize));
   ++page_count_;
   return id;
 }
 
-Status FilePager::Sync() {
-  if (::fsync(fd_) != 0) {
-    return Status::IOError(StringPrintf("fsync: %s", std::strerror(errno)));
-  }
-  return Status::OK();
-}
+Status FilePager::Sync() { return file_->Sync(); }
 
 Status MemPager::ReadPage(PageId id, char* buf) {
   if (id >= pages_.size()) {

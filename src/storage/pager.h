@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "common/result.h"
+#include "storage/fs.h"
 #include "storage/page.h"
 
 namespace temporadb {
@@ -36,11 +37,15 @@ class Pager {
   virtual Status Sync() = 0;
 };
 
-/// File-backed pager.  The file is created if missing.
+/// File-backed pager.  The file is created if missing.  All I/O goes
+/// through the `FileSystem` abstraction so tests can interpose fault
+/// injection; the single-argument `Open` uses the real POSIX filesystem.
 class FilePager : public Pager {
  public:
+  static Result<std::unique_ptr<FilePager>> Open(FileSystem* fs,
+                                                 const std::string& path);
   static Result<std::unique_ptr<FilePager>> Open(const std::string& path);
-  ~FilePager() override;
+  ~FilePager() override = default;
 
   FilePager(const FilePager&) = delete;
   FilePager& operator=(const FilePager&) = delete;
@@ -54,11 +59,13 @@ class FilePager : public Pager {
   const std::string& path() const { return path_; }
 
  private:
-  FilePager(std::string path, int fd, PageId page_count)
-      : path_(std::move(path)), fd_(fd), page_count_(page_count) {}
+  FilePager(std::string path, std::unique_ptr<File> file, PageId page_count)
+      : path_(std::move(path)),
+        file_(std::move(file)),
+        page_count_(page_count) {}
 
   std::string path_;
-  int fd_;
+  std::unique_ptr<File> file_;
   PageId page_count_;
 };
 

@@ -1,12 +1,7 @@
 #include "storage/wal.h"
 
-#include <fcntl.h>
-#include <sys/stat.h>
-#include <unistd.h>
-
-#include <cerrno>
+#include <algorithm>
 #include <cstring>
-#include <vector>
 
 #include "common/coding.h"
 #include "common/strings.h"
@@ -19,42 +14,100 @@ namespace {
 //   u64 lsn | u32 type | u32 payload_len | payload | u64 checksum
 // The checksum covers everything before it.
 constexpr size_t kRecordHeaderSize = 8 + 4 + 4;
+constexpr uint32_t kMaxPayload = 64u << 20;
+
+// Log header: u64 magic | u64 start_lsn | u64 checksum(first 16 bytes).
+constexpr uint64_t kWalMagic = 0x54444257414C3031ULL;  // "TDBWAL01"
 
 struct ScanResult {
   uint64_t next_lsn = 1;
-  uint64_t valid_bytes = 0;
+  uint64_t valid_bytes = WriteAheadLog::kHeaderSize;
 };
 
-// Scans the file, returning the next LSN and the byte offset of the first
-// torn/corrupt record (where appends should resume).
-Result<ScanResult> ScanLog(
-    int fd, const std::function<Status(const WalRecord&)>* fn,
-    uint64_t from_lsn) {
+/// True when a record with a valid checksum starts at `offset` — used to
+/// tell mid-log corruption (intact records follow the damage) from a torn
+/// tail (nothing intelligible follows).
+Result<bool> ValidRecordAt(File* file, uint64_t offset) {
+  char header[kRecordHeaderSize];
+  TDB_ASSIGN_OR_RETURN(size_t n, file->ReadAt(offset, header, kRecordHeaderSize));
+  if (n < kRecordHeaderSize) return false;
+  std::string_view hv(header, kRecordHeaderSize);
+  uint64_t lsn;
+  uint32_t type, len;
+  GetFixed64(&hv, &lsn);
+  GetFixed32(&hv, &type);
+  GetFixed32(&hv, &len);
+  if (len > kMaxPayload) return false;
+  std::string body(len, '\0');
+  TDB_ASSIGN_OR_RETURN(size_t bn,
+                       file->ReadAt(offset + kRecordHeaderSize, body.data(), len));
+  if (bn < len) return false;
+  char sumbuf[8];
+  TDB_ASSIGN_OR_RETURN(size_t sn,
+                       file->ReadAt(offset + kRecordHeaderSize + len, sumbuf, 8));
+  if (sn < 8) return false;
+  uint64_t stored;
+  std::memcpy(&stored, sumbuf, 8);
+  std::string covered(header, kRecordHeaderSize);
+  covered += body;
+  return Checksum64(covered.data(), covered.size()) == stored;
+}
+
+/// Scans the records after the header.  Stops cleanly at a torn tail
+/// (`valid_bytes` is where appends resume); reports Corruption when the
+/// damage is followed by intact records or when LSNs are out of sequence.
+Result<ScanResult> ScanLog(File* file, uint64_t start_lsn,
+                           const std::function<Status(const WalRecord&)>* fn,
+                           uint64_t from_lsn) {
   ScanResult result;
-  off_t offset = 0;
+  result.next_lsn = start_lsn;
+  uint64_t offset = WriteAheadLog::kHeaderSize;
+  uint64_t expected = start_lsn;
   while (true) {
     char header[kRecordHeaderSize];
-    ssize_t n = ::pread(fd, header, kRecordHeaderSize, offset);
-    if (n < static_cast<ssize_t>(kRecordHeaderSize)) break;  // Clean EOF/tear.
+    TDB_ASSIGN_OR_RETURN(size_t n,
+                         file->ReadAt(offset, header, kRecordHeaderSize));
+    if (n < kRecordHeaderSize) break;  // Clean EOF or torn tail.
     std::string_view hv(header, kRecordHeaderSize);
     uint64_t lsn;
     uint32_t type, len;
     GetFixed64(&hv, &lsn);
     GetFixed32(&hv, &type);
     GetFixed32(&hv, &len);
-    if (len > (64u << 20)) break;  // Implausible length: treat as a tear.
+    if (len > kMaxPayload) break;  // Implausible length: treat as a tear.
     std::string body(len, '\0');
-    ssize_t bn = ::pread(fd, body.data(), len, offset + kRecordHeaderSize);
-    if (bn < static_cast<ssize_t>(len)) break;
+    TDB_ASSIGN_OR_RETURN(size_t bn,
+                         file->ReadAt(offset + kRecordHeaderSize, body.data(),
+                                      len));
+    if (bn < len) break;
     char sumbuf[8];
-    ssize_t sn = ::pread(fd, sumbuf, 8, offset + kRecordHeaderSize + len);
+    TDB_ASSIGN_OR_RETURN(size_t sn, file->ReadAt(
+        offset + kRecordHeaderSize + len, sumbuf, 8));
     if (sn < 8) break;
     uint64_t stored;
     std::memcpy(&stored, sumbuf, 8);
-    // Recompute over header + payload.
     std::string covered(header, kRecordHeaderSize);
     covered += body;
-    if (Checksum64(covered.data(), covered.size()) != stored) break;
+    uint64_t record_size = kRecordHeaderSize + len + 8;
+    if (Checksum64(covered.data(), covered.size()) != stored) {
+      // Damaged record.  A tear is only a tear if nothing intact follows;
+      // otherwise acknowledged data was corrupted and silence would drop
+      // committed transactions.
+      TDB_ASSIGN_OR_RETURN(bool intact_follows,
+                           ValidRecordAt(file, offset + record_size));
+      if (intact_follows) {
+        return Status::Corruption(StringPrintf(
+            "WAL: corrupt record at offset %llu followed by intact records",
+            (unsigned long long)offset));
+      }
+      break;
+    }
+    if (lsn != expected) {
+      return Status::Corruption(StringPrintf(
+          "WAL: LSN %llu at offset %llu, expected %llu",
+          (unsigned long long)lsn, (unsigned long long)offset,
+          (unsigned long long)expected));
+    }
     if (fn != nullptr && lsn >= from_lsn) {
       WalRecord rec;
       rec.lsn = lsn;
@@ -63,38 +116,81 @@ Result<ScanResult> ScanLog(
       TDB_RETURN_IF_ERROR((*fn)(rec));
     }
     result.next_lsn = lsn + 1;
-    offset += static_cast<off_t>(kRecordHeaderSize + len + 8);
-    result.valid_bytes = static_cast<uint64_t>(offset);
+    ++expected;
+    offset += record_size;
+    result.valid_bytes = offset;
   }
   return result;
+}
+
+std::string EncodeHeader(uint64_t start_lsn) {
+  std::string buf;
+  PutFixed64(&buf, kWalMagic);
+  PutFixed64(&buf, start_lsn);
+  PutFixed64(&buf, Checksum64(buf.data(), buf.size()));
+  return buf;
 }
 
 }  // namespace
 
 Result<std::unique_ptr<WriteAheadLog>> WriteAheadLog::Open(
-    const std::string& path) {
-  int fd = ::open(path.c_str(), O_RDWR | O_CREAT, 0644);
-  if (fd < 0) {
-    return Status::IOError(StringPrintf("open(%s): %s", path.c_str(),
-                                        std::strerror(errno)));
-  }
-  Result<ScanResult> scan = ScanLog(fd, nullptr, 0);
-  if (!scan.ok()) {
-    ::close(fd);
-    return scan.status();
-  }
-  // Discard any torn tail so fresh appends start at a clean boundary.
-  if (::ftruncate(fd, static_cast<off_t>(scan->valid_bytes)) != 0) {
-    int err = errno;
-    ::close(fd);
-    return Status::IOError(StringPrintf("ftruncate: %s", std::strerror(err)));
-  }
-  return std::unique_ptr<WriteAheadLog>(
-      new WriteAheadLog(path, fd, scan->next_lsn, scan->valid_bytes));
+    const std::string& path, uint64_t min_next_lsn) {
+  return Open(FileSystem::Default(), path, min_next_lsn);
 }
 
-WriteAheadLog::~WriteAheadLog() {
-  if (fd_ >= 0) ::close(fd_);
+Result<std::unique_ptr<WriteAheadLog>> WriteAheadLog::Open(
+    FileSystem* fs, const std::string& path, uint64_t min_next_lsn) {
+  min_next_lsn = std::max<uint64_t>(min_next_lsn, 1);
+  TDB_ASSIGN_OR_RETURN(std::unique_ptr<File> file,
+                       fs->OpenFile(path, /*create=*/true));
+  TDB_ASSIGN_OR_RETURN(uint64_t size, file->Size());
+  uint64_t start_lsn = min_next_lsn;
+  bool reset_header = false;
+  if (size < kHeaderSize) {
+    // Empty, or a header torn mid-write.  The header is synced before any
+    // record, so no acknowledged record can exist beyond a torn header.
+    reset_header = true;
+  } else {
+    char raw[kHeaderSize];
+    TDB_ASSIGN_OR_RETURN(size_t n, file->ReadAt(0, raw, kHeaderSize));
+    std::string_view hv(raw, n);
+    uint64_t magic = 0, lsn = 0, sum = 0;
+    GetFixed64(&hv, &magic);
+    GetFixed64(&hv, &lsn);
+    GetFixed64(&hv, &sum);
+    if (magic == kWalMagic && sum == Checksum64(raw, 16)) {
+      start_lsn = lsn;
+    } else {
+      // Corrupt header.  If intact records follow it, this is damage to
+      // acknowledged state, not a tear — refuse to guess.
+      TDB_ASSIGN_OR_RETURN(bool intact, ValidRecordAt(file.get(), kHeaderSize));
+      if (intact) {
+        return Status::Corruption(
+            "WAL: header corrupt but log contains intact records");
+      }
+      reset_header = true;
+    }
+  }
+  if (reset_header) {
+    TDB_RETURN_IF_ERROR(file->Truncate(0));
+    std::string header = EncodeHeader(start_lsn);
+    TDB_RETURN_IF_ERROR(file->WriteAt(0, header.data(), header.size()));
+    TDB_RETURN_IF_ERROR(file->Sync());
+    return std::unique_ptr<WriteAheadLog>(
+        new WriteAheadLog(std::move(file), start_lsn, kHeaderSize));
+  }
+  TDB_ASSIGN_OR_RETURN(ScanResult scan,
+                       ScanLog(file.get(), start_lsn, nullptr, 0));
+  if (scan.valid_bytes < size) {
+    // Discard the torn tail so fresh appends start at a clean boundary —
+    // and make the discard durable, so a later crash cannot resurrect
+    // half a record in the middle of newly appended ones.
+    TDB_RETURN_IF_ERROR(file->Truncate(scan.valid_bytes));
+    TDB_RETURN_IF_ERROR(file->Sync());
+  }
+  uint64_t next_lsn = std::max(scan.next_lsn, min_next_lsn);
+  return std::unique_ptr<WriteAheadLog>(
+      new WriteAheadLog(std::move(file), next_lsn, scan.valid_bytes));
 }
 
 Result<uint64_t> WriteAheadLog::Append(uint32_t type, Slice payload) {
@@ -107,44 +203,51 @@ Result<uint64_t> WriteAheadLog::Append(uint32_t type, Slice payload) {
   buf.append(payload.data(), payload.size());
   uint64_t sum = Checksum64(buf.data(), buf.size());
   PutFixed64(&buf, sum);
-  ssize_t n = ::pwrite(fd_, buf.data(), buf.size(),
-                       static_cast<off_t>(append_offset_));
-  if (n != static_cast<ssize_t>(buf.size())) {
-    return Status::IOError("short WAL append");
-  }
+  TDB_RETURN_IF_ERROR(file_->WriteAt(append_offset_, buf.data(), buf.size()));
   append_offset_ += buf.size();
   ++next_lsn_;
   return lsn;
 }
 
-Status WriteAheadLog::Sync() {
-  if (::fsync(fd_) != 0) {
-    return Status::IOError(StringPrintf("fsync: %s", std::strerror(errno)));
-  }
-  return Status::OK();
-}
+Status WriteAheadLog::Sync() { return file_->Sync(); }
 
 Status WriteAheadLog::Replay(
     uint64_t from_lsn,
     const std::function<Status(const WalRecord&)>& fn) const {
-  Result<ScanResult> scan = ScanLog(fd_, &fn, from_lsn);
+  // Re-read the header: the scan must use this log incarnation's first LSN.
+  char raw[kHeaderSize];
+  TDB_ASSIGN_OR_RETURN(size_t n, file_->ReadAt(0, raw, kHeaderSize));
+  uint64_t start_lsn = 1;
+  if (n == kHeaderSize) {
+    std::string_view hv(raw + 8, 8);  // Magic and checksum were validated at Open.
+    GetFixed64(&hv, &start_lsn);
+  }
+  Result<ScanResult> scan = ScanLog(file_.get(), start_lsn, &fn, from_lsn);
   return scan.ok() ? Status::OK() : scan.status();
 }
 
-Status WriteAheadLog::Truncate() {
-  if (::ftruncate(fd_, 0) != 0) {
-    return Status::IOError(StringPrintf("ftruncate: %s", std::strerror(errno)));
-  }
-  append_offset_ = 0;
-  return Sync();
+Status WriteAheadLog::WriteHeader(uint64_t start_lsn) {
+  std::string header = EncodeHeader(start_lsn);
+  return file_->WriteAt(0, header.data(), header.size());
 }
 
-Result<uint64_t> WriteAheadLog::SizeBytes() const {
-  struct stat st;
-  if (::fstat(fd_, &st) != 0) {
-    return Status::IOError(StringPrintf("fstat: %s", std::strerror(errno)));
-  }
-  return static_cast<uint64_t>(st.st_size);
+Status WriteAheadLog::Truncate() {
+  TDB_RETURN_IF_ERROR(file_->Truncate(0));
+  TDB_RETURN_IF_ERROR(WriteHeader(next_lsn_));
+  append_offset_ = kHeaderSize;
+  return file_->Sync();
 }
+
+Status WriteAheadLog::RewindTo(uint64_t offset, uint64_t lsn) {
+  if (offset < kHeaderSize || offset > append_offset_) {
+    return Status::InvalidArgument("WAL rewind offset out of range");
+  }
+  TDB_RETURN_IF_ERROR(file_->Truncate(offset));
+  append_offset_ = offset;
+  next_lsn_ = lsn;
+  return Status::OK();
+}
+
+Result<uint64_t> WriteAheadLog::SizeBytes() const { return file_->Size(); }
 
 }  // namespace temporadb

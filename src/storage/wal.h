@@ -8,6 +8,7 @@
 
 #include "common/result.h"
 #include "common/slice.h"
+#include "storage/fs.h"
 
 namespace temporadb {
 
@@ -22,16 +23,36 @@ struct WalRecord {
 ///
 /// The temporal layer logs *logical* operations (begin/commit, version
 /// appends, version closes); recovery replays committed transactions in LSN
-/// order on top of the last checkpoint.  Each record carries an FNV-1a
-/// checksum; replay stops cleanly at the first torn or corrupt record, which
-/// is how crash-in-mid-write recovers (records after the tear were
-/// unacknowledged by definition).
+/// order on top of the last checkpoint.
+///
+/// On-disk layout: a fixed header (magic, the first LSN of this log
+/// incarnation, a checksum) followed by records `u64 lsn | u32 type |
+/// u32 len | payload | u64 checksum`.  The header is what keeps LSNs
+/// monotone across `Truncate`+reopen: truncation rewrites the header with
+/// the resume LSN instead of silently restarting at 1.
+///
+/// Recovery discipline: records carry strictly sequential LSNs and an
+/// FNV-1a checksum.  A torn *tail* (crash mid-append) is discarded and the
+/// file is truncated + fsynced back to the last intact record — those
+/// records were unacknowledged by definition.  A corrupt record *followed
+/// by intact records* is not a tear; it means acknowledged data was damaged,
+/// and `Open`/`Replay` report Corruption instead of silently dropping
+/// committed transactions.
 class WriteAheadLog {
  public:
-  /// Opens (or creates) the log at `path`; scans once to find the next LSN.
-  static Result<std::unique_ptr<WriteAheadLog>> Open(const std::string& path);
+  /// Bytes of the log header: magic, start LSN, checksum.
+  static constexpr uint64_t kHeaderSize = 24;
 
-  ~WriteAheadLog();
+  /// Opens (or creates) the log at `path`; scans once to find the next
+  /// LSN.  `min_next_lsn` is a lower bound carried from the checkpoint
+  /// manifest, so LSNs stay monotone even if the log file itself was lost
+  /// or reset.
+  static Result<std::unique_ptr<WriteAheadLog>> Open(
+      FileSystem* fs, const std::string& path, uint64_t min_next_lsn = 1);
+  static Result<std::unique_ptr<WriteAheadLog>> Open(const std::string& path,
+                                                     uint64_t min_next_lsn = 1);
+
+  ~WriteAheadLog() = default;
   WriteAheadLog(const WriteAheadLog&) = delete;
   WriteAheadLog& operator=(const WriteAheadLog&) = delete;
 
@@ -45,21 +66,31 @@ class WriteAheadLog {
   Status Replay(uint64_t from_lsn,
                 const std::function<Status(const WalRecord&)>& fn) const;
 
-  /// Empties the log after a checkpoint has made its effects durable.
+  /// Empties the log after a checkpoint has made its effects durable.  The
+  /// rewritten header carries the current `next_lsn`, so the LSN sequence
+  /// continues across the truncation and any restart after it.
   Status Truncate();
 
+  /// Drops everything appended at or after `offset` (from `append_offset`)
+  /// and rewinds the LSN counter to `lsn`.  Used to back out the records of
+  /// a commit whose sync failed, so a *later* successful sync cannot make
+  /// an unacknowledged commit durable.
+  Status RewindTo(uint64_t offset, uint64_t lsn);
+
   uint64_t next_lsn() const { return next_lsn_; }
+  uint64_t append_offset() const { return append_offset_; }
 
   /// Log size in bytes (for the WAL bench).
   Result<uint64_t> SizeBytes() const;
 
  private:
-  WriteAheadLog(std::string path, int fd, uint64_t next_lsn, uint64_t offset)
-      : path_(std::move(path)), fd_(fd), next_lsn_(next_lsn),
-        append_offset_(offset) {}
+  WriteAheadLog(std::unique_ptr<File> file, uint64_t next_lsn,
+                uint64_t offset)
+      : file_(std::move(file)), next_lsn_(next_lsn), append_offset_(offset) {}
 
-  std::string path_;
-  int fd_;
+  Status WriteHeader(uint64_t start_lsn);
+
+  std::unique_ptr<File> file_;
   uint64_t next_lsn_;
   uint64_t append_offset_;
 };

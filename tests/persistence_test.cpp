@@ -10,6 +10,7 @@
 
 #include "core/database.h"
 #include "core/paper_scenario.h"
+#include "storage/fault_injection.h"
 
 namespace temporadb {
 namespace {
@@ -88,7 +89,8 @@ TEST_F(PersistenceTest, CheckpointTruncatesWalAndSurvives) {
     uint64_t wal_before = db->WalBytes();
     ASSERT_TRUE(db->Checkpoint().ok());
     EXPECT_LT(db->WalBytes(), wal_before);
-    EXPECT_EQ(db->WalBytes(), 0u);
+    // Only the log header (carrying the resume LSN) remains.
+    EXPECT_EQ(db->WalBytes(), WriteAheadLog::kHeaderSize);
     // Post-checkpoint traffic goes to the fresh WAL.
     ASSERT_TRUE(db->Execute("append to t (name = \"after\")").ok());
   }
@@ -301,6 +303,146 @@ TEST_F(PersistenceTest, RecoveredClockNeverRegresses) {
     (*rel)->store()->ForEach([&](RowId, const BitemporalTuple& t) {
       EXPECT_GE(t.txn.begin(), min_allowed);
     });
+  }
+}
+
+// Shared workload for the targeted checkpoint-crash tests: one relation,
+// five synced commits, then a checkpoint.  Returns the checkpoint status
+// and reports the barrier count before/after it.
+void RunCheckpointWorkload(FaultInjectionFileSystem* fs,
+                           const std::string& dir, ManualClock* clock,
+                           uint64_t* barriers_before_checkpoint,
+                           Status* checkpoint_status) {
+  DatabaseOptions options;
+  options.path = dir;
+  options.clock = clock;
+  options.fs = fs;
+  Result<std::unique_ptr<Database>> db = Database::Open(options);
+  ASSERT_TRUE(db.ok()) << db.status().ToString();
+  ASSERT_TRUE((*db)->Execute("create relation t (n = int)").ok());
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_TRUE(
+        (*db)->Execute("append to t (n = " + std::to_string(i) + ")").ok());
+  }
+  *barriers_before_checkpoint = fs->sync_count();
+  *checkpoint_status = (*db)->Checkpoint();
+}
+
+void ExpectFiveRows(FaultInjectionFileSystem* fs, const std::string& dir,
+                    ManualClock* clock, bool expect_writable) {
+  DatabaseOptions options;
+  options.path = dir;
+  options.clock = clock;
+  options.fs = fs;
+  Result<std::unique_ptr<Database>> db = Database::Open(options);
+  ASSERT_TRUE(db.ok()) << db.status().ToString();
+  ASSERT_TRUE((*db)->Execute("range of x is t").ok());
+  Result<Rowset> rows = (*db)->Query("retrieve (x.n)");
+  ASSERT_TRUE(rows.ok()) << rows.status().ToString();
+  // Exactly the five acknowledged commits: nothing lost, nothing
+  // double-applied.
+  EXPECT_EQ(rows->size(), 5u);
+  Result<StoredRelation*> rel = (*db)->GetRelation("t");
+  ASSERT_TRUE(rel.ok());
+  EXPECT_EQ((*rel)->store()->version_count(), 5u);
+  if (expect_writable) {
+    ASSERT_TRUE((*db)->Execute("append to t (n = 99)").ok());
+    ASSERT_TRUE((*db)->Checkpoint().ok());
+    EXPECT_EQ((*db)->Query("retrieve (x.n)")->size(), 6u);
+  }
+}
+
+TEST_F(PersistenceTest, CrashBetweenCurrentPublishAndWalTruncate) {
+  // Dry run: the checkpoint's final barrier is the WAL-truncation fsync.
+  uint64_t last_barrier = 0;
+  {
+    FaultInjectionFileSystem fs;
+    uint64_t before = 0;
+    Status ckpt;
+    RunCheckpointWorkload(&fs, dir_, &clock_, &before, &ckpt);
+    ASSERT_TRUE(ckpt.ok()) << ckpt.ToString();
+    last_barrier = fs.sync_count();
+    ASSERT_GT(last_barrier, before);
+  }
+  std::filesystem::remove_all(dir_);
+  // Crash run: CURRENT (with its resume LSN) is durable, the WAL still
+  // holds every pre-checkpoint record.  Recovery must not replay them on
+  // top of the checkpoint image.
+  FaultInjectionFileSystem fs;
+  fs.PlanCrashAtSync(last_barrier);
+  {
+    uint64_t before = 0;
+    Status ckpt;
+    RunCheckpointWorkload(&fs, dir_, &clock_, &before, &ckpt);
+    EXPECT_FALSE(ckpt.ok());
+  }
+  ASSERT_TRUE(fs.RealizeCrash().ok());
+  ExpectFiveRows(&fs, dir_, &clock_, /*expect_writable=*/true);
+}
+
+TEST_F(PersistenceTest, CrashInTheMiddleOfCheckpointKeepsOldState) {
+  // Crash at the first barrier inside Checkpoint (the catalog file's
+  // fsync): CURRENT still names the old state, the WAL is intact, and
+  // recovery must see exactly the pre-checkpoint database.
+  uint64_t before = 0;
+  {
+    FaultInjectionFileSystem fs;
+    Status ckpt;
+    RunCheckpointWorkload(&fs, dir_, &clock_, &before, &ckpt);
+    ASSERT_TRUE(ckpt.ok()) << ckpt.ToString();
+  }
+  std::filesystem::remove_all(dir_);
+  FaultInjectionFileSystem fs;
+  fs.PlanCrashAtSync(before + 1);
+  {
+    uint64_t ignored = 0;
+    Status ckpt;
+    RunCheckpointWorkload(&fs, dir_, &clock_, &ignored, &ckpt);
+    EXPECT_FALSE(ckpt.ok());
+  }
+  ASSERT_TRUE(fs.RealizeCrash().ok());
+  ExpectFiveRows(&fs, dir_, &clock_, /*expect_writable=*/true);
+}
+
+TEST_F(PersistenceTest, FailedCommitSyncIsNeverResurrected) {
+  // A commit whose fsync fails must not become durable because a *later*
+  // fsync succeeded; and after the failed fsync the database refuses
+  // further commits until reopened.
+  FaultInjectionFileSystem fs;
+  {
+    DatabaseOptions options;
+    options.path = dir_;
+    options.clock = &clock_;
+    options.fs = &fs;
+    Result<std::unique_ptr<Database>> db = Database::Open(options);
+    ASSERT_TRUE(db.ok());
+    ASSERT_TRUE((*db)->Execute("create relation t (n = int)").ok());
+    ASSERT_TRUE((*db)->Execute("append to t (n = 1)").ok());
+    std::string wal_path = dir_ + "/wal.log";
+    fs.set_fault_filter([&](FaultOp op, const std::string& path) {
+      return op == FaultOp::kSync && path == wal_path;
+    });
+    Result<tquel::ExecResult> failed = (*db)->Execute("append to t (n = 2)");
+    EXPECT_FALSE(failed.ok());
+    fs.set_fault_filter(nullptr);
+    // The log is poisoned: further commits fail until reopen.
+    Result<tquel::ExecResult> refused = (*db)->Execute("append to t (n = 3)");
+    EXPECT_FALSE(refused.ok());
+    EXPECT_TRUE(refused.status().IsFailedPrecondition())
+        << refused.status().ToString();
+  }
+  {
+    DatabaseOptions options;
+    options.path = dir_;
+    options.clock = &clock_;
+    options.fs = &fs;
+    Result<std::unique_ptr<Database>> db = Database::Open(options);
+    ASSERT_TRUE(db.ok()) << db.status().ToString();
+    ASSERT_TRUE((*db)->Execute("range of x is t").ok());
+    // Only the acknowledged first append survives.
+    EXPECT_EQ((*db)->Query("retrieve (x.n)")->size(), 1u);
+    ASSERT_TRUE((*db)->Execute("append to t (n = 4)").ok());
+    EXPECT_EQ((*db)->Query("retrieve (x.n)")->size(), 2u);
   }
 }
 

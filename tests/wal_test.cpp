@@ -152,10 +152,11 @@ TEST_F(WalTest, CorruptedBodyStopsReplayAtTear) {
     ASSERT_TRUE((*wal)->Sync().ok());
   }
   {
-    // Flip a byte inside the second record's payload.
+    // Flip a byte inside the second (final) record's payload.
     std::FILE* f = std::fopen(path_.c_str(), "r+");
     ASSERT_NE(f, nullptr);
-    long second_payload = (8 + 4 + 4 + 10 + 8) + (8 + 4 + 4) + 3;
+    long second_payload = static_cast<long>(WriteAheadLog::kHeaderSize) +
+                          (8 + 4 + 4 + 10 + 8) + (8 + 4 + 4) + 3;
     std::fseek(f, second_payload, SEEK_SET);
     std::fputc('X', f);
     std::fclose(f);
@@ -178,7 +179,8 @@ TEST_F(WalTest, TruncateEmptiesLog) {
   ASSERT_TRUE(wal.ok());
   ASSERT_TRUE((*wal)->Append(1, "x").ok());
   ASSERT_TRUE((*wal)->Truncate().ok());
-  EXPECT_EQ(*(*wal)->SizeBytes(), 0u);
+  // Only the log header survives a truncation.
+  EXPECT_EQ(*(*wal)->SizeBytes(), WriteAheadLog::kHeaderSize);
   int count = 0;
   ASSERT_TRUE((*wal)
                   ->Replay(0,
@@ -190,6 +192,91 @@ TEST_F(WalTest, TruncateEmptiesLog) {
   EXPECT_EQ(count, 0);
   // Appends after truncation work.
   EXPECT_TRUE((*wal)->Append(1, "fresh").ok());
+}
+
+TEST_F(WalTest, MidLogCorruptionIsReportedNotSwallowed) {
+  {
+    auto wal = WriteAheadLog::Open(path_);
+    ASSERT_TRUE(wal.ok());
+    ASSERT_TRUE((*wal)->Append(1, "aaaaaaaaaa").ok());
+    ASSERT_TRUE((*wal)->Append(2, "bbbbbbbbbb").ok());
+    ASSERT_TRUE((*wal)->Sync().ok());
+  }
+  {
+    // Flip a byte inside the FIRST record's payload: the damage sits in
+    // front of an intact record, so this is not a crash tear — committed
+    // data was corrupted and recovery must say so.
+    std::FILE* f = std::fopen(path_.c_str(), "r+");
+    ASSERT_NE(f, nullptr);
+    long first_payload =
+        static_cast<long>(WriteAheadLog::kHeaderSize) + (8 + 4 + 4) + 3;
+    std::fseek(f, first_payload, SEEK_SET);
+    std::fputc('X', f);
+    std::fclose(f);
+  }
+  auto wal = WriteAheadLog::Open(path_);
+  ASSERT_FALSE(wal.ok());
+  EXPECT_TRUE(wal.status().IsCorruption()) << wal.status().ToString();
+}
+
+TEST_F(WalTest, LsnsContinueAcrossTruncateAndReopen) {
+  uint64_t lsn_after_truncate = 0;
+  {
+    auto wal = WriteAheadLog::Open(path_);
+    ASSERT_TRUE(wal.ok());
+    for (int i = 0; i < 5; ++i) {
+      ASSERT_TRUE((*wal)->Append(1, "r" + std::to_string(i)).ok());
+    }
+    ASSERT_TRUE((*wal)->Sync().ok());
+    ASSERT_TRUE((*wal)->Truncate().ok());
+    lsn_after_truncate = (*wal)->next_lsn();
+    EXPECT_EQ(lsn_after_truncate, 6u);
+  }
+  // Reopening an empty-but-truncated log must resume the sequence, not
+  // restart at 1.
+  auto wal = WriteAheadLog::Open(path_);
+  ASSERT_TRUE(wal.ok());
+  EXPECT_EQ((*wal)->next_lsn(), lsn_after_truncate);
+  Result<uint64_t> next = (*wal)->Append(1, "after");
+  ASSERT_TRUE(next.ok());
+  EXPECT_EQ(*next, lsn_after_truncate);
+}
+
+TEST_F(WalTest, MinNextLsnBoundsFreshLog) {
+  // A lost log file plus a checkpoint manifest hint must not let LSNs
+  // regress below what the checkpoint already absorbed.
+  auto wal = WriteAheadLog::Open(FileSystem::Default(), path_, 42);
+  ASSERT_TRUE(wal.ok());
+  EXPECT_EQ((*wal)->next_lsn(), 42u);
+  Result<uint64_t> lsn = (*wal)->Append(1, "x");
+  ASSERT_TRUE(lsn.ok());
+  EXPECT_EQ(*lsn, 42u);
+}
+
+TEST_F(WalTest, RewindDropsUnsyncedSuffix) {
+  auto wal = WriteAheadLog::Open(path_);
+  ASSERT_TRUE(wal.ok());
+  ASSERT_TRUE((*wal)->Append(1, "keep").ok());
+  ASSERT_TRUE((*wal)->Sync().ok());
+  uint64_t offset = (*wal)->append_offset();
+  uint64_t lsn = (*wal)->next_lsn();
+  ASSERT_TRUE((*wal)->Append(2, "doomed-1").ok());
+  ASSERT_TRUE((*wal)->Append(2, "doomed-2").ok());
+  ASSERT_TRUE((*wal)->RewindTo(offset, lsn).ok());
+  EXPECT_EQ((*wal)->next_lsn(), lsn);
+  std::vector<std::string> payloads;
+  ASSERT_TRUE((*wal)
+                  ->Replay(0,
+                           [&](const WalRecord& rec) -> Status {
+                             payloads.push_back(rec.payload);
+                             return Status::OK();
+                           })
+                  .ok());
+  EXPECT_EQ(payloads, std::vector<std::string>{"keep"});
+  // The freed LSN is reused seamlessly.
+  Result<uint64_t> reused = (*wal)->Append(3, "replacement");
+  ASSERT_TRUE(reused.ok());
+  EXPECT_EQ(*reused, lsn);
 }
 
 TEST_F(WalTest, EmptyPayloadAllowed) {
