@@ -1,0 +1,175 @@
+#ifndef TEMPORADB_COMMON_INLINE_FUNCTION_H_
+#define TEMPORADB_COMMON_INLINE_FUNCTION_H_
+
+#include <cstddef>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace temporadb {
+
+/// A small-buffer-optimized `std::function` replacement for hot loops.
+///
+/// `std::function` hides every callable behind a type-erased heap object,
+/// so a per-row predicate costs an indirect call through two pointers plus
+/// (on construction) an allocation.  `InlineFunction` stores callables up
+/// to `InlineBytes` directly in the object, keeping the captured state on
+/// the same cache line as the dispatch pointer; larger callables fall back
+/// to the heap transparently.  The version-store scan loop invokes its
+/// filter once per version, which is what motivates this type (see
+/// `VersionFilter`).
+///
+/// Requirements on the wrapped callable `F`:
+///  - `R operator()(Args...) const` (const-invocable, like a non-mutable
+///    lambda);
+///  - copy-constructible (InlineFunction itself is copyable).
+///
+/// Invocation through `operator()` is const and touches no mutable state in
+/// the wrapper, so one InlineFunction may be invoked concurrently from many
+/// threads iff the wrapped callable itself is safe to invoke concurrently.
+template <typename Signature, size_t InlineBytes = 48>
+class InlineFunction;
+
+template <typename R, typename... Args, size_t InlineBytes>
+class InlineFunction<R(Args...), InlineBytes> {
+ public:
+  InlineFunction() = default;
+  InlineFunction(std::nullptr_t) {}  // NOLINT: implicit, like std::function.
+
+  template <typename F,
+            typename = std::enable_if_t<
+                !std::is_same_v<std::decay_t<F>, InlineFunction> &&
+                std::is_invocable_r_v<R, const std::decay_t<F>&, Args...>>>
+  InlineFunction(F&& f) {  // NOLINT: implicit, like std::function.
+    using D = std::decay_t<F>;
+    if constexpr (Inlined<D>()) {
+      ::new (storage_.inline_buf) D(std::forward<F>(f));
+    } else {
+      storage_.heap = new D(std::forward<F>(f));
+    }
+    vtable_ = &kVTable<D>;
+  }
+
+  InlineFunction(const InlineFunction& other) : vtable_(other.vtable_) {
+    if (vtable_ != nullptr) vtable_->copy(storage_, other.storage_);
+  }
+
+  InlineFunction(InlineFunction&& other) noexcept : vtable_(other.vtable_) {
+    if (vtable_ != nullptr) {
+      vtable_->move(storage_, other.storage_);
+      other.vtable_ = nullptr;
+    }
+  }
+
+  InlineFunction& operator=(const InlineFunction& other) {
+    if (this != &other) {
+      Reset();
+      vtable_ = other.vtable_;
+      if (vtable_ != nullptr) vtable_->copy(storage_, other.storage_);
+    }
+    return *this;
+  }
+
+  InlineFunction& operator=(InlineFunction&& other) noexcept {
+    if (this != &other) {
+      Reset();
+      vtable_ = other.vtable_;
+      if (vtable_ != nullptr) {
+        vtable_->move(storage_, other.storage_);
+        other.vtable_ = nullptr;
+      }
+    }
+    return *this;
+  }
+
+  ~InlineFunction() { Reset(); }
+
+  explicit operator bool() const { return vtable_ != nullptr; }
+
+  R operator()(Args... args) const {
+    return vtable_->invoke(storage_, std::forward<Args>(args)...);
+  }
+
+ private:
+  union Storage {
+    alignas(std::max_align_t) unsigned char inline_buf[InlineBytes];
+    void* heap;
+  };
+
+  struct VTable {
+    R (*invoke)(const Storage&, Args&&...);
+    void (*copy)(Storage& dst, const Storage& src);
+    void (*move)(Storage& dst, Storage& src) noexcept;
+    void (*destroy)(Storage&) noexcept;
+  };
+
+  template <typename D>
+  static constexpr bool Inlined() {
+    return sizeof(D) <= InlineBytes &&
+           alignof(D) <= alignof(std::max_align_t) &&
+           std::is_nothrow_move_constructible_v<D>;
+  }
+
+  template <typename D>
+  static const D* Object(const Storage& s) {
+    if constexpr (Inlined<D>()) {
+      return std::launder(reinterpret_cast<const D*>(s.inline_buf));
+    } else {
+      return static_cast<const D*>(s.heap);
+    }
+  }
+
+  template <typename D>
+  static D* Object(Storage& s) {
+    return const_cast<D*>(Object<D>(static_cast<const Storage&>(s)));
+  }
+
+  template <typename D>
+  static constexpr VTable MakeVTable() {
+    return VTable{
+        /*invoke=*/[](const Storage& s, Args&&... args) -> R {
+          return (*Object<D>(s))(std::forward<Args>(args)...);
+        },
+        /*copy=*/[](Storage& dst, const Storage& src) {
+          if constexpr (Inlined<D>()) {
+            ::new (dst.inline_buf) D(*Object<D>(src));
+          } else {
+            dst.heap = new D(*Object<D>(src));
+          }
+        },
+        /*move=*/[](Storage& dst, Storage& src) noexcept {
+          if constexpr (Inlined<D>()) {
+            ::new (dst.inline_buf) D(std::move(*Object<D>(src)));
+            Object<D>(src)->~D();
+          } else {
+            dst.heap = src.heap;
+            src.heap = nullptr;
+          }
+        },
+        /*destroy=*/[](Storage& s) noexcept {
+          if constexpr (Inlined<D>()) {
+            Object<D>(s)->~D();
+          } else {
+            delete Object<D>(s);
+          }
+        },
+    };
+  }
+
+  template <typename D>
+  static constexpr VTable kVTable = MakeVTable<D>();
+
+  void Reset() {
+    if (vtable_ != nullptr) {
+      vtable_->destroy(storage_);
+      vtable_ = nullptr;
+    }
+  }
+
+  const VTable* vtable_ = nullptr;
+  Storage storage_;
+};
+
+}  // namespace temporadb
+
+#endif  // TEMPORADB_COMMON_INLINE_FUNCTION_H_

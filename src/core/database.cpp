@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cstdlib>
+#include <thread>
 
 #include "common/coding.h"
 #include "common/strings.h"
@@ -83,7 +84,16 @@ Database::Database(DatabaseOptions options)
     : options_(std::move(options)),
       clock_(options_.clock != nullptr ? options_.clock : &default_clock_),
       fs_(options_.fs != nullptr ? options_.fs : FileSystem::Default()),
-      txn_manager_(std::make_unique<TxnManager>(clock_)) {}
+      txn_manager_(std::make_unique<TxnManager>(clock_)) {
+  if (options_.store_options.parallel_scan) {
+    size_t threads = options_.max_threads != 0
+                         ? options_.max_threads
+                         : std::thread::hardware_concurrency();
+    pool_ = std::make_unique<exec::ThreadPool>(threads);
+    // Every store created from here on (including by recovery) shares it.
+    options_.store_options.exec_pool = pool_.get();
+  }
+}
 
 Database::~Database() {
   if (active_txn_ != nullptr && active_txn_->IsActive()) {
@@ -146,6 +156,7 @@ Status Database::Recover() {
     TDB_ASSIGN_OR_RETURN(
         wal_, WriteAheadLog::Open(fs_, options_.path + "/wal.log",
                                   std::max<uint64_t>(resume_lsn, 1)));
+    commit_queue_ = std::make_unique<CommitQueue>(wal_.get());
     // The log file's directory entry must be durable before any commit can
     // be acknowledged; a first commit whose fsync hit only the file would
     // otherwise vanish with the dirent.
@@ -287,22 +298,12 @@ Status Database::ReplayWal(uint64_t from_lsn) {
 
 Status Database::LogDdl(uint32_t type, const std::string& payload) {
   if (wal_ == nullptr || replaying_) return Status::OK();
-  if (wal_poisoned_) return Status::FailedPrecondition(kWalPoisonedMessage);
-  uint64_t rewind_offset = wal_->append_offset();
-  uint64_t rewind_lsn = wal_->next_lsn();
-  Status status = [&]() -> Status {
-    TDB_ASSIGN_OR_RETURN(uint64_t lsn, wal_->Append(type, payload));
-    (void)lsn;
-    return wal_->Sync();
-  }();
-  if (!status.ok()) {
-    // Back the record out so a later successful sync cannot persist a DDL
-    // the caller was told failed.  The failed fsync may still have reached
-    // the platter, so the log stays poisoned until reopen.
-    (void)wal_->RewindTo(rewind_offset, rewind_lsn);
-    wal_poisoned_ = true;
-  }
-  return status;
+  // The queue rewinds the record on failure (so a later successful sync
+  // cannot persist a DDL the caller was told failed) and poisons the log.
+  std::vector<WalBatchEntry> batch(1);
+  batch[0].type = type;
+  batch[0].payload = payload;
+  return commit_queue_->Commit(batch, /*sync=*/true);
 }
 
 void Database::WireObserver(StoredRelation* rel) {
@@ -488,43 +489,29 @@ Status Database::Commit(Transaction* txn) {
     return Status::InvalidArgument("commit of a non-active transaction");
   }
   if (wal_ != nullptr && !redo_buffer_.empty()) {
-    if (wal_poisoned_) {
-      Status poisoned = Status::FailedPrecondition(kWalPoisonedMessage);
-      (void)txn_manager_->Abort(txn);
-      redo_buffer_.clear();
-      active_txn_ = nullptr;
-      return poisoned;
+    // The whole transaction goes to the group-commit queue as one batch:
+    // the leader of its barrier appends it contiguously and syncs once for
+    // every batch sharing the barrier.  On failure the queue rewinds the
+    // barrier (so a later successful sync cannot make these records durable
+    // behind the caller's back) and poisons itself — a failed fsync may
+    // have persisted an unknown prefix, so nothing more can be trusted
+    // until reopen rescans the file.  Here the commit was never
+    // acknowledged, so undo the in-memory effects.
+    std::vector<WalBatchEntry> batch;
+    batch.reserve(redo_buffer_.size() + 2);
+    std::string begin_payload;
+    PutFixed64(&begin_payload, txn->id());
+    PutFixed64(&begin_payload,
+               static_cast<uint64_t>(txn->timestamp().days()));
+    batch.push_back({kWalTxnBegin, std::move(begin_payload)});
+    for (const auto& [rel_id, op] : redo_buffer_) {
+      batch.push_back({kWalVersionOp, EncodeVersionOp(rel_id, op)});
     }
-    uint64_t rewind_offset = wal_->append_offset();
-    uint64_t rewind_lsn = wal_->next_lsn();
-    Status wal_status = [&]() -> Status {
-      std::string begin_payload;
-      PutFixed64(&begin_payload, txn->id());
-      PutFixed64(&begin_payload,
-                 static_cast<uint64_t>(txn->timestamp().days()));
-      TDB_ASSIGN_OR_RETURN(uint64_t lsn,
-                           wal_->Append(kWalTxnBegin, begin_payload));
-      (void)lsn;
-      for (const auto& [rel_id, op] : redo_buffer_) {
-        TDB_ASSIGN_OR_RETURN(lsn, wal_->Append(kWalVersionOp,
-                                               EncodeVersionOp(rel_id, op)));
-      }
-      std::string commit_payload;
-      PutFixed64(&commit_payload, txn->id());
-      TDB_ASSIGN_OR_RETURN(lsn, wal_->Append(kWalTxnCommit, commit_payload));
-      if (options_.sync_commits) {
-        TDB_RETURN_IF_ERROR(wal_->Sync());
-      }
-      return Status::OK();
-    }();
+    std::string commit_payload;
+    PutFixed64(&commit_payload, txn->id());
+    batch.push_back({kWalTxnCommit, std::move(commit_payload)});
+    Status wal_status = commit_queue_->Commit(batch, options_.sync_commits);
     if (!wal_status.ok()) {
-      // The commit was never acknowledged.  Rewind the log so a later
-      // successful sync cannot make these records durable behind the
-      // caller's back, undo the in-memory effects, and poison the log: a
-      // failed fsync may have persisted an unknown prefix, so nothing more
-      // can be trusted until reopen rescans the file.
-      (void)wal_->RewindTo(rewind_offset, rewind_lsn);
-      wal_poisoned_ = true;
       (void)txn_manager_->Abort(txn);
       redo_buffer_.clear();
       active_txn_ = nullptr;
@@ -562,7 +549,9 @@ Status Database::WithTransaction(
 
 Status Database::Checkpoint(bool compact) {
   if (wal_ == nullptr) return Status::OK();
-  if (wal_poisoned_) return Status::FailedPrecondition(kWalPoisonedMessage);
+  if (commit_queue_->poisoned()) {
+    return Status::FailedPrecondition(kWalPoisonedMessage);
+  }
   if (active_txn_ != nullptr && active_txn_->IsActive()) {
     return Status::FailedPrecondition(
         "cannot checkpoint with an active transaction");

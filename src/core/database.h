@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "catalog/catalog.h"
+#include "exec/thread_pool.h"
 #include "rel/relation.h"
 #include "storage/fs.h"
 #include "storage/wal.h"
@@ -40,6 +41,12 @@ struct DatabaseOptions {
   /// Crash tests pass a `FaultInjectionFileSystem`; it must outlive the
   /// database.
   FileSystem* fs = nullptr;
+
+  /// Worker threads for parallel scans, used when
+  /// `store_options.parallel_scan` is set (the database then owns a
+  /// `ThreadPool` and wires it into every relation's version store).
+  /// 0: one thread per hardware core.
+  size_t max_threads = 0;
 };
 
 /// The temporadb embedded database: catalog + relations + transactions +
@@ -152,17 +159,22 @@ class Database {
   std::map<std::string, std::string> ranges_;
   std::map<std::string, Rowset> derived_;
 
+  // Parallel-scan worker pool, created when store_options.parallel_scan is
+  // set; every relation's version store shares it.
+  std::unique_ptr<exec::ThreadPool> pool_;
+
   // Persistence.
   std::unique_ptr<WriteAheadLog> wal_;
+  // All commit and DDL records reach the log through the group-commit
+  // queue; it also carries the poisoned state (a WAL write or sync failed
+  // after records were appended — the fsync may or may not have persisted
+  // anything, so no further commit or checkpoint can be trusted until the
+  // database is reopened and the log rescanned).
+  std::unique_ptr<CommitQueue> commit_queue_;
   // Redo buffer of the active transaction: (relation id, op).
   std::vector<std::pair<uint64_t, VersionOp>> redo_buffer_;
   Transaction* active_txn_ = nullptr;
   bool replaying_ = false;
-  // Set when a WAL write or sync failed after records were appended: the
-  // fsync may or may not have persisted anything, so no further commit or
-  // checkpoint can be trusted until the database is reopened and the log
-  // rescanned.
-  bool wal_poisoned_ = false;
   uint64_t checkpoint_seq_ = 0;
 };
 

@@ -1,0 +1,21 @@
+#include "exec/parallel_scan.h"
+
+#include <algorithm>
+
+namespace temporadb {
+namespace exec {
+
+size_t MorselCount(size_t n, const MorselOptions& opts) {
+  const size_t rows = std::max<size_t>(opts.morsel_rows, 1);
+  return (n + rows - 1) / rows;
+}
+
+std::pair<size_t, size_t> MorselRange(size_t m, size_t n,
+                                      const MorselOptions& opts) {
+  const size_t rows = std::max<size_t>(opts.morsel_rows, 1);
+  const size_t begin = m * rows;
+  return {begin, std::min(begin + rows, n)};
+}
+
+}  // namespace exec
+}  // namespace temporadb

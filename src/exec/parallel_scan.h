@@ -1,0 +1,75 @@
+#ifndef TEMPORADB_EXEC_PARALLEL_SCAN_H_
+#define TEMPORADB_EXEC_PARALLEL_SCAN_H_
+
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+#include "exec/thread_pool.h"
+
+namespace temporadb {
+namespace exec {
+
+/// Morsel geometry for a parallel scan.  ~2k rows per morsel keeps each
+/// unit of work large enough to amortize scheduling but small enough that
+/// a skewed filter (one hot morsel) cannot serialize the scan.
+struct MorselOptions {
+  size_t morsel_rows = 2048;
+};
+
+/// Number of contiguous morsels covering a domain of `n` rows.
+size_t MorselCount(size_t n, const MorselOptions& opts = {});
+
+/// The half-open row range `[begin, end)` of morsel `m`.
+std::pair<size_t, size_t> MorselRange(size_t m, size_t n,
+                                      const MorselOptions& opts = {});
+
+/// The morsel-parallel scan driver.
+///
+/// Splits the index domain `[0, n)` into contiguous morsels, runs
+/// `probe(begin, end, &out)` for each morsel on the pool's workers (and
+/// the calling thread), and merges the per-morsel outputs back **in morsel
+/// order**.  Because morsels are contiguous and each worker appends to its
+/// own morsel's vector, the merged sequence is bit-identical to what a
+/// single thread running `probe(0, n, &out)` would produce — ascending
+/// domain order, independent of thread count and scheduling.  That
+/// determinism is load-bearing: the ablation harness diffs parallel
+/// against sequential results row for row.
+///
+/// `probe` is invoked concurrently from multiple threads and must only
+/// read shared state (the version store's immutable slots below the scan's
+/// watermark) and write to its own `out`.
+///
+/// With a null `pool` (or a pool of size 1) the scan degenerates to a
+/// sequential loop over the morsels on the calling thread — same output,
+/// no threads.
+template <typename Match, typename Probe>
+std::vector<Match> ParallelScan(ThreadPool* pool, size_t n,
+                                const Probe& probe,
+                                MorselOptions opts = {}) {
+  std::vector<Match> merged;
+  if (n == 0) return merged;
+  const size_t morsels = MorselCount(n, opts);
+  if (pool == nullptr || pool->size() <= 1 || morsels <= 1) {
+    probe(0, n, &merged);
+    return merged;
+  }
+  std::vector<std::vector<Match>> per_morsel(morsels);
+  pool->ParallelFor(morsels, [&](size_t m) {
+    auto [begin, end] = MorselRange(m, n, opts);
+    probe(begin, end, &per_morsel[m]);
+  });
+  size_t total = 0;
+  for (const std::vector<Match>& part : per_morsel) total += part.size();
+  merged.reserve(total);
+  for (std::vector<Match>& part : per_morsel) {
+    merged.insert(merged.end(), std::make_move_iterator(part.begin()),
+                  std::make_move_iterator(part.end()));
+  }
+  return merged;
+}
+
+}  // namespace exec
+}  // namespace temporadb
+
+#endif  // TEMPORADB_EXEC_PARALLEL_SCAN_H_

@@ -1,0 +1,106 @@
+#include "exec/thread_pool.h"
+
+#include <algorithm>
+
+namespace temporadb {
+namespace exec {
+
+namespace {
+
+/// True while this thread is draining pool work — on a worker thread
+/// always, on a caller thread while it participates in its own job.  A
+/// nested ParallelFor (a task that itself tries to parallelize) runs
+/// inline: a worker waiting for pool workers would deadlock the single-job
+/// scheduler, and a participating caller already holds the job lock.
+thread_local bool t_in_pool_worker = false;
+
+}  // namespace
+
+ThreadPool::ThreadPool(size_t num_threads)
+    : size_(std::max<size_t>(num_threads, 1)) {
+  workers_.reserve(size_ - 1);
+  for (size_t i = 0; i + 1 < size_; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutdown_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& t : workers_) t.join();
+}
+
+size_t ThreadPool::Drain(const std::function<void(size_t)>& fn, size_t n) {
+  // Claim indices until the shared counter runs past the job; executing a
+  // claimed index is this thread's responsibility alone, so `fn(i)` runs
+  // exactly once per index.
+  size_t done = 0;
+  while (true) {
+    size_t i = next_index_.fetch_add(1, std::memory_order_relaxed);
+    if (i >= n) break;
+    fn(i);
+    ++done;
+  }
+  return done;
+}
+
+void ThreadPool::WorkerLoop() {
+  t_in_pool_worker = true;
+  uint64_t seen_seq = 0;
+  std::unique_lock<std::mutex> lock(mu_);
+  while (true) {
+    work_cv_.wait(lock, [&] {
+      return shutdown_ || (job_fn_ != nullptr && job_seq_ != seen_seq);
+    });
+    if (shutdown_) return;
+    seen_seq = job_seq_;
+    const std::function<void(size_t)>* fn = job_fn_;
+    const size_t n = job_size_;
+    ++active_;  // The caller retires the job only once every drainer left.
+    lock.unlock();
+    size_t done = Drain(*fn, n);
+    lock.lock();
+    pending_ -= done;
+    --active_;
+    if (pending_ == 0 && active_ == 0) done_cv_.notify_all();
+  }
+}
+
+void ThreadPool::ParallelFor(size_t n,
+                             const std::function<void(size_t)>& fn) {
+  if (n == 0) return;
+  if (workers_.empty() || n == 1 || t_in_pool_worker) {
+    for (size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+  // One job at a time; concurrent callers queue here.
+  std::lock_guard<std::mutex> job_lock(job_mu_);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    job_fn_ = &fn;
+    job_size_ = n;
+    next_index_.store(0, std::memory_order_relaxed);
+    pending_ = n;
+    ++job_seq_;
+  }
+  work_cv_.notify_all();
+  // The caller participates as the size_-th execution lane.
+  t_in_pool_worker = true;
+  size_t done = Drain(fn, n);
+  t_in_pool_worker = false;
+  std::unique_lock<std::mutex> lock(mu_);
+  pending_ -= done;
+  // Wait until every index completed AND every worker left the drain loop:
+  // a worker still inside Drain holds a pointer into this frame and shares
+  // the claim counter, so the job cannot be retired (nor a new one
+  // published) before the last drainer exits.
+  done_cv_.wait(lock, [&] { return pending_ == 0 && active_ == 0; });
+  job_fn_ = nullptr;
+  job_size_ = 0;
+}
+
+}  // namespace exec
+}  // namespace temporadb

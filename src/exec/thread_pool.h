@@ -1,0 +1,76 @@
+#ifndef TEMPORADB_EXEC_THREAD_POOL_H_
+#define TEMPORADB_EXEC_THREAD_POOL_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace temporadb {
+namespace exec {
+
+/// A fixed pool of worker threads for morsel-parallel query execution.
+///
+/// The pool runs one *job* at a time: `ParallelFor(n, fn)` invokes
+/// `fn(i)` for every `i` in `[0, n)`, distributing indices across the
+/// workers *and the calling thread* (so a pool of size `k` gives `k`-way
+/// parallelism with `k - 1` spawned threads, and a pool of size 1 spawns
+/// nothing and degenerates to a plain loop).  The call returns only after
+/// every index has completed, with all worker writes visible to the caller
+/// (release/acquire via the job mutex).
+///
+/// Concurrent `ParallelFor` calls from different threads are serialized on
+/// an internal mutex; a nested call from inside a worker task runs inline
+/// on that worker (re-entering the scheduler would deadlock).  Indices are
+/// claimed from a shared atomic counter, so the *assignment* of indices to
+/// threads is nondeterministic — callers that need deterministic output
+/// must make `fn(i)` write only to slot `i` of a pre-sized result (the
+/// morsel-merge discipline; see `parallel_scan.h`).
+class ThreadPool {
+ public:
+  /// `num_threads` is the parallelism degree; values below 1 are clamped
+  /// to 1.  Spawns `num_threads - 1` workers.
+  explicit ThreadPool(size_t num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// The parallelism degree (workers + the calling thread).
+  size_t size() const { return size_; }
+
+  /// Runs `fn(i)` for every `i` in `[0, n)`; blocks until all complete.
+  /// `fn` is invoked concurrently and must be safe to call from multiple
+  /// threads at once.
+  void ParallelFor(size_t n, const std::function<void(size_t)>& fn);
+
+ private:
+  void WorkerLoop();
+  /// Claims indices of the current job until exhausted; returns the number
+  /// of indices this thread completed.
+  size_t Drain(const std::function<void(size_t)>& fn, size_t n);
+
+  const size_t size_;
+  std::vector<std::thread> workers_;
+
+  std::mutex job_mu_;  ///< Serializes ParallelFor callers.
+
+  std::mutex mu_;
+  std::condition_variable work_cv_;  ///< Workers wait for a job / shutdown.
+  std::condition_variable done_cv_;  ///< The caller waits for completion.
+  const std::function<void(size_t)>* job_fn_ = nullptr;
+  size_t job_size_ = 0;
+  std::atomic<size_t> next_index_{0};
+  size_t pending_ = 0;     ///< Indices not yet completed.
+  size_t active_ = 0;      ///< Workers currently inside the drain loop.
+  uint64_t job_seq_ = 0;   ///< Bumped per job so workers see new work.
+  bool shutdown_ = false;
+};
+
+}  // namespace exec
+}  // namespace temporadb
+
+#endif  // TEMPORADB_EXEC_THREAD_POOL_H_

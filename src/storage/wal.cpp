@@ -250,4 +250,87 @@ Status WriteAheadLog::RewindTo(uint64_t offset, uint64_t lsn) {
 
 Result<uint64_t> WriteAheadLog::SizeBytes() const { return file_->Size(); }
 
+Status CommitQueue::Commit(const std::vector<WalBatchEntry>& records,
+                           bool sync) {
+  Waiter me;
+  me.records = &records;
+  me.sync = sync;
+
+  std::unique_lock<std::mutex> lock(mu_);
+  if (poisoned_) {
+    return Status::FailedPrecondition(
+        "WAL in failed state after an I/O error; reopen the database");
+  }
+  queue_.push_back(&me);
+  cv_.wait(lock, [&] { return me.done || queue_.front() == &me; });
+  if (me.done) {
+    // A leader resolved this batch's barrier while we slept.
+    return me.status;
+  }
+  if (poisoned_) {
+    // A barrier ahead of us failed while we were queued; nothing may touch
+    // the log until reopen.  Fail front-to-back so every queued committer
+    // drains in order without becoming a leader.
+    queue_.pop_front();
+    cv_.notify_all();
+    return Status::FailedPrecondition(
+        "WAL in failed state after an I/O error; reopen the database");
+  }
+
+  // Leader: snapshot the queue as one barrier.  Batches that arrive while
+  // the leader is writing queue behind it and form the *next* barrier —
+  // that keeps each barrier's rewind span well defined on failure.
+  std::vector<Waiter*> barrier(queue_.begin(), queue_.end());
+  const uint64_t rewind_offset = wal_->append_offset();
+  const uint64_t rewind_lsn = wal_->next_lsn();
+  bool want_sync = false;
+  for (const Waiter* w : barrier) want_sync |= w->sync;
+
+  // Write + sync with the lock released so committers can keep queueing.
+  // The leader stays at queue_.front(), so no second leader can start.
+  lock.unlock();
+  Status status = Status::OK();
+  for (const Waiter* w : barrier) {
+    for (const WalBatchEntry& rec : *w->records) {
+      Result<uint64_t> lsn = wal_->Append(rec.type, rec.payload);
+      if (!lsn.ok()) {
+        status = lsn.status();
+        break;
+      }
+    }
+    if (!status.ok()) break;
+  }
+  if (status.ok() && want_sync) status = wal_->Sync();
+  lock.lock();
+
+  ++barriers_;
+  if (!status.ok()) {
+    // Back out the whole barrier so a later successful sync cannot make
+    // these unacknowledged records durable; a failed fsync leaves the
+    // on-disk state unknowable, so poison until reopen.  Rewind failure is
+    // absorbed: poisoning already blocks further writes.
+    (void)wal_->RewindTo(rewind_offset, rewind_lsn);
+    poisoned_ = true;
+  }
+  for (Waiter* w : barrier) {
+    queue_.pop_front();
+    if (w != &me) {
+      w->status = status;
+      w->done = true;
+    }
+  }
+  cv_.notify_all();
+  return status;
+}
+
+bool CommitQueue::poisoned() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return poisoned_;
+}
+
+uint64_t CommitQueue::barriers() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return barriers_;
+}
+
 }  // namespace temporadb

@@ -1,10 +1,14 @@
 #ifndef TEMPORADB_STORAGE_WAL_H_
 #define TEMPORADB_STORAGE_WAL_H_
 
+#include <condition_variable>
 #include <cstdint>
+#include <deque>
 #include <functional>
 #include <memory>
+#include <mutex>
 #include <string>
+#include <vector>
 
 #include "common/result.h"
 #include "common/slice.h"
@@ -93,6 +97,74 @@ class WriteAheadLog {
   std::unique_ptr<File> file_;
   uint64_t next_lsn_;
   uint64_t append_offset_;
+};
+
+/// One record of a commit batch submitted to the `CommitQueue`.
+struct WalBatchEntry {
+  uint32_t type = 0;
+  std::string payload;
+};
+
+/// Group commit: coalesces concurrently-arriving commit batches into one
+/// write + fsync barrier (leader/follower, LevelDB-style).
+///
+/// Committers call `Commit` with the full record batch of their
+/// transaction.  The first committer to reach the front of the queue
+/// becomes the *leader*: it appends every queued committer's batch to the
+/// log in arrival order, issues a single `Sync`, and wakes the followers
+/// with the barrier's outcome.  Under N concurrent committers the fsync —
+/// the dominant cost of a durable commit — is paid once per barrier, not
+/// once per transaction, while each batch stays contiguous in the log (a
+/// replayer sees whole transactions, never interleaved records).
+///
+/// Failure semantics (the fsyncgate discipline, inherited from the
+/// single-committer path):
+///  - If any append or the barrier fsync fails, the leader rewinds the log
+///    tail to the barrier's start, and **every** committer in the barrier
+///    — leader and followers alike — observes the failure.  A failed fsync
+///    may have persisted an unknown prefix, so the queue is *poisoned*:
+///    all later commits fail with FailedPrecondition until the database is
+///    reopened and the log rescanned.
+///  - A batch is acknowledged (OK returned) only after its barrier's fsync
+///    succeeded; `sync=false` batches (durability off) are acknowledged
+///    after the write.
+///
+/// The queue is the only WAL writer while in use: `Truncate`/`RewindTo` on
+/// the underlying log (checkpointing) require external quiescence, exactly
+/// as before.
+class CommitQueue {
+ public:
+  explicit CommitQueue(WriteAheadLog* wal) : wal_(wal) {}
+
+  CommitQueue(const CommitQueue&) = delete;
+  CommitQueue& operator=(const CommitQueue&) = delete;
+
+  /// Appends `records` contiguously and, with `sync`, makes them durable
+  /// behind a shared fsync barrier.  Blocks until the batch's barrier
+  /// resolves.  Thread-safe.
+  Status Commit(const std::vector<WalBatchEntry>& records, bool sync);
+
+  /// True after a barrier failed; every later `Commit` fails until reopen.
+  bool poisoned() const;
+
+  /// Barriers (leader write+sync rounds) executed so far — the group-commit
+  /// bench divides commits by barriers to report the coalescing factor.
+  uint64_t barriers() const;
+
+ private:
+  struct Waiter {
+    const std::vector<WalBatchEntry>* records;
+    bool sync;
+    bool done = false;
+    Status status;
+  };
+
+  WriteAheadLog* wal_;
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<Waiter*> queue_;
+  bool poisoned_ = false;
+  uint64_t barriers_ = 0;
 };
 
 }  // namespace temporadb

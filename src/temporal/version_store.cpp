@@ -3,17 +3,26 @@
 #include <algorithm>
 #include <cassert>
 
+#include "exec/parallel_scan.h"
+#include "exec/thread_pool.h"
+
 namespace temporadb {
 
 VersionScan::VersionScan(const VersionStore* store, VersionFilter filter)
-    : store_(store), sequential_(true), filter_(std::move(filter)) {}
+    : store_(store),
+      sequential_(true),
+      filter_(std::move(filter)),
+      limit_(store->version_count()),
+      epoch_(store->mutation_epoch()) {}
 
 VersionScan::VersionScan(const VersionStore* store, std::vector<RowId> rows,
                          VersionFilter filter)
     : store_(store),
       sequential_(false),
       rows_(std::move(rows)),
-      filter_(std::move(filter)) {
+      filter_(std::move(filter)),
+      limit_(store->version_count()),
+      epoch_(store->mutation_epoch()) {
   // Index probes return candidates in index order and may repeat a row
   // (e.g. a txn-window query hitting both the closed and current sets);
   // sort and dedupe so the yield order matches a sequential sweep.
@@ -21,8 +30,56 @@ VersionScan::VersionScan(const VersionStore* store, std::vector<RowId> rows,
   rows_.erase(std::unique(rows_.begin(), rows_.end()), rows_.end());
 }
 
+bool VersionScan::ShouldRunParallel() const {
+  const VersionStoreOptions& o = store_->options();
+  if (!o.parallel_scan || o.exec_pool == nullptr) return false;
+  const size_t domain = sequential_ ? limit_ : rows_.size();
+  return domain >= o.parallel_min_rows;
+}
+
+void VersionScan::MaterializeParallel() {
+  // The probe runs on workers, but everything it touches is fixed at this
+  // point: `rows_` was resolved from the indexes at open (coordinator
+  // side), and slots below `limit_` are immutable while the scan lives
+  // (see the epoch contract).  Each morsel probes a contiguous range of
+  // the candidate domain, so the concatenation in morsel order is exactly
+  // the sequence the pull loop would yield.
+  const size_t domain = sequential_ ? limit_ : rows_.size();
+  const bool seq = sequential_;
+  buffer_ =
+      exec::ParallelScan<std::pair<RowId, const BitemporalTuple*>>(
+          store_->options().exec_pool, domain,
+          [this, seq](size_t begin, size_t end,
+                      std::vector<std::pair<RowId, const BitemporalTuple*>>*
+                          out) {
+            for (size_t i = begin; i < end; ++i) {
+              const RowId row = seq ? i : rows_[i];
+              Result<const BitemporalTuple*> t = store_->Get(row);
+              if (!t.ok()) continue;  // Tombstone (or a stale index entry).
+              if (filter_ && !filter_(**t)) continue;
+              out->emplace_back(row, *t);
+            }
+          });
+  buffered_ = true;
+  pos_ = 0;
+}
+
 const BitemporalTuple* VersionScan::Next(RowId* row_out) {
-  const size_t limit = sequential_ ? store_->version_count() : rows_.size();
+  assert(epoch_ == store_->mutation_epoch() &&
+         "VersionScan advanced after a store mutation; pointers and the "
+         "row watermark are stale (open a fresh scan)");
+  if (!decided_) {
+    decided_ = true;
+    if (ShouldRunParallel()) MaterializeParallel();
+  }
+  if (buffered_) {
+    if (pos_ >= buffer_.size()) return nullptr;
+    const auto& [row, tuple] = buffer_[pos_];
+    ++pos_;
+    if (row_out != nullptr) *row_out = row;
+    return tuple;
+  }
+  const size_t limit = sequential_ ? limit_ : rows_.size();
   while (pos_ < limit) {
     const RowId row = sequential_ ? pos_ : rows_[pos_];
     ++pos_;
@@ -74,6 +131,7 @@ RowId VersionStore::RawAppend(BitemporalTuple tuple) {
   AttrIndexInsert(row, tuple);
   versions_.push_back(Slot{std::move(tuple), false});
   ++live_count_;
+  ++mutation_epoch_;
   return row;
 }
 
@@ -91,6 +149,7 @@ void VersionStore::RawUnappend(RowId row) {
     --live_count_;
   }
   versions_.pop_back();
+  ++mutation_epoch_;
 }
 
 Status VersionStore::RawCloseTxn(RowId row, Chronon tt_end) {
@@ -110,6 +169,7 @@ Status VersionStore::RawCloseTxn(RowId row, Chronon tt_end) {
     TDB_RETURN_IF_ERROR(txn_index_.CloseCurrent(row, tt_end));
   }
   t.txn = Period(t.txn.begin(), tt_end);
+  ++mutation_epoch_;
   return Status::OK();
 }
 
@@ -121,6 +181,7 @@ void VersionStore::RawReopenTxn(RowId row, Chronon old_end) {
     (void)txn_index_.ReopenAsCurrent(row, start, slot.tuple.txn.end());
   }
   slot.tuple.txn = Period(start, old_end);
+  ++mutation_epoch_;
 }
 
 Status VersionStore::RawPhysicalDelete(RowId row) {
@@ -135,6 +196,7 @@ Status VersionStore::RawPhysicalDelete(RowId row) {
   }
   slot.tombstone = true;
   --live_count_;
+  ++mutation_epoch_;
   return Status::OK();
 }
 
@@ -146,6 +208,7 @@ void VersionStore::RawUndelete(RowId row, BitemporalTuple tuple) {
   IndexInsert(row, slot.tuple);
   AttrIndexInsert(row, slot.tuple);
   ++live_count_;
+  ++mutation_epoch_;
 }
 
 Status VersionStore::RawPhysicalUpdate(RowId row, BitemporalTuple tuple) {
@@ -161,6 +224,7 @@ Status VersionStore::RawPhysicalUpdate(RowId row, BitemporalTuple tuple) {
   slot.tuple = std::move(tuple);
   IndexInsert(row, slot.tuple);
   AttrIndexInsert(row, slot.tuple);
+  ++mutation_epoch_;
   return Status::OK();
 }
 
@@ -381,6 +445,7 @@ RowId VersionStore::LoadSlot(std::optional<BitemporalTuple> tuple) {
   }
   RowId row = versions_.size();
   versions_.push_back(Slot{BitemporalTuple{}, true});
+  ++mutation_epoch_;
   return row;
 }
 
@@ -401,6 +466,7 @@ size_t VersionStore::CompactTombstones() {
     IndexInsert(row, versions_[row].tuple);
     AttrIndexInsert(row, versions_[row].tuple);
   }
+  ++mutation_epoch_;
   return reclaimed;
 }
 

@@ -8,6 +8,7 @@
 #include <string>
 #include <vector>
 
+#include "common/inline_function.h"
 #include "common/result.h"
 #include "index/btree.h"
 #include "index/interval_index.h"
@@ -17,12 +18,23 @@
 
 namespace temporadb {
 
+namespace exec {
+class ThreadPool;
+}  // namespace exec
+
 using RowId = uint64_t;
 
 class VersionStore;
 
 /// A predicate over a stored version, applied while a scan pulls.
-using VersionFilter = std::function<bool(const BitemporalTuple&)>;
+///
+/// Small-buffer-optimized: the common window predicates (a captured
+/// `Period` or `Chronon`) live inline, so the per-version call in the hot
+/// scan loop is one indirect call with the captured state on the same
+/// cache line — no heap hop like `std::function`.  Filters must be
+/// const-invocable and, because a parallel scan evaluates one filter from
+/// many workers at once, must not touch shared mutable state.
+using VersionFilter = InlineFunction<bool(const BitemporalTuple&), 48>;
 
 /// A pull-based scan over the live versions of a `VersionStore`, always
 /// yielding in ascending row order — whether the candidates came from an
@@ -32,6 +44,24 @@ using VersionFilter = std::function<bool(const BitemporalTuple&)>;
 /// Obtained from the `Scan*` entry points on `VersionStore` (or from a
 /// relation's `Scan`); pulls one version at a time, so callers pay for the
 /// tuples they consume, not for a copy of the store.
+///
+/// ### Lifetime and concurrency contract
+///
+/// A scan is a *snapshot-stable* reader: at open it captures the store's
+/// mutation epoch and a row watermark (the version count), and it only
+/// ever touches slots below that watermark.  Any index probe backing the
+/// scan ran at open, on the opening (coordinator) thread — workers of a
+/// parallel scan never read the shared index structures.  It is therefore
+/// safe to run the scan's probe phase on many threads concurrently, and
+/// safe for *other* scans to read the same store concurrently.
+///
+/// What is NOT allowed is advancing a scan after the store was mutated:
+/// appends may reallocate the slot array and corrections rewrite slots in
+/// place, so yielded pointers and the watermark go stale silently.  `Next`
+/// asserts (debug builds) that the store's mutation epoch still matches
+/// the one captured at open; release builds make this a documented
+/// use-after-mutation error, exactly like iterator invalidation on a
+/// `std::vector`.
 class VersionScan {
  public:
   /// Sequential sweep of every live version, optionally filtered.
@@ -45,14 +75,26 @@ class VersionScan {
   /// The next live version passing the filter, or nullptr at end.  The
   /// pointer stays valid until the store is next mutated.  `row_out`
   /// (optional) receives the version's row id.
+  ///
+  /// When the store enables `parallel_scan`, the first pull materializes
+  /// all matches with a morsel-parallel probe (bit-identical sequence, see
+  /// `exec::ParallelScan`) and later pulls stream from that buffer.
   const BitemporalTuple* Next(RowId* row_out = nullptr);
 
  private:
+  bool ShouldRunParallel() const;
+  void MaterializeParallel();
+
   const VersionStore* store_;
   bool sequential_;
   std::vector<RowId> rows_;  // Index mode only.
-  size_t pos_ = 0;           // Next row id (sequential) or index into rows_.
+  size_t pos_ = 0;  // Next row id (sequential) / index into rows_ or buffer_.
   VersionFilter filter_;
+  size_t limit_;     // Watermark: slots at or above it are invisible.
+  uint64_t epoch_;   // Store mutation epoch at open (debug-checked).
+  bool decided_ = false;   // Parallel-vs-pull decision made at first Next.
+  bool buffered_ = false;  // Matches pre-materialized into buffer_.
+  std::vector<std::pair<RowId, const BitemporalTuple*>> buffer_;
 };
 
 /// A low-level mutation on a version store, as observed by the redo log.
@@ -79,6 +121,18 @@ struct VersionStoreOptions {
   /// degrades to a full scan plus filter (the ablation baseline, and the
   /// pre-executor behavior).
   bool time_pushdown = true;
+  /// Morsel-parallel scans: when set (and `exec_pool` is provided), a scan
+  /// whose candidate domain has at least `parallel_min_rows` rows runs its
+  /// filter + residual predicates on the pool's workers and merges matches
+  /// back in ascending row order (bit-identical to the sequential scan).
+  bool parallel_scan = false;
+  /// The worker pool for parallel scans; non-owning, must outlive every
+  /// store built with these options.  Null disables parallelism.
+  exec::ThreadPool* exec_pool = nullptr;
+  /// Scans over fewer candidate rows than this stay sequential — morsel
+  /// scheduling costs more than it buys on small domains (and the dynamic
+  /// probe side of a when-join is usually such a small domain).
+  size_t parallel_min_rows = 4096;
 };
 
 /// The physical container of tuple versions for one stored relation.
@@ -203,6 +257,21 @@ class VersionStore {
   size_t version_count() const { return versions_.size(); }
   size_t current_count() const;
 
+  /// Monotone counter bumped by every slot mutation (append, close,
+  /// correction, undo, load, compaction).  Open scans capture it; a scan
+  /// advanced under a different epoch is a lifetime bug (see VersionScan).
+  uint64_t mutation_epoch() const { return mutation_epoch_; }
+
+  /// Re-points the parallel-execution knobs of an existing store (the
+  /// thread-sweep benches and determinism tests retarget one populated
+  /// store rather than rebuilding 100k versions per thread count).  Must
+  /// not be called while any scan on this store is open.
+  void ConfigureParallel(exec::ThreadPool* pool, size_t min_rows = 0) {
+    options_.exec_pool = pool;
+    options_.parallel_scan = pool != nullptr;
+    if (min_rows > 0) options_.parallel_min_rows = min_rows;
+  }
+
   /// Approximate bytes held, for the storage-growth bench.
   size_t ApproximateBytes() const;
 
@@ -232,6 +301,7 @@ class VersionStore {
   VersionStoreOptions options_;
   std::vector<Slot> versions_;
   size_t live_count_ = 0;
+  uint64_t mutation_epoch_ = 0;
   SnapshotIndex txn_index_;
   IntervalIndex valid_index_;
   std::map<size_t, std::unique_ptr<BTreeIndex>> attr_indexes_;
