@@ -15,8 +15,11 @@ namespace temporadb {
 /// A `Result<T>` is either OK and holds a `T`, or holds a non-OK `Status`.
 /// Accessing the value of a non-OK result is a programming error (asserted
 /// in debug builds).
+///
+/// `[[nodiscard]]` for the same reason as `Status`: a discarded result is
+/// a swallowed failure.
 template <typename T>
-class Result {
+class [[nodiscard]] Result {
  public:
   /// Implicit from value: `return some_t;`.
   Result(T value) : status_(Status::OK()), value_(std::move(value)) {}

@@ -42,7 +42,13 @@ std::string_view StatusCodeName(StatusCode code);
 /// Status s = relation.Append(txn, tuple);
 /// if (!s.ok()) return s;
 /// ```
-class Status {
+///
+/// `[[nodiscard]]`: silently dropping a `Status` is how an I/O error or a
+/// taxonomy violation turns into silent data loss.  The compiler rejects a
+/// discarded status; the rare *intentional* drop (best-effort cleanup on a
+/// path that is already failing) must be spelled `(void)expr;` with a
+/// comment saying why ignoring it is sound.
+class [[nodiscard]] Status {
  public:
   /// Constructs an OK status.
   Status() : code_(StatusCode::kOk) {}

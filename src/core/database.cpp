@@ -97,6 +97,9 @@ Database::Database(DatabaseOptions options)
 
 Database::~Database() {
   if (active_txn_ != nullptr && active_txn_->IsActive()) {
+    // Best-effort rollback from a destructor: there is no caller left to
+    // receive the status, and recovery replays the WAL to the same state
+    // regardless of whether this abort record lands.
     (void)Abort(active_txn_);
   }
 }
@@ -286,6 +289,8 @@ Status Database::ReplayWal(uint64_t from_lsn) {
         if (info.ok()) {
           relations_by_id_.erase(info->id);
           relations_.erase(std::string(name));
+          // GetRelation just proved the entry exists, and DropRelation's
+          // only failure mode is NotFound.
           (void)catalog_.DropRelation(name);
         }
         return Status::OK();
@@ -448,6 +453,8 @@ Result<tquel::ExecResult> Database::Execute(std::string_view source) {
       tquel::EvalContext ctx = MakeEvalContext(txn);
       Result<tquel::ExecResult> result = tquel::Execute(stmt, ctx);
       if (!result.ok()) {
+        // The statement's own error is what the caller must see; a
+        // secondary rollback failure would only mask it.
         (void)Abort(txn);
         return result.status();
       }
@@ -512,6 +519,8 @@ Status Database::Commit(Transaction* txn) {
     batch.push_back({kWalTxnCommit, std::move(commit_payload)});
     Status wal_status = commit_queue_->Commit(batch, options_.sync_commits);
     if (!wal_status.ok()) {
+      // Report the WAL failure, not any secondary rollback error: the
+      // caller must learn the commit did not become durable.
       (void)txn_manager_->Abort(txn);
       redo_buffer_.clear();
       active_txn_ = nullptr;
@@ -541,6 +550,8 @@ Status Database::WithTransaction(
   TDB_ASSIGN_OR_RETURN(Transaction * txn, Begin());
   Status s = fn(txn);
   if (!s.ok()) {
+    // fn's error is the one the caller asked about; the rollback is a
+    // best-effort cleanup whose failure would only mask it.
     (void)Abort(txn);
     return s;
   }
@@ -558,7 +569,10 @@ Status Database::Checkpoint(bool compact) {
   }
   if (compact) {
     // Safe exactly here: no transaction is active and the WAL records that
-    // reference the old row ids are truncated below.
+    // reference the old row ids are truncated below.  Compaction is an
+    // opportunistic space optimisation — a relation that declines (e.g. a
+    // temporal class that must keep its history) leaves the checkpoint
+    // correct, just larger.
     for (const auto& [name, rel] : relations_) {
       (void)rel->store()->CompactTombstones();
     }
@@ -616,6 +630,9 @@ Status Database::Checkpoint(bool compact) {
     std::string old_dir = options_.path +
                           StringPrintf("/ckpt-%llu",
                                        (unsigned long long)checkpoint_seq_);
+    // Garbage collection of the superseded checkpoint: CURRENT already
+    // points at ckpt-N, so a leftover ckpt-(N-1) is unreferenced disk
+    // space, not a correctness problem.  The next checkpoint retries.
     (void)RemoveDirRecursive(fs_, old_dir);
   }
   checkpoint_seq_ = seq;

@@ -65,6 +65,14 @@ struct DatabaseOptions {
 ///
 /// Statements run in auto-commit mode (one transaction per DML statement)
 /// unless wrapped with `Begin`/`Commit`.
+///
+/// Threading contract: externally synchronized, single writer.  `Database`
+/// holds no mutex by design — the embedded model gives every handle one
+/// owner, and a mutex here would serialize nothing real while hiding
+/// misuse from TSan.  Internal parallelism is confined to two annotated
+/// components: the `ThreadPool` fanning out read-only scan morsels, and
+/// the WAL `CommitQueue` batching concurrent commit barriers (see
+/// DESIGN.md §11.1 for the full lock hierarchy).
 class Database {
  public:
   static Result<std::unique_ptr<Database>> Open(DatabaseOptions options = {});

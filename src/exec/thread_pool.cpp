@@ -17,7 +17,9 @@ thread_local bool t_in_pool_worker = false;
 }  // namespace
 
 ThreadPool::ThreadPool(size_t num_threads)
-    : size_(std::max<size_t>(num_threads, 1)) {
+    : size_(std::max<size_t>(num_threads, 1)),
+      work_cv_(&mu_),
+      done_cv_(&mu_) {
   workers_.reserve(size_ - 1);
   for (size_t i = 0; i + 1 < size_; ++i) {
     workers_.emplace_back([this] { WorkerLoop(); });
@@ -26,10 +28,10 @@ ThreadPool::ThreadPool(size_t num_threads)
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     shutdown_ = true;
   }
-  work_cv_.notify_all();
+  work_cv_.SignalAll();
   for (std::thread& t : workers_) t.join();
 }
 
@@ -50,22 +52,22 @@ size_t ThreadPool::Drain(const std::function<void(size_t)>& fn, size_t n) {
 void ThreadPool::WorkerLoop() {
   t_in_pool_worker = true;
   uint64_t seen_seq = 0;
-  std::unique_lock<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   while (true) {
-    work_cv_.wait(lock, [&] {
-      return shutdown_ || (job_fn_ != nullptr && job_seq_ != seen_seq);
-    });
+    while (!(shutdown_ || (job_fn_ != nullptr && job_seq_ != seen_seq))) {
+      work_cv_.Wait();
+    }
     if (shutdown_) return;
     seen_seq = job_seq_;
     const std::function<void(size_t)>* fn = job_fn_;
     const size_t n = job_size_;
     ++active_;  // The caller retires the job only once every drainer left.
-    lock.unlock();
+    lock.Unlock();
     size_t done = Drain(*fn, n);
-    lock.lock();
+    lock.Lock();
     pending_ -= done;
     --active_;
-    if (pending_ == 0 && active_ == 0) done_cv_.notify_all();
+    if (pending_ == 0 && active_ == 0) done_cv_.SignalAll();
   }
 }
 
@@ -77,27 +79,27 @@ void ThreadPool::ParallelFor(size_t n,
     return;
   }
   // One job at a time; concurrent callers queue here.
-  std::lock_guard<std::mutex> job_lock(job_mu_);
+  MutexLock job_lock(&job_mu_);
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     job_fn_ = &fn;
     job_size_ = n;
     next_index_.store(0, std::memory_order_relaxed);
     pending_ = n;
     ++job_seq_;
   }
-  work_cv_.notify_all();
+  work_cv_.SignalAll();
   // The caller participates as the size_-th execution lane.
   t_in_pool_worker = true;
   size_t done = Drain(fn, n);
   t_in_pool_worker = false;
-  std::unique_lock<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   pending_ -= done;
   // Wait until every index completed AND every worker left the drain loop:
   // a worker still inside Drain holds a pointer into this frame and shares
   // the claim counter, so the job cannot be retired (nor a new one
   // published) before the last drainer exits.
-  done_cv_.wait(lock, [&] { return pending_ == 0 && active_ == 0; });
+  while (!(pending_ == 0 && active_ == 0)) done_cv_.Wait();
   job_fn_ = nullptr;
   job_size_ = 0;
 }

@@ -2,12 +2,13 @@
 #define TEMPORADB_EXEC_THREAD_POOL_H_
 
 #include <atomic>
-#include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "common/thread_annotations.h"
 
 namespace temporadb {
 namespace exec {
@@ -29,12 +30,15 @@ namespace exec {
 /// threads is nondeterministic — callers that need deterministic output
 /// must make `fn(i)` write only to slot `i` of a pre-sized result (the
 /// morsel-merge discipline; see `parallel_scan.h`).
+///
+/// Lock hierarchy (DESIGN.md §11): `job_mu_` is acquired strictly before
+/// `mu_`, and never the other way around; workers take only `mu_`.
 class ThreadPool {
  public:
   /// `num_threads` is the parallelism degree; values below 1 are clamped
   /// to 1.  Spawns `num_threads - 1` workers.
   explicit ThreadPool(size_t num_threads);
-  ~ThreadPool();
+  ~ThreadPool() TDB_EXCLUDES(job_mu_, mu_);
 
   ThreadPool(const ThreadPool&) = delete;
   ThreadPool& operator=(const ThreadPool&) = delete;
@@ -45,29 +49,33 @@ class ThreadPool {
   /// Runs `fn(i)` for every `i` in `[0, n)`; blocks until all complete.
   /// `fn` is invoked concurrently and must be safe to call from multiple
   /// threads at once.
-  void ParallelFor(size_t n, const std::function<void(size_t)>& fn);
+  void ParallelFor(size_t n, const std::function<void(size_t)>& fn)
+      TDB_EXCLUDES(job_mu_, mu_);
 
  private:
-  void WorkerLoop();
+  void WorkerLoop() TDB_EXCLUDES(mu_);
   /// Claims indices of the current job until exhausted; returns the number
-  /// of indices this thread completed.
-  size_t Drain(const std::function<void(size_t)>& fn, size_t n);
+  /// of indices this thread completed.  Lock-free: touches only the atomic
+  /// claim counter and the job passed by value.
+  size_t Drain(const std::function<void(size_t)>& fn, size_t n)
+      TDB_EXCLUDES(mu_);
 
   const size_t size_;
   std::vector<std::thread> workers_;
 
-  std::mutex job_mu_;  ///< Serializes ParallelFor callers.
+  /// Serializes ParallelFor callers; ordered before `mu_`.
+  Mutex job_mu_ TDB_ACQUIRED_BEFORE(mu_);
 
-  std::mutex mu_;
-  std::condition_variable work_cv_;  ///< Workers wait for a job / shutdown.
-  std::condition_variable done_cv_;  ///< The caller waits for completion.
-  const std::function<void(size_t)>* job_fn_ = nullptr;
-  size_t job_size_ = 0;
+  Mutex mu_;
+  CondVar work_cv_;  ///< Workers wait for a job / shutdown.
+  CondVar done_cv_;  ///< The caller waits for completion.
+  const std::function<void(size_t)>* job_fn_ TDB_GUARDED_BY(mu_) = nullptr;
+  size_t job_size_ TDB_GUARDED_BY(mu_) = 0;
   std::atomic<size_t> next_index_{0};
-  size_t pending_ = 0;     ///< Indices not yet completed.
-  size_t active_ = 0;      ///< Workers currently inside the drain loop.
-  uint64_t job_seq_ = 0;   ///< Bumped per job so workers see new work.
-  bool shutdown_ = false;
+  size_t pending_ TDB_GUARDED_BY(mu_) = 0;   ///< Indices not yet completed.
+  size_t active_ TDB_GUARDED_BY(mu_) = 0;    ///< Workers inside the drain loop.
+  uint64_t job_seq_ TDB_GUARDED_BY(mu_) = 0; ///< Bumped per job so workers see new work.
+  bool shutdown_ TDB_GUARDED_BY(mu_) = false;
 };
 
 }  // namespace exec

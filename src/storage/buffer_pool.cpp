@@ -28,6 +28,8 @@ BufferPool::BufferPool(Pager* pager, size_t capacity)
   }
 }
 
+// Best-effort flush from a destructor: nobody can receive the status, and
+// durability is the WAL's job — a lost page here is rebuilt on recovery.
 BufferPool::~BufferPool() { (void)FlushAll(); }
 
 Result<size_t> BufferPool::GetFreeFrame() {

@@ -17,6 +17,10 @@ namespace temporadb {
 /// `MemPager` (a vector of pages, for transient relations and tests).  The
 /// buffer pool sits on top and is the only component that should touch a
 /// pager directly.
+///
+/// Threading contract: externally synchronized.  Pagers are driven by the
+/// single-writer storage path (checkpoint/recovery); they hold no locks
+/// and must not be shared across threads (DESIGN.md §11.1).
 class Pager {
  public:
   virtual ~Pager() = default;

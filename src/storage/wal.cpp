@@ -256,13 +256,13 @@ Status CommitQueue::Commit(const std::vector<WalBatchEntry>& records,
   me.records = &records;
   me.sync = sync;
 
-  std::unique_lock<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   if (poisoned_) {
     return Status::FailedPrecondition(
         "WAL in failed state after an I/O error; reopen the database");
   }
   queue_.push_back(&me);
-  cv_.wait(lock, [&] { return me.done || queue_.front() == &me; });
+  while (!(me.done || queue_.front() == &me)) cv_.Wait();
   if (me.done) {
     // A leader resolved this batch's barrier while we slept.
     return me.status;
@@ -272,7 +272,7 @@ Status CommitQueue::Commit(const std::vector<WalBatchEntry>& records,
     // the log until reopen.  Fail front-to-back so every queued committer
     // drains in order without becoming a leader.
     queue_.pop_front();
-    cv_.notify_all();
+    cv_.SignalAll();
     return Status::FailedPrecondition(
         "WAL in failed state after an I/O error; reopen the database");
   }
@@ -288,7 +288,7 @@ Status CommitQueue::Commit(const std::vector<WalBatchEntry>& records,
 
   // Write + sync with the lock released so committers can keep queueing.
   // The leader stays at queue_.front(), so no second leader can start.
-  lock.unlock();
+  lock.Unlock();
   Status status = Status::OK();
   for (const Waiter* w : barrier) {
     for (const WalBatchEntry& rec : *w->records) {
@@ -301,7 +301,7 @@ Status CommitQueue::Commit(const std::vector<WalBatchEntry>& records,
     if (!status.ok()) break;
   }
   if (status.ok() && want_sync) status = wal_->Sync();
-  lock.lock();
+  lock.Lock();
 
   ++barriers_;
   if (!status.ok()) {
@@ -319,17 +319,17 @@ Status CommitQueue::Commit(const std::vector<WalBatchEntry>& records,
       w->done = true;
     }
   }
-  cv_.notify_all();
+  cv_.SignalAll();
   return status;
 }
 
 bool CommitQueue::poisoned() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return poisoned_;
 }
 
 uint64_t CommitQueue::barriers() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return barriers_;
 }
 

@@ -1,17 +1,16 @@
 #ifndef TEMPORADB_STORAGE_WAL_H_
 #define TEMPORADB_STORAGE_WAL_H_
 
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
 #include "common/result.h"
 #include "common/slice.h"
+#include "common/thread_annotations.h"
 #include "storage/fs.h"
 
 namespace temporadb {
@@ -142,16 +141,22 @@ class CommitQueue {
   /// Appends `records` contiguously and, with `sync`, makes them durable
   /// behind a shared fsync barrier.  Blocks until the batch's barrier
   /// resolves.  Thread-safe.
-  Status Commit(const std::vector<WalBatchEntry>& records, bool sync);
+  Status Commit(const std::vector<WalBatchEntry>& records, bool sync)
+      TDB_EXCLUDES(mu_);
 
   /// True after a barrier failed; every later `Commit` fails until reopen.
-  bool poisoned() const;
+  bool poisoned() const TDB_EXCLUDES(mu_);
 
   /// Barriers (leader write+sync rounds) executed so far — the group-commit
   /// bench divides commits by barriers to report the coalescing factor.
-  uint64_t barriers() const;
+  uint64_t barriers() const TDB_EXCLUDES(mu_);
 
  private:
+  /// One queued committer.  `done` and `status` belong to the queue's
+  /// `mu_` regime (the leader writes them with the lock reacquired, the
+  /// owner reads them under the same lock); they live in a stack frame
+  /// rather than the queue object, so the GUARDED_BY annotation cannot be
+  /// expressed on the struct itself.
   struct Waiter {
     const std::vector<WalBatchEntry>* records;
     bool sync;
@@ -159,12 +164,15 @@ class CommitQueue {
     Status status;
   };
 
+  /// The log is written only by the barrier leader — leadership (being at
+  /// `queue_.front()`) is what serializes access, not `mu_`, so the write
+  /// + fsync happen with the lock released and committers free to queue.
   WriteAheadLog* wal_;
-  mutable std::mutex mu_;
-  std::condition_variable cv_;
-  std::deque<Waiter*> queue_;
-  bool poisoned_ = false;
-  uint64_t barriers_ = 0;
+  mutable Mutex mu_;
+  CondVar cv_{&mu_};
+  std::deque<Waiter*> queue_ TDB_GUARDED_BY(mu_);
+  bool poisoned_ TDB_GUARDED_BY(mu_) = false;
+  uint64_t barriers_ TDB_GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace temporadb

@@ -94,21 +94,31 @@ const BitemporalTuple* VersionScan::Next(RowId* row_out) {
 
 VersionStore::VersionStore(VersionStoreOptions options) : options_(options) {}
 
+// The secondary-index mutators below return Status for API generality, but
+// every call in this file maintains an index entry for a slot this store
+// just validated (fresh row id, live version, period shape checked by the
+// caller), so failure would mean the store's own invariants are broken —
+// the drops are deliberate and each carries its reason.
+
 void VersionStore::IndexInsert(RowId row, const BitemporalTuple& t) {
   if (options_.index_txn_time) {
     if (t.IsCurrentState()) {
+      // Fresh row id: cannot already be in the current set.
       (void)txn_index_.AddCurrent(row, t.txn.begin());
     } else {
+      // Closed period of a validated tuple: shape errors are impossible.
       (void)txn_index_.AddClosed(row, t.txn);
     }
   }
   if (options_.index_valid_time && !t.valid.IsEmpty()) {
+    // Non-empty period guaranteed by the guard above.
     (void)valid_index_.Insert(t.valid, row);
   }
 }
 
 void VersionStore::IndexEraseValid(RowId row, const BitemporalTuple& t) {
   if (options_.index_valid_time && !t.valid.IsEmpty()) {
+    // The entry was inserted by IndexInsert with this exact period.
     (void)valid_index_.Remove(t.valid, row);
   }
 }
@@ -121,6 +131,7 @@ void VersionStore::AttrIndexInsert(RowId row, const BitemporalTuple& t) {
 
 void VersionStore::AttrIndexErase(RowId row, const BitemporalTuple& t) {
   for (auto& [attr, index] : attr_indexes_) {
+    // Inserted by AttrIndexInsert with this exact key.
     if (attr < t.values.size()) (void)index->Remove(t.values[attr], row);
   }
 }
@@ -143,7 +154,8 @@ void VersionStore::RawUnappend(RowId row) {
     AttrIndexErase(row, slot.tuple);
     if (options_.index_txn_time && slot.tuple.IsCurrentState()) {
       // Remove from the current set by "closing at start" (zero-length
-      // periods are dropped, not indexed).
+      // periods are dropped, not indexed).  The row is current by the
+      // IsCurrentState() guard, so the close cannot miss.
       (void)txn_index_.CloseCurrent(row, slot.tuple.txn.begin());
     }
     --live_count_;
@@ -178,6 +190,7 @@ void VersionStore::RawReopenTxn(RowId row, Chronon old_end) {
   Slot& slot = versions_[row];
   Chronon start = slot.tuple.txn.begin();
   if (options_.index_txn_time) {
+    // Undo of a close this transaction performed; the closed entry exists.
     (void)txn_index_.ReopenAsCurrent(row, start, slot.tuple.txn.end());
   }
   slot.tuple.txn = Period(start, old_end);
@@ -192,6 +205,7 @@ Status VersionStore::RawPhysicalDelete(RowId row) {
   IndexEraseValid(row, slot.tuple);
   AttrIndexErase(row, slot.tuple);
   if (options_.index_txn_time && slot.tuple.IsCurrentState()) {
+    // Current by the guard; close-at-start drops the index entry.
     (void)txn_index_.CloseCurrent(row, slot.tuple.txn.begin());
   }
   slot.tombstone = true;
@@ -219,6 +233,7 @@ Status VersionStore::RawPhysicalUpdate(RowId row, BitemporalTuple tuple) {
   IndexEraseValid(row, slot.tuple);
   AttrIndexErase(row, slot.tuple);
   if (options_.index_txn_time && slot.tuple.IsCurrentState()) {
+    // Current by the guard; close-at-start drops the index entry.
     (void)txn_index_.CloseCurrent(row, slot.tuple.txn.begin());
   }
   slot.tuple = std::move(tuple);
@@ -287,6 +302,8 @@ Status VersionStore::PhysicalUpdate(Transaction* txn, RowId row,
   BitemporalTuple saved = *old;
   BitemporalTuple copy = tuple;
   TDB_RETURN_IF_ERROR(RawPhysicalUpdate(row, std::move(tuple)));
+  // Undo restores the overwritten tuple; the row was live when the update
+  // succeeded, so the inverse update cannot fail.
   txn->PushUndo([this, row, saved] { (void)RawPhysicalUpdate(row, saved); });
   if (observer_) {
     VersionOp op;

@@ -147,6 +147,12 @@ struct VersionStoreOptions {
 /// undo action, so statement failures mid-transaction roll back cleanly; it
 /// also notifies the `observer` (the facade's redo buffer) for write-ahead
 /// logging.
+///
+/// Threading contract: externally synchronized, single writer.  Mutators
+/// must not race with anything; the only internal concurrency is the
+/// morsel-parallel scan, which is read-only and snapshot-stable (workers
+/// never see a mutation — `mutation_epoch_` asserts this).  See DESIGN.md
+/// §11.1.
 class VersionStore {
  public:
   explicit VersionStore(VersionStoreOptions options = {});

@@ -501,7 +501,9 @@ class Parser {
         TDB_ASSIGN_OR_RETURN(AstExprPtr inner, ParsePrimary());
         auto zero = std::make_shared<AstExpr>();
         zero->kind = AstExprKind::kIntLiteral;
-        zero->literal = "0";
+        // std::string{} rvalue-assign: the const char* overload trips GCC
+        // 12's -Wrestrict false positive (GCC PR105329) under -Werror.
+        zero->literal = std::string("0");
         return MakeBinary(AstBinaryOp::kSub, std::move(zero),
                           std::move(inner));
       }

@@ -19,6 +19,11 @@ namespace temporadb {
 ///     backwards;
 ///  2. in the relation kinds — committed versions' transaction periods are
 ///     immutable.
+///
+/// Threading contract: externally synchronized, single writer — one active
+/// transaction at a time, driven by the owning `Database` (see DESIGN.md
+/// §11.1).  Concurrent *commit durability* is the WAL `CommitQueue`'s job,
+/// not this class's.
 class TxnManager {
  public:
   /// `clock` must outlive the manager.

@@ -115,6 +115,77 @@ TEST_F(AnalyzerTest, ClauseLegalityPerClass) {
                   .IsNotSupported());
 }
 
+// The full sweep: every temporal class crossed with every retrieve clause
+// (Figures 10-12).  `where` restricts explicit attributes and is legal
+// everywhere; `when`/`valid` are historical constructs requiring valid
+// time; `as of` is a rollback construct requiring transaction time.
+// DESIGN.md §11.3 carries this same matrix in machine-readable form and
+// tools/tdb_lint.py keeps it in sync with the analyzer — this test is the
+// runtime twin of that compile-time check.
+TEST_F(AnalyzerTest, ClauseLegalityMatrix) {
+  AddRelation("stat", TemporalClass::kStatic);
+  AddRelation("roll", TemporalClass::kRollback);
+  AddRelation("hist", TemporalClass::kHistorical);
+  AddRelation("temp", TemporalClass::kTemporal);
+  AddRange("s", "stat");
+  AddRange("r", "roll");
+  AddRange("h", "hist");
+  AddRange("t", "temp");
+
+  struct Row {
+    const char* var;
+    TemporalClass cls;
+    bool when_ok;
+    bool valid_ok;
+    bool asof_ok;
+  };
+  constexpr Row kMatrix[] = {
+      {"s", TemporalClass::kStatic, false, false, false},
+      {"r", TemporalClass::kRollback, false, false, true},
+      {"h", TemporalClass::kHistorical, true, true, false},
+      {"t", TemporalClass::kTemporal, true, true, true},
+  };
+
+  for (const Row& row : kMatrix) {
+    SCOPED_TRACE(std::string(TemporalClassName(row.cls)));
+    const std::string v = row.var;
+
+    // `where` is non-temporal: legal on every kind.
+    EXPECT_TRUE(
+        Analyze("retrieve (" + v + ".rank) where " + v + ".name = \"x\"")
+            .ok());
+
+    Result<BoundRetrieve> when_bound =
+        Analyze("retrieve (" + v + ".rank) when " + v + " overlap " + v);
+    EXPECT_EQ(when_bound.ok(), row.when_ok);
+    if (!row.when_ok) {
+      EXPECT_TRUE(when_bound.status().IsNotSupported());
+    }
+
+    Result<BoundRetrieve> valid_bound = Analyze(
+        "retrieve (" + v + ".rank) valid from \"01/01/80\" to \"06/01/80\"");
+    EXPECT_EQ(valid_bound.ok(), row.valid_ok);
+    if (!row.valid_ok) {
+      EXPECT_TRUE(valid_bound.status().IsNotSupported());
+    }
+
+    Result<BoundRetrieve> asof_bound =
+        Analyze("retrieve (" + v + ".rank) as of \"01/01/80\"");
+    EXPECT_EQ(asof_bound.ok(), row.asof_ok);
+    if (!row.asof_ok) {
+      EXPECT_TRUE(asof_bound.status().IsNotSupported());
+    }
+
+    // Clause combinations never launder an illegal clause: the conjunction
+    // is legal iff every component is.
+    Result<BoundRetrieve> all = Analyze(
+        "retrieve (" + v + ".rank) valid from \"01/01/80\" to \"06/01/80\" "
+        "where " + v + ".name = \"x\" when " + v + " overlap " + v +
+        " as of \"01/01/80\"");
+    EXPECT_EQ(all.ok(), row.when_ok && row.valid_ok && row.asof_ok);
+  }
+}
+
 TEST_F(AnalyzerTest, MixedParticipantsTakeTheMeet) {
   AddRelation("hist", TemporalClass::kHistorical);
   AddRelation("temp", TemporalClass::kTemporal);

@@ -1,0 +1,277 @@
+#!/usr/bin/env python3
+"""temporadb-specific static lint.
+
+Checks repo invariants that neither the compiler nor clang-tidy can
+express, because they are properties of *this* codebase's discipline:
+
+  1. mutex-wrapper  — no bare std::mutex / std::lock_guard /
+     std::unique_lock / std::condition_variable outside
+     src/common/thread_annotations.h.  Every lock must be the annotated
+     `temporadb::Mutex`, or Clang Thread Safety Analysis (-DTDB_ANALYZE=ON)
+     silently loses sight of it.
+
+  2. append-only    — the paper's §5 rule ("DBMS's supporting rollback are
+     append-only") made structural: rollback_relation.* and
+     temporal_relation.* may touch the version store only through the
+     append-only mutation set (Append, CloseTxn).  PhysicalUpdate /
+     PhysicalDelete / CorrectErase there would silently destroy recorded
+     history.
+
+  3. clause-matrix  — the TQuel clause-legality matrix in DESIGN.md §11.3
+     (Figures 10-12 of the paper) must agree with the code: the
+     SupportsValidTime / SupportsTransactionTime capability functions in
+     src/catalog/temporal_class.h, and the analyzer's gating of
+     when/valid/as-of in src/tquel/analyzer.cpp.
+
+Exit status 0 when clean; 1 with one line per violation otherwise.
+Run from anywhere: paths are resolved relative to the repo root.
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+SRC = REPO / "src"
+
+errors: list[str] = []
+
+
+def err(path: Path, lineno: int, rule: str, msg: str) -> None:
+    rel = path.relative_to(REPO)
+    errors.append(f"{rel}:{lineno}: [{rule}] {msg}")
+
+
+def strip_comments(text: str) -> str:
+    """Blanks out // and /* */ comments and string literals, preserving
+    line structure so reported line numbers stay accurate."""
+
+    out = []
+    i, n = 0, len(text)
+    state = None  # None | 'line' | 'block' | 'str' | 'chr'
+    while i < n:
+        c = text[i]
+        nxt = text[i + 1] if i + 1 < n else ""
+        if state is None:
+            if c == "/" and nxt == "/":
+                state = "line"
+                out.append("  ")
+                i += 2
+                continue
+            if c == "/" and nxt == "*":
+                state = "block"
+                out.append("  ")
+                i += 2
+                continue
+            if c == '"':
+                state = "str"
+                out.append(c)
+                i += 1
+                continue
+            if c == "'":
+                state = "chr"
+                out.append(c)
+                i += 1
+                continue
+            out.append(c)
+        elif state == "line":
+            if c == "\n":
+                state = None
+                out.append(c)
+            else:
+                out.append(" ")
+        elif state == "block":
+            if c == "*" and nxt == "/":
+                state = None
+                out.append("  ")
+                i += 2
+                continue
+            out.append(c if c == "\n" else " ")
+        elif state in ("str", "chr"):
+            quote = '"' if state == "str" else "'"
+            if c == "\\":
+                out.append("  ")
+                i += 2
+                continue
+            if c == quote:
+                state = None
+                out.append(c)
+            else:
+                out.append(" ")
+        i += 1
+    return "".join(out)
+
+
+# --------------------------------------------------------------------------
+# Rule 1: no bare standard-library locking primitives outside the wrapper.
+# --------------------------------------------------------------------------
+
+BARE_LOCKING = re.compile(
+    r"std\s*::\s*(mutex|shared_mutex|recursive_mutex|timed_mutex|"
+    r"lock_guard|unique_lock|shared_lock|scoped_lock|condition_variable)\b"
+)
+WRAPPER = SRC / "common" / "thread_annotations.h"
+
+
+def check_mutex_wrapper() -> None:
+    for path in sorted(SRC.rglob("*.h")) + sorted(SRC.rglob("*.cpp")):
+        if path == WRAPPER:
+            continue
+        code = strip_comments(path.read_text())
+        for lineno, line in enumerate(code.splitlines(), 1):
+            m = BARE_LOCKING.search(line)
+            if m:
+                err(path, lineno, "mutex-wrapper",
+                    f"bare std::{m.group(1)}; use the annotated "
+                    "temporadb::Mutex/MutexLock/CondVar from "
+                    "common/thread_annotations.h so -Wthread-safety "
+                    "can see it")
+
+
+# --------------------------------------------------------------------------
+# Rule 2: append-only mutation set on rollback/temporal relations.
+# --------------------------------------------------------------------------
+
+# The version-store mutation entry points a kind with transaction time may
+# NOT call: physical overwrites destroy recorded history (§4.2/§4.4: such
+# relations are append-only; corrections are a historical-only concept).
+FORBIDDEN_MUTATIONS = re.compile(
+    r"\b(PhysicalDelete|PhysicalUpdate|RawPhysicalDelete|RawPhysicalUpdate|"
+    r"CorrectErase)\b"
+)
+APPEND_ONLY_FILES = [
+    SRC / "temporal" / "rollback_relation.h",
+    SRC / "temporal" / "rollback_relation.cpp",
+    SRC / "temporal" / "temporal_relation.h",
+    SRC / "temporal" / "temporal_relation.cpp",
+]
+
+
+def check_append_only() -> None:
+    for path in APPEND_ONLY_FILES:
+        code = strip_comments(path.read_text())
+        for lineno, line in enumerate(code.splitlines(), 1):
+            m = FORBIDDEN_MUTATIONS.search(line)
+            if m:
+                err(path, lineno, "append-only",
+                    f"{m.group(1)} on an append-only relation kind; "
+                    "rollback/temporal relations may only Append and "
+                    "CloseTxn (taxonomy §5: rollback DBMSs are append-only)")
+
+
+# --------------------------------------------------------------------------
+# Rule 3: clause-legality matrix in DESIGN.md == code.
+# --------------------------------------------------------------------------
+
+KINDS = ("static", "rollback", "historical", "temporal")
+CLAUSES = ("where", "when", "valid", "as of")
+
+
+def parse_design_matrix() -> dict[str, dict[str, bool]] | None:
+    design = REPO / "DESIGN.md"
+    text = design.read_text()
+    m = re.search(
+        r"<!-- tdb-lint:clause-matrix -->(.*?)<!-- /tdb-lint:clause-matrix -->",
+        text, re.S)
+    if not m:
+        err(design, 1, "clause-matrix",
+            "missing <!-- tdb-lint:clause-matrix --> table")
+        return None
+    matrix: dict[str, dict[str, bool]] = {}
+    for row in m.group(1).splitlines():
+        cells = [c.strip() for c in row.strip().strip("|").split("|")]
+        if len(cells) != 5 or cells[0] not in KINDS:
+            continue
+        matrix[cells[0]] = {
+            clause: cells[i + 1] == "yes"
+            for i, clause in enumerate(CLAUSES)
+        }
+    missing = [k for k in KINDS if k not in matrix]
+    if missing:
+        err(design, 1, "clause-matrix",
+            f"matrix rows missing for kind(s): {', '.join(missing)}")
+        return None
+    return matrix
+
+
+def parse_capability(fn_name: str, text: str, path: Path) -> set[str] | None:
+    """Extracts the set of TemporalClass enumerators for which the given
+    constexpr capability function returns true, from its `c == kX || ...`
+    body."""
+
+    m = re.search(
+        rf"constexpr\s+bool\s+{fn_name}\s*\(\s*TemporalClass\s+\w+\s*\)\s*"
+        rf"\{{(.*?)\}}", text, re.S)
+    if not m:
+        err(path, 1, "clause-matrix", f"cannot find {fn_name}()")
+        return None
+    return set(re.findall(r"TemporalClass\s*::\s*k(\w+)", m.group(1)))
+
+
+def check_clause_matrix() -> None:
+    matrix = parse_design_matrix()
+    if matrix is None:
+        return
+
+    tc_path = SRC / "catalog" / "temporal_class.h"
+    tc_text = strip_comments(tc_path.read_text())
+    valid_kinds = parse_capability("SupportsValidTime", tc_text, tc_path)
+    txn_kinds = parse_capability("SupportsTransactionTime", tc_text, tc_path)
+    if valid_kinds is None or txn_kinds is None:
+        return
+
+    for kind in KINDS:
+        enum = kind.capitalize()
+        legal = matrix[kind]
+        # `where` is time-independent: legal for every kind by construction.
+        if not legal["where"]:
+            err(REPO / "DESIGN.md", 1, "clause-matrix",
+                f"'where' marked illegal for {kind}; it is time-independent "
+                "and must be legal for every kind")
+        # when/valid <=> valid time; as of <=> transaction time.
+        code_valid = enum in valid_kinds
+        for clause in ("when", "valid"):
+            if legal[clause] != code_valid:
+                err(tc_path, 1, "clause-matrix",
+                    f"DESIGN.md says '{clause}' is "
+                    f"{'legal' if legal[clause] else 'illegal'} for {kind}, "
+                    f"but SupportsValidTime(k{enum}) is {code_valid}")
+        code_txn = enum in txn_kinds
+        if legal["as of"] != code_txn:
+            err(tc_path, 1, "clause-matrix",
+                f"DESIGN.md says 'as of' is "
+                f"{'legal' if legal['as of'] else 'illegal'} for {kind}, "
+                f"but SupportsTransactionTime(k{enum}) is {code_txn}")
+
+    # The analyzer must gate historical constructs on SupportsValidTime and
+    # rollback on SupportsTransactionTime — not on hand-rolled kind lists
+    # that could drift from the capability functions checked above.
+    an_path = SRC / "tquel" / "analyzer.cpp"
+    an_text = strip_comments(an_path.read_text())
+    if not re.search(r"wants_valid\s*&&\s*!SupportsValidTime", an_text):
+        err(an_path, 1, "clause-matrix",
+            "analyzer no longer gates 'when'/'valid' with "
+            "SupportsValidTime()")
+    if not re.search(r"wants_asof\s*&&\s*!SupportsTransactionTime", an_text):
+        err(an_path, 1, "clause-matrix",
+            "analyzer no longer gates 'as of' with "
+            "SupportsTransactionTime()")
+
+
+def main() -> int:
+    check_mutex_wrapper()
+    check_append_only()
+    check_clause_matrix()
+    if errors:
+        for e in errors:
+            print(e)
+        print(f"tdb_lint: {len(errors)} violation(s)")
+        return 1
+    print("tdb_lint: OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
