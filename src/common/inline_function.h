@@ -1,6 +1,7 @@
 #ifndef TEMPORADB_COMMON_INLINE_FUNCTION_H_
 #define TEMPORADB_COMMON_INLINE_FUNCTION_H_
 
+#include <cassert>
 #include <cstddef>
 #include <new>
 #include <type_traits>
@@ -87,6 +88,7 @@ class InlineFunction<R(Args...), InlineBytes> {
   explicit operator bool() const { return vtable_ != nullptr; }
 
   R operator()(Args... args) const {
+    assert(vtable_ != nullptr && "invoking an empty InlineFunction");
     return vtable_->invoke(storage_, std::forward<Args>(args)...);
   }
 

@@ -1,0 +1,125 @@
+#include "rel/batch.h"
+
+#include <cassert>
+
+namespace temporadb {
+
+void Batch::ReserveRows(size_t n) {
+  for (auto& col : columns) col.reserve(n);
+  if (has_valid) {
+    valid_from.reserve(n);
+    valid_to.reserve(n);
+  }
+  if (has_txn) {
+    tt_start.reserve(n);
+    tt_end.reserve(n);
+  }
+}
+
+void Batch::Clear() {
+  for (auto& col : columns) col.clear();
+  valid_from.clear();
+  valid_to.clear();
+  tt_start.clear();
+  tt_end.clear();
+  num_rows_ = 0;
+}
+
+void Batch::AppendRow(const Row& row) {
+  assert(row.values.size() == columns.size());
+  assert(row.valid.has_value() == has_valid);
+  assert(row.txn.has_value() == has_txn);
+  for (size_t c = 0; c < columns.size(); ++c) {
+    columns[c].push_back(row.values[c]);
+  }
+  if (has_valid) {
+    valid_from.push_back(row.valid->begin().days());
+    valid_to.push_back(row.valid->end().days());
+  }
+  if (has_txn) {
+    tt_start.push_back(row.txn->begin().days());
+    tt_end.push_back(row.txn->end().days());
+  }
+  ++num_rows_;
+}
+
+void Batch::AppendRowFrom(const Batch& src, size_t i) {
+  assert(src.width() == width());
+  assert(src.has_valid == has_valid && src.has_txn == has_txn);
+  for (size_t c = 0; c < columns.size(); ++c) {
+    columns[c].push_back(src.columns[c][i]);
+  }
+  if (has_valid) {
+    valid_from.push_back(src.valid_from[i]);
+    valid_to.push_back(src.valid_to[i]);
+  }
+  if (has_txn) {
+    tt_start.push_back(src.tt_start[i]);
+    tt_end.push_back(src.tt_end[i]);
+  }
+  ++num_rows_;
+}
+
+void Batch::AppendValuesFrom(const Batch& src, size_t i) {
+  assert(src.width() == width());
+  for (size_t c = 0; c < columns.size(); ++c) {
+    columns[c].push_back(src.columns[c][i]);
+  }
+}
+
+void Batch::SetRowCount(size_t n) {
+  num_rows_ = n;
+#ifndef NDEBUG
+  CheckInvariants();
+#endif
+}
+
+Row Batch::ExtractRow(size_t i) const {
+  Row row;
+  row.values.reserve(columns.size());
+  for (const auto& col : columns) row.values.push_back(col[i]);
+  if (has_valid) row.valid = ValidAt(i);
+  if (has_txn) row.txn = TxnAt(i);
+  return row;
+}
+
+void Batch::Compact(const SelectionVector& sel, size_t n) {
+  assert(n <= sel.size());
+  for (auto& col : columns) {
+    for (size_t k = 0; k < n; ++k) {
+      // Guard the no-op move: self-move-assignment would empty the value.
+      if (sel[k] != k) col[k] = std::move(col[sel[k]]);
+    }
+    col.resize(n);
+  }
+  if (has_valid) {
+    for (size_t k = 0; k < n; ++k) {
+      valid_from[k] = valid_from[sel[k]];
+      valid_to[k] = valid_to[sel[k]];
+    }
+    valid_from.resize(n);
+    valid_to.resize(n);
+  }
+  if (has_txn) {
+    for (size_t k = 0; k < n; ++k) {
+      tt_start[k] = tt_start[sel[k]];
+      tt_end[k] = tt_end[sel[k]];
+    }
+    tt_start.resize(n);
+    tt_end.resize(n);
+  }
+  num_rows_ = n;
+}
+
+void Batch::CheckInvariants() const {
+  for (const auto& col : columns) {
+    assert(col.size() == num_rows_);
+    (void)col;
+  }
+  assert(valid_from.size() == (has_valid ? num_rows_ : 0));
+  assert(valid_to.size() == (has_valid ? num_rows_ : 0));
+  assert(tt_start.size() == (has_txn ? num_rows_ : 0));
+  assert(tt_end.size() == (has_txn ? num_rows_ : 0));
+}
+
+}  // namespace temporadb

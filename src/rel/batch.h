@@ -1,0 +1,102 @@
+#ifndef TEMPORADB_REL_BATCH_H_
+#define TEMPORADB_REL_BATCH_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/period.h"
+#include "rel/row.h"
+
+namespace temporadb {
+
+/// Rows per batch unless a caller asks otherwise.  Large enough to amortize
+/// one virtual `NextBatch()` over ~1k rows, small enough that a batch's
+/// chronon columns (4 × 8 KiB) stay L1/L2-resident through a kernel chain.
+inline constexpr size_t kDefaultBatchRows = 1024;
+
+/// A column of explicit attribute values (one entry per batch row).
+using ColumnVector = std::vector<Value>;
+
+/// A contiguous chronon column: one `int64_t` day count per row, with the
+/// `Chronon` sentinels stored as their raw reps (∞ is just a big value, so
+/// kernels need no special cases).
+using ChrononColumn = std::vector<int64_t>;
+
+/// A selection vector: ascending row indexes into a batch, produced by the
+/// branch-free kernels in rel/kernels.h.
+using SelectionVector = std::vector<uint32_t>;
+
+/// A fixed-size column-major slice of a derived relation: the unit of flow
+/// of the vectorized executor (rel/batch_cursor.h).
+///
+/// Explicit attributes are stored as one `ColumnVector` per schema column;
+/// the DBMS-maintained temporal dimensions are stored as *contiguous
+/// `int64_t` chronon columns* (`valid_from`/`valid_to`, `tt_start`/
+/// `tt_end`), present exactly when the batch's temporal class maintains
+/// the dimension — the columnar counterpart of `Row`'s optional periods.
+/// Temporal predicates therefore run as tight selection-vector loops over
+/// flat arrays instead of per-row `Period` calls.
+///
+/// This is an executor-internal value type: operators read and write the
+/// members directly, and invariants (every present column has `rows()`
+/// entries) are maintained by construction, asserted in `CheckInvariants`
+/// under debug.
+struct Batch {
+  std::vector<ColumnVector> columns;
+  ChrononColumn valid_from;
+  ChrononColumn valid_to;
+  ChrononColumn tt_start;
+  ChrononColumn tt_end;
+  bool has_valid = false;
+  bool has_txn = false;
+
+  Batch() = default;
+  Batch(size_t width, bool with_valid, bool with_txn)
+      : columns(width), has_valid(with_valid), has_txn(with_txn) {}
+
+  size_t width() const { return columns.size(); }
+  size_t rows() const { return num_rows_; }
+  bool empty() const { return num_rows_ == 0; }
+
+  void ReserveRows(size_t n);
+  void Clear();
+
+  /// The valid / transaction period of row `i` (the batch must maintain
+  /// the dimension).
+  Period ValidAt(size_t i) const {
+    return Period(Chronon(valid_from[i]), Chronon(valid_to[i]));
+  }
+  Period TxnAt(size_t i) const {
+    return Period(Chronon(tt_start[i]), Chronon(tt_end[i]));
+  }
+
+  /// Appends a row; `row` must populate exactly the periods this batch
+  /// maintains (the same discipline `Rowset::AddRow` checks).
+  void AppendRow(const Row& row);
+
+  /// Appends row `i` of `src` (same shape).
+  void AppendRowFrom(const Batch& src, size_t i);
+
+  /// Appends explicit values only; the caller then pushes the chronon
+  /// entries directly (used by operators that compute periods in columns).
+  void AppendValuesFrom(const Batch& src, size_t i);
+
+  /// Bumps the row count after columns were filled directly.  The new
+  /// count must match every present column's length (debug-asserted).
+  void SetRowCount(size_t n);
+
+  /// Row `i` as a row-major `Row` (the adapter exit path).
+  Row ExtractRow(size_t i) const;
+
+  /// Keeps only the rows named by `sel` (ascending), in place.
+  void Compact(const SelectionVector& sel, size_t n);
+
+  void CheckInvariants() const;
+
+ private:
+  size_t num_rows_ = 0;
+};
+
+}  // namespace temporadb
+
+#endif  // TEMPORADB_REL_BATCH_H_

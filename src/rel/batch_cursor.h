@@ -1,0 +1,128 @@
+#ifndef TEMPORADB_REL_BATCH_CURSOR_H_
+#define TEMPORADB_REL_BATCH_CURSOR_H_
+
+#include <cassert>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "rel/batch.h"
+#include "rel/cursor.h"
+#include "rel/expression.h"
+#include "rel/relation.h"
+
+namespace temporadb {
+
+/// A pull-based *batch* stream: the vectorized counterpart of `RowCursor`.
+///
+/// `NextBatch()` yields column-major `Batch`es instead of single rows, so
+/// one virtual call amortizes over ~`kDefaultBatchRows` rows and temporal
+/// predicates run as selection-vector kernels over the batch's contiguous
+/// chronon columns.  Yielded batches are always non-empty (operators whose
+/// filtering empties a batch pull again instead of yielding it); nullopt
+/// marks exhaustion.  Concatenating the yielded batches row-by-row gives
+/// exactly the row sequence the equivalent `RowCursor` tree would produce —
+/// bit-identical values, periods, order, and first-error — which is what
+/// the differential tests assert.
+///
+/// Life cycle and borrowing rules are those of `RowCursor`: `Open()` exactly
+/// once, shape accessors only after a successful `Open()`, inputs are
+/// borrowed (debug-asserted through the same non-virtual-interface guard).
+class BatchCursor {
+ public:
+  virtual ~BatchCursor() = default;
+
+  /// Prepares the cursor tree; must be called exactly once, before
+  /// `NextBatch()` or the shape accessors (debug-asserted).
+  Status Open() {
+    assert(!opened_ && "BatchCursor::Open() called twice");
+    opened_ = true;
+    return OpenImpl();
+  }
+
+  /// The next non-empty batch, or nullopt when the stream is exhausted.
+  /// Batch sizes are an implementation detail of the producing operator;
+  /// only the concatenated row sequence is contractual.
+  Result<std::optional<Batch>> NextBatch() {
+    assert(opened_ && "BatchCursor::NextBatch() before Open()");
+    return NextBatchImpl();
+  }
+
+  /// Output shape; valid after `Open()` succeeded.
+  const Schema& schema() const {
+    assert(opened_ && "BatchCursor::schema() before Open()");
+    return SchemaImpl();
+  }
+  TemporalClass temporal_class() const {
+    assert(opened_ && "BatchCursor::temporal_class() before Open()");
+    return TemporalClassImpl();
+  }
+  TemporalDataModel data_model() const {
+    assert(opened_ && "BatchCursor::data_model() before Open()");
+    return DataModelImpl();
+  }
+
+ protected:
+  virtual Status OpenImpl() = 0;
+  virtual Result<std::optional<Batch>> NextBatchImpl() = 0;
+  virtual const Schema& SchemaImpl() const = 0;
+  virtual TemporalClass TemporalClassImpl() const = 0;
+  virtual TemporalDataModel DataModelImpl() const = 0;
+
+ private:
+  bool opened_ = false;
+};
+
+using BatchCursorPtr = std::unique_ptr<BatchCursor>;
+
+/// Source: slices a materialized rowset (borrowed) into batches of
+/// `batch_rows`.
+BatchCursorPtr MakeRowsetBatchCursor(const Rowset* input,
+                                     size_t batch_rows = kDefaultBatchRows);
+
+/// Rows for which `pred` (borrowed) evaluates to true; predicate errors
+/// surface in row order, like the row-at-a-time select.
+BatchCursorPtr MakeBatchSelectCursor(BatchCursorPtr input, const Expr* pred);
+
+/// One output column per expression; output types are inferred from the
+/// first input row (string for an empty input), and expressions are
+/// evaluated in row-major order so the first error matches the row path.
+BatchCursorPtr MakeBatchProjectCursor(BatchCursorPtr input,
+                                      const std::vector<ExprPtr>* exprs,
+                                      std::vector<std::string> names);
+
+/// Bag union; schemas and temporal classes must agree (checked at Open).
+BatchCursorPtr MakeBatchUnionCursor(BatchCursorPtr a, BatchCursorPtr b);
+
+/// Rows of `a` not present in `b`; `b` is drained and hashed at Open.
+BatchCursorPtr MakeBatchDifferenceCursor(BatchCursorPtr a, BatchCursorPtr b);
+
+/// Streaming duplicate elimination (full-row equality).
+BatchCursorPtr MakeBatchDistinctCursor(BatchCursorPtr input);
+
+/// Sort by the given column indexes ascending; a pipeline breaker.
+BatchCursorPtr MakeBatchSortCursor(BatchCursorPtr input,
+                                   std::vector<size_t> keys);
+
+/// Cartesian product in the meet class.  The inner operand `b` is drained
+/// into one columnar buffer at Open; each outer row then intersects its
+/// periods against the whole inner side with one branch-free kernel pass
+/// (`IntersectBitemporal` / `IntersectPeriods`), dropping never-coexisting
+/// pairs exactly like the row path's per-pair `Intersect` + empty check.
+BatchCursorPtr MakeBatchCrossProductCursor(BatchCursorPtr a, BatchCursorPtr b);
+
+/// Adapter: presents a batch tree as a `RowCursor` (rows are extracted one
+/// at a time from the current batch).  Takes ownership.
+RowCursorPtr MakeRowCursorOverBatches(BatchCursorPtr input);
+
+/// Adapter: batches up a row stream (`batch_rows` rows per batch).
+BatchCursorPtr MakeBatchCursorOverRows(RowCursorPtr input,
+                                       size_t batch_rows = kDefaultBatchRows);
+
+/// Drains a batch cursor into a rowset (Open + NextBatch loop).
+Result<Rowset> MaterializeBatchCursor(BatchCursor* cursor);
+
+}  // namespace temporadb
+
+#endif  // TEMPORADB_REL_BATCH_CURSOR_H_

@@ -14,21 +14,21 @@ class RowsetCursor final : public RowCursor {
  public:
   explicit RowsetCursor(const Rowset* input) : input_(input) {}
 
-  Status Open() override {
+  Status OpenImpl() override {
     pos_ = 0;
     return Status::OK();
   }
 
-  Result<std::optional<Row>> Next() override {
+  Result<std::optional<Row>> NextImpl() override {
     if (pos_ >= input_->rows().size()) return std::optional<Row>();
     return std::optional<Row>(input_->rows()[pos_++]);
   }
 
-  const Schema& schema() const override { return input_->schema(); }
-  TemporalClass temporal_class() const override {
+  const Schema& SchemaImpl() const override { return input_->schema(); }
+  TemporalClass TemporalClassImpl() const override {
     return input_->temporal_class();
   }
-  TemporalDataModel data_model() const override {
+  TemporalDataModel DataModelImpl() const override {
     return input_->data_model();
   }
 
@@ -42,9 +42,9 @@ class SelectCursor final : public RowCursor {
   SelectCursor(RowCursorPtr input, const Expr* pred)
       : input_(std::move(input)), pred_(pred) {}
 
-  Status Open() override { return input_->Open(); }
+  Status OpenImpl() override { return input_->Open(); }
 
-  Result<std::optional<Row>> Next() override {
+  Result<std::optional<Row>> NextImpl() override {
     while (true) {
       TDB_ASSIGN_OR_RETURN(std::optional<Row> row, input_->Next());
       if (!row.has_value()) return row;
@@ -53,11 +53,11 @@ class SelectCursor final : public RowCursor {
     }
   }
 
-  const Schema& schema() const override { return input_->schema(); }
-  TemporalClass temporal_class() const override {
+  const Schema& SchemaImpl() const override { return input_->schema(); }
+  TemporalClass TemporalClassImpl() const override {
     return input_->temporal_class();
   }
-  TemporalDataModel data_model() const override {
+  TemporalDataModel DataModelImpl() const override {
     return input_->data_model();
   }
 
@@ -72,7 +72,7 @@ class ProjectCursor final : public RowCursor {
                 std::vector<std::string> names)
       : input_(std::move(input)), exprs_(exprs), names_(std::move(names)) {}
 
-  Status Open() override {
+  Status OpenImpl() override {
     if (exprs_->size() != names_.size()) {
       return Status::InvalidArgument("projection names/expressions mismatch");
     }
@@ -94,7 +94,7 @@ class ProjectCursor final : public RowCursor {
     return Status::OK();
   }
 
-  Result<std::optional<Row>> Next() override {
+  Result<std::optional<Row>> NextImpl() override {
     std::optional<Row> row;
     if (lookahead_.has_value()) {
       row = std::move(lookahead_);
@@ -114,11 +114,11 @@ class ProjectCursor final : public RowCursor {
     return std::optional<Row>(std::move(projected));
   }
 
-  const Schema& schema() const override { return schema_; }
-  TemporalClass temporal_class() const override {
+  const Schema& SchemaImpl() const override { return schema_; }
+  TemporalClass TemporalClassImpl() const override {
     return input_->temporal_class();
   }
-  TemporalDataModel data_model() const override {
+  TemporalDataModel DataModelImpl() const override {
     return input_->data_model();
   }
 
@@ -135,7 +135,7 @@ class UnionCursor final : public RowCursor {
   UnionCursor(RowCursorPtr a, RowCursorPtr b)
       : a_(std::move(a)), b_(std::move(b)) {}
 
-  Status Open() override {
+  Status OpenImpl() override {
     TDB_RETURN_IF_ERROR(a_->Open());
     TDB_RETURN_IF_ERROR(b_->Open());
     if (a_->schema() != b_->schema()) {
@@ -150,7 +150,7 @@ class UnionCursor final : public RowCursor {
     return Status::OK();
   }
 
-  Result<std::optional<Row>> Next() override {
+  Result<std::optional<Row>> NextImpl() override {
     if (!a_done_) {
       TDB_ASSIGN_OR_RETURN(std::optional<Row> row, a_->Next());
       if (row.has_value()) return row;
@@ -159,11 +159,11 @@ class UnionCursor final : public RowCursor {
     return b_->Next();
   }
 
-  const Schema& schema() const override { return a_->schema(); }
-  TemporalClass temporal_class() const override {
+  const Schema& SchemaImpl() const override { return a_->schema(); }
+  TemporalClass TemporalClassImpl() const override {
     return a_->temporal_class();
   }
-  TemporalDataModel data_model() const override { return a_->data_model(); }
+  TemporalDataModel DataModelImpl() const override { return a_->data_model(); }
 
  private:
   RowCursorPtr a_;
@@ -176,7 +176,7 @@ class DifferenceCursor final : public RowCursor {
   DifferenceCursor(RowCursorPtr a, RowCursorPtr b)
       : a_(std::move(a)), b_(std::move(b)) {}
 
-  Status Open() override {
+  Status OpenImpl() override {
     TDB_RETURN_IF_ERROR(a_->Open());
     TDB_RETURN_IF_ERROR(b_->Open());
     if (a_->schema() != b_->schema() ||
@@ -193,7 +193,7 @@ class DifferenceCursor final : public RowCursor {
     return Status::OK();
   }
 
-  Result<std::optional<Row>> Next() override {
+  Result<std::optional<Row>> NextImpl() override {
     while (true) {
       TDB_ASSIGN_OR_RETURN(std::optional<Row> row, a_->Next());
       if (!row.has_value()) return row;
@@ -201,11 +201,11 @@ class DifferenceCursor final : public RowCursor {
     }
   }
 
-  const Schema& schema() const override { return a_->schema(); }
-  TemporalClass temporal_class() const override {
+  const Schema& SchemaImpl() const override { return a_->schema(); }
+  TemporalClass TemporalClassImpl() const override {
     return a_->temporal_class();
   }
-  TemporalDataModel data_model() const override { return a_->data_model(); }
+  TemporalDataModel DataModelImpl() const override { return a_->data_model(); }
 
  private:
   RowCursorPtr a_;
@@ -217,9 +217,9 @@ class DistinctCursor final : public RowCursor {
  public:
   explicit DistinctCursor(RowCursorPtr input) : input_(std::move(input)) {}
 
-  Status Open() override { return input_->Open(); }
+  Status OpenImpl() override { return input_->Open(); }
 
-  Result<std::optional<Row>> Next() override {
+  Result<std::optional<Row>> NextImpl() override {
     while (true) {
       TDB_ASSIGN_OR_RETURN(std::optional<Row> row, input_->Next());
       if (!row.has_value()) return row;
@@ -227,11 +227,11 @@ class DistinctCursor final : public RowCursor {
     }
   }
 
-  const Schema& schema() const override { return input_->schema(); }
-  TemporalClass temporal_class() const override {
+  const Schema& SchemaImpl() const override { return input_->schema(); }
+  TemporalClass TemporalClassImpl() const override {
     return input_->temporal_class();
   }
-  TemporalDataModel data_model() const override {
+  TemporalDataModel DataModelImpl() const override {
     return input_->data_model();
   }
 
@@ -245,7 +245,7 @@ class SortCursor final : public RowCursor {
   SortCursor(RowCursorPtr input, std::vector<size_t> keys)
       : input_(std::move(input)), keys_(std::move(keys)) {}
 
-  Status Open() override {
+  Status OpenImpl() override {
     TDB_RETURN_IF_ERROR(input_->Open());
     for (size_t k : keys_) {
       if (k >= input_->schema().size()) {
@@ -268,16 +268,16 @@ class SortCursor final : public RowCursor {
     return Status::OK();
   }
 
-  Result<std::optional<Row>> Next() override {
+  Result<std::optional<Row>> NextImpl() override {
     if (pos_ >= rows_.size()) return std::optional<Row>();
     return std::optional<Row>(std::move(rows_[pos_++]));
   }
 
-  const Schema& schema() const override { return input_->schema(); }
-  TemporalClass temporal_class() const override {
+  const Schema& SchemaImpl() const override { return input_->schema(); }
+  TemporalClass TemporalClassImpl() const override {
     return input_->temporal_class();
   }
-  TemporalDataModel data_model() const override {
+  TemporalDataModel DataModelImpl() const override {
     return input_->data_model();
   }
 
@@ -293,7 +293,7 @@ class CrossProductCursor final : public RowCursor {
   CrossProductCursor(RowCursorPtr a, RowCursorPtr b)
       : a_(std::move(a)), b_(std::move(b)) {}
 
-  Status Open() override {
+  Status OpenImpl() override {
     TDB_RETURN_IF_ERROR(a_->Open());
     TDB_RETURN_IF_ERROR(b_->Open());
     if (!HasMeetClass(a_->temporal_class(), b_->temporal_class())) {
@@ -318,7 +318,7 @@ class CrossProductCursor final : public RowCursor {
     return Status::OK();
   }
 
-  Result<std::optional<Row>> Next() override {
+  Result<std::optional<Row>> NextImpl() override {
     while (true) {
       if (!outer_.has_value() || inner_pos_ >= inner_.size()) {
         TDB_ASSIGN_OR_RETURN(outer_, a_->Next());
@@ -346,11 +346,11 @@ class CrossProductCursor final : public RowCursor {
     }
   }
 
-  const Schema& schema() const override { return schema_; }
-  TemporalClass temporal_class() const override { return class_; }
+  const Schema& SchemaImpl() const override { return schema_; }
+  TemporalClass TemporalClassImpl() const override { return class_; }
   // Matches the materializing operator: the product is rebuilt as an
   // interval rowset regardless of the operands' models.
-  TemporalDataModel data_model() const override {
+  TemporalDataModel DataModelImpl() const override {
     return TemporalDataModel::kInterval;
   }
 

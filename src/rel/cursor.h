@@ -1,6 +1,7 @@
 #ifndef TEMPORADB_REL_CURSOR_H_
 #define TEMPORADB_REL_CURSOR_H_
 
+#include <cassert>
 #include <memory>
 #include <optional>
 #include <string>
@@ -11,13 +12,20 @@
 
 namespace temporadb {
 
-/// A pull-based (Volcano-style) row stream: the unit of composition of the
-/// streaming executor.
+/// A pull-based (Volcano-style) row stream: the retained row-at-a-time
+/// executor interface (the vectorized contract is `BatchCursor` in
+/// rel/batch_cursor.h; adapters convert between the two).
 ///
-/// Life cycle: construct, `Open()` once, then `Next()` until it yields
-/// nullopt.  Schema, temporal class, and data model are only guaranteed to
-/// be final after `Open()` (projection infers output types from its first
-/// input row, exactly as the materializing `Project` always has).
+/// Life cycle: construct, call `Open()` exactly once, and only if it
+/// returned OK pull `Next()` until it yields nullopt.  The shape accessors
+/// (`schema()`/`temporal_class()`/`data_model()`) are only valid after a
+/// successful `Open()` — projection, for example, infers its output types
+/// from the first input row, so an unopened cursor has no schema to
+/// report.  A cursor whose `Open()` failed is dead: the only valid
+/// operation left is destruction.  These rules are enforced with debug
+/// asserts (the interface is non-virtual over protected `*Impl` hooks so
+/// every implementation inherits the checks); in release builds a
+/// violation remains undefined behavior.
 ///
 /// Cursors *borrow* their inputs — source rowsets, expressions, and child
 /// cursors they do not own must outlive them.  The materializing operator
@@ -30,16 +38,42 @@ class RowCursor {
 
   /// Prepares the cursor (and its children) for pulling; validates operand
   /// compatibility and resolves the output schema.  Must be called exactly
-  /// once, before `Next()` or the shape accessors.
-  virtual Status Open() = 0;
+  /// once, before `Next()` or the shape accessors (debug-asserted).
+  Status Open() {
+    assert(!opened_ && "RowCursor::Open() called twice");
+    opened_ = true;
+    return OpenImpl();
+  }
 
   /// The next row, or nullopt when the stream is exhausted.
-  virtual Result<std::optional<Row>> Next() = 0;
+  Result<std::optional<Row>> Next() {
+    assert(opened_ && "RowCursor::Next() before Open()");
+    return NextImpl();
+  }
 
   /// Output shape; valid after `Open()` succeeded.
-  virtual const Schema& schema() const = 0;
-  virtual TemporalClass temporal_class() const = 0;
-  virtual TemporalDataModel data_model() const = 0;
+  const Schema& schema() const {
+    assert(opened_ && "RowCursor::schema() before Open()");
+    return SchemaImpl();
+  }
+  TemporalClass temporal_class() const {
+    assert(opened_ && "RowCursor::temporal_class() before Open()");
+    return TemporalClassImpl();
+  }
+  TemporalDataModel data_model() const {
+    assert(opened_ && "RowCursor::data_model() before Open()");
+    return DataModelImpl();
+  }
+
+ protected:
+  virtual Status OpenImpl() = 0;
+  virtual Result<std::optional<Row>> NextImpl() = 0;
+  virtual const Schema& SchemaImpl() const = 0;
+  virtual TemporalClass TemporalClassImpl() const = 0;
+  virtual TemporalDataModel DataModelImpl() const = 0;
+
+ private:
+  bool opened_ = false;
 };
 
 using RowCursorPtr = std::unique_ptr<RowCursor>;

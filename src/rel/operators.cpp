@@ -2,25 +2,29 @@
 
 #include <utility>
 
+#include "rel/batch_cursor.h"
 #include "rel/cursor.h"
 
 namespace temporadb {
 
-// Each materializing operator is a thin wrapper over the streaming cursor
-// executor in rel/cursor.{h,cpp}: build the (one- or two-node) cursor tree
-// over the argument rowsets and drain it.  Callers migrate to composing
-// cursors directly when they want pipelining; the rowset API keeps its
-// historical signatures and semantics.
+// Each materializing operator is a thin wrapper over the vectorized batch
+// executor in rel/batch_cursor.{h,cpp}: build the (one- or two-node) batch
+// cursor tree over the argument rowsets and drain it.  The batch tree
+// yields the exact row sequence of the retained row-at-a-time cursor tree
+// (rel/cursor.h) — the differential tests drive both and compare — so the
+// rowset API keeps its historical signatures and semantics.
 
 Result<Rowset> Select(const Rowset& input, const Expr& pred) {
-  RowCursorPtr c = MakeSelectCursor(MakeRowsetCursor(&input), &pred);
-  return MaterializeCursor(c.get());
+  BatchCursorPtr c = MakeBatchSelectCursor(MakeRowsetBatchCursor(&input),
+                                           &pred);
+  return MaterializeBatchCursor(c.get());
 }
 
 Result<Rowset> Project(const Rowset& input, const std::vector<ExprPtr>& exprs,
                        const std::vector<std::string>& names) {
-  RowCursorPtr c = MakeProjectCursor(MakeRowsetCursor(&input), &exprs, names);
-  return MaterializeCursor(c.get());
+  BatchCursorPtr c =
+      MakeBatchProjectCursor(MakeRowsetBatchCursor(&input), &exprs, names);
+  return MaterializeBatchCursor(c.get());
 }
 
 Result<Rowset> ProjectColumns(const Rowset& input,
@@ -38,20 +42,20 @@ Result<Rowset> ProjectColumns(const Rowset& input,
 }
 
 Result<Rowset> Union(const Rowset& a, const Rowset& b) {
-  RowCursorPtr c =
-      MakeUnionCursor(MakeRowsetCursor(&a), MakeRowsetCursor(&b));
-  return MaterializeCursor(c.get());
+  BatchCursorPtr c = MakeBatchUnionCursor(MakeRowsetBatchCursor(&a),
+                                          MakeRowsetBatchCursor(&b));
+  return MaterializeBatchCursor(c.get());
 }
 
 Result<Rowset> Difference(const Rowset& a, const Rowset& b) {
-  RowCursorPtr c =
-      MakeDifferenceCursor(MakeRowsetCursor(&a), MakeRowsetCursor(&b));
-  return MaterializeCursor(c.get());
+  BatchCursorPtr c = MakeBatchDifferenceCursor(MakeRowsetBatchCursor(&a),
+                                               MakeRowsetBatchCursor(&b));
+  return MaterializeBatchCursor(c.get());
 }
 
 Rowset Distinct(const Rowset& input) {
-  RowCursorPtr c = MakeDistinctCursor(MakeRowsetCursor(&input));
-  Result<Rowset> out = MaterializeCursor(c.get());
+  BatchCursorPtr c = MakeBatchDistinctCursor(MakeRowsetBatchCursor(&input));
+  Result<Rowset> out = MaterializeBatchCursor(c.get());
   if (!out.ok()) {
     // Unreachable: distinct introduces no failure mode over a well-formed
     // rowset; keep the historical non-Result signature.
@@ -61,14 +65,14 @@ Rowset Distinct(const Rowset& input) {
 }
 
 Result<Rowset> SortBy(const Rowset& input, const std::vector<size_t>& keys) {
-  RowCursorPtr c = MakeSortCursor(MakeRowsetCursor(&input), keys);
-  return MaterializeCursor(c.get());
+  BatchCursorPtr c = MakeBatchSortCursor(MakeRowsetBatchCursor(&input), keys);
+  return MaterializeBatchCursor(c.get());
 }
 
 Result<Rowset> CrossProduct(const Rowset& a, const Rowset& b) {
-  RowCursorPtr c =
-      MakeCrossProductCursor(MakeRowsetCursor(&a), MakeRowsetCursor(&b));
-  return MaterializeCursor(c.get());
+  BatchCursorPtr c = MakeBatchCrossProductCursor(MakeRowsetBatchCursor(&a),
+                                                 MakeRowsetBatchCursor(&b));
+  return MaterializeBatchCursor(c.get());
 }
 
 }  // namespace temporadb

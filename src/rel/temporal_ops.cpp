@@ -1,6 +1,8 @@
 #include "rel/temporal_ops.h"
 
 #include "common/strings.h"
+#include "rel/batch_cursor.h"
+#include "rel/kernels.h"
 
 namespace temporadb {
 
@@ -14,6 +16,23 @@ Row RowFrom(const BitemporalTuple& t, bool with_valid, bool with_txn) {
   return row;
 }
 
+// Row from position `i` of a scan batch: values are borrowed from the
+// stored tuple, periods are decoded from the batch's chronon columns (the
+// same reps the store's columns mirror, so identical to the tuple's).
+Row RowFromBatch(const VersionBatch& batch, size_t i, bool with_valid,
+                 bool with_txn) {
+  Row row;
+  row.values = batch.tuples[i]->values;
+  if (with_valid) {
+    row.valid = Period(Chronon(batch.valid_from[i]),
+                       Chronon(batch.valid_to[i]));
+  }
+  if (with_txn) {
+    row.txn = Period(Chronon(batch.tt_start[i]), Chronon(batch.tt_end[i]));
+  }
+  return row;
+}
+
 }  // namespace
 
 Result<Rowset> ScanStored(const StoredRelation& rel) {
@@ -21,6 +40,17 @@ Result<Rowset> ScanStored(const StoredRelation& rel) {
   Rowset out(rel.schema(), cls, rel.data_model());
   const bool with_valid = SupportsValidTime(cls);
   const bool with_txn = SupportsTransactionTime(cls);
+  if (rel.store()->options().batch_exec) {
+    VersionBatchScan scan = rel.store()->BatchScanAll();
+    VersionBatch batch;
+    while (scan.Next(&batch)) {
+      for (size_t i = 0; i < batch.size(); ++i) {
+        TDB_RETURN_IF_ERROR(
+            out.AddRow(RowFromBatch(batch, i, with_valid, with_txn)));
+      }
+    }
+    return out;
+  }
   Status status = Status::OK();
   rel.store()->ForEach([&](RowId, const BitemporalTuple& t) {
     if (!status.ok()) return;
@@ -79,12 +109,30 @@ Result<Rowset> Timeslice(const Rowset& input, Chronon v) {
   TemporalClass derived = input.has_txn_time() ? TemporalClass::kRollback
                                                : TemporalClass::kStatic;
   Rowset out(input.schema(), derived, input.data_model());
-  for (const Row& row : input.rows()) {
-    if (!row.valid->Contains(v)) continue;
-    Row sliced;
-    sliced.values = row.values;
-    sliced.txn = row.txn;
-    TDB_RETURN_IF_ERROR(out.AddRow(std::move(sliced)));
+  // Batch the input and slice each batch with one branch-free containment
+  // kernel over the contiguous valid-from/valid-to columns (identical to
+  // the per-row `Period::Contains` loop, minus the per-row branch).
+  BatchCursorPtr cursor = MakeRowsetBatchCursor(&input);
+  TDB_RETURN_IF_ERROR(cursor->Open());
+  SelectionVector sel;
+  while (true) {
+    TDB_ASSIGN_OR_RETURN(std::optional<Batch> batch, cursor->NextBatch());
+    if (!batch.has_value()) break;
+    sel.resize(batch->rows());
+    const size_t n = kernels::SelectContains(batch->valid_from.data(),
+                                             batch->valid_to.data(),
+                                             batch->rows(), v.days(),
+                                             sel.data());
+    for (size_t k = 0; k < n; ++k) {
+      const size_t i = sel[k];
+      Row sliced;
+      sliced.values.reserve(batch->width());
+      for (size_t c = 0; c < batch->width(); ++c) {
+        sliced.values.push_back(batch->columns[c][i]);
+      }
+      if (batch->has_txn) sliced.txn = batch->TxnAt(i);
+      TDB_RETURN_IF_ERROR(out.AddRow(std::move(sliced)));
+    }
   }
   return out;
 }
@@ -97,6 +145,17 @@ Result<Rowset> CurrentState(const StoredRelation& rel) {
   Rowset out(rel.schema(), derived, rel.data_model());
   // An empty spec resolves to the current stored state for kinds with
   // transaction time and a full sweep otherwise, in row order either way.
+  if (rel.store()->options().batch_exec) {
+    VersionBatchScan scan = rel.BatchScan({});
+    VersionBatch batch;
+    while (scan.Next(&batch)) {
+      for (size_t i = 0; i < batch.size(); ++i) {
+        TDB_RETURN_IF_ERROR(
+            out.AddRow(RowFromBatch(batch, i, with_valid, false)));
+      }
+    }
+    return out;
+  }
   VersionScan scan = rel.Scan({});
   while (const BitemporalTuple* t = scan.Next()) {
     TDB_RETURN_IF_ERROR(out.AddRow(RowFrom(*t, with_valid, false)));

@@ -22,6 +22,13 @@ VersionScan HistoricalRelation::Scan(const ScanSpec& spec) const {
   return store_.ScanAll();
 }
 
+VersionBatchScan HistoricalRelation::BatchScan(const ScanSpec& spec) const {
+  if (spec.valid_during.has_value() && store_.options().time_pushdown) {
+    return store_.BatchScanValidDuring(*spec.valid_during);
+  }
+  return store_.BatchScanAll();
+}
+
 Result<size_t> HistoricalRelation::DoDeleteWhere(Transaction* txn,
                                                  const TuplePredicate& pred,
                                                  std::optional<Period> valid,

@@ -36,6 +36,7 @@ class HistoricalRelation : public StoredRelation {
   /// is ignored — transaction time is not maintained (a rollback over a
   /// historical relation is rejected by the analyzer).
   VersionScan Scan(const ScanSpec& spec) const override;
+  VersionBatchScan BatchScan(const ScanSpec& spec) const override;
 
   Result<size_t> DoDeleteWhere(Transaction* txn, const TuplePredicate& pred,
                                std::optional<Period> valid,

@@ -28,6 +28,20 @@ VersionScan RollbackRelation::Scan(const ScanSpec& spec) const {
   return store_.ScanCurrent();
 }
 
+VersionBatchScan RollbackRelation::BatchScan(const ScanSpec& spec) const {
+  if (spec.asof.has_value()) {
+    const Period w = *spec.asof;
+    if (store_.options().time_pushdown) {
+      if (w.IsInstant()) return store_.BatchScanAsOf(w.begin());
+      return store_.BatchScanTxnOverlapping(w);
+    }
+    BatchPredicates preds;
+    preds.txn_overlaps = w;
+    return store_.BatchScanAll(std::move(preds));
+  }
+  return store_.BatchScanCurrent();
+}
+
 Result<size_t> RollbackRelation::DoDeleteWhere(Transaction* txn,
                                                const TuplePredicate& pred,
                                                std::optional<Period> valid,

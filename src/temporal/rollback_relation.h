@@ -34,6 +34,7 @@ class RollbackRelation : public StoredRelation {
   /// state is scanned.  `valid_during` is ignored — valid time is not
   /// maintained.
   VersionScan Scan(const ScanSpec& spec) const override;
+  VersionBatchScan BatchScan(const ScanSpec& spec) const override;
 
   Result<size_t> DoDeleteWhere(Transaction* txn, const TuplePredicate& pred,
                                std::optional<Period> valid,

@@ -21,6 +21,11 @@ VersionScan StaticRelation::Scan(const ScanSpec& spec) const {
   return store_.ScanAll();
 }
 
+VersionBatchScan StaticRelation::BatchScan(const ScanSpec& spec) const {
+  (void)spec;  // Both periods are degenerate; no window can prune anything.
+  return store_.BatchScanAll();
+}
+
 Result<size_t> StaticRelation::DoDeleteWhere(Transaction* txn,
                                              const TuplePredicate& pred,
                                              std::optional<Period> valid,

@@ -27,6 +27,7 @@ class StaticRelation : public StoredRelation {
   /// always a full scan (the analyzer rejects `as of` / `when` on static
   /// relations before a spec could carry a window here).
   VersionScan Scan(const ScanSpec& spec) const override;
+  VersionBatchScan BatchScan(const ScanSpec& spec) const override;
 
   Result<size_t> DoDeleteWhere(Transaction* txn, const TuplePredicate& pred,
                                std::optional<Period> valid,

@@ -128,6 +128,13 @@ class StoredRelation {
   /// baseline).  Yield order is ascending row id regardless of path.
   virtual VersionScan Scan(const ScanSpec& spec) const = 0;
 
+  /// Batch counterpart of `Scan`: identical access-path selection, but the
+  /// scan yields columnar `VersionBatch`es whose residual time predicates
+  /// run as branch-free kernels over the store's chronon columns.  Yields
+  /// exactly the row sequence of `Scan(spec)`, sliced into batches of
+  /// `store()->options().batch_rows`.
+  virtual VersionBatchScan BatchScan(const ScanSpec& spec) const = 0;
+
   /// Creates a secondary index on the named attribute (used by the query
   /// evaluator for equality predicates).
   Status CreateIndex(std::string_view attribute);

@@ -42,6 +42,33 @@ VersionScan TemporalRelation::Scan(const ScanSpec& spec) const {
   return store_.ScanCurrent();
 }
 
+VersionBatchScan TemporalRelation::BatchScan(const ScanSpec& spec) const {
+  if (spec.asof.has_value()) {
+    const Period w = *spec.asof;
+    if (store_.options().time_pushdown) {
+      // Same access-path choice as the row scan: prefer the interval index
+      // when both times are constrained (see Scan above).
+      if (spec.valid_during.has_value() && store_.options().index_valid_time) {
+        BatchPredicates preds;
+        preds.txn_overlaps = w;
+        return store_.BatchScanValidDuring(*spec.valid_during,
+                                           std::move(preds));
+      }
+      if (w.IsInstant()) return store_.BatchScanAsOf(w.begin());
+      return store_.BatchScanTxnOverlapping(w);
+    }
+    BatchPredicates preds;
+    preds.txn_overlaps = w;
+    return store_.BatchScanAll(std::move(preds));
+  }
+  if (spec.valid_during.has_value() && store_.options().time_pushdown) {
+    BatchPredicates preds;
+    preds.txn_current = true;
+    return store_.BatchScanValidDuring(*spec.valid_during, std::move(preds));
+  }
+  return store_.BatchScanCurrent();
+}
+
 Result<size_t> TemporalRelation::DoDeleteWhere(Transaction* txn,
                                                const TuplePredicate& pred,
                                                std::optional<Period> valid,

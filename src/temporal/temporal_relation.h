@@ -36,6 +36,7 @@ class TemporalRelation : public StoredRelation {
   /// state — via the interval index when `valid_during` is present (plus a
   /// current-state residual), via the current set otherwise.
   VersionScan Scan(const ScanSpec& spec) const override;
+  VersionBatchScan BatchScan(const ScanSpec& spec) const override;
 
   Result<size_t> DoDeleteWhere(Transaction* txn, const TuplePredicate& pred,
                                std::optional<Period> valid,

@@ -2,9 +2,11 @@
 
 #include <algorithm>
 #include <cassert>
+#include <limits>
 
 #include "exec/parallel_scan.h"
 #include "exec/thread_pool.h"
+#include "rel/kernels.h"
 
 namespace temporadb {
 
@@ -92,6 +94,195 @@ const BitemporalTuple* VersionScan::Next(RowId* row_out) {
   return nullptr;
 }
 
+// ---------------------------------------------------------------------------
+// VersionBatchScan
+// ---------------------------------------------------------------------------
+
+namespace {
+
+// An empty overlap window can never match (Period::Overlaps is false against
+// an empty operand); the overlap kernels assume a non-empty query window, so
+// the scan collapses its domain to nothing instead.
+bool NeverMatches(const BatchPredicates& p) {
+  return (p.valid_overlaps.has_value() && p.valid_overlaps->IsEmpty()) ||
+         (p.txn_overlaps.has_value() && p.txn_overlaps->IsEmpty());
+}
+
+}  // namespace
+
+VersionBatchScan::VersionBatchScan(const VersionStore* store,
+                                   BatchPredicates preds)
+    : store_(store),
+      sequential_(true),
+      preds_(preds),
+      limit_(store->version_count()),
+      epoch_(store->mutation_epoch()),
+      batch_rows_(store->options().batch_rows == 0 ? 1
+                                                   : store->options().batch_rows) {
+  assert(limit_ <= std::numeric_limits<uint32_t>::max() &&
+         "selection vectors index rows as uint32");
+  if (NeverMatches(preds_)) limit_ = 0;
+}
+
+VersionBatchScan::VersionBatchScan(const VersionStore* store,
+                                   std::vector<RowId> rows,
+                                   BatchPredicates preds)
+    : store_(store),
+      sequential_(false),
+      rows_(std::move(rows)),
+      preds_(preds),
+      limit_(store->version_count()),
+      epoch_(store->mutation_epoch()),
+      batch_rows_(store->options().batch_rows == 0 ? 1
+                                                   : store->options().batch_rows) {
+  assert(limit_ <= std::numeric_limits<uint32_t>::max() &&
+         "selection vectors index rows as uint32");
+  // Same candidate discipline as VersionScan: index probes yield lookup
+  // order with possible repeats; sort and dedupe so batches ascend.
+  std::sort(rows_.begin(), rows_.end());
+  rows_.erase(std::unique(rows_.begin(), rows_.end()), rows_.end());
+  if (NeverMatches(preds_)) rows_.clear();
+}
+
+bool VersionBatchScan::ShouldRunParallel() const {
+  const VersionStoreOptions& o = store_->options();
+  if (!o.parallel_scan || o.exec_pool == nullptr) return false;
+  const size_t domain = sequential_ ? limit_ : rows_.size();
+  return domain >= o.parallel_min_rows;
+}
+
+void VersionBatchScan::ProbeRange(size_t begin, size_t end,
+                                  VersionBatch* out) const {
+  const size_t n = end - begin;
+  if (n == 0) return;
+  const int64_t* vf = store_->chronon_valid_from();
+  const int64_t* vt = store_->chronon_valid_to();
+  const int64_t* ts = store_->chronon_tt_start();
+  const int64_t* te = store_->chronon_tt_end();
+  const uint8_t* live = store_->chronon_live();
+
+  // Ping-pong selection vectors: each kernel pass refines `cur` into `nxt`.
+  // Small probes (index-nested-loop joins pull a handful of candidates per
+  // outer tuple) stay on the stack; only real batches pay an allocation.
+  constexpr size_t kStackSel = 64;
+  uint32_t stack_a[kStackSel];
+  uint32_t stack_b[kStackSel];
+  std::vector<uint32_t> sel_a;
+  std::vector<uint32_t> sel_b;
+  uint32_t* cur = stack_a;
+  uint32_t* nxt = stack_b;
+  if (n > kStackSel) {
+    sel_a.resize(n);
+    sel_b.resize(n);
+    cur = sel_a.data();
+    nxt = sel_b.data();
+  }
+  size_t cnt;
+  if (sequential_) {
+    // Dense seed over the contiguous row range, rebased to absolute ids so
+    // the refine passes index the full columns.
+    cnt = kernels::SelectLive(live + begin, n, cur);
+    for (size_t k = 0; k < cnt; ++k) cur[k] += static_cast<uint32_t>(begin);
+  } else {
+    // Index candidates are scattered row ids; mask stale (tombstoned)
+    // entries first, exactly like the pull loop's Get() check.
+    for (size_t k = 0; k < n; ++k) {
+      cur[k] = static_cast<uint32_t>(rows_[begin + k]);
+    }
+    cnt = kernels::SelectLiveRefine(live, cur, n, nxt);
+    std::swap(cur, nxt);
+  }
+
+  if (preds_.txn_contains.has_value()) {
+    cnt = kernels::SelectContainsRefine(ts, te, cur, cnt,
+                                        preds_.txn_contains->days(), nxt);
+    std::swap(cur, nxt);
+  }
+  if (preds_.txn_overlaps.has_value()) {
+    cnt = kernels::SelectOverlapsRefine(ts, te, cur, cnt,
+                                        preds_.txn_overlaps->begin().days(),
+                                        preds_.txn_overlaps->end().days(), nxt);
+    std::swap(cur, nxt);
+  }
+  if (preds_.txn_current) {
+    cnt = kernels::SelectEndEqualsRefine(te, cur, cnt, Chronon::kForeverRep,
+                                         nxt);
+    std::swap(cur, nxt);
+  }
+  if (preds_.valid_overlaps.has_value()) {
+    cnt = kernels::SelectOverlapsRefine(vf, vt, cur, cnt,
+                                        preds_.valid_overlaps->begin().days(),
+                                        preds_.valid_overlaps->end().days(),
+                                        nxt);
+    std::swap(cur, nxt);
+  }
+
+  // Gather the survivors: borrowed tuple pointers plus copies of their
+  // chronon entries, so downstream kernels keep running over flat arrays.
+  for (size_t k = 0; k < cnt; ++k) {
+    const RowId row = cur[k];
+    Result<const BitemporalTuple*> t = store_->Get(row);
+    assert(t.ok());  // Liveness was established by the kernel chain.
+    out->rows.push_back(row);
+    out->tuples.push_back(*t);
+    out->valid_from.push_back(vf[row]);
+    out->valid_to.push_back(vt[row]);
+    out->tt_start.push_back(ts[row]);
+    out->tt_end.push_back(te[row]);
+  }
+}
+
+void VersionBatchScan::MaterializeParallel() {
+  const size_t domain = sequential_ ? limit_ : rows_.size();
+  exec::MorselOptions morsels;
+  morsels.morsel_rows = batch_rows_;
+  batches_ = exec::ParallelScan<VersionBatch>(
+      store_->options().exec_pool, domain,
+      [this](size_t begin, size_t end, std::vector<VersionBatch>* out) {
+        // One batch per batch_rows-aligned chunk.  Morsel boundaries are
+        // multiples of batch_rows, so the sequential fallback (one probe
+        // over the whole domain) slices identically — batch boundaries, not
+        // just row order, are thread-count-invariant.
+        for (size_t b = begin; b < end; b += batch_rows_) {
+          VersionBatch batch;
+          ProbeRange(b, std::min(end, b + batch_rows_), &batch);
+          out->push_back(std::move(batch));
+        }
+      },
+      morsels);
+  buffered_ = true;
+  batch_pos_ = 0;
+}
+
+bool VersionBatchScan::Next(VersionBatch* out) {
+  assert(epoch_ == store_->mutation_epoch() &&
+         "VersionBatchScan advanced after a store mutation; pointers and the "
+         "row watermark are stale (open a fresh scan)");
+  if (!decided_) {
+    decided_ = true;
+    if (ShouldRunParallel()) MaterializeParallel();
+  }
+  if (buffered_) {
+    while (batch_pos_ < batches_.size()) {
+      VersionBatch& b = batches_[batch_pos_++];
+      if (b.empty()) continue;
+      *out = std::move(b);
+      return true;
+    }
+    return false;
+  }
+  const size_t domain = sequential_ ? limit_ : rows_.size();
+  while (pos_ < domain) {
+    const size_t begin = pos_;
+    const size_t end = std::min(domain, begin + batch_rows_);
+    pos_ = end;
+    out->Clear();
+    ProbeRange(begin, end, out);
+    if (!out->empty()) return true;
+  }
+  return false;
+}
+
 VersionStore::VersionStore(VersionStoreOptions options) : options_(options) {}
 
 // The secondary-index mutators below return Status for API generality, but
@@ -136,11 +327,26 @@ void VersionStore::AttrIndexErase(RowId row, const BitemporalTuple& t) {
   }
 }
 
+void VersionStore::SyncChrononColumns(RowId row) {
+  const Slot& slot = versions_[row];
+  col_valid_from_[row] = slot.tuple.valid.begin().days();
+  col_valid_to_[row] = slot.tuple.valid.end().days();
+  col_tt_start_[row] = slot.tuple.txn.begin().days();
+  col_tt_end_[row] = slot.tuple.txn.end().days();
+  col_live_[row] = slot.tombstone ? 0 : 1;
+}
+
 RowId VersionStore::RawAppend(BitemporalTuple tuple) {
   RowId row = versions_.size();
   IndexInsert(row, tuple);
   AttrIndexInsert(row, tuple);
   versions_.push_back(Slot{std::move(tuple), false});
+  col_valid_from_.push_back(0);
+  col_valid_to_.push_back(0);
+  col_tt_start_.push_back(0);
+  col_tt_end_.push_back(0);
+  col_live_.push_back(1);
+  SyncChrononColumns(row);
   ++live_count_;
   ++mutation_epoch_;
   return row;
@@ -161,6 +367,11 @@ void VersionStore::RawUnappend(RowId row) {
     --live_count_;
   }
   versions_.pop_back();
+  col_valid_from_.pop_back();
+  col_valid_to_.pop_back();
+  col_tt_start_.pop_back();
+  col_tt_end_.pop_back();
+  col_live_.pop_back();
   ++mutation_epoch_;
 }
 
@@ -181,6 +392,7 @@ Status VersionStore::RawCloseTxn(RowId row, Chronon tt_end) {
     TDB_RETURN_IF_ERROR(txn_index_.CloseCurrent(row, tt_end));
   }
   t.txn = Period(t.txn.begin(), tt_end);
+  SyncChrononColumns(row);
   ++mutation_epoch_;
   return Status::OK();
 }
@@ -194,6 +406,7 @@ void VersionStore::RawReopenTxn(RowId row, Chronon old_end) {
     (void)txn_index_.ReopenAsCurrent(row, start, slot.tuple.txn.end());
   }
   slot.tuple.txn = Period(start, old_end);
+  SyncChrononColumns(row);
   ++mutation_epoch_;
 }
 
@@ -209,6 +422,7 @@ Status VersionStore::RawPhysicalDelete(RowId row) {
     (void)txn_index_.CloseCurrent(row, slot.tuple.txn.begin());
   }
   slot.tombstone = true;
+  col_live_[row] = 0;
   --live_count_;
   ++mutation_epoch_;
   return Status::OK();
@@ -219,6 +433,7 @@ void VersionStore::RawUndelete(RowId row, BitemporalTuple tuple) {
   assert(slot.tombstone);
   slot.tuple = std::move(tuple);
   slot.tombstone = false;
+  SyncChrononColumns(row);
   IndexInsert(row, slot.tuple);
   AttrIndexInsert(row, slot.tuple);
   ++live_count_;
@@ -237,6 +452,7 @@ Status VersionStore::RawPhysicalUpdate(RowId row, BitemporalTuple tuple) {
     (void)txn_index_.CloseCurrent(row, slot.tuple.txn.begin());
   }
   slot.tuple = std::move(tuple);
+  SyncChrononColumns(row);
   IndexInsert(row, slot.tuple);
   AttrIndexInsert(row, slot.tuple);
   ++mutation_epoch_;
@@ -429,6 +645,60 @@ VersionScan VersionStore::ScanValidDuring(Period q, VersionFilter extra) const {
               std::move(extra)));
 }
 
+// The Batch* entry points mirror the row entry points branch-for-branch:
+// with the relevant index on, the same index probe yields the candidate
+// rows (probes are exact, no residual window check); without it, the
+// window becomes a structured BatchPredicates entry evaluated by the
+// columnar kernels — the kernel semantics match Period bit-for-bit, so
+// both paths visit the same rows in the same order as the row scan.
+
+VersionBatchScan VersionStore::BatchScanAll(BatchPredicates residual) const {
+  return VersionBatchScan(this, std::move(residual));
+}
+
+VersionBatchScan VersionStore::BatchScanCurrent(BatchPredicates residual) const {
+  if (options_.index_txn_time) {
+    std::vector<RowId> rows;
+    txn_index_.Current([&](RowId row) { rows.push_back(row); });
+    return VersionBatchScan(this, std::move(rows), std::move(residual));
+  }
+  residual.txn_current = true;
+  return VersionBatchScan(this, std::move(residual));
+}
+
+VersionBatchScan VersionStore::BatchScanAsOf(Chronon t,
+                                             BatchPredicates residual) const {
+  if (options_.index_txn_time) {
+    std::vector<RowId> rows;
+    txn_index_.AsOf(t, [&](RowId row) { rows.push_back(row); });
+    return VersionBatchScan(this, std::move(rows), std::move(residual));
+  }
+  residual.txn_contains = t;
+  return VersionBatchScan(this, std::move(residual));
+}
+
+VersionBatchScan VersionStore::BatchScanTxnOverlapping(
+    Period q, BatchPredicates residual) const {
+  if (options_.index_txn_time) {
+    std::vector<RowId> rows;
+    txn_index_.Overlapping(q, [&](RowId row) { rows.push_back(row); });
+    return VersionBatchScan(this, std::move(rows), std::move(residual));
+  }
+  residual.txn_overlaps = q;
+  return VersionBatchScan(this, std::move(residual));
+}
+
+VersionBatchScan VersionStore::BatchScanValidDuring(
+    Period q, BatchPredicates residual) const {
+  if (options_.index_valid_time) {
+    std::vector<RowId> rows;
+    valid_index_.Overlapping(q, [&](Period, RowId row) { rows.push_back(row); });
+    return VersionBatchScan(this, std::move(rows), std::move(residual));
+  }
+  residual.valid_overlaps = q;
+  return VersionBatchScan(this, std::move(residual));
+}
+
 Status VersionStore::ApplyReplay(const VersionOp& op) {
   switch (op.kind) {
     case VersionOp::Kind::kAppend: {
@@ -462,6 +732,11 @@ RowId VersionStore::LoadSlot(std::optional<BitemporalTuple> tuple) {
   }
   RowId row = versions_.size();
   versions_.push_back(Slot{BitemporalTuple{}, true});
+  col_valid_from_.push_back(0);
+  col_valid_to_.push_back(0);
+  col_tt_start_.push_back(0);
+  col_tt_end_.push_back(0);
+  col_live_.push_back(0);
   ++mutation_epoch_;
   return row;
 }
@@ -475,11 +750,17 @@ size_t VersionStore::CompactTombstones() {
     if (!slot.tombstone) survivors.push_back(std::move(slot));
   }
   versions_ = std::move(survivors);
+  col_valid_from_.resize(versions_.size());
+  col_valid_to_.resize(versions_.size());
+  col_tt_start_.resize(versions_.size());
+  col_tt_end_.resize(versions_.size());
+  col_live_.resize(versions_.size());
   // Row ids changed: rebuild every index from scratch.
   txn_index_.Clear();
   valid_index_.Clear();
   for (auto& [attr, index] : attr_indexes_) index->Clear();
   for (RowId row = 0; row < versions_.size(); ++row) {
+    SyncChrononColumns(row);
     IndexInsert(row, versions_[row].tuple);
     AttrIndexInsert(row, versions_[row].tuple);
   }

@@ -97,6 +97,99 @@ class VersionScan {
   std::vector<std::pair<RowId, const BitemporalTuple*>> buffer_;
 };
 
+/// A fixed-size slice of scan results in columnar form: the unit of flow of
+/// the vectorized executor's storage boundary.
+///
+/// `tuples` are borrowed pointers into the store (same lifetime rules as
+/// `VersionScan::Next`); the chronon columns are *copies* of the survivors'
+/// temporal dimensions, contiguous so downstream operators can keep running
+/// branch-free kernels without touching the tuples at all.  Entries are in
+/// ascending row order — a batch scan yields exactly the sequence the
+/// equivalent `VersionScan` pull loop would, sliced into batches.
+struct VersionBatch {
+  std::vector<RowId> rows;
+  std::vector<const BitemporalTuple*> tuples;
+  std::vector<int64_t> valid_from;
+  std::vector<int64_t> valid_to;
+  std::vector<int64_t> tt_start;
+  std::vector<int64_t> tt_end;
+
+  size_t size() const { return rows.size(); }
+  bool empty() const { return rows.empty(); }
+  void Clear() {
+    rows.clear();
+    tuples.clear();
+    valid_from.clear();
+    valid_to.clear();
+    tt_start.clear();
+    tt_end.clear();
+  }
+};
+
+/// Structured residual predicates of a batch scan, evaluated with the
+/// branch-free kernels (rel/kernels.h) over the store's contiguous chronon
+/// columns instead of per-tuple `Period` calls.  Each field mirrors one of
+/// the `VersionFilter` lambdas the row-at-a-time scan entry points compose;
+/// the batch entry points merge their own window into this struct when the
+/// backing index is disabled, exactly like the row path degrades to a
+/// filtered sweep.
+struct BatchPredicates {
+  /// `t.valid.Overlaps(w)` (timeslice / `when` windows).
+  std::optional<Period> valid_overlaps;
+  /// `t.txn.Overlaps(w)` (`as of ... through` windows).
+  std::optional<Period> txn_overlaps;
+  /// `t.txn.Contains(c)` (rollback to an instant).
+  std::optional<Chronon> txn_contains;
+  /// `t.IsCurrentState()`.
+  bool txn_current = false;
+};
+
+/// The batch-producing counterpart of `VersionScan`: same access paths,
+/// same snapshot/epoch contract, same ascending row order — but candidates
+/// are probed a batch at a time with selection-vector kernels over the
+/// store's chronon columns, and survivors are materialized directly into
+/// `VersionBatch`es of at most `batch_rows` rows.
+///
+/// When the store enables `parallel_scan` and the candidate domain reaches
+/// `parallel_min_rows`, the first pull materializes every batch with a
+/// morsel-parallel probe: one morsel per batch-sized range, merged in morsel
+/// order (bit-identical sequence AND identical batch boundaries for every
+/// thread count, because morsel geometry is aligned to `batch_rows`).
+class VersionBatchScan {
+ public:
+  /// Sequential sweep over `[0, version_count)`.
+  VersionBatchScan(const VersionStore* store, BatchPredicates preds);
+
+  /// Scan over index-selected candidates; sorted and deduped like
+  /// `VersionScan` so the yield order matches a sequential sweep.
+  VersionBatchScan(const VersionStore* store, std::vector<RowId> rows,
+                   BatchPredicates preds);
+
+  /// Fills `out` with the next non-empty batch of survivors; false at end.
+  /// `out` is overwritten (its buffers are reused across pulls).
+  bool Next(VersionBatch* out);
+
+ private:
+  bool ShouldRunParallel() const;
+  void MaterializeParallel();
+  /// Probes candidate positions `[begin, end)` of the domain, appending the
+  /// survivors to `out`.  Pure read; safe from many threads at once.
+  void ProbeRange(size_t begin, size_t end, VersionBatch* out) const;
+
+  const VersionStore* store_;
+  bool sequential_;
+  std::vector<RowId> rows_;  // Index mode only.
+  BatchPredicates preds_;
+  size_t limit_;    // Watermark: slots at or above it are invisible.
+  uint64_t epoch_;  // Store mutation epoch at open (debug-checked).
+  size_t batch_rows_;
+  size_t pos_ = 0;         // Next domain position (streaming mode).
+  bool decided_ = false;   // Parallel-vs-stream decision made at first Next.
+  bool buffered_ = false;  // Batches pre-materialized into batches_.
+  std::vector<VersionBatch> batches_;
+  size_t batch_pos_ = 0;
+};
+
 /// A low-level mutation on a version store, as observed by the redo log.
 struct VersionOp {
   enum class Kind : uint32_t {
@@ -133,6 +226,14 @@ struct VersionStoreOptions {
   /// scheduling costs more than it buys on small domains (and the dynamic
   /// probe side of a when-join is usually such a small domain).
   size_t parallel_min_rows = 4096;
+  /// Vectorized execution: relation scans produce columnar batches whose
+  /// temporal predicates run as branch-free kernels over the store's
+  /// contiguous chronon columns.  Off: the retained row-at-a-time path
+  /// (the differential-test baseline and the ablation comparison arm).
+  bool batch_exec = true;
+  /// Rows per batch on the batch path (also the morsel size of a parallel
+  /// batch scan, keeping batch boundaries thread-count-invariant).
+  size_t batch_rows = 1024;
 };
 
 /// The physical container of tuple versions for one stored relation.
@@ -223,6 +324,39 @@ class VersionStore {
   /// windows); backed by the interval index.
   VersionScan ScanValidDuring(Period q, VersionFilter extra = {}) const;
 
+  // --- Batch scan entry points ---------------------------------------------
+  //
+  // Columnar counterparts of the scan entry points above, one for one: each
+  // resolves the *same* access path as its row sibling (index probe when the
+  // index is on, kernel-filtered sweep when it is off) and yields the same
+  // version sequence, sliced into `VersionBatch`es.  `residual` carries the
+  // structured predicates the row path would pass as an `extra` filter.
+
+  VersionBatchScan BatchScanAll(BatchPredicates residual = {}) const;
+  VersionBatchScan BatchScanCurrent(BatchPredicates residual = {}) const;
+  VersionBatchScan BatchScanAsOf(Chronon t,
+                                 BatchPredicates residual = {}) const;
+  VersionBatchScan BatchScanTxnOverlapping(Period q,
+                                           BatchPredicates residual = {}) const;
+  VersionBatchScan BatchScanValidDuring(Period q,
+                                        BatchPredicates residual = {}) const;
+
+  // --- Contiguous chronon columns ------------------------------------------
+  //
+  // Columnar mirror of every slot's temporal dimensions, maintained by all
+  // mutators (including undo, replay, load, and compaction): entry `row` of
+  // each array is that slot's chronon rep, and `chronon_live()[row]` is 1
+  // for live slots, 0 for tombstones (tombstone entries hold stale chronon
+  // values and must be masked first).  This is what the batch scan's
+  // branch-free kernels sweep — four flat int64 arrays instead of
+  // pointer-chasing `BitemporalTuple`s.
+
+  const int64_t* chronon_valid_from() const { return col_valid_from_.data(); }
+  const int64_t* chronon_valid_to() const { return col_valid_to_.data(); }
+  const int64_t* chronon_tt_start() const { return col_tt_start_.data(); }
+  const int64_t* chronon_tt_end() const { return col_tt_end_.data(); }
+  const uint8_t* chronon_live() const { return col_live_.data(); }
+
   /// Creates a secondary B+-tree index on explicit attribute `attr_index`,
   /// backfilling existing live versions.  Idempotent (AlreadyExists on a
   /// second call).  Maintained across all mutations, undo, and replay.
@@ -278,6 +412,16 @@ class VersionStore {
     if (min_rows > 0) options_.parallel_min_rows = min_rows;
   }
 
+  /// Flips the executor between the batch and row-at-a-time paths on an
+  /// existing store (the differential tests diff both paths over one
+  /// populated database rather than rebuilding it per arm).  `rows == 0`
+  /// keeps the current batch size.  Must not be called while any scan on
+  /// this store is open.
+  void ConfigureBatchExec(bool batch_exec, size_t rows = 0) {
+    options_.batch_exec = batch_exec;
+    if (rows > 0) options_.batch_rows = rows;
+  }
+
   /// Approximate bytes held, for the storage-growth bench.
   size_t ApproximateBytes() const;
 
@@ -304,8 +448,17 @@ class VersionStore {
   void RawReopenTxn(RowId row, Chronon old_end);
   void RawUndelete(RowId row, BitemporalTuple tuple);
 
+  /// Keeps the chronon columns for slot `row` in sync with its tuple.
+  void SyncChrononColumns(RowId row);
+
   VersionStoreOptions options_;
   std::vector<Slot> versions_;
+  // Columnar chronon mirror (see the chronon_* accessors).
+  std::vector<int64_t> col_valid_from_;
+  std::vector<int64_t> col_valid_to_;
+  std::vector<int64_t> col_tt_start_;
+  std::vector<int64_t> col_tt_end_;
+  std::vector<uint8_t> col_live_;
   size_t live_count_ = 0;
   uint64_t mutation_epoch_ = 0;
   SnapshotIndex txn_index_;

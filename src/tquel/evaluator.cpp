@@ -54,7 +54,23 @@ std::vector<Candidate> MaterializeParticipant(
     return out;
   }
 
-  // Scan path.
+  // Scan path.  With batch execution on, candidates arrive as columnar
+  // batches whose residual time predicates already ran through the
+  // branch-free kernels; the candidate periods are decoded from the batch's
+  // chronon columns (bit-identical to the tuples').
+  if (store->options().batch_exec) {
+    VersionBatchScan scan = rel.BatchScan(spec);
+    VersionBatch batch;
+    while (scan.Next(&batch)) {
+      for (size_t i = 0; i < batch.size(); ++i) {
+        out.push_back(Candidate{
+            &batch.tuples[i]->values,
+            Period(Chronon(batch.valid_from[i]), Chronon(batch.valid_to[i])),
+            Period(Chronon(batch.tt_start[i]), Chronon(batch.tt_end[i]))});
+      }
+    }
+    return out;
+  }
   VersionScan scan = rel.Scan(spec);
   while (const BitemporalTuple* t = scan.Next()) {
     out.push_back(Candidate{&t->values, t->valid, t->txn});
@@ -305,6 +321,12 @@ Result<Rowset> EvaluateRetrieve(const BoundRetrieve& bound,
     return out.AddRow(std::move(row));
   };
 
+  // One reusable batch buffer per nesting level: `Next` overwrites it, so
+  // hoisting the buffers out of the recursion means each level's (typically
+  // tiny) inner probes stop paying per-probe allocations.  Per level, not
+  // shared: a deeper dynamic participant must not clobber the batch an
+  // outer level is still iterating.
+  std::vector<VersionBatch> level_batch(n);
   std::function<Status(size_t)> enumerate = [&](size_t i) -> Status {
     if (i == n) return emit();
     if (!dynamic[i]) {
@@ -323,6 +345,22 @@ Result<Rowset> EvaluateRetrieve(const BoundRetrieve& bound,
     ScanSpec spec;
     spec.asof = asof;
     spec.valid_during = bound.when->PushdownWindow(i, valid_binding, i);
+    if (rel.store()->options().batch_exec) {
+      VersionBatchScan scan = rel.BatchScan(spec);
+      VersionBatch& batch = level_batch[i];
+      while (scan.Next(&batch)) {
+        for (size_t k = 0; k < batch.size(); ++k) {
+          const Candidate c{
+              &batch.tuples[k]->values,
+              Period(Chronon(batch.valid_from[k]), Chronon(batch.valid_to[k])),
+              Period(Chronon(batch.tt_start[k]), Chronon(batch.tt_end[k]))};
+          chosen[i] = &c;
+          valid_binding[i] = c.valid;
+          TDB_RETURN_IF_ERROR(enumerate(i + 1));
+        }
+      }
+      return Status::OK();
+    }
     VersionScan scan = rel.Scan(spec);
     while (const BitemporalTuple* t = scan.Next()) {
       const Candidate c{&t->values, t->valid, t->txn};

@@ -1,0 +1,353 @@
+// Vectorized execution differential: the batch path (columnar chronon
+// columns + selection-vector kernels) must be bit-identical to the
+// row-at-a-time path — at the version-store boundary (BatchScan* vs Scan*)
+// and through the full query stack (TQuel over all four temporal classes,
+// every clause combination, batch sizes {1, 7, 1024}, thread counts
+// {1, 2, 4, 8}).
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/random.h"
+#include "core/database.h"
+#include "exec/thread_pool.h"
+#include "temporal/version_store.h"
+#include "txn/clock.h"
+#include "txn/txn_manager.h"
+
+namespace temporadb {
+namespace {
+
+// --- Store-level differential: BatchScan* vs Scan* ------------------------
+
+class BatchVersionScanTest : public ::testing::Test {
+ protected:
+  BatchVersionScanTest() : manager_(&clock_) {}
+
+  // Seeded random bitemporal history (appends with half-open or bounded
+  // valid periods, interleaved transaction-time closes), same chaos recipe
+  // as the parallel-scan differential.
+  void Populate(size_t n_ops, uint64_t seed) {
+    Random rng(seed);
+    int64_t day = 1000;
+    size_t op = 0;
+    while (op < n_ops) {
+      clock_.SetTime(Chronon(day));
+      Transaction* txn = *manager_.Begin();
+      size_t batch = 1 + rng.Uniform(50);
+      for (size_t i = 0; i < batch && op < n_ops; ++i, ++op) {
+        if (store_.version_count() > 10 && rng.OneIn(4)) {
+          RowId row = rng.Uniform(store_.version_count());
+          (void)store_.CloseTxn(txn, row, Chronon(day));
+        } else {
+          BitemporalTuple t;
+          t.values = {Value("e" + std::to_string(rng.Uniform(64))),
+                      Value(static_cast<int64_t>(rng.Uniform(100000)))};
+          int64_t from = 900 + static_cast<int64_t>(rng.Uniform(400));
+          t.valid = rng.OneIn(2)
+                        ? Period::From(Chronon(from))
+                        : Period(Chronon(from),
+                                 Chronon(from + 1 +
+                                         static_cast<int64_t>(
+                                             rng.Uniform(90))));
+          t.txn = Period::From(Chronon(day));
+          ASSERT_TRUE(store_.Append(txn, std::move(t)).ok());
+        }
+      }
+      ASSERT_TRUE(manager_.Commit(txn).ok());
+      day += 1 + static_cast<int64_t>(rng.Uniform(3));
+    }
+  }
+
+  using Sequence = std::vector<std::pair<RowId, BitemporalTuple>>;
+
+  static Sequence CollectRows(VersionScan scan) {
+    Sequence out;
+    RowId row = 0;
+    while (const BitemporalTuple* t = scan.Next(&row)) {
+      out.emplace_back(row, *t);
+    }
+    return out;
+  }
+
+  // Flattens a batch scan and checks the per-batch contract along the way:
+  // batches are never empty and the copied chronon columns agree with the
+  // surviving tuples' periods.
+  static Sequence CollectBatches(VersionBatchScan scan) {
+    Sequence out;
+    VersionBatch batch;
+    while (scan.Next(&batch)) {
+      EXPECT_FALSE(batch.empty()) << "batch scans must skip empty batches";
+      for (size_t i = 0; i < batch.size(); ++i) {
+        const BitemporalTuple& t = *batch.tuples[i];
+        EXPECT_EQ(batch.valid_from[i], t.valid.begin().days());
+        EXPECT_EQ(batch.valid_to[i], t.valid.end().days());
+        EXPECT_EQ(batch.tt_start[i], t.txn.begin().days());
+        EXPECT_EQ(batch.tt_end[i], t.txn.end().days());
+        out.emplace_back(batch.rows[i], t);
+      }
+    }
+    return out;
+  }
+
+  // Every probe shape, row path and batch path side by side.
+  Sequence RunRowProbes() {
+    Sequence all;
+    auto append = [&all](Sequence v) {
+      all.insert(all.end(), v.begin(), v.end());
+    };
+    append(CollectRows(store_.ScanAll()));
+    append(CollectRows(store_.ScanCurrent()));
+    append(CollectRows(store_.ScanAsOf(Chronon(1100))));
+    append(CollectRows(
+        store_.ScanTxnOverlapping(Period(Chronon(1050), Chronon(1200)))));
+    append(CollectRows(
+        store_.ScanValidDuring(Period(Chronon(1000), Chronon(1060)))));
+    append(CollectRows(store_.ScanValidDuring(
+        Period(Chronon(950), Chronon(1300)),
+        [](const BitemporalTuple& t) { return t.IsCurrentState(); })));
+    return all;
+  }
+
+  Sequence RunBatchProbes() {
+    Sequence all;
+    auto append = [&all](Sequence v) {
+      all.insert(all.end(), v.begin(), v.end());
+    };
+    append(CollectBatches(store_.BatchScanAll()));
+    append(CollectBatches(store_.BatchScanCurrent()));
+    append(CollectBatches(store_.BatchScanAsOf(Chronon(1100))));
+    append(CollectBatches(
+        store_.BatchScanTxnOverlapping(Period(Chronon(1050), Chronon(1200)))));
+    append(CollectBatches(
+        store_.BatchScanValidDuring(Period(Chronon(1000), Chronon(1060)))));
+    BatchPredicates current_only;
+    current_only.txn_current = true;
+    append(CollectBatches(store_.BatchScanValidDuring(
+        Period(Chronon(950), Chronon(1300)), current_only)));
+    return all;
+  }
+
+  void ExpectSameSequence(const Sequence& got, const Sequence& want,
+                          const std::string& label) {
+    ASSERT_EQ(got.size(), want.size()) << label;
+    for (size_t i = 0; i < got.size(); ++i) {
+      ASSERT_EQ(got[i].first, want[i].first) << label << ", position " << i;
+      ASSERT_TRUE(got[i].second == want[i].second)
+          << label << ", position " << i;
+    }
+  }
+
+  ManualClock clock_;
+  TxnManager manager_;
+  VersionStore store_;
+};
+
+TEST_F(BatchVersionScanTest, BitIdenticalToRowScansAcrossBatchSizes) {
+  Populate(5000, /*seed=*/11);
+  Sequence baseline = RunRowProbes();
+  ASSERT_FALSE(baseline.empty());
+  for (size_t batch_rows : {1u, 7u, 1024u}) {
+    store_.ConfigureBatchExec(true, batch_rows);
+    ExpectSameSequence(RunBatchProbes(), baseline,
+                       "batch_rows=" + std::to_string(batch_rows));
+  }
+}
+
+TEST_F(BatchVersionScanTest, BitIdenticalAcrossThreadCountsAndBatchSizes) {
+  Populate(5000, /*seed=*/23);
+  store_.ConfigureParallel(nullptr);
+  Sequence baseline = RunRowProbes();
+  ASSERT_FALSE(baseline.empty());
+  for (size_t batch_rows : {1u, 7u, 1024u}) {
+    store_.ConfigureBatchExec(true, batch_rows);
+    for (size_t threads : {1u, 2u, 4u, 8u}) {
+      exec::ThreadPool pool(threads);
+      // min_rows=1 forces the morsel path even for tiny candidate sets.
+      store_.ConfigureParallel(&pool, /*min_rows=*/1);
+      ExpectSameSequence(RunBatchProbes(), baseline,
+                         "batch_rows=" + std::to_string(batch_rows) + " " +
+                             std::to_string(threads) + " threads");
+      store_.ConfigureParallel(nullptr);
+    }
+  }
+}
+
+// --- Full-stack differential: TQuel over every temporal class -------------
+
+// Builds a database holding one relation of each temporal class, populated
+// by the same seeded script (appends with randomized valid periods plus
+// scattered deletes, so rollback/bitemporal relations accrue closed
+// transaction periods and valid-time relations accrue truncations).
+std::unique_ptr<Database> BuildFourClassDb(ManualClock* clock,
+                                           const VersionStoreOptions& store,
+                                           size_t max_threads) {
+  DatabaseOptions options;
+  options.clock = clock;
+  options.store_options = store;
+  options.max_threads = max_threads;
+  std::unique_ptr<Database> db = std::move(*Database::Open(options));
+  EXPECT_TRUE(
+      db->Execute("create relation snap (name = string, n = int)").ok());
+  EXPECT_TRUE(
+      db->Execute("create rollback relation roll (name = string, n = int)")
+          .ok());
+  EXPECT_TRUE(
+      db->Execute("create historical relation hist (name = string, n = int)")
+          .ok());
+  EXPECT_TRUE(
+      db->Execute("create temporal relation bitemp (name = string, n = int)")
+          .ok());
+
+  Random rng(4242);
+  const char* relations[] = {"snap", "roll", "hist", "bitemp"};
+  const bool has_valid[] = {false, false, true, true};
+  for (int i = 0; i < 150; ++i) {
+    clock->SetTime(Chronon(4000 + i * 2));
+    size_t which = rng.Uniform(4);
+    const std::string rel = relations[which];
+    const std::string name = "e" + std::to_string(rng.Uniform(12));
+    if (rng.OneIn(5) && i > 20) {
+      std::string stmt = "delete " + rel + " where " + rel + ".name = \"" +
+                         name + "\"";
+      (void)db->Execute(stmt);  // Deleting a missing name is fine.
+      continue;
+    }
+    std::string stmt = "append to " + rel + " (name = \"" + name +
+                       "\", n = " +
+                       std::to_string(static_cast<int64_t>(rng.Uniform(1000))) +
+                       ")";
+    if (has_valid[which]) {
+      int64_t from = 3900 + static_cast<int64_t>(rng.Uniform(300));
+      stmt += " valid from \"" + Chronon(from).ToString() + "\" to ";
+      stmt += rng.OneIn(3)
+                  ? std::string("\"inf\"")
+                  : "\"" +
+                        Chronon(from + 20 +
+                                static_cast<int64_t>(rng.Uniform(150)))
+                            .ToString() +
+                        "\"";
+    }
+    EXPECT_TRUE(db->Execute(stmt).ok()) << stmt;
+  }
+  for (const char* rel : relations) {
+    std::string range = "range of ";
+    range += rel[0];
+    range += " is ";
+    range += rel;
+    EXPECT_TRUE(db->Execute(range).ok()) << range;
+  }
+  return db;
+}
+
+// Every clause combination each temporal class admits (where / when /
+// valid / as of), plus a when-join; dates land inside the populated
+// windows so each query returns rows.
+std::vector<std::string> AllClauseQueries() {
+  const std::string kWhen = " when $ overlap \"" + Chronon(4010).ToString() +
+                            "\"";
+  const std::string kValid = " valid from \"" + Chronon(3950).ToString() +
+                             "\" to \"" + Chronon(4150).ToString() + "\"";
+  const std::string kAsOf = " as of \"" + Chronon(4180).ToString() + "\"";
+  const std::string kWhere = " where $.n < 500";
+  std::vector<std::string> queries;
+  auto add = [&queries](char var, const std::string& clauses) {
+    std::string q = "retrieve ($.name, $.n)" + clauses;
+    std::string out;
+    for (char c : q) {
+      if (c == '$') {
+        out += var;
+      } else {
+        out += c;
+      }
+    }
+    queries.push_back(out);
+  };
+  // Static: bare and where.
+  add('s', "");
+  add('s', kWhere);
+  // Rollback: adds as-of.
+  add('r', "");
+  add('r', kWhere);
+  add('r', kAsOf);
+  add('r', kWhere + kAsOf);
+  // Historical: adds when and valid.
+  add('h', "");
+  add('h', kWhere);
+  add('h', kWhen);
+  add('h', kValid);
+  add('h', kWhere + kWhen);
+  add('h', kValid + kWhen);
+  add('h', kWhere + kValid + kWhen);
+  // Bitemporal: every clause at once.
+  add('b', "");
+  add('b', kWhere);
+  add('b', kWhen);
+  add('b', kValid);
+  add('b', kAsOf);
+  add('b', kWhere + kWhen);
+  add('b', kWhen + kAsOf);
+  add('b', kValid + kWhen + kAsOf);
+  add('b', kWhere + kValid + kWhen + kAsOf);
+  // A when-join across classes (sequential-valued batch cross product).
+  queries.push_back(
+      "retrieve (h.name, b.n) where h.name = b.name when h overlap b");
+  return queries;
+}
+
+TEST(BatchDatabaseTest, QueriesMatchRowPathAcrossBatchSizesAndThreads) {
+  ManualClock clock_row;
+  VersionStoreOptions row_options;
+  row_options.batch_exec = false;
+  std::unique_ptr<Database> row_db =
+      BuildFourClassDb(&clock_row, row_options, /*max_threads=*/1);
+
+  const std::vector<std::string> queries = AllClauseQueries();
+
+  // Baseline results from the row-at-a-time path.
+  std::vector<Rowset> baseline;
+  size_t nonempty = 0;
+  for (const std::string& q : queries) {
+    Result<Rowset> r = row_db->Query(q);
+    ASSERT_TRUE(r.ok()) << q << ": " << r.status().message();
+    if (r->size() > 0) ++nonempty;
+    baseline.push_back(std::move(*r));
+  }
+  // The sweep must actually exercise data, not vacuous empties.
+  ASSERT_GT(nonempty, queries.size() / 2);
+
+  for (size_t batch_rows : {1u, 7u, 1024u}) {
+    for (size_t threads : {1u, 2u, 4u, 8u}) {
+      ManualClock clock;
+      VersionStoreOptions options;
+      options.batch_exec = true;
+      options.batch_rows = batch_rows;
+      if (threads > 1) {
+        options.parallel_scan = true;
+        options.parallel_min_rows = 1;
+      }
+      std::unique_ptr<Database> db =
+          BuildFourClassDb(&clock, options, threads);
+      for (size_t qi = 0; qi < queries.size(); ++qi) {
+        const std::string& q = queries[qi];
+        Result<Rowset> got = db->Query(q);
+        ASSERT_TRUE(got.ok()) << q << ": " << got.status().message();
+        ASSERT_EQ(got->size(), baseline[qi].size())
+            << q << " (batch_rows=" << batch_rows << ", threads=" << threads
+            << ")";
+        for (size_t i = 0; i < got->size(); ++i) {
+          ASSERT_TRUE(got->rows()[i] == baseline[qi].rows()[i])
+              << q << " row " << i << " (batch_rows=" << batch_rows
+              << ", threads=" << threads << ")";
+        }
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace temporadb

@@ -1,0 +1,148 @@
+// InlineFunction: move semantics, the exact small-buffer boundary, and the
+// empty-invocation contract.  The basic construct/copy/reassign behaviour is
+// covered in parallel_exec_test.cpp; this file pins down the corners that
+// the vectorized scan path leans on (the scan filter is moved into cursors
+// and must never allocate when it fits the inline buffer).
+
+#include "common/inline_function.h"
+
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <utility>
+
+namespace temporadb {
+namespace {
+
+/// A callable whose size is exactly `PayloadBytes` and which counts its
+/// constructor/destructor traffic, so tests can observe whether a wrapper
+/// stored it inline (moving the wrapper move-constructs the callable) or on
+/// the heap (moving the wrapper steals the pointer and never touches it).
+template <size_t PayloadBytes>
+struct Probe {
+  inline static int live = 0;
+  inline static int moves = 0;
+  inline static int copies = 0;
+
+  char payload[PayloadBytes] = {};
+
+  Probe() { ++live; }
+  Probe(const Probe&) { ++copies, ++live; }
+  Probe(Probe&&) noexcept { ++moves, ++live; }
+  ~Probe() { --live; }
+
+  int operator()(int x) const { return x + static_cast<int>(PayloadBytes); }
+
+  static void ResetCounters() { moves = copies = 0; }
+};
+
+constexpr size_t kInlineBytes = 48;
+using AtBoundary = Probe<kInlineBytes>;      // sizeof == InlineBytes: inline.
+using OverBoundary = Probe<kInlineBytes + 1>;  // One byte over: heap.
+
+static_assert(sizeof(AtBoundary) == kInlineBytes,
+              "probe must sit exactly on the SBO boundary");
+static_assert(sizeof(OverBoundary) == kInlineBytes + 1,
+              "probe must overflow the SBO boundary by one byte");
+
+using Fn = InlineFunction<int(int), kInlineBytes>;
+
+TEST(InlineFunctionMoveTest, MoveConstructionEmptiesTheSource) {
+  Fn f = [](int x) { return x * 2; };
+  ASSERT_TRUE(f);
+  Fn g = std::move(f);
+  EXPECT_FALSE(f);  // NOLINT(bugprone-use-after-move): the contract under test.
+  ASSERT_TRUE(g);
+  EXPECT_EQ(g(21), 42);
+}
+
+TEST(InlineFunctionMoveTest, MoveAssignmentEmptiesSourceAndReplacesTarget) {
+  Fn f = [](int x) { return x + 1; };
+  Fn g = [](int x) { return x - 1; };
+  g = std::move(f);
+  EXPECT_FALSE(f);  // NOLINT(bugprone-use-after-move): the contract under test.
+  ASSERT_TRUE(g);
+  EXPECT_EQ(g(41), 42);
+}
+
+TEST(InlineFunctionMoveTest, MoveAssignmentDestroysTheOldTarget) {
+  AtBoundary::ResetCounters();
+  {
+    Fn f = AtBoundary();
+    Fn g = AtBoundary();
+    EXPECT_EQ(AtBoundary::live, 2);
+    g = std::move(f);
+    // The old target of `g` is gone; only the moved-in callable survives.
+    EXPECT_EQ(AtBoundary::live, 1);
+  }
+  EXPECT_EQ(AtBoundary::live, 0);
+}
+
+TEST(InlineFunctionMoveTest, MovedFromWrapperIsReusable) {
+  Fn f = [](int x) { return x; };
+  Fn g = std::move(f);
+  f = [](int x) { return x * 3; };  // NOLINT(bugprone-use-after-move)
+  ASSERT_TRUE(f);
+  EXPECT_EQ(f(14), 42);
+  EXPECT_EQ(g(42), 42);
+}
+
+TEST(InlineFunctionSboTest, CallableAtTheBoundaryStaysInline) {
+  AtBoundary::ResetCounters();
+  Fn f = AtBoundary();
+  ASSERT_TRUE(f);
+  EXPECT_EQ(f(0), static_cast<int>(kInlineBytes));
+
+  // Moving the wrapper of an inline callable must move the callable itself
+  // (there is no pointer to steal).
+  AtBoundary::ResetCounters();
+  Fn g = std::move(f);
+  EXPECT_EQ(AtBoundary::moves, 1);
+  EXPECT_EQ(AtBoundary::copies, 0);
+  EXPECT_EQ(g(0), static_cast<int>(kInlineBytes));
+}
+
+TEST(InlineFunctionSboTest, CallableOneByteOverSpillsToTheHeap) {
+  OverBoundary::ResetCounters();
+  Fn f = OverBoundary();
+  ASSERT_TRUE(f);
+  EXPECT_EQ(f(0), static_cast<int>(kInlineBytes) + 1);
+
+  // Moving the wrapper of a heap callable steals the pointer; the callable
+  // is neither moved nor copied nor destroyed.
+  OverBoundary::ResetCounters();
+  const int live_before = OverBoundary::live;
+  Fn g = std::move(f);
+  EXPECT_EQ(OverBoundary::moves, 0);
+  EXPECT_EQ(OverBoundary::copies, 0);
+  EXPECT_EQ(OverBoundary::live, live_before);
+  EXPECT_EQ(g(0), static_cast<int>(kInlineBytes) + 1);
+}
+
+TEST(InlineFunctionSboTest, NoLeaksOnEitherSideOfTheBoundary) {
+  {
+    Fn a = AtBoundary();
+    Fn b = OverBoundary();
+    Fn a2 = a;             // Inline copy.
+    Fn b2 = b;             // Heap copy.
+    Fn a3 = std::move(a);  // Inline move.
+    Fn b3 = std::move(b);  // Pointer steal.
+    a2 = b3;               // Cross-assign: inline slot now holds heap target.
+    EXPECT_EQ(a2(0), static_cast<int>(kInlineBytes) + 1);
+  }
+  EXPECT_EQ(AtBoundary::live, 0);
+  EXPECT_EQ(OverBoundary::live, 0);
+}
+
+TEST(InlineFunctionDeathTest, InvokingAnEmptyFunctionAsserts) {
+  Fn f;
+  ASSERT_FALSE(f);
+#ifndef NDEBUG
+  EXPECT_DEATH(f(0), "invoking an empty InlineFunction");
+#else
+  GTEST_SKIP() << "assertions compiled out under NDEBUG";
+#endif
+}
+
+}  // namespace
+}  // namespace temporadb

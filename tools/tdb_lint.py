@@ -23,6 +23,13 @@ express, because they are properties of *this* codebase's discipline:
      src/catalog/temporal_class.h, and the analyzer's gating of
      when/valid/as-of in src/tquel/analyzer.cpp.
 
+  4. kernel-purity  — the branch-free selection kernels (src/rel/kernels.*)
+     operate on raw chronon columns and selection vectors only.  Boxed
+     `Value`s, `Period` objects, or virtual dispatch in that layer would
+     reintroduce exactly the per-row overhead the vectorized path exists to
+     remove, and would do it silently (everything still passes the
+     differential tests, just slower).
+
 Exit status 0 when clean; 1 with one line per violation otherwise.
 Run from anywhere: paths are resolved relative to the repo root.
 """
@@ -260,10 +267,34 @@ def check_clause_matrix() -> None:
             "SupportsTransactionTime()")
 
 
+# --------------------------------------------------------------------------
+# Rule 4: the selection kernels stay free of boxed values and dispatch.
+# --------------------------------------------------------------------------
+
+KERNEL_FILES = [
+    SRC / "rel" / "kernels.h",
+    SRC / "rel" / "kernels.cpp",
+]
+KERNEL_IMPURITIES = re.compile(r"\b(Value|Period|virtual)\b")
+
+
+def check_kernel_purity() -> None:
+    for path in KERNEL_FILES:
+        code = strip_comments(path.read_text())
+        for lineno, line in enumerate(code.splitlines(), 1):
+            m = KERNEL_IMPURITIES.search(line)
+            if m:
+                err(path, lineno, "kernel-purity",
+                    f"{m.group(1)} in the kernel layer; kernels take raw "
+                    "int64 chronon columns and uint32 selection vectors "
+                    "only — box/dispatch above this layer, never inside it")
+
+
 def main() -> int:
     check_mutex_wrapper()
     check_append_only()
     check_clause_matrix()
+    check_kernel_purity()
     if errors:
         for e in errors:
             print(e)
