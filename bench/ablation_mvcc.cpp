@@ -1,0 +1,164 @@
+// A10 — MVCC read snapshots: throughput and tail latency of snapshot-
+// isolated readers while a writer commits a sustained append/delete stream.
+// The pinned view never changes, so every read is also checked against the
+// pin's baseline row count — a cheap canary for visibility leaks under
+// load.  Arg(n) is the number of concurrent reader threads; the measuring
+// thread is one of them, and per-read latencies from that thread feed the
+// read_p50/p95/p99 counters.
+
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_json.h"
+
+#include "bench/bench_common.h"
+#include "core/database.h"
+
+using namespace temporadb;
+
+namespace {
+
+double Percentile(std::vector<double>* sorted_us, double p) {
+  if (sorted_us->empty()) return 0.0;
+  std::sort(sorted_us->begin(), sorted_us->end());
+  size_t idx = static_cast<size_t>(p * static_cast<double>(sorted_us->size()));
+  idx = std::min(idx, sorted_us->size() - 1);
+  return (*sorted_us)[idx];
+}
+
+void BM_SnapshotReadsDuringWrites(benchmark::State& state) {
+  const int readers = static_cast<int>(state.range(0));
+  bench::ScenarioDb sdb = bench::OpenScenarioDb();
+  Database* db = sdb.db.get();
+  ManualClock* clock = sdb.clock.get();
+  (void)db->Execute(
+      "create temporal relation emp (name = string, rank = string)");
+  (void)db->Execute("range of e is emp");
+  for (int i = 0; i < 2000; ++i) {
+    if (i % 100 == 0) clock->AdvanceDays(1);
+    Result<tquel::ExecResult> r =
+        db->Execute("append to emp (name = \"s" + std::to_string(i) +
+                    "\", rank = \"seed\")");
+    if (!r.ok()) {
+      state.SkipWithError(r.status().ToString().c_str());
+      return;
+    }
+  }
+
+  Result<ReadSnapshot> snap = db->BeginReadSnapshot();
+  if (!snap.ok()) {
+    state.SkipWithError(snap.status().ToString().c_str());
+    return;
+  }
+  const std::string query =
+      "retrieve (e.name, e.rank) where e.rank = \"seed\"";
+  Result<Rowset> baseline = db->QueryAtSnapshot(*snap, query);
+  if (!baseline.ok()) {
+    state.SkipWithError(baseline.status().ToString().c_str());
+    return;
+  }
+  const size_t expect_rows = baseline->size();
+
+  // One writer thread: sustained committed churn for the whole run.
+  std::atomic<bool> stop{false};
+  std::atomic<uint64_t> writer_commits{0};
+  std::thread writer([&] {
+    int i = 0;
+    while (!stop.load(std::memory_order_relaxed)) {
+      clock->AdvanceDays(1);
+      (void)db->Execute("append to emp (name = \"w" + std::to_string(i) +
+                        "\", rank = \"new\")");
+      (void)db->Execute("delete e where e.name = \"s" +
+                        std::to_string(i % 2000) + "\"");
+      writer_commits.fetch_add(2, std::memory_order_relaxed);
+      ++i;
+    }
+  });
+  // Background reader threads (the measuring thread is reader #0).
+  std::vector<std::thread> others;
+  std::atomic<uint64_t> other_reads{0};
+  std::atomic<uint64_t> wrong_reads{0};
+  for (int t = 1; t < readers; ++t) {
+    others.emplace_back([&] {
+      while (!stop.load(std::memory_order_relaxed)) {
+        Result<Rowset> rows = db->QueryAtSnapshot(*snap, query);
+        if (!rows.ok() || rows->size() != expect_rows) {
+          wrong_reads.fetch_add(1, std::memory_order_relaxed);
+        }
+        other_reads.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  }
+
+  std::vector<double> latencies_us;
+  latencies_us.reserve(1 << 14);
+  for (auto _ : state) {
+    auto begin = std::chrono::steady_clock::now();
+    Result<Rowset> rows = db->QueryAtSnapshot(*snap, query);
+    auto end = std::chrono::steady_clock::now();
+    if (!rows.ok() || rows->size() != expect_rows) {
+      wrong_reads.fetch_add(1, std::memory_order_relaxed);
+    }
+    latencies_us.push_back(
+        std::chrono::duration<double, std::micro>(end - begin).count());
+    benchmark::DoNotOptimize(rows);
+  }
+
+  stop.store(true);
+  writer.join();
+  for (std::thread& t : others) t.join();
+
+  state.SetItemsProcessed(static_cast<int64_t>(
+      latencies_us.size() + other_reads.load()));
+  state.counters["read_p50_us"] = Percentile(&latencies_us, 0.50);
+  state.counters["read_p95_us"] = Percentile(&latencies_us, 0.95);
+  state.counters["read_p99_us"] = Percentile(&latencies_us, 0.99);
+  state.counters["reader_threads"] = static_cast<double>(readers);
+  state.counters["writer_commits"] =
+      static_cast<double>(writer_commits.load());
+  state.counters["wrong_reads"] = static_cast<double>(wrong_reads.load());
+  state.counters["snapshot_rows"] = static_cast<double>(expect_rows);
+}
+
+// The pin/release handshake itself (seqlock capture + registration), with
+// the same writer churn contending on the publish word.
+void BM_SnapshotPinRelease(benchmark::State& state) {
+  bench::ScenarioDb sdb = bench::OpenScenarioDb();
+  Database* db = sdb.db.get();
+  ManualClock* clock = sdb.clock.get();
+  (void)db->Execute("create temporal relation t (name = string)");
+  (void)db->Execute("range of x is t");
+  std::atomic<bool> stop{false};
+  std::thread writer([&] {
+    int i = 0;
+    while (!stop.load(std::memory_order_relaxed)) {
+      clock->AdvanceDays(1);
+      (void)db->Execute("append to t (name = \"w" + std::to_string(i++) +
+                        "\")");
+    }
+  });
+  for (auto _ : state) {
+    Result<ReadSnapshot> snap = db->BeginReadSnapshot();
+    if (!snap.ok()) {
+      state.SkipWithError(snap.status().ToString().c_str());
+      break;
+    }
+    benchmark::DoNotOptimize(snap);
+  }
+  stop.store(true);
+  writer.join();
+}
+
+}  // namespace
+
+BENCHMARK(BM_SnapshotReadsDuringWrites)
+    ->Arg(2)->Arg(4)->Arg(8)
+    ->Unit(benchmark::kMicrosecond)->UseRealTime();
+BENCHMARK(BM_SnapshotPinRelease)->Unit(benchmark::kMicrosecond)->UseRealTime();
+
+TDB_BENCH_MAIN("mvcc")

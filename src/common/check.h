@@ -1,0 +1,39 @@
+#ifndef TEMPORADB_COMMON_CHECK_H_
+#define TEMPORADB_COMMON_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace temporadb {
+namespace internal {
+
+[[noreturn]] inline void InvariantFailure(const char* file, int line,
+                                          const char* expr, const char* msg) {
+  std::fprintf(stderr, "temporadb invariant violated at %s:%d: %s\n  %s\n",
+               file, line, expr, msg);
+  std::fflush(stderr);
+  std::abort();
+}
+
+}  // namespace internal
+}  // namespace temporadb
+
+/// Always-on invariant check for cross-thread / cross-commit contracts.
+///
+/// Unlike `assert`, this never compiles out: a violated invariant aborts in
+/// release builds too, with the failing expression and an explanation.  Use
+/// it wherever a silently-false condition would produce *wrong data* rather
+/// than a crash — e.g. a scan observing a version store that mutated under
+/// it would silently dereference stale state in an NDEBUG build if guarded
+/// by a bare `assert`.  `tools/tdb_lint.py` (rule 5, invariant-check)
+/// enforces this helper over bare asserts for such conditions in the
+/// concurrent layers (src/temporal, src/exec).
+#define TDB_INVARIANT_CHECK(cond, msg)                                \
+  do {                                                                \
+    if (!(cond)) {                                                    \
+      ::temporadb::internal::InvariantFailure(__FILE__, __LINE__,     \
+                                              #cond, msg);            \
+    }                                                                 \
+  } while (0)
+
+#endif  // TEMPORADB_COMMON_CHECK_H_

@@ -76,14 +76,36 @@ class Chronon {
     return a.rep_ >= b.rep_;
   }
 
-  /// Chronon arithmetic; sentinels are absorbing.
+  /// The largest / smallest representable *finite* chronon.  Finite
+  /// arithmetic saturates here rather than at the sentinels: a finite
+  /// instant pushed off the end of the line must stay a finite instant,
+  /// never silently become "∞" / "-∞" (which carry distinct semantics —
+  /// "still current" / "before all time" — throughout the engine).
+  static constexpr Chronon MaxFinite() { return Chronon(kForeverRep - 1); }
+  static constexpr Chronon MinFinite() { return Chronon(kBeginningRep + 1); }
+
+  /// Chronon arithmetic.  Sentinels are absorbing; finite operands saturate
+  /// at `MaxFinite()` / `MinFinite()` instead of overflowing (signed
+  /// overflow is UB) or landing on a sentinel representation.
   friend constexpr Chronon operator+(Chronon c, Rep days) {
     if (!c.IsFinite()) return c;
-    return Chronon(c.rep_ + days);
+    Rep sum = 0;
+    if (__builtin_add_overflow(c.rep_, days, &sum)) {
+      return days > 0 ? MaxFinite() : MinFinite();
+    }
+    if (sum == kForeverRep) return MaxFinite();
+    if (sum == kBeginningRep) return MinFinite();
+    return Chronon(sum);
   }
   friend constexpr Chronon operator-(Chronon c, Rep days) {
     if (!c.IsFinite()) return c;
-    return Chronon(c.rep_ - days);
+    Rep diff = 0;
+    if (__builtin_sub_overflow(c.rep_, days, &diff)) {
+      return days < 0 ? MaxFinite() : MinFinite();
+    }
+    if (diff == kForeverRep) return MaxFinite();
+    if (diff == kBeginningRep) return MinFinite();
+    return Chronon(diff);
   }
 
   /// Day-granularity calendar rendering; "forever" for ∞.  See date.h for

@@ -85,6 +85,9 @@ Database::Database(DatabaseOptions options)
       clock_(options_.clock != nullptr ? options_.clock : &default_clock_),
       fs_(options_.fs != nullptr ? options_.fs : FileSystem::Default()),
       txn_manager_(std::make_unique<TxnManager>(clock_)) {
+  // Every store shares this database's MVCC state: commit publication,
+  // close-sequence stamping, and the correction fence all run through it.
+  options_.store_options.mvcc = &mvcc_;
   if (options_.store_options.parallel_scan) {
     size_t threads = options_.max_threads != 0
                          ? options_.max_threads
@@ -168,6 +171,12 @@ Status Database::Recover() {
     return ReplayWal(resume_lsn);
   }();
   replaying_ = false;
+  if (status.ok()) {
+    // Make everything recovery rebuilt visible to snapshot readers: replay
+    // stamps its transaction-time closes with commit sequence 1 (see
+    // RawCloseTxn), so one publication covers them all.
+    PublishMvcc(txn_manager_->Now());
+  }
   return status;
 }
 
@@ -323,6 +332,11 @@ Result<RelationInfo> Database::CreateRelation(const std::string& name,
                                               Schema schema,
                                               TemporalClass temporal_class,
                                               TemporalDataModel data_model) {
+  if (!replaying_ &&
+      mvcc_.active_snapshots.load(std::memory_order_seq_cst) != 0) {
+    return Status::FailedPrecondition(
+        "DDL while read snapshots are pinned; release all snapshots first");
+  }
   TDB_ASSIGN_OR_RETURN(
       RelationInfo info,
       catalog_.CreateRelation(name, std::move(schema), temporal_class,
@@ -337,6 +351,11 @@ Result<RelationInfo> Database::CreateRelation(const std::string& name,
 }
 
 Status Database::DropRelation(const std::string& name) {
+  if (!replaying_ &&
+      mvcc_.active_snapshots.load(std::memory_order_seq_cst) != 0) {
+    return Status::FailedPrecondition(
+        "DDL while read snapshots are pinned; release all snapshots first");
+  }
   TDB_ASSIGN_OR_RETURN(RelationInfo info, catalog_.GetRelation(name));
   TDB_RETURN_IF_ERROR(catalog_.DropRelation(name));
   relations_by_id_.erase(info.id);
@@ -522,14 +541,25 @@ Status Database::Commit(Transaction* txn) {
       // Report the WAL failure, not any secondary rollback error: the
       // caller must learn the commit did not become durable.
       (void)txn_manager_->Abort(txn);
+      // The undo of any in-place correction has run; lower its fence.
+      mvcc_.EndCorrections();
       redo_buffer_.clear();
       active_txn_ = nullptr;
       return wal_status;
     }
   }
   redo_buffer_.clear();
+  const Chronon commit_ts = txn->timestamp();
   Status s = txn_manager_->Commit(txn);
   active_txn_ = nullptr;
+  if (s.ok()) {
+    // The transaction's effects are durable (or this is an in-memory
+    // database); publish them to snapshot readers and lower any correction
+    // fence it raised.  Unconditional: read-only and DDL-adjacent commits
+    // publish too, keeping pins anchored to the latest commit.
+    PublishMvcc(commit_ts);
+    mvcc_.EndCorrections();
+  }
   return s;
 }
 
@@ -538,6 +568,9 @@ Status Database::Abort(Transaction* txn) {
     return Status::InvalidArgument("abort of a non-active transaction");
   }
   Status s = txn_manager_->Abort(txn);
+  // Only after the undo has run: undoing a correction is itself an
+  // in-place rewrite, so its fence must stay up until here.
+  mvcc_.EndCorrections();
   // Clear after the undo has run: the store observer records the undo's
   // version ops too, and they must not leak into the next transaction.
   redo_buffer_.clear();
@@ -569,13 +602,17 @@ Status Database::Checkpoint(bool compact) {
   }
   if (compact) {
     // Safe exactly here: no transaction is active and the WAL records that
-    // reference the old row ids are truncated below.  Compaction is an
-    // opportunistic space optimisation — a relation that declines (e.g. a
-    // temporal class that must keep its history) leaves the checkpoint
-    // correct, just larger.
+    // reference the old row ids are truncated below.  Compaction renumbers
+    // rows in place, so it additionally requires that no read snapshot is
+    // pinned — the correction fence enforces that and keeps new pins out
+    // until the rewrite is complete.  Compaction is an opportunistic space
+    // optimisation — a relation that declines (e.g. a temporal class that
+    // must keep its history) leaves the checkpoint correct, just larger.
+    TDB_RETURN_IF_ERROR(mvcc_.BeginCorrection());
     for (const auto& [name, rel] : relations_) {
       (void)rel->store()->CompactTombstones();
     }
+    mvcc_.EndCorrections();
   }
   uint64_t seq = checkpoint_seq_ + 1;
   std::string dir_name = StringPrintf("ckpt-%llu", (unsigned long long)seq);
@@ -643,6 +680,107 @@ uint64_t Database::WalBytes() const {
   if (wal_ == nullptr) return 0;
   Result<uint64_t> size = wal_->SizeBytes();
   return size.ok() ? *size : 0;
+}
+
+void Database::PublishMvcc(Chronon ts) {
+  // Seqlock write side: odd word while the watermarks are in flux.  A
+  // reader capturing a pin retries until it sees one even word across its
+  // whole capture, so all watermarks plus commit_seq/last_commit_ts come
+  // from the same publication.
+  mvcc_.publish_word.fetch_add(1, std::memory_order_seq_cst);
+  for (const auto& [name, rel] : relations_) {
+    rel->store()->PublishCommittedRows();
+  }
+  mvcc_.commit_seq.fetch_add(1, std::memory_order_release);
+  if (ts.IsFinite()) {
+    mvcc_.last_commit_ts.store(ts.days(), std::memory_order_release);
+  }
+  mvcc_.publish_word.fetch_add(1, std::memory_order_seq_cst);
+}
+
+Result<ReadSnapshot> Database::BeginReadSnapshot() {
+  // Bounded so a caller on the writer thread, between a correction and its
+  // commit, gets an error instead of a deadlock (the fence it is waiting
+  // out is its own).
+  for (int attempt = 0; attempt < (1 << 16); ++attempt) {
+    // Register *before* checking the fence: BeginCorrection raises its flag
+    // and then checks this counter, so (seq_cst both sides) at least one of
+    // the two always sees the other — a correction and a pin never both
+    // proceed.
+    mvcc_.active_snapshots.fetch_add(1, std::memory_order_seq_cst);
+    if (mvcc_.correcting.load(std::memory_order_seq_cst) != 0) {
+      mvcc_.active_snapshots.fetch_sub(1, std::memory_order_seq_cst);
+      std::this_thread::yield();
+      continue;
+    }
+    const uint64_t word = mvcc_.publish_word.load(std::memory_order_acquire);
+    if ((word & 1) != 0) {  // A commit is publishing right now.
+      mvcc_.active_snapshots.fetch_sub(1, std::memory_order_seq_cst);
+      std::this_thread::yield();
+      continue;
+    }
+    ReadSnapshot snap;
+    snap.mvcc_ = &mvcc_;
+    snap.seq_ = mvcc_.commit_seq.load(std::memory_order_acquire);
+    snap.ts_ = Chronon(mvcc_.last_commit_ts.load(std::memory_order_acquire));
+    for (const auto& [name, rel] : relations_) {
+      snap.relations_[name] = rel.get();
+      snap.pins_[rel->store()] =
+          SnapshotPin{snap.seq_, rel->store()->committed_rows(), snap.ts_};
+    }
+    snap.ranges_ = ranges_;
+    if (mvcc_.publish_word.load(std::memory_order_seq_cst) != word) {
+      snap.Release();  // Torn capture: a commit published mid-read.
+      std::this_thread::yield();
+      continue;
+    }
+    return snap;
+  }
+  return Status::FailedPrecondition(
+      "could not pin a read snapshot: a correction fence is held (is the "
+      "pinning thread the one with the open correcting transaction?)");
+}
+
+Result<Rowset> Database::QueryAtSnapshot(const ReadSnapshot& snapshot,
+                                         std::string_view source) const {
+  if (!snapshot.valid()) {
+    return Status::InvalidArgument("snapshot is not pinned");
+  }
+  TDB_ASSIGN_OR_RETURN(std::vector<tquel::Statement> stmts,
+                       tquel::Parse(source));
+  if (stmts.size() != 1 ||
+      !std::holds_alternative<tquel::RetrieveStmt>(stmts[0])) {
+    return Status::InvalidArgument(
+        "QueryAtSnapshot evaluates exactly one retrieve statement");
+  }
+  const auto& stmt = std::get<tquel::RetrieveStmt>(stmts[0]);
+  if (stmt.into.has_value()) {
+    return Status::InvalidArgument(
+        "retrieve into writes session state and cannot run on a snapshot");
+  }
+  // Everything below is thread-private: analysis and evaluation see only
+  // the snapshot's frozen catalog and range table, never this database's
+  // live maps (which the writer thread may be mutating).
+  const std::map<std::string, std::string> ranges = snapshot.ranges();
+  auto get_relation =
+      [&snapshot](std::string_view name) -> Result<StoredRelation*> {
+    const StoredRelation* rel = snapshot.relation(name);
+    if (rel == nullptr) {
+      return Status::NotFound("no such relation: " + std::string(name));
+    }
+    // The evaluator reads it exclusively through snapshot-mode scans; the
+    // non-const pointer is an artifact of the shared context shape.
+    return const_cast<StoredRelation*>(rel);
+  };
+  tquel::AnalyzerContext actx;
+  actx.get_relation = get_relation;
+  actx.ranges = &ranges;
+  TDB_ASSIGN_OR_RETURN(tquel::BoundRetrieve bound,
+                       tquel::AnalyzeRetrieve(stmt, actx));
+  tquel::EvalContext ctx;
+  ctx.get_relation = get_relation;
+  ctx.snapshot = &snapshot;
+  return tquel::EvaluateRetrieve(bound, ctx);
 }
 
 }  // namespace temporadb

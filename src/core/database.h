@@ -12,6 +12,8 @@
 #include "rel/relation.h"
 #include "storage/fs.h"
 #include "storage/wal.h"
+#include "temporal/mvcc.h"
+#include "temporal/read_snapshot.h"
 #include "temporal/stored_relation.h"
 #include "tquel/evaluator.h"
 #include "txn/clock.h"
@@ -121,6 +123,25 @@ class Database {
 
   TxnManager* txn_manager() { return txn_manager_.get(); }
 
+  // --- Read snapshots -----------------------------------------------------
+
+  /// Pins a snapshot-isolated read transaction: the returned handle sees
+  /// exactly the commits published so far, is safe to use from any thread
+  /// while the writer keeps committing, and never blocks the writer.
+  /// Results through the pin are bit-identical to quiescing the writer and
+  /// querying `as of` the pin's timestamp.  While any snapshot is live,
+  /// in-place history rewrites (corrections, compaction) and DDL fail with
+  /// FailedPrecondition.  Callable from any thread *except* between a
+  /// correction and its commit on the writer thread (it would wait for the
+  /// fence and times out with FailedPrecondition).
+  Result<ReadSnapshot> BeginReadSnapshot();
+
+  /// Evaluates a single `retrieve` statement against a pinned snapshot.
+  /// Thread-safe with respect to the writer and to other snapshot queries;
+  /// `retrieve into` is rejected (it writes session state).
+  Result<Rowset> QueryAtSnapshot(const ReadSnapshot& snapshot,
+                                 std::string_view source) const;
+
   // --- Persistence --------------------------------------------------------
 
   /// Writes a consistent checkpoint (catalog + every relation's versions)
@@ -151,6 +172,11 @@ class Database {
   Status LoadCheckpoint(const std::string& dir);
   Status ReplayWal(uint64_t from_lsn);
   Status LogDdl(uint32_t type, const std::string& payload);
+  /// Publishes the effects of one committed transaction to snapshot
+  /// readers: under the seqlock, stores every store's committed-row
+  /// watermark, bumps the commit sequence, and records `ts` (when finite)
+  /// as the last commit timestamp.  Writer-thread only.
+  void PublishMvcc(Chronon ts);
   void WireObserver(StoredRelation* rel);
   tquel::EvalContext MakeEvalContext(Transaction* txn);
   Result<StoredRelation*> GetRelationInternal(std::string_view name);
@@ -159,6 +185,9 @@ class Database {
   DatabaseOptions options_;
   SystemClock default_clock_;
   const Clock* clock_;
+  // Writer/snapshot-reader coordination (commit publication, correction
+  // fence); shared with every relation's version store via store options.
+  MvccState mvcc_;
   FileSystem* fs_;
   std::unique_ptr<TxnManager> txn_manager_;
   Catalog catalog_;

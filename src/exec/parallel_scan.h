@@ -43,6 +43,12 @@ std::pair<size_t, size_t> MorselRange(size_t m, size_t n,
 /// With a null `pool` (or a pool of size 1) the scan degenerates to a
 /// sequential loop over the morsels on the calling thread — same output,
 /// no threads.
+///
+/// The pool belongs to the writer's side of the house: it is driven by
+/// writer-thread scans only.  Snapshot-isolated readers (`ReadSnapshot`)
+/// never enter this driver — their scans are sequential on the reading
+/// thread by design, so concurrent pinned readers cannot contend for (or
+/// deadlock on) the single-job pool the writer is using.
 template <typename Match, typename Probe>
 std::vector<Match> ParallelScan(ThreadPool* pool, size_t n,
                                 const Probe& probe,

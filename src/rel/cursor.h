@@ -32,6 +32,12 @@ namespace temporadb {
 /// functions in `rel/operators.h` are thin wrappers that build a cursor
 /// tree over their argument rowsets and drain it; callers that want
 /// streaming build the tree themselves and pull.
+///
+/// Threading: a cursor tree lives on one thread; it is the stream, not
+/// the storage, that is single-threaded.  Snapshot readers each build
+/// their own private tree over pinned storage (`ScanSpec::snapshot`), so
+/// any number of trees may pull concurrently as long as no two threads
+/// share one cursor.
 class RowCursor {
  public:
   virtual ~RowCursor() = default;

@@ -1,0 +1,112 @@
+#ifndef TEMPORADB_TEMPORAL_READ_SNAPSHOT_H_
+#define TEMPORADB_TEMPORAL_READ_SNAPSHOT_H_
+
+#include <atomic>
+#include <map>
+#include <string>
+#include <string_view>
+#include <utility>
+
+#include "temporal/mvcc.h"
+
+namespace temporadb {
+
+class Database;
+class StoredRelation;
+class VersionStore;
+
+/// A snapshot-isolated read transaction: a consistent, immutable view of
+/// every relation as of one published commit, usable from any thread while
+/// the single writer keeps committing.
+///
+/// Obtained from `Database::BeginReadSnapshot()`.  The pin captures, under
+/// the publication seqlock, the commit sequence number, its timestamp, and
+/// the committed-row watermark of every store — all from the *same* commit.
+/// Scans issued against the snapshot (via `ScanSpec::snapshot` or
+/// `Database::QueryAtSnapshot`) see exactly the rows and transaction-time
+/// closes published at or before that commit: later appends fall above the
+/// row watermark, later closes are stamped with a later commit sequence and
+/// read back as ∞.  The result is bit-identical to quiescing the writer and
+/// re-running the same query at the pinned timestamp.
+///
+/// While any snapshot is live, in-place history rewrites (historical/static
+/// corrections, tombstone compaction, DDL) fail with FailedPrecondition —
+/// append-only commits proceed untouched.  Destroying the snapshot releases
+/// the pin.  Pinning concurrently with DDL on the writer thread is not
+/// supported (take snapshots between schema changes).
+class ReadSnapshot {
+ public:
+  ReadSnapshot() = default;
+  ~ReadSnapshot() { Release(); }
+
+  ReadSnapshot(ReadSnapshot&& other) noexcept { *this = std::move(other); }
+  ReadSnapshot& operator=(ReadSnapshot&& other) noexcept {
+    if (this != &other) {
+      Release();
+      mvcc_ = other.mvcc_;
+      other.mvcc_ = nullptr;
+      seq_ = other.seq_;
+      ts_ = other.ts_;
+      relations_ = std::move(other.relations_);
+      pins_ = std::move(other.pins_);
+      ranges_ = std::move(other.ranges_);
+    }
+    return *this;
+  }
+
+  ReadSnapshot(const ReadSnapshot&) = delete;
+  ReadSnapshot& operator=(const ReadSnapshot&) = delete;
+
+  /// True once pinned by BeginReadSnapshot (a default-constructed snapshot
+  /// is empty and sees nothing).
+  bool valid() const { return mvcc_ != nullptr; }
+
+  /// Sequence number of the last commit visible to this snapshot.
+  uint64_t commit_seq() const { return seq_; }
+  /// Timestamp of the last visible commit; `as of` this instant against a
+  /// quiesced database reproduces the snapshot's view.
+  Chronon timestamp() const { return ts_; }
+
+  /// The frozen relation catalog: nullptr when the name was not present at
+  /// pin time.
+  const StoredRelation* relation(std::string_view name) const {
+    auto it = relations_.find(std::string(name));
+    return it == relations_.end() ? nullptr : it->second;
+  }
+
+  /// The per-store pin to place into `ScanSpec::snapshot`.  A store created
+  /// after the pin yields an all-empty pin (seq 0, watermark 0).
+  SnapshotPin PinFor(const VersionStore* store) const {
+    auto it = pins_.find(store);
+    return it == pins_.end() ? SnapshotPin{} : it->second;
+  }
+
+  /// Range-variable bindings frozen at pin time (TQuel `range of ...`).
+  const std::map<std::string, std::string>& ranges() const { return ranges_; }
+
+  /// Drops the pin early (the destructor also does this).  After release
+  /// the snapshot is empty and corrections/compaction may proceed again.
+  void Release() {
+    if (mvcc_ != nullptr) {
+      mvcc_->active_snapshots.fetch_sub(1, std::memory_order_seq_cst);
+      mvcc_ = nullptr;
+    }
+    relations_.clear();
+    pins_.clear();
+    ranges_.clear();
+  }
+
+ private:
+  friend class Database;  // Sole producer (BeginReadSnapshot).
+
+  MvccState* mvcc_ = nullptr;  // Non-null <=> registered in active_snapshots.
+  uint64_t seq_ = 0;
+  Chronon ts_ = Chronon::Beginning();
+  std::map<std::string, const StoredRelation*> relations_;
+  std::map<const VersionStore*, SnapshotPin> pins_;
+  std::map<std::string, std::string> ranges_;
+};
+
+}  // namespace temporadb
+
+#endif  // TEMPORADB_TEMPORAL_READ_SNAPSHOT_H_

@@ -15,7 +15,31 @@ Status RollbackRelation::Append(Transaction* txn, std::vector<Value> values,
   return Status::OK();
 }
 
+namespace {
+
+// Snapshot-mode residual predicates: same semantics as the index arms
+// below (the indexes only prune), with no valid-time dimension.
+BatchPredicates SnapshotPreds(const ScanSpec& spec) {
+  BatchPredicates preds;
+  if (spec.asof.has_value()) {
+    const Period w = *spec.asof;
+    if (w.IsInstant()) {
+      preds.txn_contains = w.begin();
+    } else {
+      preds.txn_overlaps = w;
+    }
+  } else {
+    preds.txn_current = true;
+  }
+  return preds;
+}
+
+}  // namespace
+
 VersionScan RollbackRelation::Scan(const ScanSpec& spec) const {
+  if (spec.snapshot.has_value()) {
+    return store_.ScanSnapshot(*spec.snapshot, SnapshotPreds(spec));
+  }
   if (spec.asof.has_value()) {
     const Period w = *spec.asof;
     if (store_.options().time_pushdown) {
@@ -29,6 +53,9 @@ VersionScan RollbackRelation::Scan(const ScanSpec& spec) const {
 }
 
 VersionBatchScan RollbackRelation::BatchScan(const ScanSpec& spec) const {
+  if (spec.snapshot.has_value()) {
+    return store_.BatchScanSnapshot(*spec.snapshot, SnapshotPreds(spec));
+  }
   if (spec.asof.has_value()) {
     const Period w = *spec.asof;
     if (store_.options().time_pushdown) {

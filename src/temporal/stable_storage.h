@@ -1,0 +1,185 @@
+#ifndef TEMPORADB_TEMPORAL_STABLE_STORAGE_H_
+#define TEMPORADB_TEMPORAL_STABLE_STORAGE_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstring>
+#include <memory>
+#include <utility>
+#include <vector>
+
+namespace temporadb {
+
+/// Slot storage with *pointer stability* for snapshot readers.
+///
+/// `std::vector` reallocates on growth, which would pull the slab out from
+/// under a concurrent snapshot scan.  SlabVector instead appends into
+/// fixed-size slabs that never move once allocated; growth only appends a
+/// slab pointer to a directory, and when the directory itself must grow, a
+/// fresh directory is built and published with a release store while the
+/// old one is retained until the store is destroyed (or compaction runs
+/// with snapshots excluded).  A reader pinned to a row watermark therefore
+/// dereferences via `AtPinned()` — an acquire load of the directory — and
+/// never observes a dangling slab or a torn directory, no matter how much
+/// the writer has appended since the pin.
+///
+/// Threading contract: exactly one writer (all non-const methods); any
+/// number of concurrent readers restricted to `AtPinned(i)` with
+/// `i < watermark`, where the watermark was published *after* row `i` was
+/// fully written (the version store's committed-row watermark provides
+/// that release/acquire edge).  `size()` is writer-only state.
+template <typename T>
+class SlabVector {
+ public:
+  static constexpr size_t kSlabBits = 10;  // 1024 slots per slab.
+  static constexpr size_t kSlabSize = size_t{1} << kSlabBits;
+  static constexpr size_t kSlabMask = kSlabSize - 1;
+
+  SlabVector() = default;
+  SlabVector(const SlabVector&) = delete;
+  SlabVector& operator=(const SlabVector&) = delete;
+
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  /// Writer-side element access.
+  T& operator[](size_t i) {
+    return dir_.load(std::memory_order_relaxed)[i >> kSlabBits][i & kSlabMask];
+  }
+  const T& operator[](size_t i) const {
+    return dir_.load(std::memory_order_relaxed)[i >> kSlabBits][i & kSlabMask];
+  }
+
+  /// Snapshot-reader element access: acquire-loads the directory and does
+  /// no bounds check against `size_` (the caller's pinned watermark is the
+  /// bound, and it was published after the element was written).
+  const T& AtPinned(size_t i) const {
+    T* const* dir = dir_.load(std::memory_order_acquire);
+    return dir[i >> kSlabBits][i & kSlabMask];
+  }
+
+  void push_back(T v) {
+    const size_t slab = size_ >> kSlabBits;
+    if (slab == slabs_.size()) AddSlab();
+    (*this)[size_] = std::move(v);
+    ++size_;
+  }
+
+  void pop_back() {
+    --size_;
+    (*this)[size_] = T{};  // Release payload (e.g. Value heap storage) now.
+  }
+
+  /// Shrinks to `n` elements, default-constructing the abandoned tail so
+  /// its payload is released.  Writer-only; used by tombstone compaction,
+  /// which runs with snapshot readers excluded.
+  void Truncate(size_t n) {
+    for (size_t i = n; i < size_; ++i) (*this)[i] = T{};
+    size_ = n;
+  }
+
+ private:
+  void AddSlab() {
+    slabs_.push_back(std::make_unique<T[]>(kSlabSize));
+    const size_t need = slabs_.size();
+    if (need > dir_capacity_) {
+      // Grow the directory geometrically; retain the old directory array —
+      // a reader pinned before this growth may still be traversing it, and
+      // its slab pointers remain valid forever.
+      const size_t cap = dir_capacity_ == 0 ? 16 : dir_capacity_ * 2;
+      auto fresh = std::make_unique<T*[]>(cap);
+      T** old = dir_.load(std::memory_order_relaxed);
+      for (size_t i = 0; i + 1 < need; ++i) fresh[i] = old[i];
+      dir_capacity_ = cap;
+      directories_.push_back(std::move(fresh));
+      dir_.store(directories_.back().get(), std::memory_order_release);
+    }
+    // Publish the new slab pointer before any row in it is reachable via a
+    // watermark; the watermark's own release store orders this for readers.
+    dir_.load(std::memory_order_relaxed)[need - 1] = slabs_.back().get();
+  }
+
+  std::vector<std::unique_ptr<T[]>> slabs_;
+  std::vector<std::unique_ptr<T*[]>> directories_;  // Current + retired.
+  std::atomic<T**> dir_{nullptr};
+  size_t dir_capacity_ = 0;
+  size_t size_ = 0;
+};
+
+/// A contiguous column (chronon reps, live bytes, close stamps) whose data
+/// pointer is *published*: growth copies into a fresh geometrically-larger
+/// buffer, release-stores the new pointer, and retains the old buffer so a
+/// snapshot reader that acquire-loaded `data()` before the growth keeps a
+/// valid view of every element under its watermark.  Retained buffers are
+/// bounded by geometric growth (total retired bytes < live bytes) and are
+/// freed when compaction runs with readers excluded.
+///
+/// Threading contract mirrors SlabVector: one writer; readers use `data()`
+/// and touch only indexes below a published watermark.  Elements *at or
+/// under a watermark* are immutable plain data with one exception — the
+/// transaction-end column, whose entries the writer closes in place via
+/// the element-level atomics in mvcc.h.
+template <typename T>
+class StableColumn {
+ public:
+  StableColumn() = default;
+  StableColumn(const StableColumn&) = delete;
+  StableColumn& operator=(const StableColumn&) = delete;
+
+  size_t size() const { return size_; }
+
+  /// Reader entry point: acquire-load of the published buffer.
+  const T* data() const { return data_.load(std::memory_order_acquire); }
+  /// Writer-side raw buffer.
+  T* mutable_data() { return data_.load(std::memory_order_relaxed); }
+
+  T& operator[](size_t i) { return mutable_data()[i]; }
+  const T& operator[](size_t i) const {
+    return data_.load(std::memory_order_relaxed)[i];
+  }
+
+  void push_back(T v) {
+    if (size_ == capacity_) Grow(size_ + 1);
+    mutable_data()[size_] = v;
+    ++size_;
+  }
+
+  void pop_back() { --size_; }
+
+  void Truncate(size_t n) { size_ = n; }
+
+  void resize(size_t n, T fill = T{}) {
+    if (n > capacity_) Grow(n);
+    for (size_t i = size_; i < n; ++i) mutable_data()[i] = fill;
+    size_ = n;
+  }
+
+  /// Frees retired buffers.  Only legal while no snapshot reader can hold
+  /// a stale `data()` pointer (i.e. under the correction/compaction
+  /// exclusion).
+  void ReleaseRetired() { retired_.clear(); }
+
+ private:
+  void Grow(size_t need) {
+    size_t cap = capacity_ == 0 ? 1024 : capacity_;
+    while (cap < need) cap *= 2;
+    auto fresh = std::make_unique<T[]>(cap);
+    if (size_ != 0) {
+      std::memcpy(fresh.get(), mutable_data(), size_ * sizeof(T));
+    }
+    if (current_ != nullptr) retired_.push_back(std::move(current_));
+    current_ = std::move(fresh);
+    capacity_ = cap;
+    data_.store(current_.get(), std::memory_order_release);
+  }
+
+  std::unique_ptr<T[]> current_;
+  std::vector<std::unique_ptr<T[]>> retired_;
+  std::atomic<T*> data_{nullptr};
+  size_t size_ = 0;
+  size_t capacity_ = 0;
+};
+
+}  // namespace temporadb
+
+#endif  // TEMPORADB_TEMPORAL_STABLE_STORAGE_H_

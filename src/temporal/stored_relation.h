@@ -45,6 +45,12 @@ struct ScanSpec {
   std::optional<Period> asof;
   /// Valid-time window implied by a `when` / `valid` predicate.
   std::optional<Period> valid_during;
+  /// When set, the scan runs in snapshot-isolated mode against this pin
+  /// (see `Database::BeginReadSnapshot`): it is safe on a non-writer thread
+  /// during concurrent commits, sees only rows/closes published at or
+  /// before the pin, never touches the store's mutable indexes, and is
+  /// exempt from the mutation-epoch staleness check.
+  std::optional<SnapshotPin> snapshot;
 };
 
 /// Applies an update spec to a copy of `values`.

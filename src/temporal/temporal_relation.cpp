@@ -15,7 +15,34 @@ Status TemporalRelation::Append(Transaction* txn, std::vector<Value> values,
   return Status::OK();
 }
 
+namespace {
+
+// Snapshot-mode scans bypass every index and epoch check: the pin bounds
+// the rows, and the residual predicates below reproduce the access-path
+// semantics of the index arms exactly (the indexes only prune, never
+// change the result).
+BatchPredicates SnapshotPreds(const ScanSpec& spec) {
+  BatchPredicates preds;
+  if (spec.asof.has_value()) {
+    const Period w = *spec.asof;
+    if (w.IsInstant()) {
+      preds.txn_contains = w.begin();
+    } else {
+      preds.txn_overlaps = w;
+    }
+  } else {
+    preds.txn_current = true;
+  }
+  preds.valid_overlaps = spec.valid_during;
+  return preds;
+}
+
+}  // namespace
+
 VersionScan TemporalRelation::Scan(const ScanSpec& spec) const {
+  if (spec.snapshot.has_value()) {
+    return store_.ScanSnapshot(*spec.snapshot, SnapshotPreds(spec));
+  }
   if (spec.asof.has_value()) {
     const Period w = *spec.asof;
     if (store_.options().time_pushdown) {
@@ -43,6 +70,9 @@ VersionScan TemporalRelation::Scan(const ScanSpec& spec) const {
 }
 
 VersionBatchScan TemporalRelation::BatchScan(const ScanSpec& spec) const {
+  if (spec.snapshot.has_value()) {
+    return store_.BatchScanSnapshot(*spec.snapshot, SnapshotPreds(spec));
+  }
   if (spec.asof.has_value()) {
     const Period w = *spec.asof;
     if (store_.options().time_pushdown) {

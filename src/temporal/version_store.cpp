@@ -4,11 +4,26 @@
 #include <cassert>
 #include <limits>
 
+#include "common/check.h"
 #include "exec/parallel_scan.h"
 #include "exec/thread_pool.h"
 #include "rel/kernels.h"
 
 namespace temporadb {
+
+namespace {
+
+// Scalar twins of the kernel predicates, for the row-at-a-time snapshot
+// scan.  Bit-for-bit the same comparisons as rel/kernels.cpp so the row and
+// batch snapshot paths agree on every edge (empty periods, sentinel reps).
+inline bool ScalarOverlaps(int64_t b, int64_t e, int64_t qb, int64_t qe) {
+  return b < qe && qb < e && b < e;
+}
+inline bool ScalarContains(int64_t b, int64_t e, int64_t t) {
+  return b <= t && t < e;
+}
+
+}  // namespace
 
 VersionScan::VersionScan(const VersionStore* store, VersionFilter filter)
     : store_(store),
@@ -32,7 +47,28 @@ VersionScan::VersionScan(const VersionStore* store, std::vector<RowId> rows,
   rows_.erase(std::unique(rows_.begin(), rows_.end()), rows_.end());
 }
 
+VersionScan::VersionScan(const VersionStore* store, SnapshotPin pin,
+                         BatchPredicates preds)
+    : store_(store),
+      sequential_(true),
+      limit_(pin.rows),
+      epoch_(0),
+      snapshot_(true),
+      pin_(pin),
+      preds_(preds) {
+  // Empty overlap windows can never match (Period::Overlaps is false
+  // against an empty operand); collapse the domain like the batch scan.
+  if ((preds_.valid_overlaps.has_value() && preds_.valid_overlaps->IsEmpty()) ||
+      (preds_.txn_overlaps.has_value() && preds_.txn_overlaps->IsEmpty())) {
+    limit_ = 0;
+  }
+}
+
 bool VersionScan::ShouldRunParallel() const {
+  // Snapshot scans always run sequentially on the calling reader thread:
+  // the thread pool is the writer's resource, and N reader threads already
+  // provide the parallelism.
+  if (snapshot_) return false;
   const VersionStoreOptions& o = store_->options();
   if (!o.parallel_scan || o.exec_pool == nullptr) return false;
   const size_t domain = sequential_ ? limit_ : rows_.size();
@@ -66,10 +102,50 @@ void VersionScan::MaterializeParallel() {
   pos_ = 0;
 }
 
+const BitemporalTuple* VersionScan::NextSnapshot(RowId* row_out) {
+  // Reader-thread path: bounded by the pin's watermark, predicates against
+  // the pin-effective transaction ends, no epoch, no indexes, no filter_.
+  // Plain loads of valid/tt_start/live are race-free — rows under a
+  // published watermark are immutable except for tt_end (read atomically
+  // via EffectiveTtEnd) while corrections are excluded.
+  const int64_t* vf = store_->chronon_valid_from();
+  const int64_t* vt = store_->chronon_valid_to();
+  const int64_t* ts = store_->chronon_tt_start();
+  const uint8_t* live = store_->chronon_live();
+  while (pos_ < limit_) {
+    const RowId row = pos_;
+    ++pos_;
+    if (live[row] == 0) continue;  // Tombstoned before the pin.
+    const int64_t te = store_->EffectiveTtEnd(row, pin_.seq);
+    if (preds_.txn_contains.has_value() &&
+        !ScalarContains(ts[row], te, preds_.txn_contains->days())) {
+      continue;
+    }
+    if (preds_.txn_overlaps.has_value() &&
+        !ScalarOverlaps(ts[row], te, preds_.txn_overlaps->begin().days(),
+                        preds_.txn_overlaps->end().days())) {
+      continue;
+    }
+    if (preds_.txn_current && te != Chronon::kForeverRep) continue;
+    if (preds_.valid_overlaps.has_value() &&
+        !ScalarOverlaps(vf[row], vt[row],
+                        preds_.valid_overlaps->begin().days(),
+                        preds_.valid_overlaps->end().days())) {
+      continue;
+    }
+    if (row_out != nullptr) *row_out = row;
+    return store_->TuplePinned(row);
+  }
+  return nullptr;
+}
+
 const BitemporalTuple* VersionScan::Next(RowId* row_out) {
-  assert(epoch_ == store_->mutation_epoch() &&
-         "VersionScan advanced after a store mutation; pointers and the "
-         "row watermark are stale (open a fresh scan)");
+  if (snapshot_) return NextSnapshot(row_out);
+  TDB_INVARIANT_CHECK(
+      epoch_ == store_->mutation_epoch(),
+      "VersionScan advanced after a store mutation; index candidates and "
+      "the row watermark are stale (open a fresh scan, or use a read "
+      "snapshot for scans that must survive commits)");
   if (!decided_) {
     decided_ = true;
     if (ShouldRunParallel()) MaterializeParallel();
@@ -144,15 +220,116 @@ VersionBatchScan::VersionBatchScan(const VersionStore* store,
   if (NeverMatches(preds_)) rows_.clear();
 }
 
+VersionBatchScan::VersionBatchScan(const VersionStore* store, SnapshotPin pin,
+                                   BatchPredicates preds)
+    : store_(store),
+      sequential_(true),
+      preds_(preds),
+      limit_(pin.rows),
+      epoch_(0),
+      snapshot_(true),
+      pin_(pin),
+      batch_rows_(store->options().batch_rows == 0
+                      ? 1
+                      : store->options().batch_rows) {
+  assert(limit_ <= std::numeric_limits<uint32_t>::max() &&
+         "selection vectors index rows as uint32");
+  if (NeverMatches(preds_)) limit_ = 0;
+}
+
 bool VersionBatchScan::ShouldRunParallel() const {
+  // Snapshot scans stay on the calling reader thread (see VersionScan).
+  if (snapshot_) return false;
   const VersionStoreOptions& o = store_->options();
   if (!o.parallel_scan || o.exec_pool == nullptr) return false;
   const size_t domain = sequential_ ? limit_ : rows_.size();
   return domain >= o.parallel_min_rows;
 }
 
+void VersionBatchScan::ProbeRangeSnapshot(size_t begin, size_t end,
+                                          VersionBatch* out) const {
+  // Reader-thread probe.  Differences from ProbeRange, all forced by the
+  // concurrent writer:
+  //  - `tt_end` is read once per row through the close-sequence patch
+  //    (atomic loads) into a scratch column; the kernels then run over the
+  //    scratch, so no plain kernel load can race an in-place close;
+  //  - the kernel chain is *range-relative* (column pointers offset by
+  //    `begin`, scratch indexed from 0) rather than rebased to absolute
+  //    ids, because the scratch only spans `[begin, end)`;
+  //  - the gather bypasses `Get()` (which reads writer-side size state)
+  //    via `TuplePinned`.
+  // Snapshot domains are always sequential, so `[begin, end)` is a
+  // contiguous row range.
+  const size_t n = end - begin;
+  if (n == 0) return;
+  const int64_t* vf = store_->chronon_valid_from() + begin;
+  const int64_t* vt = store_->chronon_valid_to() + begin;
+  const int64_t* ts = store_->chronon_tt_start() + begin;
+  const uint8_t* live = store_->chronon_live() + begin;
+
+  constexpr size_t kStackSel = 64;
+  uint32_t stack_a[kStackSel];
+  uint32_t stack_b[kStackSel];
+  int64_t stack_te[kStackSel];
+  std::vector<uint32_t> sel_a;
+  std::vector<uint32_t> sel_b;
+  std::vector<int64_t> te_heap;
+  uint32_t* cur = stack_a;
+  uint32_t* nxt = stack_b;
+  int64_t* te = stack_te;
+  if (n > kStackSel) {
+    sel_a.resize(n);
+    sel_b.resize(n);
+    te_heap.resize(n);
+    cur = sel_a.data();
+    nxt = sel_b.data();
+    te = te_heap.data();
+  }
+  store_->FillEffectiveTtEnd(begin, end, pin_.seq, te);
+
+  size_t cnt = kernels::SelectLive(live, n, cur);
+  if (preds_.txn_contains.has_value()) {
+    cnt = kernels::SelectContainsRefine(ts, te, cur, cnt,
+                                        preds_.txn_contains->days(), nxt);
+    std::swap(cur, nxt);
+  }
+  if (preds_.txn_overlaps.has_value()) {
+    cnt = kernels::SelectOverlapsRefine(ts, te, cur, cnt,
+                                        preds_.txn_overlaps->begin().days(),
+                                        preds_.txn_overlaps->end().days(), nxt);
+    std::swap(cur, nxt);
+  }
+  if (preds_.txn_current) {
+    cnt = kernels::SelectEndEqualsRefine(te, cur, cnt, Chronon::kForeverRep,
+                                         nxt);
+    std::swap(cur, nxt);
+  }
+  if (preds_.valid_overlaps.has_value()) {
+    cnt = kernels::SelectOverlapsRefine(vf, vt, cur, cnt,
+                                        preds_.valid_overlaps->begin().days(),
+                                        preds_.valid_overlaps->end().days(),
+                                        nxt);
+    std::swap(cur, nxt);
+  }
+
+  for (size_t k = 0; k < cnt; ++k) {
+    const size_t rel = cur[k];
+    const RowId row = begin + rel;
+    out->rows.push_back(row);
+    out->tuples.push_back(store_->TuplePinned(row));
+    out->valid_from.push_back(vf[rel]);
+    out->valid_to.push_back(vt[rel]);
+    out->tt_start.push_back(ts[rel]);
+    out->tt_end.push_back(te[rel]);  // Pin-effective, not raw.
+  }
+}
+
 void VersionBatchScan::ProbeRange(size_t begin, size_t end,
                                   VersionBatch* out) const {
+  if (snapshot_) {
+    ProbeRangeSnapshot(begin, end, out);
+    return;
+  }
   const size_t n = end - begin;
   if (n == 0) return;
   const int64_t* vf = store_->chronon_valid_from();
@@ -255,9 +432,13 @@ void VersionBatchScan::MaterializeParallel() {
 }
 
 bool VersionBatchScan::Next(VersionBatch* out) {
-  assert(epoch_ == store_->mutation_epoch() &&
-         "VersionBatchScan advanced after a store mutation; pointers and the "
-         "row watermark are stale (open a fresh scan)");
+  if (!snapshot_) {
+    TDB_INVARIANT_CHECK(
+        epoch_ == store_->mutation_epoch(),
+        "VersionBatchScan advanced after a store mutation; index candidates "
+        "and the row watermark are stale (open a fresh scan, or use a read "
+        "snapshot for scans that must survive commits)");
+  }
   if (!decided_) {
     decided_ = true;
     if (ShouldRunParallel()) MaterializeParallel();
@@ -346,6 +527,10 @@ RowId VersionStore::RawAppend(BitemporalTuple tuple) {
   col_tt_start_.push_back(0);
   col_tt_end_.push_back(0);
   col_live_.push_back(1);
+  // A fresh row's close (if its tuple arrived already closed) predates any
+  // snapshot that can see the row — the row itself is invisible until the
+  // watermark covers it — so stamp 0 keeps it unconditionally visible.
+  col_close_seq_.push_back(0);
   SyncChrononColumns(row);
   ++live_count_;
   ++mutation_epoch_;
@@ -372,6 +557,7 @@ void VersionStore::RawUnappend(RowId row) {
   col_tt_start_.pop_back();
   col_tt_end_.pop_back();
   col_live_.pop_back();
+  col_close_seq_.pop_back();
   ++mutation_epoch_;
 }
 
@@ -392,7 +578,25 @@ Status VersionStore::RawCloseTxn(RowId row, Chronon tt_end) {
     TDB_RETURN_IF_ERROR(txn_index_.CloseCurrent(row, tt_end));
   }
   t.txn = Period(t.txn.begin(), tt_end);
-  SyncChrononColumns(row);
+  // The close is the one in-place mutation snapshot readers must see — or
+  // not see, depending on their pin.  Stamp the publishing commit sequence
+  // first (relaxed), then the column entry (release): a reader that
+  // observes the finite tt_end also observes its stamp and can patch the
+  // close back to ∞ when it postdates the pin.  Only the tt_end entry is
+  // touched — a full SyncChrononColumns here would plain-store the other
+  // four entries and race concurrent snapshot loads, even though the
+  // values are unchanged.
+  //
+  // During WAL replay / checkpoint load there is no MvccState commit
+  // sequence yet meaningful per-transaction; recovery stamps still use
+  // commit_seq+1 and the end-of-recovery publication advances commit_seq
+  // past them, so recovered closes are visible to every later pin.
+  const uint64_t stamp =
+      options_.mvcc == nullptr
+          ? 0
+          : options_.mvcc->commit_seq.load(std::memory_order_relaxed) + 1;
+  mvcc::StoreRelaxed(&col_close_seq_[row], stamp);
+  mvcc::StoreRelease(&col_tt_end_[row], tt_end.days());
   ++mutation_epoch_;
   return Status::OK();
 }
@@ -406,7 +610,11 @@ void VersionStore::RawReopenTxn(RowId row, Chronon old_end) {
     (void)txn_index_.ReopenAsCurrent(row, start, slot.tuple.txn.end());
   }
   slot.tuple.txn = Period(start, old_end);
-  SyncChrononColumns(row);
+  // Abort-time undo of a close.  Restore ∞ atomically (a snapshot reader
+  // may be loading this entry right now); the stale close stamp is left in
+  // place deliberately — with tt_end = ∞ the row reads as current no
+  // matter what the stamp says, and a later close will restamp it.
+  mvcc::StoreRelease(&col_tt_end_[row], old_end.days());
   ++mutation_epoch_;
 }
 
@@ -496,6 +704,12 @@ Status VersionStore::PhysicalDelete(Transaction* txn, RowId row) {
   if (txn == nullptr || !txn->IsActive()) {
     return Status::FailedPrecondition("delete outside an active transaction");
   }
+  // In-place history rewrite: fence out snapshot readers for the rest of
+  // this transaction (including a potential abort-time undo).  The owning
+  // Database lowers the fence at commit/abort.
+  if (options_.mvcc != nullptr) {
+    TDB_RETURN_IF_ERROR(options_.mvcc->BeginCorrection());
+  }
   TDB_ASSIGN_OR_RETURN(const BitemporalTuple* old, Get(row));
   BitemporalTuple saved = *old;
   TDB_RETURN_IF_ERROR(RawPhysicalDelete(row));
@@ -513,6 +727,10 @@ Status VersionStore::PhysicalUpdate(Transaction* txn, RowId row,
                                     BitemporalTuple tuple) {
   if (txn == nullptr || !txn->IsActive()) {
     return Status::FailedPrecondition("update outside an active transaction");
+  }
+  // Same correction fence as PhysicalDelete.
+  if (options_.mvcc != nullptr) {
+    TDB_RETURN_IF_ERROR(options_.mvcc->BeginCorrection());
   }
   TDB_ASSIGN_OR_RETURN(const BitemporalTuple* old, Get(row));
   BitemporalTuple saved = *old;
@@ -737,24 +955,44 @@ RowId VersionStore::LoadSlot(std::optional<BitemporalTuple> tuple) {
   col_tt_start_.push_back(0);
   col_tt_end_.push_back(0);
   col_live_.push_back(0);
+  col_close_seq_.push_back(0);
   ++mutation_epoch_;
   return row;
 }
 
 size_t VersionStore::CompactTombstones() {
+  // In-place rewrite of rows under the watermark: the caller (the Database
+  // checkpoint path) holds the correction fence, so no snapshot reader can
+  // be pinned while this runs and none can pin until it finishes.
   size_t reclaimed = versions_.size() - live_count_;
   if (reclaimed == 0) return 0;  // Nothing to do; don't disturb the slots.
-  std::vector<Slot> survivors;
-  survivors.reserve(live_count_);
-  for (Slot& slot : versions_) {
-    if (!slot.tombstone) survivors.push_back(std::move(slot));
+  const size_t old_size = versions_.size();
+  size_t write = 0;
+  for (size_t read = 0; read < old_size; ++read) {
+    if (versions_[read].tombstone) continue;
+    if (write != read) versions_[write] = std::move(versions_[read]);
+    ++write;
   }
-  versions_ = std::move(survivors);
-  col_valid_from_.resize(versions_.size());
-  col_valid_to_.resize(versions_.size());
-  col_tt_start_.resize(versions_.size());
-  col_tt_end_.resize(versions_.size());
-  col_live_.resize(versions_.size());
+  versions_.Truncate(write);
+  col_valid_from_.Truncate(write);
+  col_valid_to_.Truncate(write);
+  col_tt_start_.Truncate(write);
+  col_tt_end_.Truncate(write);
+  col_live_.Truncate(write);
+  col_close_seq_.Truncate(write);
+  // Survivors are all committed (compaction runs at a checkpoint boundary,
+  // no active transaction) and every pin taken after the fence drops has a
+  // sequence at least the current one, so stamp 0 — unconditionally
+  // visible — is correct and keeps compaction idempotent across reopens.
+  for (size_t row = 0; row < write; ++row) col_close_seq_[row] = 0;
+  // No reader holds a retired column buffer while the fence is up; give
+  // the memory back.
+  col_valid_from_.ReleaseRetired();
+  col_valid_to_.ReleaseRetired();
+  col_tt_start_.ReleaseRetired();
+  col_tt_end_.ReleaseRetired();
+  col_live_.ReleaseRetired();
+  col_close_seq_.ReleaseRetired();
   // Row ids changed: rebuild every index from scratch.
   txn_index_.Clear();
   valid_index_.Clear();
@@ -764,6 +1002,9 @@ size_t VersionStore::CompactTombstones() {
     IndexInsert(row, versions_[row].tuple);
     AttrIndexInsert(row, versions_[row].tuple);
   }
+  // The published watermark now exceeds the row count; re-publish so later
+  // pins see the compacted extent.  (No pin can exist right now.)
+  PublishCommittedRows();
   ++mutation_epoch_;
   return reclaimed;
 }
@@ -805,13 +1046,31 @@ size_t VersionStore::current_count() const {
 
 size_t VersionStore::ApproximateBytes() const {
   size_t bytes = versions_.size() * (sizeof(Slot) + 4 * sizeof(int64_t));
-  for (const Slot& s : versions_) {
+  for (RowId row = 0; row < versions_.size(); ++row) {
+    const Slot& s = versions_[row];
     for (const Value& v : s.tuple.values) {
       bytes += sizeof(Value);
       if (v.type() == ValueType::kString) bytes += v.AsString().size();
     }
   }
   return bytes;
+}
+
+VersionScan VersionStore::ScanSnapshot(SnapshotPin pin,
+                                       BatchPredicates preds) const {
+  return VersionScan(this, pin, std::move(preds));
+}
+
+VersionBatchScan VersionStore::BatchScanSnapshot(SnapshotPin pin,
+                                                 BatchPredicates preds) const {
+  return VersionBatchScan(this, pin, std::move(preds));
+}
+
+void VersionStore::FillEffectiveTtEnd(size_t begin, size_t end,
+                                      uint64_t snap_seq, int64_t* out) const {
+  for (size_t row = begin; row < end; ++row) {
+    out[row - begin] = EffectiveTtEnd(row, snap_seq);
+  }
 }
 
 }  // namespace temporadb

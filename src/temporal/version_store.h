@@ -14,6 +14,8 @@
 #include "index/interval_index.h"
 #include "index/snapshot_index.h"
 #include "temporal/bitemporal_tuple.h"
+#include "temporal/mvcc.h"
+#include "temporal/stable_storage.h"
 #include "txn/transaction.h"
 
 namespace temporadb {
@@ -36,6 +38,27 @@ class VersionStore;
 /// many workers at once, must not touch shared mutable state.
 using VersionFilter = InlineFunction<bool(const BitemporalTuple&), 48>;
 
+/// Structured residual predicates of a batch scan, evaluated with the
+/// branch-free kernels (rel/kernels.h) over the store's contiguous chronon
+/// columns instead of per-tuple `Period` calls.  Each field mirrors one of
+/// the `VersionFilter` lambdas the row-at-a-time scan entry points compose;
+/// the batch entry points merge their own window into this struct when the
+/// backing index is disabled, exactly like the row path degrades to a
+/// filtered sweep.  Snapshot scans (both row and batch) use this struct for
+/// *all* their predicates — a snapshot can never use a `VersionFilter` that
+/// touches `BitemporalTuple::txn`, so the structured form is mandatory
+/// there.
+struct BatchPredicates {
+  /// `t.valid.Overlaps(w)` (timeslice / `when` windows).
+  std::optional<Period> valid_overlaps;
+  /// `t.txn.Overlaps(w)` (`as of ... through` windows).
+  std::optional<Period> txn_overlaps;
+  /// `t.txn.Contains(c)` (rollback to an instant).
+  std::optional<Chronon> txn_contains;
+  /// `t.IsCurrentState()`.
+  bool txn_current = false;
+};
+
 /// A pull-based scan over the live versions of a `VersionStore`, always
 /// yielding in ascending row order — whether the candidates came from an
 /// index or from a sequential sweep, the caller observes the same sequence
@@ -47,21 +70,35 @@ using VersionFilter = InlineFunction<bool(const BitemporalTuple&), 48>;
 ///
 /// ### Lifetime and concurrency contract
 ///
-/// A scan is a *snapshot-stable* reader: at open it captures the store's
-/// mutation epoch and a row watermark (the version count), and it only
-/// ever touches slots below that watermark.  Any index probe backing the
-/// scan ran at open, on the opening (coordinator) thread — workers of a
-/// parallel scan never read the shared index structures.  It is therefore
-/// safe to run the scan's probe phase on many threads concurrently, and
-/// safe for *other* scans to read the same store concurrently.
+/// A scan is a *snapshot-stable* reader and comes in two modes:
 ///
-/// What is NOT allowed is advancing a scan after the store was mutated:
-/// appends may reallocate the slot array and corrections rewrite slots in
-/// place, so yielded pointers and the watermark go stale silently.  `Next`
-/// asserts (debug builds) that the store's mutation epoch still matches
-/// the one captured at open; release builds make this a documented
-/// use-after-mutation error, exactly like iterator invalidation on a
-/// `std::vector`.
+/// **Writer-thread scans** (the default, everything below except the
+/// snapshot constructor) capture the store's mutation epoch and a row
+/// watermark (the version count) at open and only ever touch slots below
+/// that watermark.  Any index probe backing the scan ran at open, on the
+/// opening (coordinator) thread — workers of a parallel scan never read
+/// the shared index structures.  It is therefore safe to run the scan's
+/// probe phase on many threads concurrently, and safe for *other* scans to
+/// read the same store concurrently.  What is NOT allowed is advancing
+/// such a scan after the store was mutated: slot storage is stable, but
+/// index candidates, the watermark, and uncommitted in-place closes go
+/// stale.  `Next` enforces this with an always-on runtime check
+/// (`TDB_INVARIANT_CHECK`, never a compiled-out assert): the store's
+/// mutation epoch must still match the one captured at open, or the
+/// process aborts rather than silently yielding stale rows — exactly like
+/// iterator invalidation on a `std::vector`, except it cannot go
+/// undetected in release builds.
+///
+/// **Snapshot scans** (the `SnapshotPin` constructor) are built for
+/// mutation under them: they run on reader threads concurrently with the
+/// writer, bound by the pin's committed-row watermark and commit sequence
+/// instead of the mutation epoch (see mvcc.h).  They never touch the index
+/// structures (those mutate with the writer), always run sequentially on
+/// the calling thread (the thread pool belongs to the writer), and read
+/// transaction-end values through the close-sequence patch so post-pin
+/// closes read back as ∞.  Tuples yielded by a snapshot scan have stable
+/// `values` and `valid`, but their `txn` member may be mid-close — take
+/// transaction periods from the batch scan's patched columns instead.
 class VersionScan {
  public:
   /// Sequential sweep of every live version, optionally filtered.
@@ -71,6 +108,13 @@ class VersionScan {
   /// so the yield order matches the equivalent sequential sweep.
   VersionScan(const VersionStore* store, std::vector<RowId> rows,
               VersionFilter filter = {});
+
+  /// Snapshot-isolated sweep bound to `pin` (see the contract above):
+  /// sequential over `[0, pin.rows)`, predicates evaluated against the
+  /// pin-patched transaction periods, callable from any thread while the
+  /// writer commits.
+  VersionScan(const VersionStore* store, SnapshotPin pin,
+              BatchPredicates preds);
 
   /// The next live version passing the filter, or nullptr at end.  The
   /// pointer stays valid until the store is next mutated.  `row_out`
@@ -84,6 +128,7 @@ class VersionScan {
  private:
   bool ShouldRunParallel() const;
   void MaterializeParallel();
+  const BitemporalTuple* NextSnapshot(RowId* row_out);
 
   const VersionStore* store_;
   bool sequential_;
@@ -91,7 +136,10 @@ class VersionScan {
   size_t pos_ = 0;  // Next row id (sequential) / index into rows_ or buffer_.
   VersionFilter filter_;
   size_t limit_;     // Watermark: slots at or above it are invisible.
-  uint64_t epoch_;   // Store mutation epoch at open (debug-checked).
+  uint64_t epoch_;   // Store mutation epoch at open (checked at every Next).
+  bool snapshot_ = false;  // Pin-bound mode: epoch check off, preds_ on.
+  SnapshotPin pin_;
+  BatchPredicates preds_;  // Snapshot mode only.
   bool decided_ = false;   // Parallel-vs-pull decision made at first Next.
   bool buffered_ = false;  // Matches pre-materialized into buffer_.
   std::vector<std::pair<RowId, const BitemporalTuple*>> buffer_;
@@ -126,24 +174,6 @@ struct VersionBatch {
   }
 };
 
-/// Structured residual predicates of a batch scan, evaluated with the
-/// branch-free kernels (rel/kernels.h) over the store's contiguous chronon
-/// columns instead of per-tuple `Period` calls.  Each field mirrors one of
-/// the `VersionFilter` lambdas the row-at-a-time scan entry points compose;
-/// the batch entry points merge their own window into this struct when the
-/// backing index is disabled, exactly like the row path degrades to a
-/// filtered sweep.
-struct BatchPredicates {
-  /// `t.valid.Overlaps(w)` (timeslice / `when` windows).
-  std::optional<Period> valid_overlaps;
-  /// `t.txn.Overlaps(w)` (`as of ... through` windows).
-  std::optional<Period> txn_overlaps;
-  /// `t.txn.Contains(c)` (rollback to an instant).
-  std::optional<Chronon> txn_contains;
-  /// `t.IsCurrentState()`.
-  bool txn_current = false;
-};
-
 /// The batch-producing counterpart of `VersionScan`: same access paths,
 /// same snapshot/epoch contract, same ascending row order — but candidates
 /// are probed a batch at a time with selection-vector kernels over the
@@ -165,6 +195,15 @@ class VersionBatchScan {
   VersionBatchScan(const VersionStore* store, std::vector<RowId> rows,
                    BatchPredicates preds);
 
+  /// Snapshot-isolated batch sweep bound to `pin`: sequential over
+  /// `[0, pin.rows)`, kernels run over pin-patched transaction-end values,
+  /// callable from any thread while the writer commits (see the
+  /// VersionScan contract).  The batch's `tt_end` column carries the
+  /// *effective* (patched) values — a row closed after the pin reports ∞,
+  /// exactly what the snapshot semantics promise.
+  VersionBatchScan(const VersionStore* store, SnapshotPin pin,
+                   BatchPredicates preds);
+
   /// Fills `out` with the next non-empty batch of survivors; false at end.
   /// `out` is overwritten (its buffers are reused across pulls).
   bool Next(VersionBatch* out);
@@ -175,13 +214,19 @@ class VersionBatchScan {
   /// Probes candidate positions `[begin, end)` of the domain, appending the
   /// survivors to `out`.  Pure read; safe from many threads at once.
   void ProbeRange(size_t begin, size_t end, VersionBatch* out) const;
+  /// Snapshot-mode twin: reads `tt_end` through the close-sequence patch
+  /// into a scratch column and runs the kernel chain range-relative, so no
+  /// plain load ever races the writer's in-place closes.
+  void ProbeRangeSnapshot(size_t begin, size_t end, VersionBatch* out) const;
 
   const VersionStore* store_;
   bool sequential_;
   std::vector<RowId> rows_;  // Index mode only.
   BatchPredicates preds_;
   size_t limit_;    // Watermark: slots at or above it are invisible.
-  uint64_t epoch_;  // Store mutation epoch at open (debug-checked).
+  uint64_t epoch_;  // Store mutation epoch at open (checked at every Next).
+  bool snapshot_ = false;  // Pin-bound mode: epoch check off, patched reads.
+  SnapshotPin pin_;
   size_t batch_rows_;
   size_t pos_ = 0;         // Next domain position (streaming mode).
   bool decided_ = false;   // Parallel-vs-stream decision made at first Next.
@@ -234,6 +279,11 @@ struct VersionStoreOptions {
   /// Rows per batch on the batch path (also the morsel size of a parallel
   /// batch scan, keeping batch boundaries thread-count-invariant).
   size_t batch_rows = 1024;
+  /// Shared MVCC coordination state (one per Database); non-owning, must
+  /// outlive the store.  Null disables snapshot support: the store still
+  /// works single-threaded, closes are stamped sequence 0, and
+  /// `BeginCorrection` gating is skipped.
+  MvccState* mvcc = nullptr;
 };
 
 /// The physical container of tuple versions for one stored relation.
@@ -250,10 +300,13 @@ struct VersionStoreOptions {
 /// logging.
 ///
 /// Threading contract: externally synchronized, single writer.  Mutators
-/// must not race with anything; the only internal concurrency is the
-/// morsel-parallel scan, which is read-only and snapshot-stable (workers
-/// never see a mutation — `mutation_epoch_` asserts this).  See DESIGN.md
-/// §11.1.
+/// must not race with each other; readers come in two safe flavors: the
+/// writer's own morsel-parallel scans (read-only workers behind the
+/// mutation-epoch runtime check) and snapshot-isolated reader threads
+/// bound to a `SnapshotPin` (watermark + commit-sequence visibility,
+/// stable slab/column storage — see mvcc.h and DESIGN.md §13).  In-place
+/// corrections and compaction are fenced off from snapshot readers by
+/// `MvccState::BeginCorrection`.  See DESIGN.md §11.1.
 class VersionStore {
  public:
   explicit VersionStore(VersionStoreOptions options = {});
@@ -341,6 +394,65 @@ class VersionStore {
   VersionBatchScan BatchScanValidDuring(Period q,
                                         BatchPredicates residual = {}) const;
 
+  // --- Snapshot scan entry points ------------------------------------------
+  //
+  // Reader-thread entry points for snapshot-isolated reads (mvcc.h): bound
+  // by the pin's committed-row watermark and commit sequence, never by the
+  // mutation epoch, and never touching the (writer-mutable) index
+  // structures.  All predicates arrive structured — the relation layer
+  // translates its as-of / when windows into BatchPredicates, and the
+  // kernels evaluate them over pin-patched transaction ends.
+
+  /// Row-at-a-time snapshot sweep.  Yielded tuples have stable `values` and
+  /// `valid`; do not read their `txn` member (the writer may be closing it
+  /// in place) — consume transaction periods via the batch twin instead.
+  VersionScan ScanSnapshot(SnapshotPin pin, BatchPredicates preds) const;
+
+  /// Columnar snapshot sweep; the batch's `tt_end` column carries the
+  /// pin-effective values.
+  VersionBatchScan BatchScanSnapshot(SnapshotPin pin,
+                                     BatchPredicates preds) const;
+
+  // --- Snapshot publication and pinned access ------------------------------
+
+  /// Publishes every currently-stored row as committed: snapshot pins taken
+  /// after this call include them.  Called by the owning Database at
+  /// group-commit completion (and at the end of recovery), between the
+  /// MvccState publish_word flips; release-ordered so a pin that observes
+  /// the new watermark also observes every published row's bytes.
+  void PublishCommittedRows() {
+    committed_rows_.store(versions_.size(), std::memory_order_release);
+  }
+
+  /// The committed-row watermark as last published.
+  uint64_t committed_rows() const {
+    return committed_rows_.load(std::memory_order_acquire);
+  }
+
+  /// Snapshot-reader tuple access: no liveness or bounds checks (the
+  /// caller's pin guarantees `row < pin.rows <= size`), routed through the
+  /// slab directory's acquire load so it cannot race slot-storage growth.
+  const BitemporalTuple* TuplePinned(RowId row) const {
+    return &versions_.AtPinned(row).tuple;
+  }
+
+  /// The pin-effective transaction end of `row`: the raw column entry, with
+  /// closes stamped after `snap_seq` patched back to ∞.  Safe against a
+  /// concurrent in-place close (atomic element loads; see mvcc.h).
+  int64_t EffectiveTtEnd(RowId row, uint64_t snap_seq) const {
+    const int64_t raw = mvcc::LoadAcquire(col_tt_end_.data() + row);
+    if (raw == Chronon::kForeverRep) return raw;
+    if (mvcc::LoadRelaxed(col_close_seq_.data() + row) > snap_seq) {
+      return Chronon::kForeverRep;
+    }
+    return raw;
+  }
+
+  /// Bulk form: fills `out[0..end-begin)` with the pin-effective
+  /// transaction ends of rows `[begin, end)`.
+  void FillEffectiveTtEnd(size_t begin, size_t end, uint64_t snap_seq,
+                          int64_t* out) const;
+
   // --- Contiguous chronon columns ------------------------------------------
   //
   // Columnar mirror of every slot's temporal dimensions, maintained by all
@@ -350,12 +462,22 @@ class VersionStore {
   // values and must be masked first).  This is what the batch scan's
   // branch-free kernels sweep — four flat int64 arrays instead of
   // pointer-chasing `BitemporalTuple`s.
+  //
+  // The pointers are *published* (StableColumn): growth retains the old
+  // buffer, so a snapshot reader's view stays valid for every row under its
+  // watermark.  Entries under a published watermark are immutable with one
+  // exception — `chronon_tt_end()`, which the writer closes in place;
+  // snapshot readers therefore go through `EffectiveTtEnd`, never through
+  // plain loads of that column.  `chronon_close_seq()[row]` is the commit
+  // sequence the row's close publishes under (0 = created closed / closed
+  // before snapshots existed).
 
   const int64_t* chronon_valid_from() const { return col_valid_from_.data(); }
   const int64_t* chronon_valid_to() const { return col_valid_to_.data(); }
   const int64_t* chronon_tt_start() const { return col_tt_start_.data(); }
   const int64_t* chronon_tt_end() const { return col_tt_end_.data(); }
   const uint8_t* chronon_live() const { return col_live_.data(); }
+  const uint64_t* chronon_close_seq() const { return col_close_seq_.data(); }
 
   /// Creates a secondary B+-tree index on explicit attribute `attr_index`,
   /// backfilling existing live versions.  Idempotent (AlreadyExists on a
@@ -398,8 +520,10 @@ class VersionStore {
   size_t current_count() const;
 
   /// Monotone counter bumped by every slot mutation (append, close,
-  /// correction, undo, load, compaction).  Open scans capture it; a scan
-  /// advanced under a different epoch is a lifetime bug (see VersionScan).
+  /// correction, undo, load, compaction).  Writer-thread scans capture it;
+  /// advancing such a scan under a different epoch is a lifetime bug and
+  /// aborts via TDB_INVARIANT_CHECK (see VersionScan).  Snapshot scans are
+  /// exempt — the pin, not the epoch, bounds what they may read.
   uint64_t mutation_epoch() const { return mutation_epoch_; }
 
   /// Re-points the parallel-execution knobs of an existing store (the
@@ -452,13 +576,24 @@ class VersionStore {
   void SyncChrononColumns(RowId row);
 
   VersionStoreOptions options_;
-  std::vector<Slot> versions_;
-  // Columnar chronon mirror (see the chronon_* accessors).
-  std::vector<int64_t> col_valid_from_;
-  std::vector<int64_t> col_valid_to_;
-  std::vector<int64_t> col_tt_start_;
-  std::vector<int64_t> col_tt_end_;
-  std::vector<uint8_t> col_live_;
+  // Slot storage with pointer stability: snapshot readers keep dereferencing
+  // rows under their watermark while the writer appends (stable_storage.h).
+  SlabVector<Slot> versions_;
+  // Columnar chronon mirror (see the chronon_* accessors), published
+  // buffers with retained history for the same reason.
+  StableColumn<int64_t> col_valid_from_;
+  StableColumn<int64_t> col_valid_to_;
+  StableColumn<int64_t> col_tt_start_;
+  StableColumn<int64_t> col_tt_end_;
+  StableColumn<uint8_t> col_live_;
+  // Commit sequence each row's transaction-time close publishes under
+  // (mvcc.h close-visibility protocol); 0 for rows never closed
+  // transactionally.
+  StableColumn<uint64_t> col_close_seq_;
+  // Committed-row watermark: release-published at group-commit completion,
+  // acquire-read by snapshot pins.  Rows at or above it are uncommitted
+  // (or unborn) as far as any snapshot is concerned.
+  std::atomic<uint64_t> committed_rows_{0};
   size_t live_count_ = 0;
   uint64_t mutation_epoch_ = 0;
   SnapshotIndex txn_index_;

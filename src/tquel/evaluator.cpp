@@ -40,25 +40,34 @@ std::vector<Candidate> MaterializeParticipant(
     return true;
   };
 
-  // Index probe path (yields in lookup order, not row order).
-  for (const auto& [attr, key] : eq_constraints) {
-    if (!store->HasAttributeIndex(attr)) continue;
-    Result<std::vector<RowId>> rows = store->LookupAttribute(attr, key);
-    if (!rows.ok()) break;
-    for (RowId row : *rows) {
-      Result<const BitemporalTuple*> t = store->Get(row);
-      if (t.ok() && visible(**t)) {
-        out.push_back(Candidate{&(*t)->values, (*t)->valid, (*t)->txn});
+  // Index probe path (yields in lookup order, not row order).  Disabled
+  // under a snapshot: the B+-tree and its row set are writer-thread state
+  // with no published watermark, and `Get`/`(*t)->txn` read fields the
+  // writer mutates in place.
+  if (!spec.snapshot.has_value()) {
+    for (const auto& [attr, key] : eq_constraints) {
+      if (!store->HasAttributeIndex(attr)) continue;
+      Result<std::vector<RowId>> rows = store->LookupAttribute(attr, key);
+      if (!rows.ok()) break;
+      for (RowId row : *rows) {
+        Result<const BitemporalTuple*> t = store->Get(row);
+        if (t.ok() && visible(**t)) {
+          out.push_back(Candidate{&(*t)->values, (*t)->valid, (*t)->txn});
+        }
       }
+      return out;
     }
-    return out;
   }
 
   // Scan path.  With batch execution on, candidates arrive as columnar
   // batches whose residual time predicates already ran through the
   // branch-free kernels; the candidate periods are decoded from the batch's
-  // chronon columns (bit-identical to the tuples').
-  if (store->options().batch_exec) {
+  // chronon columns (bit-identical to the tuples').  Snapshot scans are
+  // forced onto this path: the batch's tt_end column carries the
+  // *pin-effective* transaction ends, whereas the tuples' own `txn` fields
+  // are written plainly by the single writer and must not be read from a
+  // reader thread.
+  if (store->options().batch_exec || spec.snapshot.has_value()) {
     VersionBatchScan scan = rel.BatchScan(spec);
     VersionBatch batch;
     while (scan.Next(&batch)) {
@@ -188,7 +197,6 @@ Result<Rowset> FinalizeAggregates(const BoundRetrieve& bound, Rowset raw) {
 
 Result<Rowset> EvaluateRetrieve(const BoundRetrieve& bound,
                                 const EvalContext& ctx) {
-  (void)ctx;  // Reserved for evaluation-time session state (e.g. "now").
   // Resolve the rollback window, if any.
   std::optional<Period> asof;
   if (bound.asof_at != nullptr) {
@@ -233,6 +241,9 @@ Result<Rowset> EvaluateRetrieve(const BoundRetrieve& bound,
     }
     ScanSpec spec;
     spec.asof = asof;
+    if (ctx.snapshot != nullptr) {
+      spec.snapshot = ctx.snapshot->PinFor(rel.store());
+    }
     if (!has_probe && bound.when != nullptr &&
         SupportsValidTime(rel.temporal_class()) &&
         rel.store()->options().time_pushdown) {
@@ -345,7 +356,12 @@ Result<Rowset> EvaluateRetrieve(const BoundRetrieve& bound,
     ScanSpec spec;
     spec.asof = asof;
     spec.valid_during = bound.when->PushdownWindow(i, valid_binding, i);
-    if (rel.store()->options().batch_exec) {
+    if (ctx.snapshot != nullptr) {
+      spec.snapshot = ctx.snapshot->PinFor(rel.store());
+    }
+    // Snapshot probes use the batch path for the same reason as the
+    // materializing scan above: pin-effective tt_end, no tuple-field reads.
+    if (rel.store()->options().batch_exec || spec.snapshot.has_value()) {
       VersionBatchScan scan = rel.BatchScan(spec);
       VersionBatch& batch = level_batch[i];
       while (scan.Next(&batch)) {

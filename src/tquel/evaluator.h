@@ -7,6 +7,7 @@
 
 #include "common/result.h"
 #include "rel/relation.h"
+#include "temporal/read_snapshot.h"
 #include "temporal/stored_relation.h"
 #include "tquel/analyzer.h"
 #include "tquel/ast.h"
@@ -31,6 +32,13 @@ struct EvalContext {
   /// The active transaction for DML statements (the facade auto-wraps when
   /// running in auto-commit mode).
   Transaction* txn = nullptr;
+  /// When set, retrieves run snapshot-isolated against this pin: every
+  /// participant scan carries the pin (see `ScanSpec::snapshot`), index
+  /// probe paths are disabled (the mutable index structures are not safe
+  /// off the writer thread), and results reflect exactly the commits
+  /// published at pin time.  Only retrieve statements may run this way
+  /// (`Database::QueryAtSnapshot` enforces that).
+  const ReadSnapshot* snapshot = nullptr;
 };
 
 /// What a statement produced.

@@ -2,18 +2,31 @@
 
 namespace temporadb {
 
+Chronon TxnManager::MonotoneNow() const {
+  Chronon now = clock_->Now();
+  // A clock pinned at ±∞ cannot stamp trustworthy transaction time, and a
+  // non-finite `last_issued_` would permanently disable the monotone clamp
+  // below (transaction time is append-only, §2.2 — once issued, timestamps
+  // may never regress).  Fall back to the last issued finite instant, or
+  // the epoch if none exists yet.
+  if (!now.IsFinite()) {
+    now = last_issued_.IsFinite() ? last_issued_ : Chronon::Epoch();
+  }
+  // Monotonic clamp: transaction time never runs backwards even if the
+  // clock does (NTP step, DST, a rewound ManualClock).
+  if (last_issued_.IsFinite() && now < last_issued_) {
+    now = last_issued_;
+  }
+  return now;
+}
+
 Result<Transaction*> TxnManager::Begin() {
   if (active_ != nullptr && active_->IsActive()) {
     return Status::FailedPrecondition(
         "a transaction is already active; temporadb transactions are "
         "serialized");
   }
-  Chronon now = clock_->Now();
-  // Monotonic clamp: transaction time never runs backwards even if the
-  // clock does.
-  if (last_issued_.IsFinite() && now < last_issued_) {
-    now = last_issued_;
-  }
+  Chronon now = MonotoneNow();
   last_issued_ = now;
   active_ = std::make_unique<Transaction>(next_id_++, now);
   return active_.get();
@@ -44,10 +57,6 @@ Status TxnManager::Abort(Transaction* txn) {
   return Status::OK();
 }
 
-Chronon TxnManager::Now() const {
-  Chronon now = clock_->Now();
-  if (last_issued_.IsFinite() && now < last_issued_) now = last_issued_;
-  return now;
-}
+Chronon TxnManager::Now() const { return MonotoneNow(); }
 
 }  // namespace temporadb

@@ -52,15 +52,22 @@ class TxnManager {
   Chronon last_commit() const { return last_commit_; }
 
   /// Recovery hook: ensures future timestamps do not fall behind a
-  /// timestamp observed in the redo log.
+  /// timestamp observed in the redo log.  Non-finite observations are
+  /// ignored — admitting one would poison `last_issued_` and disable the
+  /// monotone clamp for every later transaction.
   void ObserveRecoveredTimestamp(Chronon t) {
-    if (t > last_issued_) last_issued_ = t;
+    if (t.IsFinite() && t > last_issued_) last_issued_ = t;
   }
 
   uint64_t committed_count() const { return committed_count_; }
   uint64_t aborted_count() const { return aborted_count_; }
 
  private:
+  /// `clock_->Now()` clamped into monotone, finite transaction time: a
+  /// regressing clock yields `last_issued_`, a clock pinned at ±∞ yields
+  /// the last issued finite instant (or the epoch before any was issued).
+  Chronon MonotoneNow() const;
+
   const Clock* clock_;
   std::unique_ptr<Transaction> active_;
   TxnId next_id_ = 1;

@@ -2,6 +2,7 @@
 
 #include "common/chronon.h"
 #include "common/date.h"
+#include "txn/clock.h"
 
 namespace temporadb {
 namespace {
@@ -18,6 +19,72 @@ TEST(Chronon, SentinelsAbsorbArithmetic) {
   EXPECT_EQ(Chronon::Beginning() - 5, Chronon::Beginning());
   EXPECT_EQ(Chronon::Forever().Next(), Chronon::Forever());
   EXPECT_EQ(Chronon::Beginning().Prev(), Chronon::Beginning());
+}
+
+// The arithmetic saturation cases below are exercised under UBSan in CI:
+// before the saturating operators, each was a signed-overflow UB site.
+TEST(Chronon, FiniteArithmeticSaturatesAtMaxFinite) {
+  // Far overflow: INT64_MAX - 5 + large stays finite, never wraps.
+  EXPECT_EQ(Chronon(5) + Chronon::kForeverRep, Chronon::MaxFinite());
+  EXPECT_EQ(Chronon::MaxFinite() + 1, Chronon::MaxFinite());
+  EXPECT_EQ(Chronon::MaxFinite() + Chronon::kForeverRep,
+            Chronon::MaxFinite());
+  // Exact sentinel landing (no Rep overflow, but the result would *be* the
+  // forever sentinel): clamps to the largest finite chronon instead.
+  EXPECT_EQ(Chronon(Chronon::kForeverRep - 3) + 3, Chronon::MaxFinite());
+  EXPECT_TRUE((Chronon(1) + (Chronon::kForeverRep - 1)).IsFinite());
+}
+
+TEST(Chronon, FiniteArithmeticSaturatesAtMinFinite) {
+  EXPECT_EQ(Chronon(-5) - Chronon::kForeverRep, Chronon::MinFinite());
+  EXPECT_EQ(Chronon::MinFinite() - 1, Chronon::MinFinite());
+  // Exact sentinel landing on the low end.
+  EXPECT_EQ(Chronon(Chronon::kBeginningRep + 3) - 2, Chronon::MinFinite());
+  EXPECT_EQ(Chronon(-2) + (Chronon::kBeginningRep + 1),
+            Chronon::MinFinite());
+}
+
+TEST(Chronon, ArithmeticWithNegativeOffsets) {
+  // Adding a negative / subtracting a negative cross the *opposite* bound.
+  EXPECT_EQ(Chronon(-10) + Chronon::kBeginningRep, Chronon::MinFinite());
+  EXPECT_EQ(Chronon(10) - Chronon::kBeginningRep, Chronon::MaxFinite());
+  // days = INT64_MIN: negating it in the implementation would itself be UB;
+  // the overflow intrinsic sidesteps that.
+  EXPECT_EQ(Chronon::MaxFinite() - Chronon::kBeginningRep,
+            Chronon::MaxFinite());
+  EXPECT_EQ(Chronon(0) + Chronon::kBeginningRep, Chronon::MinFinite());
+  // Plain finite arithmetic is untouched.
+  EXPECT_EQ((Chronon(100) + -42).days(), 58);
+  EXPECT_EQ((Chronon(100) - -42).days(), 142);
+}
+
+TEST(Chronon, SentinelsStayAbsorbingUnderExtremeOffsets) {
+  EXPECT_EQ(Chronon::Forever() + Chronon::kBeginningRep, Chronon::Forever());
+  EXPECT_EQ(Chronon::Forever() - Chronon::kForeverRep, Chronon::Forever());
+  EXPECT_EQ(Chronon::Beginning() + Chronon::kForeverRep,
+            Chronon::Beginning());
+  EXPECT_EQ(Chronon::Beginning() - Chronon::kBeginningRep,
+            Chronon::Beginning());
+}
+
+TEST(Chronon, MaxMinFiniteAreFinite) {
+  EXPECT_TRUE(Chronon::MaxFinite().IsFinite());
+  EXPECT_TRUE(Chronon::MinFinite().IsFinite());
+  EXPECT_LT(Chronon::MaxFinite(), Chronon::Forever());
+  EXPECT_GT(Chronon::MinFinite(), Chronon::Beginning());
+}
+
+TEST(ManualClock, AdvanceDaysSaturatesInsteadOfOverflowing) {
+  ManualClock clock;
+  clock.AdvanceDays(Chronon::kForeverRep);  // Epoch + INT64_MAX.
+  EXPECT_EQ(clock.Now(), Chronon::MaxFinite());
+  clock.AdvanceDays(1);  // Already pinned at the end of the line.
+  EXPECT_EQ(clock.Now(), Chronon::MaxFinite());
+  clock.AdvanceDays(Chronon::kBeginningRep);
+  clock.AdvanceDays(Chronon::kBeginningRep);
+  EXPECT_EQ(clock.Now(), Chronon::MinFinite());
+  // The clock never reads as a sentinel, so time comparisons stay sane.
+  EXPECT_TRUE(clock.Now().IsFinite());
 }
 
 TEST(Chronon, NextPrevRoundTrip) {

@@ -63,6 +63,58 @@ TEST(TxnManager, TimestampsNeverRunBackwards) {
   ASSERT_TRUE(manager.Commit(*t2).ok());
 }
 
+TEST(TxnManager, NonFiniteClockReadingsAreClamped) {
+  // A broken injected clock returning ∞ / -∞ must never leak into a
+  // transaction timestamp: ∞ means "still current" in every stored period,
+  // so a txn stamped ∞ would fabricate un-closeable history.
+  ManualClock clock;
+  clock.SetTime(Chronon::Forever());
+  TxnManager manager(&clock);
+  Result<Transaction*> t1 = manager.Begin();
+  ASSERT_TRUE(t1.ok());
+  EXPECT_TRUE((*t1)->timestamp().IsFinite());
+  EXPECT_EQ((*t1)->timestamp(), Chronon::Epoch());  // Nothing issued yet.
+  const Chronon t1_ts = (*t1)->timestamp();
+  ASSERT_TRUE(manager.Commit(*t1).ok());
+
+  clock.SetTime(Chronon::Beginning());
+  Result<Transaction*> t2 = manager.Begin();
+  ASSERT_TRUE(t2.ok());
+  EXPECT_TRUE((*t2)->timestamp().IsFinite());
+  // Monotone: sticks to the last issued timestamp, not the bogus reading.
+  EXPECT_EQ((*t2)->timestamp(), t1_ts);
+  ASSERT_TRUE(manager.Commit(*t2).ok());
+  EXPECT_TRUE(manager.Now().IsFinite());
+}
+
+TEST(TxnManager, ClockRegressionAfterRealTimestampClamps) {
+  ManualClock clock;
+  ASSERT_TRUE(clock.SetDate("12/15/82").ok());
+  TxnManager manager(&clock);
+  ASSERT_TRUE(manager.Commit(*manager.Begin()).ok());
+  // The clock goes insane mid-run; transaction time must keep ticking
+  // monotonically from the last issued stamp.
+  clock.SetTime(Chronon::Beginning());
+  Result<Transaction*> t = manager.Begin();
+  ASSERT_TRUE(t.ok());
+  EXPECT_EQ((*t)->timestamp(), Date::Parse("12/15/82")->chronon());
+  ASSERT_TRUE(manager.Commit(*t).ok());
+  clock.SetTime(Chronon::Forever());
+  EXPECT_EQ(manager.Now(), Date::Parse("12/15/82")->chronon());
+}
+
+TEST(TxnManager, ObserveRecoveredTimestampIgnoresSentinels) {
+  ManualClock clock;  // At epoch.
+  TxnManager manager(&clock);
+  manager.ObserveRecoveredTimestamp(Date::Parse("12/15/82")->chronon());
+  // A corrupt / sentinel recovered stamp must not poison the watermark.
+  manager.ObserveRecoveredTimestamp(Chronon::Forever());
+  manager.ObserveRecoveredTimestamp(Chronon::Beginning());
+  Result<Transaction*> txn = manager.Begin();
+  ASSERT_TRUE(txn.ok());
+  EXPECT_EQ((*txn)->timestamp(), Date::Parse("12/15/82")->chronon());
+}
+
 TEST(TxnManager, AbortRunsUndoInReverse) {
   ManualClock clock;
   TxnManager manager(&clock);

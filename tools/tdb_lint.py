@@ -30,6 +30,13 @@ express, because they are properties of *this* codebase's discipline:
      remove, and would do it silently (everything still passes the
      differential tests, just slower).
 
+  5. invariant-check — no bare `assert(` on cross-thread visibility state
+     in src/temporal or src/exec.  A plain assert compiles away in release
+     builds, which is precisely where concurrent readers run; invariants
+     over the MVCC coordination state (watermarks, commit sequences, the
+     publish seqlock) must use TDB_INVARIANT_CHECK from common/check.h so
+     they hold in every build mode.
+
 Exit status 0 when clean; 1 with one line per violation otherwise.
 Run from anywhere: paths are resolved relative to the repo root.
 """
@@ -290,11 +297,49 @@ def check_kernel_purity() -> None:
                     "only — box/dispatch above this layer, never inside it")
 
 
+# --------------------------------------------------------------------------
+# Rule 5: cross-thread invariants are checked in every build mode.
+# --------------------------------------------------------------------------
+
+# Identifiers that name state shared between the writer and snapshot
+# readers.  An invariant over any of these guards a *concurrency* contract;
+# a debug-only assert on one vanishes exactly where it matters (release
+# builds running concurrent readers), which is the failure mode that
+# motivated the snapshot-isolation rework.
+CROSS_THREAD_IDENTS = re.compile(
+    r"\b(mutation_epoch|committed_rows|close_seq|watermark|snap_seq|"
+    r"publish_word|commit_seq|active_snapshots|correcting)\b"
+)
+BARE_ASSERT = re.compile(r"(?<![\w.])assert\s*\(")
+INVARIANT_DIRS = [SRC / "temporal", SRC / "exec"]
+
+
+def check_invariant_checks() -> None:
+    for base in INVARIANT_DIRS:
+        for path in sorted(base.rglob("*.h")) + sorted(base.rglob("*.cpp")):
+            code = strip_comments(path.read_text())
+            lines = code.splitlines()
+            for lineno, line in enumerate(lines, 1):
+                if not BARE_ASSERT.search(line):
+                    continue
+                # The assert's 3-line neighbourhood: the condition may wrap.
+                lo = max(0, lineno - 2)
+                window = "\n".join(lines[lo:lineno + 2])
+                m = CROSS_THREAD_IDENTS.search(window)
+                if m:
+                    err(path, lineno, "invariant-check",
+                        f"bare assert near cross-thread state "
+                        f"'{m.group(1)}'; use TDB_INVARIANT_CHECK "
+                        "(common/check.h) so the invariant survives "
+                        "release builds where concurrent readers run")
+
+
 def main() -> int:
     check_mutex_wrapper()
     check_append_only()
     check_clause_matrix()
     check_kernel_purity()
+    check_invariant_checks()
     if errors:
         for e in errors:
             print(e)
