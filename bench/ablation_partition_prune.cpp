@@ -1,0 +1,147 @@
+// A11 — Epoch-partition pruning: narrow timeslice and as-of latency versus
+// history depth, synopsis pruning on and off.
+//
+// The version store seals its append stream into fixed-size transaction-time
+// epochs, each carrying a temporal synopsis (time bounds, currency, key
+// sketch).  A scan whose pushed-down window provably misses an epoch skips
+// it before any morsel forms, so a narrow probe against a deep history
+// should cost the few epochs it intersects — sublinear in depth — while the
+// unpruned scan stays linear.  The acceptance bar is >=5x at 1M versions.
+
+#include <benchmark/benchmark.h>
+
+#include <map>
+#include <memory>
+
+#include "bench/bench_json.h"
+
+#include "bench/bench_common.h"
+
+using namespace temporadb;
+
+namespace {
+
+// One populated store per history depth, built once and shared by every
+// benchmark at that depth (1M versions take a couple of seconds to build;
+// rebuilding per arm would dominate the run).  The pruning toggle and the
+// stats sink are re-pointed per arm, which is exactly what they exist for.
+struct Fixture {
+  std::unique_ptr<ManualClock> clock;
+  std::unique_ptr<TxnManager> manager;
+  std::unique_ptr<VersionStore> store;
+  int64_t first_day = 0;
+  int64_t last_day = 0;
+};
+
+Fixture* DeepHistory(size_t depth) {
+  static std::map<size_t, std::unique_ptr<Fixture>> cache;
+  std::unique_ptr<Fixture>& slot = cache[depth];
+  if (slot != nullptr) return slot.get();
+  slot = std::make_unique<Fixture>();
+  slot->clock = std::make_unique<ManualClock>();
+  slot->manager = std::make_unique<TxnManager>(slot->clock.get());
+  // Secondary time indexes off: the sequential sweep is the access path
+  // pruning accelerates (and maintaining the interval index across a
+  // million-version build would dominate fixture setup).  Default 4096-row
+  // epochs; pruning toggled per arm below.
+  VersionStoreOptions options;
+  options.index_valid_time = false;
+  options.index_txn_time = false;
+  slot->store = std::make_unique<VersionStore>(options);
+  bench::LargeHistoryOptions opts;
+  opts.versions = depth;
+  opts.seed = 17;
+  slot->first_day = opts.start_day;
+  slot->last_day = bench::PopulateLargeHistory(
+      slot->store.get(), slot->manager.get(), slot->clock.get(), opts);
+  return slot.get();
+}
+
+size_t Drain(VersionBatchScan scan) {
+  VersionBatch batch;
+  size_t rows = 0;
+  while (scan.Next(&batch)) rows += batch.size();
+  return rows;
+}
+
+void ReportStats(benchmark::State& state, const Fixture* f,
+                 const ScanStats& stats, size_t answer) {
+  state.counters["answer_rows"] = static_cast<double>(answer);
+  state.counters["history_versions"] =
+      static_cast<double>(f->store->version_count());
+  state.counters["parts_considered"] = static_cast<double>(stats.considered());
+  state.counters["parts_pruned"] =
+      static_cast<double>(stats.pruned_tt() + stats.pruned_vt());
+  state.counters["parts_scanned"] = static_cast<double>(stats.scanned());
+}
+
+// Narrow valid timeslice near the start of the stream: epochs sealed after
+// the window's week cannot contain a version whose valid period reaches
+// that far back (outside the retroactive-correction trickle), so almost
+// every later epoch prunes on its valid-time bounds.
+void RunTimeslice(benchmark::State& state, bool pruned) {
+  Fixture* f = DeepHistory(static_cast<size_t>(state.range(0)));
+  f->store->ConfigurePartitionPruning(pruned);
+  ScanStats stats;
+  f->store->set_scan_stats(&stats);
+  const Period window(Chronon(f->first_day + 40), Chronon(f->first_day + 47));
+  size_t answer = 0;
+  for (auto _ : state) {
+    answer = Drain(f->store->BatchScanValidDuring(window));
+    benchmark::DoNotOptimize(answer);
+  }
+  ReportStats(state, f, stats, answer);
+  f->store->set_scan_stats(nullptr);
+}
+
+// Rollback to a day shortly after the stream began: every epoch sealed
+// later has min(tt_start) above the probe, so the transaction-time bounds
+// prune it regardless of how many of its rows are still current.
+void RunAsOf(benchmark::State& state, bool pruned) {
+  Fixture* f = DeepHistory(static_cast<size_t>(state.range(0)));
+  f->store->ConfigurePartitionPruning(pruned);
+  ScanStats stats;
+  f->store->set_scan_stats(&stats);
+  const Chronon probe(f->first_day + 40);
+  size_t answer = 0;
+  for (auto _ : state) {
+    answer = Drain(f->store->BatchScanAsOf(probe));
+    benchmark::DoNotOptimize(answer);
+  }
+  ReportStats(state, f, stats, answer);
+  f->store->set_scan_stats(nullptr);
+}
+
+void BM_Timeslice_Pruned(benchmark::State& state) {
+  RunTimeslice(state, true);
+}
+void BM_Timeslice_Unpruned(benchmark::State& state) {
+  RunTimeslice(state, false);
+}
+void BM_AsOf_Pruned(benchmark::State& state) { RunAsOf(state, true); }
+void BM_AsOf_Unpruned(benchmark::State& state) { RunAsOf(state, false); }
+
+}  // namespace
+
+BENCHMARK(BM_Timeslice_Pruned)
+    ->Arg(64 << 10)
+    ->Arg(256 << 10)
+    ->Arg(1 << 20)
+    ->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_Timeslice_Unpruned)
+    ->Arg(64 << 10)
+    ->Arg(256 << 10)
+    ->Arg(1 << 20)
+    ->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_AsOf_Pruned)
+    ->Arg(64 << 10)
+    ->Arg(256 << 10)
+    ->Arg(1 << 20)
+    ->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_AsOf_Unpruned)
+    ->Arg(64 << 10)
+    ->Arg(256 << 10)
+    ->Arg(1 << 20)
+    ->Unit(benchmark::kMicrosecond);
+
+TDB_BENCH_MAIN("partition_prune")

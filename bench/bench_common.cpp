@@ -107,5 +107,60 @@ StoredRelation* PopulateStream(Database* db, ManualClock* clock,
   return *rel;
 }
 
+int64_t PopulateLargeHistory(VersionStore* store, TxnManager* manager,
+                             ManualClock* clock,
+                             const LargeHistoryOptions& opts) {
+  Random rng(opts.seed);
+  const size_t entities = opts.entities > 0 ? opts.entities : 1;
+  const size_t hot = entities / 8 > 0 ? entities / 8 : 1;
+  const char* ranks[] = {"assistant", "associate", "full", "emeritus"};
+  // Last still-current row per entity; kNone before the first insert.
+  constexpr RowId kNone = static_cast<RowId>(-1);
+  std::vector<RowId> current(entities, kNone);
+  int64_t day = opts.start_day;
+  auto run = [&](const std::function<Status(Transaction*)>& body) {
+    clock->SetTime(Chronon(day));
+    Result<Transaction*> txn = manager->Begin();
+    Status s = txn.ok() ? body(*txn) : txn.status();
+    if (s.ok()) s = manager->Commit(*txn);
+    if (!s.ok()) {
+      std::fprintf(stderr, "large-history op failed: %s\n",
+                   s.ToString().c_str());
+      std::abort();
+    }
+  };
+  for (size_t v = 0; v < opts.versions; ++v) {
+    day += static_cast<int64_t>(rng.Uniform(2));  // 0..1: dense timeline.
+    // Skew: ~80% of the updates land on the hot eighth of the key space.
+    const size_t entity = rng.Uniform(10) < 8
+                              ? rng.Uniform(hot)
+                              : hot + rng.Uniform(entities - hot);
+    // Valid period: near the transaction day, except for the retroactive
+    // correction trickle, which re-states a fact years back.
+    int64_t from = rng.Uniform(32) == 0
+                       ? day - 365 - static_cast<int64_t>(rng.Uniform(3 * 365))
+                       : day - static_cast<int64_t>(rng.Uniform(30));
+    Period valid =
+        rng.Uniform(8) == 0
+            ? Period::From(Chronon(from))
+            : Period(Chronon(from),
+                     Chronon(from + 1 + static_cast<int64_t>(rng.Uniform(120))));
+    BitemporalTuple t;
+    t.values = {Value(static_cast<int64_t>(entity)), Value(ranks[rng.Uniform(4)])};
+    t.valid = valid;
+    t.txn = Period::From(Chronon(day));
+    run([&](Transaction* txn) -> Status {
+      if (current[entity] != kNone) {
+        TDB_RETURN_IF_ERROR(store->CloseTxn(txn, current[entity], Chronon(day)));
+      }
+      Result<RowId> row = store->Append(txn, std::move(t));
+      if (!row.ok()) return row.status();
+      current[entity] = *row;
+      return Status::OK();
+    });
+  }
+  return day;
+}
+
 }  // namespace bench
 }  // namespace temporadb

@@ -59,6 +59,30 @@ StoredRelation* PopulateStream(Database* db, ManualClock* clock,
                                size_t churn, uint64_t seed,
                                bool bounded_valid = false);
 
+/// Shape of a `PopulateLargeHistory` run.  Defaults give a realistic
+/// deep-history workload: a small hot set receives most updates (so old
+/// epochs are dominated by closed versions of hot keys), most valid
+/// periods are bounded and near the transaction day, and a trickle of
+/// retroactive corrections re-states facts far in the past.
+struct LargeHistoryOptions {
+  size_t versions = 1 << 16;  ///< Total versions appended.
+  size_t entities = 1024;     ///< Distinct keys (values[0], int-typed).
+  uint64_t seed = 42;
+  int64_t start_day = 1000;   ///< First transaction day.
+};
+
+/// Fills a standalone version store (driven directly through `manager`,
+/// no Database/WAL around it) with a seeded update history: each step
+/// closes the chosen entity's current version at the transaction day and
+/// appends its replacement.  One eighth of the entities take ~80% of the
+/// updates; ~1/32 of the steps are retroactive corrections whose valid
+/// period starts years before the transaction day; ~1/8 of the periods
+/// are open-ended.  Deterministic for a fixed options struct.  Returns
+/// the final transaction day (probe anchors for the benches).
+int64_t PopulateLargeHistory(VersionStore* store, TxnManager* manager,
+                             ManualClock* clock,
+                             const LargeHistoryOptions& opts);
+
 }  // namespace bench
 }  // namespace temporadb
 

@@ -190,6 +190,45 @@ Status Database::LoadCheckpoint(const std::string& dir) {
     return Status::Corruption("checkpoint catalog checksum mismatch");
   }
   TDB_ASSIGN_OR_RETURN(catalog_, Catalog::DecodeFrom(&view));
+  // Partition sidecar: sealed epoch boundaries + synopses per relation, so
+  // recovery reinstalls the partition directory instead of rescanning every
+  // relation's history to rebuild it.  A checkpoint written before the
+  // sidecar existed simply has none — the stores reseal at EndLoad.
+  std::map<uint64_t, std::vector<PartitionSynopsis>> sealed_by_rel;
+  {
+    Result<std::string> sidecar =
+        ReadFileToString(fs_, dir + "/partitions.tdb");
+    if (!sidecar.ok() && !sidecar.status().IsNotFound()) {
+      return sidecar.status();
+    }
+    if (sidecar.ok()) {
+      std::string_view in = *sidecar;
+      uint64_t sum;
+      if (!GetFixed64(&in, &sum) || sum != Checksum64(in.data(), in.size())) {
+        return Status::Corruption("checkpoint partition checksum mismatch");
+      }
+      uint32_t version;
+      uint64_t n_rels;
+      if (!GetFixed32(&in, &version) || version != 1 ||
+          !GetFixed64(&in, &n_rels)) {
+        return Status::Corruption("checkpoint partition header malformed");
+      }
+      for (uint64_t r = 0; r < n_rels; ++r) {
+        uint64_t rel_id, n_parts;
+        if (!GetFixed64(&in, &rel_id) || !GetFixed64(&in, &n_parts)) {
+          return Status::Corruption("checkpoint partition entry malformed");
+        }
+        std::vector<PartitionSynopsis>& parts = sealed_by_rel[rel_id];
+        parts.resize(n_parts);
+        for (uint64_t p = 0; p < n_parts; ++p) {
+          if (!PartitionSynopsis::DecodeFrom(&in, &parts[p])) {
+            return Status::Corruption("checkpoint partition synopsis "
+                                      "malformed");
+          }
+        }
+      }
+    }
+  }
   for (const RelationInfo& info : catalog_.ListRelations()) {
     auto rel = MakeStoredRelation(info, options_.store_options);
     StoredRelation* ptr = rel.get();
@@ -203,6 +242,7 @@ Status Database::LoadCheckpoint(const std::string& dir) {
                          FilePager::Open(fs_, heap_path));
     TDB_ASSIGN_OR_RETURN(std::unique_ptr<HeapFile> heap,
                          HeapFile::Open(std::move(pager)));
+    ptr->store()->BeginLoad();
     Status scan = heap->Scan([&](RecordId, Slice record) -> Status {
       std::string_view in = record.view();
       if (in.empty()) return Status::Corruption("empty checkpoint record");
@@ -227,6 +267,12 @@ Status Database::LoadCheckpoint(const std::string& dir) {
       return Status::OK();
     });
     TDB_RETURN_IF_ERROR(scan);
+    auto it = sealed_by_rel.find(info.id);
+    if (it != sealed_by_rel.end()) {
+      TDB_RETURN_IF_ERROR(
+          ptr->store()->InstallSealedPartitions(std::move(it->second)));
+    }
+    ptr->store()->EndLoad();
   }
   return Status::OK();
 }
@@ -647,6 +693,29 @@ Status Database::Checkpoint(bool compact) {
     // Flush fsyncs the heap's pages; the SyncDir below persists its
     // directory entry.
     TDB_RETURN_IF_ERROR(heap->Flush());
+  }
+  // Partition sidecar: the sealed epoch directory of every relation, so
+  // recovery reinstalls partitions (and their synopses) instead of
+  // rescanning each relation's history.  Row ids in the heap are positional
+  // and the heap is written in row order, so the serialized boundaries keep
+  // meaning the same rows after reload.
+  {
+    std::string parts;
+    PutFixed32(&parts, 1);  // Format version.
+    PutFixed64(&parts, relations_.size());
+    for (const auto& [name, rel] : relations_) {
+      const VersionStore* store = rel->store();
+      PutFixed64(&parts, rel->info().id);
+      PutFixed64(&parts, store->sealed_partition_count());
+      for (size_t i = 0; i < store->sealed_partition_count(); ++i) {
+        store->sealed_partition(i).EncodeTo(&parts);
+      }
+    }
+    std::string sidecar;
+    PutFixed64(&sidecar, Checksum64(parts.data(), parts.size()));
+    sidecar += parts;
+    TDB_RETURN_IF_ERROR(
+        WriteFileDurable(fs_, dir + "/partitions.tdb", sidecar));
   }
   // Every file inside ckpt-N must be durable *and findable* before CURRENT
   // can name the directory.

@@ -75,6 +75,64 @@ std::vector<Match> ParallelScan(ThreadPool* pool, size_t n,
   return merged;
 }
 
+/// Slices a list of disjoint ascending row ranges (the survivors of
+/// partition pruning) into contiguous chunks of at most `chunk_rows` rows,
+/// restarting the chunk grid at every range boundary.  This is where morsel
+/// geometry becomes partition-aligned: a pruned partition contributes no
+/// range, hence no chunk, hence no morsel — it never enters the scheduler
+/// at all.  With the single range `[0, n)` the chunk list is exactly the
+/// classic `MorselRange` grid, so an unpruned scan keeps bit-identical
+/// geometry (including batch boundaries) with the pre-partition code.
+///
+/// `Range` needs `.begin`/`.end` members and brace-init (`RowRange`).
+template <typename Range>
+std::vector<Range> RangeChunks(const std::vector<Range>& ranges,
+                               size_t chunk_rows) {
+  std::vector<Range> chunks;
+  if (chunk_rows == 0) chunk_rows = 1;
+  for (const Range& r : ranges) {
+    for (size_t b = r.begin; b < r.end; b += chunk_rows) {
+      chunks.push_back(Range{b, b + chunk_rows < r.end ? b + chunk_rows
+                                                       : r.end});
+    }
+  }
+  return chunks;
+}
+
+/// Range-restricted twin of `ParallelScan`: the domain is a list of
+/// disjoint ascending row ranges instead of `[0, n)`.  Each chunk from
+/// `RangeChunks(ranges, opts.morsel_rows)` is one morsel; `probe` runs per
+/// chunk (concurrently on the pool's workers) and outputs merge back in
+/// chunk order, so the result is bit-identical to a single thread probing
+/// the chunks front to back — and, because chunk geometry is independent of
+/// thread count, identical across every pool size including the sequential
+/// fallback.
+template <typename Match, typename Range, typename Probe>
+std::vector<Match> ParallelScanRanges(ThreadPool* pool,
+                                      const std::vector<Range>& ranges,
+                                      const Probe& probe,
+                                      MorselOptions opts = {}) {
+  std::vector<Match> merged;
+  const std::vector<Range> chunks = RangeChunks(ranges, opts.morsel_rows);
+  if (chunks.empty()) return merged;
+  if (pool == nullptr || pool->size() <= 1 || chunks.size() <= 1) {
+    for (const Range& c : chunks) probe(c.begin, c.end, &merged);
+    return merged;
+  }
+  std::vector<std::vector<Match>> per_chunk(chunks.size());
+  pool->ParallelFor(chunks.size(), [&](size_t m) {
+    probe(chunks[m].begin, chunks[m].end, &per_chunk[m]);
+  });
+  size_t total = 0;
+  for (const std::vector<Match>& part : per_chunk) total += part.size();
+  merged.reserve(total);
+  for (std::vector<Match>& part : per_chunk) {
+    merged.insert(merged.end(), std::make_move_iterator(part.begin()),
+                  std::make_move_iterator(part.end()));
+  }
+  return merged;
+}
+
 }  // namespace exec
 }  // namespace temporadb
 

@@ -101,12 +101,26 @@ inline int64_t LoadAcquire(const int64_t* p) {
   return std::atomic_ref<int64_t>(*const_cast<int64_t*>(p))
       .load(std::memory_order_acquire);
 }
+inline uint64_t LoadAcquire(const uint64_t* p) {
+  return std::atomic_ref<uint64_t>(*const_cast<uint64_t*>(p))
+      .load(std::memory_order_acquire);
+}
+inline int64_t LoadRelaxed(const int64_t* p) {
+  return std::atomic_ref<int64_t>(*const_cast<int64_t*>(p))
+      .load(std::memory_order_relaxed);
+}
 inline uint64_t LoadRelaxed(const uint64_t* p) {
   return std::atomic_ref<uint64_t>(*const_cast<uint64_t*>(p))
       .load(std::memory_order_relaxed);
 }
 inline void StoreRelease(int64_t* p, int64_t v) {
   std::atomic_ref<int64_t>(*p).store(v, std::memory_order_release);
+}
+inline void StoreRelease(uint64_t* p, uint64_t v) {
+  std::atomic_ref<uint64_t>(*p).store(v, std::memory_order_release);
+}
+inline void StoreRelaxed(int64_t* p, int64_t v) {
+  std::atomic_ref<int64_t>(*p).store(v, std::memory_order_relaxed);
 }
 inline void StoreRelaxed(uint64_t* p, uint64_t v) {
   std::atomic_ref<uint64_t>(*p).store(v, std::memory_order_relaxed);

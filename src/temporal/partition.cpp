@@ -1,0 +1,120 @@
+#include "temporal/partition.h"
+
+#include "common/coding.h"
+
+namespace temporadb {
+
+namespace {
+
+// Two independent 64-bit mixes of Value::Hash() drive the double-hashing
+// probe sequence bit_i = h1 + i*h2.  The second mix must not be a multiple
+// of the first (else all probes collapse onto one stride); a fixed odd
+// multiplier + xor-shift keeps them decorrelated for every input.
+inline uint64_t Mix(uint64_t h) {
+  h ^= h >> 33;
+  h *= 0xff51afd7ed558ccdULL;
+  h ^= h >> 33;
+  return h;
+}
+
+inline void ProbeBits(const Value& v, uint64_t* word, uint64_t* mask,
+                      size_t probe) {
+  const uint64_t h = static_cast<uint64_t>(v.Hash());
+  const uint64_t h1 = Mix(h);
+  const uint64_t h2 = Mix(h1) | 1;  // Odd: full period over the bit domain.
+  const uint64_t bit =
+      (h1 + probe * h2) % (KeySketch::kWords * 64);
+  *word = bit >> 6;
+  *mask = uint64_t{1} << (bit & 63);
+}
+
+}  // namespace
+
+void KeySketch::Add(const Value& v) {
+  for (size_t p = 0; p < kProbes; ++p) {
+    uint64_t word;
+    uint64_t mask;
+    ProbeBits(v, &word, &mask, p);
+    bits[word] |= mask;
+  }
+  if (v.type() == ValueType::kInt && ints_only != 0) {
+    const int64_t x = v.AsInt();
+    if (populated == 0) {
+      min_int = x;
+      max_int = x;
+    } else {
+      if (x < min_int) min_int = x;
+      if (x > max_int) max_int = x;
+    }
+  } else {
+    ints_only = 0;
+  }
+  populated = 1;
+}
+
+bool KeySketch::MayContain(const Value& v) const {
+  if (populated == 0) return false;  // Nothing was sketched: empty set.
+  if (ints_only != 0 && v.type() == ValueType::kInt) {
+    const int64_t x = v.AsInt();
+    if (x < min_int || x > max_int) return false;
+  }
+  for (size_t p = 0; p < kProbes; ++p) {
+    uint64_t word;
+    uint64_t mask;
+    ProbeBits(v, &word, &mask, p);
+    if ((bits[word] & mask) == 0) return false;
+  }
+  return true;
+}
+
+void PartitionSynopsis::EncodeTo(std::string* dst) const {
+  PutFixed64(dst, begin_row);
+  PutFixed64(dst, end_row);
+  PutFixed64(dst, static_cast<uint64_t>(min_valid_from));
+  PutFixed64(dst, static_cast<uint64_t>(max_valid_to));
+  PutFixed64(dst, static_cast<uint64_t>(min_tt_start));
+  PutFixed64(dst, static_cast<uint64_t>(max_finite_tt_end));
+  PutFixed64(dst, current_rows);
+  PutFixed64(dst, last_close_seq);
+  PutFixed64(dst, live_rows);
+  for (const KeySketch& s : sketches) {
+    for (uint64_t w : s.bits) PutFixed64(dst, w);
+    PutFixed64(dst, static_cast<uint64_t>(s.min_int));
+    PutFixed64(dst, static_cast<uint64_t>(s.max_int));
+    PutFixed32(dst, (uint32_t{s.ints_only} << 8) | uint32_t{s.populated});
+  }
+}
+
+bool PartitionSynopsis::DecodeFrom(std::string_view* in,
+                                   PartitionSynopsis* out) {
+  uint64_t u = 0;
+  if (!GetFixed64(in, &out->begin_row)) return false;
+  if (!GetFixed64(in, &out->end_row)) return false;
+  if (!GetFixed64(in, &u)) return false;
+  out->min_valid_from = static_cast<int64_t>(u);
+  if (!GetFixed64(in, &u)) return false;
+  out->max_valid_to = static_cast<int64_t>(u);
+  if (!GetFixed64(in, &u)) return false;
+  out->min_tt_start = static_cast<int64_t>(u);
+  if (!GetFixed64(in, &u)) return false;
+  out->max_finite_tt_end = static_cast<int64_t>(u);
+  if (!GetFixed64(in, &out->current_rows)) return false;
+  if (!GetFixed64(in, &out->last_close_seq)) return false;
+  if (!GetFixed64(in, &out->live_rows)) return false;
+  for (KeySketch& s : out->sketches) {
+    for (uint64_t& w : s.bits) {
+      if (!GetFixed64(in, &w)) return false;
+    }
+    if (!GetFixed64(in, &u)) return false;
+    s.min_int = static_cast<int64_t>(u);
+    if (!GetFixed64(in, &u)) return false;
+    s.max_int = static_cast<int64_t>(u);
+    uint32_t flags = 0;
+    if (!GetFixed32(in, &flags)) return false;
+    s.ints_only = static_cast<uint8_t>((flags >> 8) & 0xff);
+    s.populated = static_cast<uint8_t>(flags & 0xff);
+  }
+  return true;
+}
+
+}  // namespace temporadb

@@ -25,12 +25,34 @@ inline bool ScalarContains(int64_t b, int64_t e, int64_t t) {
 
 }  // namespace
 
-VersionScan::VersionScan(const VersionStore* store, VersionFilter filter)
+namespace {
+
+// An empty overlap window can never match (Period::Overlaps is false against
+// an empty operand); scans collapse their domain to nothing instead of
+// probing (the overlap kernels also assume non-empty query windows).
+bool NeverMatches(const BatchPredicates& p) {
+  return (p.valid_overlaps.has_value() && p.valid_overlaps->IsEmpty()) ||
+         (p.txn_overlaps.has_value() && p.txn_overlaps->IsEmpty());
+}
+
+}  // namespace
+
+VersionScan::VersionScan(const VersionStore* store, VersionFilter filter,
+                         BatchPredicates prune_hint)
     : store_(store),
       sequential_(true),
       filter_(std::move(filter)),
       limit_(store->version_count()),
-      epoch_(store->mutation_epoch()) {}
+      epoch_(store->mutation_epoch()) {
+  // The hint mirrors the window the filter checks; rows it would prune are
+  // rows the filter rejects, so consulting synopses here cannot change the
+  // yielded sequence — only how much of the store gets touched finding it.
+  if (NeverMatches(prune_hint)) {
+    limit_ = 0;
+  } else {
+    ranges_ = store->PruneRanges(prune_hint, limit_, nullptr);
+  }
+}
 
 VersionScan::VersionScan(const VersionStore* store, std::vector<RowId> rows,
                          VersionFilter filter)
@@ -58,9 +80,10 @@ VersionScan::VersionScan(const VersionStore* store, SnapshotPin pin,
       preds_(preds) {
   // Empty overlap windows can never match (Period::Overlaps is false
   // against an empty operand); collapse the domain like the batch scan.
-  if ((preds_.valid_overlaps.has_value() && preds_.valid_overlaps->IsEmpty()) ||
-      (preds_.txn_overlaps.has_value() && preds_.txn_overlaps->IsEmpty())) {
+  if (NeverMatches(preds_)) {
     limit_ = 0;
+  } else {
+    ranges_ = store->PruneRanges(preds_, limit_, &pin_);
   }
 }
 
@@ -82,22 +105,27 @@ void VersionScan::MaterializeParallel() {
   // (see the epoch contract).  Each morsel probes a contiguous range of
   // the candidate domain, so the concatenation in morsel order is exactly
   // the sequence the pull loop would yield.
-  const size_t domain = sequential_ ? limit_ : rows_.size();
-  const bool seq = sequential_;
-  buffer_ =
-      exec::ParallelScan<std::pair<RowId, const BitemporalTuple*>>(
-          store_->options().exec_pool, domain,
-          [this, seq](size_t begin, size_t end,
-                      std::vector<std::pair<RowId, const BitemporalTuple*>>*
-                          out) {
-            for (size_t i = begin; i < end; ++i) {
-              const RowId row = seq ? i : rows_[i];
-              Result<const BitemporalTuple*> t = store_->Get(row);
-              if (!t.ok()) continue;  // Tombstone (or a stale index entry).
-              if (filter_ && !filter_(**t)) continue;
-              out->emplace_back(row, *t);
-            }
-          });
+  const auto probe = [this](size_t begin, size_t end,
+                            std::vector<std::pair<
+                                RowId, const BitemporalTuple*>>* out) {
+    for (size_t i = begin; i < end; ++i) {
+      const RowId row = sequential_ ? i : rows_[i];
+      Result<const BitemporalTuple*> t = store_->Get(row);
+      if (!t.ok()) continue;  // Tombstone (or a stale index entry).
+      if (filter_ && !filter_(**t)) continue;
+      out->emplace_back(row, *t);
+    }
+  };
+  if (sequential_) {
+    // The domain is the pruned range list; chunks restart at each range, so
+    // pruned partitions never become morsels.  With the single no-prune
+    // range this is the exact classic morsel grid.
+    buffer_ = exec::ParallelScanRanges<std::pair<RowId, const BitemporalTuple*>>(
+        store_->options().exec_pool, ranges_, probe);
+  } else {
+    buffer_ = exec::ParallelScan<std::pair<RowId, const BitemporalTuple*>>(
+        store_->options().exec_pool, rows_.size(), probe);
+  }
   buffered_ = true;
   pos_ = 0;
 }
@@ -112,7 +140,13 @@ const BitemporalTuple* VersionScan::NextSnapshot(RowId* row_out) {
   const int64_t* vt = store_->chronon_valid_to();
   const int64_t* ts = store_->chronon_tt_start();
   const uint8_t* live = store_->chronon_live();
-  while (pos_ < limit_) {
+  while (range_idx_ < ranges_.size()) {
+    const RowRange& r = ranges_[range_idx_];
+    if (pos_ < r.begin) pos_ = r.begin;
+    if (pos_ >= r.end) {
+      ++range_idx_;
+      continue;
+    }
     const RowId row = pos_;
     ++pos_;
     if (live[row] == 0) continue;  // Tombstoned before the pin.
@@ -157,9 +191,28 @@ const BitemporalTuple* VersionScan::Next(RowId* row_out) {
     if (row_out != nullptr) *row_out = row;
     return tuple;
   }
-  const size_t limit = sequential_ ? limit_ : rows_.size();
-  while (pos_ < limit) {
-    const RowId row = sequential_ ? pos_ : rows_[pos_];
+  if (sequential_) {
+    // Streaming sweep over the pruned ranges (the single [0, limit_) range
+    // when nothing pruned — identical walk to the pre-partition code).
+    while (range_idx_ < ranges_.size()) {
+      const RowRange& r = ranges_[range_idx_];
+      if (pos_ < r.begin) pos_ = r.begin;
+      if (pos_ >= r.end) {
+        ++range_idx_;
+        continue;
+      }
+      const RowId row = pos_;
+      ++pos_;
+      Result<const BitemporalTuple*> t = store_->Get(row);
+      if (!t.ok()) continue;  // Tombstone.
+      if (filter_ && !filter_(**t)) continue;
+      if (row_out != nullptr) *row_out = row;
+      return *t;
+    }
+    return nullptr;
+  }
+  while (pos_ < rows_.size()) {
+    const RowId row = rows_[pos_];
     ++pos_;
     Result<const BitemporalTuple*> t = store_->Get(row);
     if (!t.ok()) continue;  // Tombstone (or a stale index entry).
@@ -174,18 +227,6 @@ const BitemporalTuple* VersionScan::Next(RowId* row_out) {
 // VersionBatchScan
 // ---------------------------------------------------------------------------
 
-namespace {
-
-// An empty overlap window can never match (Period::Overlaps is false against
-// an empty operand); the overlap kernels assume a non-empty query window, so
-// the scan collapses its domain to nothing instead.
-bool NeverMatches(const BatchPredicates& p) {
-  return (p.valid_overlaps.has_value() && p.valid_overlaps->IsEmpty()) ||
-         (p.txn_overlaps.has_value() && p.txn_overlaps->IsEmpty());
-}
-
-}  // namespace
-
 VersionBatchScan::VersionBatchScan(const VersionStore* store,
                                    BatchPredicates preds)
     : store_(store),
@@ -197,7 +238,16 @@ VersionBatchScan::VersionBatchScan(const VersionStore* store,
                                                    : store->options().batch_rows) {
   assert(limit_ <= std::numeric_limits<uint32_t>::max() &&
          "selection vectors index rows as uint32");
-  if (NeverMatches(preds_)) limit_ = 0;
+  if (NeverMatches(preds_)) {
+    limit_ = 0;
+  } else {
+    ranges_ = store->PruneRanges(preds_, limit_, nullptr);
+    chunks_ = exec::RangeChunks(ranges_, batch_rows_);
+    if (ScanStats* stats = store->options().scan_stats) {
+      stats->batch_morsels_formed.fetch_add(chunks_.size(),
+                                            std::memory_order_relaxed);
+    }
+  }
 }
 
 VersionBatchScan::VersionBatchScan(const VersionStore* store,
@@ -234,7 +284,16 @@ VersionBatchScan::VersionBatchScan(const VersionStore* store, SnapshotPin pin,
                       : store->options().batch_rows) {
   assert(limit_ <= std::numeric_limits<uint32_t>::max() &&
          "selection vectors index rows as uint32");
-  if (NeverMatches(preds_)) limit_ = 0;
+  if (NeverMatches(preds_)) {
+    limit_ = 0;
+  } else {
+    ranges_ = store->PruneRanges(preds_, limit_, &pin_);
+    chunks_ = exec::RangeChunks(ranges_, batch_rows_);
+    if (ScanStats* stats = store->options().scan_stats) {
+      stats->batch_morsels_formed.fetch_add(chunks_.size(),
+                                            std::memory_order_relaxed);
+    }
+  }
 }
 
 bool VersionBatchScan::ShouldRunParallel() const {
@@ -410,23 +469,37 @@ void VersionBatchScan::ProbeRange(size_t begin, size_t end,
 }
 
 void VersionBatchScan::MaterializeParallel() {
-  const size_t domain = sequential_ ? limit_ : rows_.size();
   exec::MorselOptions morsels;
   morsels.morsel_rows = batch_rows_;
-  batches_ = exec::ParallelScan<VersionBatch>(
-      store_->options().exec_pool, domain,
-      [this](size_t begin, size_t end, std::vector<VersionBatch>* out) {
-        // One batch per batch_rows-aligned chunk.  Morsel boundaries are
-        // multiples of batch_rows, so the sequential fallback (one probe
-        // over the whole domain) slices identically — batch boundaries, not
-        // just row order, are thread-count-invariant.
-        for (size_t b = begin; b < end; b += batch_rows_) {
+  if (sequential_) {
+    // One morsel per pre-chunked range slice and one batch per morsel: the
+    // chunk grid is `chunks_`, exactly what the streaming pull walks, so
+    // batch boundaries are invariant across thread counts and identical to
+    // the unpartitioned store whenever nothing pruned.
+    batches_ = exec::ParallelScanRanges<VersionBatch>(
+        store_->options().exec_pool, ranges_,
+        [this](size_t begin, size_t end, std::vector<VersionBatch>* out) {
           VersionBatch batch;
-          ProbeRange(b, std::min(end, b + batch_rows_), &batch);
+          ProbeRange(begin, end, &batch);
           out->push_back(std::move(batch));
-        }
-      },
-      morsels);
+        },
+        morsels);
+  } else {
+    batches_ = exec::ParallelScan<VersionBatch>(
+        store_->options().exec_pool, rows_.size(),
+        [this](size_t begin, size_t end, std::vector<VersionBatch>* out) {
+          // One batch per batch_rows-aligned chunk.  Morsel boundaries are
+          // multiples of batch_rows, so the sequential fallback (one probe
+          // over the whole domain) slices identically — batch boundaries,
+          // not just row order, are thread-count-invariant.
+          for (size_t b = begin; b < end; b += batch_rows_) {
+            VersionBatch batch;
+            ProbeRange(b, std::min(end, b + batch_rows_), &batch);
+            out->push_back(std::move(batch));
+          }
+        },
+        morsels);
+  }
   buffered_ = true;
   batch_pos_ = 0;
 }
@@ -452,7 +525,16 @@ bool VersionBatchScan::Next(VersionBatch* out) {
     }
     return false;
   }
-  const size_t domain = sequential_ ? limit_ : rows_.size();
+  if (sequential_) {
+    while (chunk_idx_ < chunks_.size()) {
+      const RowRange c = chunks_[chunk_idx_++];
+      out->Clear();
+      ProbeRange(c.begin, c.end, out);
+      if (!out->empty()) return true;
+    }
+    return false;
+  }
+  const size_t domain = rows_.size();
   while (pos_ < domain) {
     const size_t begin = pos_;
     const size_t end = std::min(domain, begin + batch_rows_);
@@ -534,11 +616,27 @@ RowId VersionStore::RawAppend(BitemporalTuple tuple) {
   SyncChrononColumns(row);
   ++live_count_;
   ++mutation_epoch_;
+  MaybeSealHot();
   return row;
 }
 
 void VersionStore::RawUnappend(RowId row) {
   assert(row + 1 == versions_.size());
+  // Without MVCC the store seals eagerly at append, so an abort-time
+  // unappend may claw the tail row back out of a sealed partition: unseal
+  // it (remaining rows return to the hot tail and reseal on the next
+  // append).  With MVCC this never triggers — only committed rows seal,
+  // and committed rows never unappend.
+  while (sealed_rows_ > row) {
+    const uint64_t n = sealed_.size();
+    TDB_INVARIANT_CHECK(options_.mvcc == nullptr && n > 0,
+                        "unappend reached into a sealed partition with "
+                        "MVCC snapshots enabled; sealed partitions must "
+                        "only cover committed rows");
+    sealed_rows_ = sealed_[n - 1].begin_row;
+    sealed_count_.store(n - 1, std::memory_order_release);
+    sealed_.pop_back();
+  }
   Slot& slot = versions_[row];
   if (!slot.tombstone) {
     IndexEraseValid(row, slot.tuple);
@@ -597,6 +695,7 @@ Status VersionStore::RawCloseTxn(RowId row, Chronon tt_end) {
           : options_.mvcc->commit_seq.load(std::memory_order_relaxed) + 1;
   mvcc::StoreRelaxed(&col_close_seq_[row], stamp);
   mvcc::StoreRelease(&col_tt_end_[row], tt_end.days());
+  OnRowClosed(row, tt_end, stamp);
   ++mutation_epoch_;
   return Status::OK();
 }
@@ -615,6 +714,7 @@ void VersionStore::RawReopenTxn(RowId row, Chronon old_end) {
   // place deliberately — with tt_end = ∞ the row reads as current no
   // matter what the stamp says, and a later close will restamp it.
   mvcc::StoreRelease(&col_tt_end_[row], old_end.days());
+  OnRowReopened(row);
   ++mutation_epoch_;
 }
 
@@ -632,6 +732,7 @@ Status VersionStore::RawPhysicalDelete(RowId row) {
   slot.tombstone = true;
   col_live_[row] = 0;
   --live_count_;
+  RepatchSealedSynopsis(row);
   ++mutation_epoch_;
   return Status::OK();
 }
@@ -645,6 +746,7 @@ void VersionStore::RawUndelete(RowId row, BitemporalTuple tuple) {
   IndexInsert(row, slot.tuple);
   AttrIndexInsert(row, slot.tuple);
   ++live_count_;
+  RepatchSealedSynopsis(row);
   ++mutation_epoch_;
 }
 
@@ -663,6 +765,7 @@ Status VersionStore::RawPhysicalUpdate(RowId row, BitemporalTuple tuple) {
   SyncChrononColumns(row);
   IndexInsert(row, slot.tuple);
   AttrIndexInsert(row, slot.tuple);
+  RepatchSealedSynopsis(row);
   ++mutation_epoch_;
   return Status::OK();
 }
@@ -815,15 +918,24 @@ VersionFilter Compose(VersionFilter window, VersionFilter extra) {
 
 }  // namespace
 
+// The sequential (index-off) arms below hand the scan their window twice:
+// once as the composed row filter (which decides matches, exactly as
+// before) and once as a structured prune hint so the sweep can skip sealed
+// partitions the window provably misses.  Index arms need no hint — the
+// probe already visits only candidate rows.
+
 VersionScan VersionStore::ScanCurrent(VersionFilter extra) const {
   if (options_.index_txn_time) {
     std::vector<RowId> rows;
     txn_index_.Current([&](RowId row) { rows.push_back(row); });
     return VersionScan(this, std::move(rows), std::move(extra));
   }
+  BatchPredicates hint;
+  hint.txn_current = true;
   return VersionScan(
       this, Compose([](const BitemporalTuple& t) { return t.IsCurrentState(); },
-                    std::move(extra)));
+                    std::move(extra)),
+      hint);
 }
 
 VersionScan VersionStore::ScanAsOf(Chronon t, VersionFilter extra) const {
@@ -832,10 +944,13 @@ VersionScan VersionStore::ScanAsOf(Chronon t, VersionFilter extra) const {
     txn_index_.AsOf(t, [&](RowId row) { rows.push_back(row); });
     return VersionScan(this, std::move(rows), std::move(extra));
   }
+  BatchPredicates hint;
+  hint.txn_contains = t;
   return VersionScan(
       this,
       Compose([t](const BitemporalTuple& v) { return v.txn.Contains(t); },
-              std::move(extra)));
+              std::move(extra)),
+      hint);
 }
 
 VersionScan VersionStore::ScanTxnOverlapping(Period q,
@@ -845,10 +960,13 @@ VersionScan VersionStore::ScanTxnOverlapping(Period q,
     txn_index_.Overlapping(q, [&](RowId row) { rows.push_back(row); });
     return VersionScan(this, std::move(rows), std::move(extra));
   }
+  BatchPredicates hint;
+  hint.txn_overlaps = q;
   return VersionScan(
       this,
       Compose([q](const BitemporalTuple& v) { return v.txn.Overlaps(q); },
-              std::move(extra)));
+              std::move(extra)),
+      hint);
 }
 
 VersionScan VersionStore::ScanValidDuring(Period q, VersionFilter extra) const {
@@ -857,10 +975,13 @@ VersionScan VersionStore::ScanValidDuring(Period q, VersionFilter extra) const {
     valid_index_.Overlapping(q, [&](Period, RowId row) { rows.push_back(row); });
     return VersionScan(this, std::move(rows), std::move(extra));
   }
+  BatchPredicates hint;
+  hint.valid_overlaps = q;
   return VersionScan(
       this,
       Compose([q](const BitemporalTuple& v) { return v.valid.Overlaps(q); },
-              std::move(extra)));
+              std::move(extra)),
+      hint);
 }
 
 // The Batch* entry points mirror the row entry points branch-for-branch:
@@ -957,6 +1078,7 @@ RowId VersionStore::LoadSlot(std::optional<BitemporalTuple> tuple) {
   col_live_.push_back(0);
   col_close_seq_.push_back(0);
   ++mutation_epoch_;
+  MaybeSealHot();
   return row;
 }
 
@@ -993,6 +1115,12 @@ size_t VersionStore::CompactTombstones() {
   col_tt_end_.ReleaseRetired();
   col_live_.ReleaseRetired();
   col_close_seq_.ReleaseRetired();
+  // Row ids changed: every sealed boundary and synopsis is stale.  Drop
+  // them (the correction fence guarantees no reader holds a partition
+  // count) and let the re-publication below reseal the compacted prefix.
+  sealed_count_.store(0, std::memory_order_release);
+  sealed_.Truncate(0);
+  sealed_rows_ = 0;
   // Row ids changed: rebuild every index from scratch.
   txn_index_.Clear();
   valid_index_.Clear();
@@ -1003,7 +1131,8 @@ size_t VersionStore::CompactTombstones() {
     AttrIndexInsert(row, versions_[row].tuple);
   }
   // The published watermark now exceeds the row count; re-publish so later
-  // pins see the compacted extent.  (No pin can exist right now.)
+  // pins see the compacted extent.  (No pin can exist right now; this also
+  // reseals the compacted history into fresh partitions.)
   PublishCommittedRows();
   ++mutation_epoch_;
   return reclaimed;
@@ -1071,6 +1200,267 @@ void VersionStore::FillEffectiveTtEnd(size_t begin, size_t end,
   for (size_t row = begin; row < end; ++row) {
     out[row - begin] = EffectiveTtEnd(row, snap_seq);
   }
+}
+
+// --- Epoch partitions --------------------------------------------------------
+
+void VersionStore::MaybeSealHot() {
+  if (loading_ || options_.partition_rows == 0) return;
+  // Only rows that can never be unappended may seal.  With MVCC that is the
+  // committed watermark (an abort claws back rows above it, never below);
+  // without MVCC there are no concurrent readers, so the whole store is
+  // sealable and RawUnappend simply unseals on the way back down.
+  const size_t cap = options_.mvcc == nullptr
+                         ? versions_.size()
+                         : committed_rows_.load(std::memory_order_relaxed);
+  while (cap > sealed_rows_ && cap - sealed_rows_ >= options_.partition_rows) {
+    PartitionSynopsis s;
+    s.begin_row = sealed_rows_;
+    s.end_row = sealed_rows_ + options_.partition_rows;
+    ComputeSynopsis(&s);
+    // Publish order matters under concurrent pinned readers: the synopsis is
+    // fully written into the slab first, the count release-stored last, so a
+    // reader that observes index i < sealed_count_ observes i's final bytes.
+    sealed_.push_back(s);
+    sealed_rows_ = s.end_row;
+    sealed_count_.store(sealed_.size(), std::memory_order_release);
+  }
+}
+
+void VersionStore::ComputeSynopsis(PartitionSynopsis* s) const {
+  s->min_valid_from = Chronon::kForeverRep;
+  s->max_valid_to = Chronon::kBeginningRep;
+  s->min_tt_start = Chronon::kForeverRep;
+  s->max_finite_tt_end = Chronon::kBeginningRep;
+  s->current_rows = 0;
+  s->last_close_seq = 0;
+  s->live_rows = 0;
+  for (KeySketch& k : s->sketches) k = KeySketch{};
+  for (RowId row = s->begin_row; row < s->end_row; ++row) {
+    if (col_live_[row] == 0) continue;  // Tombstone: no time, no keys.
+    ++s->live_rows;
+    const int64_t vf = col_valid_from_[row];
+    const int64_t vt = col_valid_to_[row];
+    if (vf < vt) {  // Empty valid periods overlap nothing; skip the bounds.
+      if (vf < s->min_valid_from) s->min_valid_from = vf;
+      if (vt > s->max_valid_to) s->max_valid_to = vt;
+    }
+    const int64_t ts = col_tt_start_[row];
+    if (ts < s->min_tt_start) s->min_tt_start = ts;
+    const int64_t te = col_tt_end_[row];  // Writer thread: plain load is fine.
+    if (te == Chronon::kForeverRep) {
+      ++s->current_rows;
+    } else if (te > s->max_finite_tt_end) {
+      s->max_finite_tt_end = te;
+    }
+    const uint64_t stamp = col_close_seq_[row];
+    if (stamp > s->last_close_seq) s->last_close_seq = stamp;
+    const Slot& slot = versions_[row];
+    const size_t nattrs = slot.tuple.values.size();
+    for (size_t a = 0; a < PartitionSynopsis::kSketchAttrs && a < nattrs; ++a) {
+      s->sketches[a].Add(slot.tuple.values[a]);
+    }
+  }
+}
+
+size_t VersionStore::SealedIndexOf(RowId row) const {
+  if (row >= sealed_rows_) return sealed_.size();
+  // Partitions are contiguous from row 0 in ascending order: binary-search
+  // the first partition whose end exceeds `row`.
+  size_t lo = 0;
+  size_t hi = sealed_.size();
+  while (lo < hi) {
+    const size_t mid = lo + (hi - lo) / 2;
+    if (sealed_[mid].end_row <= row) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  return lo;
+}
+
+void VersionStore::OnRowClosed(RowId row, Chronon tt_end, uint64_t stamp) {
+  if (row >= sealed_rows_) return;  // Hot rows reseal from scratch.
+  // A "close" at ∞ leaves the row current (ScanAll-era histories do this);
+  // nothing about the synopsis changes.
+  if (tt_end.days() == Chronon::kForeverRep) return;
+  PartitionSynopsis& s = sealed_[SealedIndexOf(row)];
+  // Monotone maxes first (relaxed), the currency decrement last (release):
+  // a reader that acquires current_rows == 0 from this store is guaranteed
+  // to see the max_finite_tt_end / last_close_seq this close contributed,
+  // so a finite tt upper bound is never paired with a missing close.
+  if (tt_end.days() > mvcc::LoadRelaxed(&s.max_finite_tt_end)) {
+    mvcc::StoreRelaxed(&s.max_finite_tt_end, tt_end.days());
+  }
+  if (stamp > mvcc::LoadRelaxed(&s.last_close_seq)) {
+    mvcc::StoreRelaxed(&s.last_close_seq, stamp);
+  }
+  mvcc::StoreRelease(&s.current_rows, mvcc::LoadRelaxed(&s.current_rows) - 1);
+}
+
+void VersionStore::OnRowReopened(RowId row) {
+  if (row >= sealed_rows_) return;
+  PartitionSynopsis& s = sealed_[SealedIndexOf(row)];
+  // The undo restores currency; the (possibly stale) maxes left behind by
+  // the aborted close only widen the bounds — conservative, never unsound.
+  mvcc::StoreRelease(&s.current_rows, mvcc::LoadRelaxed(&s.current_rows) + 1);
+}
+
+void VersionStore::RepatchSealedSynopsis(RowId row) {
+  if (row >= sealed_rows_) return;
+  const size_t i = SealedIndexOf(row);
+  // Corrections rewrite history arbitrarily (delete, undelete, full tuple
+  // replacement), so incremental patching cannot stay tight: recompute the
+  // partition's synopsis exactly.  The caller holds the correction fence
+  // when MVCC is on, so the plain overwrite cannot tear under a reader.
+  PartitionSynopsis fresh;
+  fresh.begin_row = sealed_[i].begin_row;
+  fresh.end_row = sealed_[i].end_row;
+  ComputeSynopsis(&fresh);
+  sealed_[i] = fresh;
+}
+
+Status VersionStore::InstallSealedPartitions(
+    std::vector<PartitionSynopsis> parts) {
+  if (options_.partition_rows == 0) return Status::OK();
+  uint64_t expect_begin = 0;
+  for (const PartitionSynopsis& p : parts) {
+    if (p.begin_row != expect_begin || p.end_row <= p.begin_row) {
+      return Status::Corruption(
+          "checkpoint partition synopses are not contiguous from row 0");
+    }
+    expect_begin = p.end_row;
+  }
+  if (expect_begin > versions_.size()) {
+    return Status::Corruption(
+        "checkpoint partition extent exceeds the loaded store");
+  }
+  for (PartitionSynopsis& p : parts) {
+    // Commit sequences do not survive a restart: recovered closes are
+    // unconditionally visible (the close-stamp column also reloads as 0).
+    p.last_close_seq = 0;
+    sealed_.push_back(p);
+  }
+  sealed_rows_ = expect_begin;
+  sealed_count_.store(sealed_.size(), std::memory_order_release);
+  return Status::OK();
+}
+
+std::vector<RowRange> VersionStore::PruneRanges(const BatchPredicates& preds,
+                                                size_t limit,
+                                                const SnapshotPin* pin) const {
+  std::vector<RowRange> out;
+  if (limit == 0) return out;
+  const bool predicated = preds.valid_overlaps.has_value() ||
+                          preds.txn_overlaps.has_value() ||
+                          preds.txn_contains.has_value() || preds.txn_current ||
+                          pin != nullptr;
+  // Snapshot readers bound themselves by the release-published count (the
+  // synopsis bytes of every index below it are final); the writer thread may
+  // use its own directory size directly.
+  const uint64_t sealed_count =
+      pin == nullptr ? sealed_.size()
+                     : sealed_count_.load(std::memory_order_acquire);
+  if (!options_.partition_pruning || !predicated || sealed_count == 0) {
+    out.push_back(RowRange{0, limit});
+    return out;
+  }
+  uint64_t considered = 0;
+  uint64_t pruned_tt = 0;
+  uint64_t pruned_vt = 0;
+  uint64_t pruned_snap = 0;
+  uint64_t scanned_parts = 0;
+  uint64_t scanned_rows = 0;
+  // Merging adjacent survivors keeps the no-prune result the single range
+  // [0, limit) — downstream chunk geometry then matches the unpartitioned
+  // store bit for bit.
+  auto emit = [&out](size_t b, size_t e) {
+    if (!out.empty() && out.back().end == b) {
+      out.back().end = e;
+    } else {
+      out.push_back(RowRange{b, e});
+    }
+  };
+  size_t covered = 0;
+  for (uint64_t i = 0; i < sealed_count; ++i) {
+    const PartitionSynopsis& s = pin ? sealed_.AtPinned(i) : sealed_[i];
+    if (s.begin_row >= limit) {
+      if (pin == nullptr) break;
+      // Sealed entirely at/above the pin's watermark: invisible by
+      // construction.
+      ++considered;
+      ++pruned_snap;
+      continue;
+    }
+    ++considered;
+    const size_t b = s.begin_row;
+    const size_t e = s.end_row < limit ? static_cast<size_t>(s.end_row) : limit;
+    covered = e;
+    if (s.live_rows == 0) {  // All tombstones: nothing can match anything.
+      ++pruned_tt;
+      continue;
+    }
+    bool pruned = false;
+    if (preds.txn_contains || preds.txn_overlaps || preds.txn_current) {
+      // The partition's transaction-time upper bound.  Any still-current row
+      // (or, under a pin, any close the pin must un-see) extends it to ∞.
+      // Acquire current_rows *first*: reading 0 synchronizes with the
+      // release-decrement of the close that zeroed it, making that close's
+      // relaxed max/stamp stores visible below.
+      const uint64_t cur = mvcc::LoadAcquire(&s.current_rows);
+      const bool tt_unbounded =
+          cur > 0 ||
+          (pin != nullptr && mvcc::LoadRelaxed(&s.last_close_seq) > pin->seq);
+      const int64_t tt_ub = tt_unbounded
+                                ? Chronon::kForeverRep
+                                : mvcc::LoadRelaxed(&s.max_finite_tt_end);
+      if (preds.txn_contains) {
+        const int64_t t = preds.txn_contains->days();
+        if (t < s.min_tt_start || t >= tt_ub) pruned = true;
+      }
+      if (!pruned && preds.txn_overlaps) {
+        const int64_t qb = preds.txn_overlaps->begin().days();
+        const int64_t qe = preds.txn_overlaps->end().days();
+        if (s.min_tt_start >= qe || qb >= tt_ub) pruned = true;
+      }
+      if (!pruned && preds.txn_current && !tt_unbounded) pruned = true;
+      if (pruned) {
+        ++pruned_tt;
+        continue;
+      }
+    }
+    if (preds.valid_overlaps) {
+      const int64_t qb = preds.valid_overlaps->begin().days();
+      const int64_t qe = preds.valid_overlaps->end().days();
+      if (s.min_valid_from >= qe || qb >= s.max_valid_to) {
+        ++pruned_vt;
+        continue;
+      }
+    }
+    emit(b, e);
+    ++scanned_parts;
+    scanned_rows += e - b;
+  }
+  // The hot tail above the sealed extent has no synopsis: always scan it.
+  if (covered < limit) {
+    emit(covered, limit);
+    scanned_rows += limit - covered;
+  }
+  if (ScanStats* stats = options_.scan_stats) {
+    stats->partitions_considered.fetch_add(considered,
+                                           std::memory_order_relaxed);
+    stats->partitions_pruned_tt.fetch_add(pruned_tt,
+                                          std::memory_order_relaxed);
+    stats->partitions_pruned_vt.fetch_add(pruned_vt,
+                                          std::memory_order_relaxed);
+    stats->partitions_pruned_snapshot.fetch_add(pruned_snap,
+                                                std::memory_order_relaxed);
+    stats->partitions_scanned.fetch_add(scanned_parts,
+                                        std::memory_order_relaxed);
+    stats->rows_scanned.fetch_add(scanned_rows, std::memory_order_relaxed);
+  }
+  return out;
 }
 
 }  // namespace temporadb

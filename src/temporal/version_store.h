@@ -15,6 +15,7 @@
 #include "index/snapshot_index.h"
 #include "temporal/bitemporal_tuple.h"
 #include "temporal/mvcc.h"
+#include "temporal/partition.h"
 #include "temporal/stable_storage.h"
 #include "txn/transaction.h"
 
@@ -102,7 +103,12 @@ struct BatchPredicates {
 class VersionScan {
  public:
   /// Sequential sweep of every live version, optionally filtered.
-  explicit VersionScan(const VersionStore* store, VersionFilter filter = {});
+  /// `prune_hint` is the structured twin of the time window `filter` checks
+  /// (empty for an unwindowed sweep): it never changes which rows match —
+  /// the filter still decides — but lets the scan skip sealed partitions
+  /// whose synopsis proves the window cannot intersect them.
+  explicit VersionScan(const VersionStore* store, VersionFilter filter = {},
+                       BatchPredicates prune_hint = {});
 
   /// Scan over index-selected candidates; `rows` is sorted (and deduped)
   /// so the yield order matches the equivalent sequential sweep.
@@ -133,6 +139,10 @@ class VersionScan {
   const VersionStore* store_;
   bool sequential_;
   std::vector<RowId> rows_;  // Index mode only.
+  // Sequential/snapshot mode: the surviving row ranges after partition
+  // pruning (the single range [0, limit_) when nothing prunes).
+  std::vector<RowRange> ranges_;
+  size_t range_idx_ = 0;  // Current range (streaming sequential/snapshot).
   size_t pos_ = 0;  // Next row id (sequential) / index into rows_ or buffer_.
   VersionFilter filter_;
   size_t limit_;     // Watermark: slots at or above it are invisible.
@@ -228,7 +238,14 @@ class VersionBatchScan {
   bool snapshot_ = false;  // Pin-bound mode: epoch check off, patched reads.
   SnapshotPin pin_;
   size_t batch_rows_;
-  size_t pos_ = 0;         // Next domain position (streaming mode).
+  // Sequential/snapshot mode: surviving ranges after partition pruning and
+  // their batch_rows-aligned chunk grid.  One chunk = one batch = one
+  // morsel, so pruned partitions never form a batch or a morsel and the
+  // geometry is identical between streaming and parallel materialization.
+  std::vector<RowRange> ranges_;
+  std::vector<RowRange> chunks_;
+  size_t chunk_idx_ = 0;   // Next chunk (streaming sequential/snapshot).
+  size_t pos_ = 0;         // Next domain position (streaming index mode).
   bool decided_ = false;   // Parallel-vs-stream decision made at first Next.
   bool buffered_ = false;  // Batches pre-materialized into batches_.
   std::vector<VersionBatch> batches_;
@@ -284,6 +301,22 @@ struct VersionStoreOptions {
   /// works single-threaded, closes are stamped sequence 0, and
   /// `BeginCorrection` gating is skipped.
   MvccState* mvcc = nullptr;
+  /// Transaction-time epoch partitioning: versions append into an open hot
+  /// partition, and once `partition_rows` of them are stable (committed,
+  /// when MVCC is on — a sealed partition must never lose rows to an
+  /// abort-time unappend) the prefix is sealed into an immutable cold
+  /// partition carrying a `PartitionSynopsis`.  0 disables partitioning —
+  /// one unbounded hot partition, the differential-test baseline.
+  size_t partition_rows = 4096;
+  /// Consult sealed-partition synopses on every predicated sequential or
+  /// snapshot scan and skip partitions whose time bounds cannot intersect
+  /// the pushed-down window (the ablation toggle; sealing and synopsis
+  /// maintenance continue regardless so the toggle is flippable per query).
+  bool partition_pruning = true;
+  /// Pruning observability sink (partition.h); non-owning, may be shared
+  /// across stores, null = off.  Counters are atomic — snapshot readers on
+  /// other threads report through the same instance.
+  ScanStats* scan_stats = nullptr;
 };
 
 /// The physical container of tuple versions for one stored relation.
@@ -420,8 +453,14 @@ class VersionStore {
   /// group-commit completion (and at the end of recovery), between the
   /// MvccState publish_word flips; release-ordered so a pin that observes
   /// the new watermark also observes every published row's bytes.
+  ///
+  /// Publication is also the MVCC-mode seal point: rows that just became
+  /// committed can never be unappended, so full partitions of them seal
+  /// here (never at append, where an abort could claw rows back out of a
+  /// sealed partition under concurrent readers).
   void PublishCommittedRows() {
     committed_rows_.store(versions_.size(), std::memory_order_release);
+    MaybeSealHot();
   }
 
   /// The committed-row watermark as last published.
@@ -546,6 +585,78 @@ class VersionStore {
     if (rows > 0) options_.batch_rows = rows;
   }
 
+  /// Flips synopsis-based partition pruning on an existing store (the
+  /// ablation and the differential tests compare pruned vs. unpruned scans
+  /// over one populated history).  Sealing is unaffected — partitions and
+  /// synopses keep being maintained either way.  Writer-thread only; must
+  /// not be called while snapshot readers are scanning.
+  void ConfigurePartitionPruning(bool enabled) {
+    options_.partition_pruning = enabled;
+  }
+
+  /// Re-points the pruning-counter sink (see VersionStoreOptions).  Same
+  /// call discipline as ConfigurePartitionPruning.
+  void set_scan_stats(ScanStats* stats) { options_.scan_stats = stats; }
+
+  // --- Epoch partitions -----------------------------------------------------
+  //
+  // Sealed (cold) partitions are contiguous from row 0; `sealed_rows()` is
+  // the first hot row.  The accessors below are writer-thread views for
+  // tests, tooling, and checkpoint serialization — concurrent readers go
+  // through `PruneRanges`, which bounds itself by the published partition
+  // count instead.
+
+  size_t sealed_partition_count() const { return sealed_.size(); }
+  const PartitionSynopsis& sealed_partition(size_t i) const {
+    return sealed_[i];
+  }
+  uint64_t sealed_rows() const { return sealed_rows_; }
+
+  /// Key-sketch probe: false proves no live row of sealed partition `i` has
+  /// attribute `attr` equal to `key` (no false negatives; bloom-limited
+  /// false positives).  Only the first `PartitionSynopsis::kSketchAttrs`
+  /// attributes are sketched.
+  bool SealedPartitionMayContain(size_t i, size_t attr,
+                                 const Value& key) const {
+    if (attr >= PartitionSynopsis::kSketchAttrs) return true;
+    return sealed_[i].sketches[attr].MayContain(key);
+  }
+
+  /// The surviving candidate row ranges of a sequential sweep over
+  /// `[0, limit)` under `preds`: ascending, disjoint, adjacent survivors
+  /// merged (so the no-prune result is the single range `[0, limit)` and
+  /// downstream chunk geometry matches the unpartitioned store exactly).
+  /// `pin` non-null marks a snapshot scan: partitions sealed entirely at or
+  /// above the pin's watermark are skipped outright, and transaction-time
+  /// upper bounds fall back to ∞ whenever a close in the partition was
+  /// stamped after the pin's sequence (DESIGN.md §14 soundness argument).
+  /// Thread-safe for concurrent snapshot readers; reports to `scan_stats`.
+  std::vector<RowRange> PruneRanges(const BatchPredicates& preds, size_t limit,
+                                    const SnapshotPin* pin) const;
+
+  /// Checkpoint-load bracket: between BeginLoad and EndLoad, slot loading
+  /// does not auto-seal (recovery installs the checkpoint's sealed
+  /// partitions instead of rescanning history to rebuild them).
+  void BeginLoad() { loading_ = true; }
+
+  /// Installs checkpoint-serialized sealed partitions over the slots loaded
+  /// so far.  Validates contiguity from row 0 and that the sealed extent
+  /// fits the store; Corruption otherwise.  `last_close_seq` is reset to 0:
+  /// commit sequences do not survive a restart (recovered closes are
+  /// unconditionally visible to every post-recovery pin, matching the
+  /// close-stamp column which also reloads as 0).  No-op (still OK) when
+  /// partitioning is disabled.
+  Status InstallSealedPartitions(std::vector<PartitionSynopsis> parts);
+
+  /// Ends the checkpoint-load bracket.  A legacy checkpoint with no
+  /// partition sidecar leaves the store unpartitioned here; the next
+  /// publication (end of recovery) re-seals by scanning — slower once,
+  /// correct always.
+  void EndLoad() {
+    loading_ = false;
+    MaybeSealHot();
+  }
+
   /// Approximate bytes held, for the storage-growth bench.
   size_t ApproximateBytes() const;
 
@@ -575,6 +686,30 @@ class VersionStore {
   /// Keeps the chronon columns for slot `row` in sync with its tuple.
   void SyncChrononColumns(RowId row);
 
+  // --- Partition lifecycle (writer thread; see DESIGN.md §14) ---------------
+
+  /// Seals full partitions off the stable prefix: everything up to the
+  /// committed watermark when MVCC is on (sealed rows must never unappend),
+  /// the whole store when it is off.  No-op while loading or when
+  /// partitioning is disabled.
+  void MaybeSealHot();
+  /// Exact synopsis over `[s->begin_row, s->end_row)` from the chronon
+  /// columns and live tuples (key sketches from the first attributes).
+  void ComputeSynopsis(PartitionSynopsis* s) const;
+  /// Writer index of the sealed partition containing `row`; size() if hot.
+  size_t SealedIndexOf(RowId row) const;
+  /// Incremental synopsis maintenance for an in-place transaction-time
+  /// close of a sealed row (and its abort-time undo): runs concurrently
+  /// with pinned readers, so the mutable trio is updated with the mvcc
+  /// element atomics in reader-compatible order.
+  void OnRowClosed(RowId row, Chronon tt_end, uint64_t stamp);
+  void OnRowReopened(RowId row);
+  /// The sanctioned correction-patch entry point (tdb_lint rule 6): a
+  /// physical delete/update/undelete rewrote sealed row `row`, so its
+  /// partition's synopsis is recomputed exactly.  Caller holds the
+  /// correction fence when MVCC is on — no reader is pinned.
+  void RepatchSealedSynopsis(RowId row);
+
   VersionStoreOptions options_;
   // Slot storage with pointer stability: snapshot readers keep dereferencing
   // rows under their watermark while the writer appends (stable_storage.h).
@@ -594,6 +729,17 @@ class VersionStore {
   // acquire-read by snapshot pins.  Rows at or above it are uncommitted
   // (or unborn) as far as any snapshot is concerned.
   std::atomic<uint64_t> committed_rows_{0};
+  // Sealed-partition directory.  Slab storage so a concurrent snapshot
+  // reader never races directory growth; `sealed_count_` is the reader-side
+  // bound, release-published only after a new synopsis is fully written
+  // (same publish idiom as the committed-row watermark).  `sealed_rows_`
+  // (writer-only) is the first hot row.  In MVCC mode partitions seal at
+  // publication and are never popped; without MVCC (no concurrent readers)
+  // sealing is eager at append and an abort-time unappend may unseal.
+  SlabVector<PartitionSynopsis> sealed_;
+  std::atomic<uint64_t> sealed_count_{0};
+  uint64_t sealed_rows_ = 0;
+  bool loading_ = false;  // BeginLoad/EndLoad bracket: suppress sealing.
   size_t live_count_ = 0;
   uint64_t mutation_epoch_ = 0;
   SnapshotIndex txn_index_;

@@ -37,6 +37,15 @@ express, because they are properties of *this* codebase's discipline:
      publish seqlock) must use TDB_INVARIANT_CHECK from common/check.h so
      they hold in every build mode.
 
+  6. seal-discipline — the epoch-partition directory is append/seal-only.
+     Writes to the sealed-partition state (`sealed_`, `sealed_rows_`,
+     `sealed_count_`), atomic stores to a synopsis's mutable trio
+     (current_rows / max_finite_tt_end / last_close_seq), and atomic
+     stores to the sealed chronon columns (`col_*`) are each restricted
+     to their sanctioned VersionStore entry points.  A write anywhere
+     else would mutate a sealed partition without repatching its synopsis
+     (silently unsounding pruning) or race pinned snapshot readers.
+
 Exit status 0 when clean; 1 with one line per violation otherwise.
 Run from anywhere: paths are resolved relative to the repo root.
 """
@@ -334,12 +343,84 @@ def check_invariant_checks() -> None:
                         "release builds where concurrent readers run")
 
 
+# --------------------------------------------------------------------------
+# Rule 6: sealed-partition state is written only by sanctioned entry points.
+# --------------------------------------------------------------------------
+
+# Three classes of sealed-state mutation, each with the closed set of
+# VersionStore member functions allowed to perform it.  Everything else in
+# the store must treat sealed partitions and their synopses as read-only:
+# a stray write would desynchronize synopsis and rows (pruning then skips
+# partitions that match) or race pinned snapshot readers.
+SEAL_WRITE_RULES: list[tuple[str, re.Pattern[str], set[str]]] = [
+    # The partition directory itself: grows at seal, shrinks only through
+    # the writer-side undo/compaction/recovery paths.
+    ("sealed-directory write",
+     re.compile(r"sealed_\.(push_back|pop_back|Truncate|clear)\b"
+                r"|sealed_rows_\s*[-+]?=[^=]"
+                r"|sealed_count_\.\s*(store|fetch_add|fetch_sub|exchange)\b"
+                r"|sealed_\[[^\]]*\]\s*=[^=]"),
+     {"MaybeSealHot", "RawUnappend", "InstallSealedPartitions",
+      "RepatchSealedSynopsis", "CompactTombstones"}),
+    # The synopsis's mutable trio, maintained incrementally by the close /
+    # reopen hooks (exact recomputation goes through RepatchSealedSynopsis,
+    # which writes whole synopses and is covered by the directory rule).
+    ("synopsis mutable-trio store",
+     re.compile(r"mvcc::Store\w+\s*\(\s*&\s*\w+(->|\.)"
+                r"(current_rows|max_finite_tt_end|last_close_seq)\b"),
+     {"OnRowClosed", "OnRowReopened"}),
+    # The shared chronon columns: once a row seals, its column cells may be
+    # rewritten in place only by the transaction-time close and its
+    # abort-time undo (everything else appends new cells or runs under the
+    # correction fence through the Raw* correction entry points, which
+    # rewrite via the container, not via atomic column stores).
+    ("sealed chronon-column store",
+     re.compile(r"mvcc::Store\w+\s*\(\s*&\s*col_\w+"),
+     {"RawCloseTxn", "RawReopenTxn"}),
+]
+
+MEMBER_FN = re.compile(r"\bVersionStore\s*::\s*(\w+)\s*\(")
+
+
+def check_seal_discipline() -> None:
+    path = SRC / "temporal" / "version_store.cpp"
+    code = strip_comments(path.read_text())
+    depth = 0
+    current: str | None = None   # Function whose body we are inside.
+    pending: str | None = None   # Signature seen, body brace not yet open.
+    base = 0                     # Brace depth just outside that body.
+    for lineno, line in enumerate(code.splitlines(), 1):
+        if current is None:
+            m = MEMBER_FN.search(line)
+            if m:
+                pending = m.group(1)
+                base = depth
+        for label, pattern, allowed in SEAL_WRITE_RULES:
+            if current in allowed:
+                continue
+            m = pattern.search(line)
+            if m:
+                where = current if current else "file scope"
+                err(path, lineno, "seal-discipline",
+                    f"{label} ('{m.group(0).strip()}') in {where}; only "
+                    f"{', '.join(sorted(allowed))} may perform it — route "
+                    "the mutation through a sanctioned entry point so the "
+                    "synopsis stays consistent with the sealed rows")
+        depth += line.count("{") - line.count("}")
+        if current is None and pending is not None and depth > base:
+            current = pending
+            pending = None
+        elif current is not None and depth <= base:
+            current = None
+
+
 def main() -> int:
     check_mutex_wrapper()
     check_append_only()
     check_clause_matrix()
     check_kernel_purity()
     check_invariant_checks()
+    check_seal_discipline()
     if errors:
         for e in errors:
             print(e)
