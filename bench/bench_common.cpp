@@ -113,6 +113,9 @@ int64_t PopulateLargeHistory(VersionStore* store, TxnManager* manager,
   Random rng(opts.seed);
   const size_t entities = opts.entities > 0 ? opts.entities : 1;
   const size_t hot = entities / 8 > 0 ? entities / 8 : 1;
+  // With the default theta = 0 the sampler is never consulted and the RNG
+  // draw sequence below stays byte-identical to the legacy generator.
+  const Zipf zipf(entities, opts.zipf_theta);
   const char* ranks[] = {"assistant", "associate", "full", "emeritus"};
   // Last still-current row per entity; kNone before the first insert.
   constexpr RowId kNone = static_cast<RowId>(-1);
@@ -131,17 +134,19 @@ int64_t PopulateLargeHistory(VersionStore* store, TxnManager* manager,
   };
   for (size_t v = 0; v < opts.versions; ++v) {
     day += static_cast<int64_t>(rng.Uniform(2));  // 0..1: dense timeline.
-    // Skew: ~80% of the updates land on the hot eighth of the key space.
-    const size_t entity = rng.Uniform(10) < 8
-                              ? rng.Uniform(hot)
-                              : hot + rng.Uniform(entities - hot);
+    // Skew: legacy hot-eighth 80/20 split, or a Zipf draw when requested.
+    const size_t entity =
+        opts.zipf_theta > 0.0
+            ? static_cast<size_t>(zipf.Sample(&rng))
+            : (rng.Uniform(10) < 8 ? rng.Uniform(hot)
+                                   : hot + rng.Uniform(entities - hot));
     // Valid period: near the transaction day, except for the retroactive
     // correction trickle, which re-states a fact years back.
-    int64_t from = rng.Uniform(32) == 0
+    int64_t from = opts.retro_one_in != 0 && rng.Uniform(opts.retro_one_in) == 0
                        ? day - 365 - static_cast<int64_t>(rng.Uniform(3 * 365))
                        : day - static_cast<int64_t>(rng.Uniform(30));
     Period valid =
-        rng.Uniform(8) == 0
+        opts.open_one_in != 0 && rng.Uniform(opts.open_one_in) == 0
             ? Period::From(Chronon(from))
             : Period(Chronon(from),
                      Chronon(from + 1 + static_cast<int64_t>(rng.Uniform(120))));

@@ -69,6 +69,18 @@ struct LargeHistoryOptions {
   size_t entities = 1024;     ///< Distinct keys (values[0], int-typed).
   uint64_t seed = 42;
   int64_t start_day = 1000;   ///< First transaction day.
+
+  /// Key skew: 0 keeps the legacy split (the hot eighth of the key space
+  /// takes ~80% of the updates); > 0 draws keys from `Zipf(theta)` over the
+  /// whole key space instead (rank 0 hottest), as the workload suite does.
+  double zipf_theta = 0.0;
+
+  /// One in `retro_one_in` steps is a retroactive correction whose valid
+  /// period starts years before the transaction day (0: never).
+  uint32_t retro_one_in = 32;
+
+  /// One in `open_one_in` valid periods is open-ended (0: never).
+  uint32_t open_one_in = 8;
 };
 
 /// Fills a standalone version store (driven directly through `manager`,

@@ -1,5 +1,8 @@
 #include "common/random.h"
 
+#include <algorithm>
+#include <cmath>
+
 namespace temporadb {
 
 std::string Random::NextName(size_t length) {
@@ -9,6 +12,33 @@ std::string Random::NextName(size_t length) {
     out.push_back(static_cast<char>('a' + Uniform(26)));
   }
   return out;
+}
+
+Zipf::Zipf(uint64_t n, double theta) : n_(n > 0 ? n : 1), theta_(theta) {
+  if (theta_ <= 0.0 || n_ < 2) {
+    theta_ = 0.0;
+    return;
+  }
+  double zetan = 0.0;
+  for (uint64_t i = 1; i <= n_; ++i) {
+    zetan += 1.0 / std::pow(static_cast<double>(i), theta_);
+  }
+  zetan_ = zetan;
+  const double zeta2 = 1.0 + std::pow(0.5, theta_);
+  alpha_ = 1.0 / (1.0 - theta_);
+  eta_ = (1.0 - std::pow(2.0 / static_cast<double>(n_), 1.0 - theta_)) /
+         (1.0 - zeta2 / zetan_);
+}
+
+uint64_t Zipf::Sample(Random* rng) const {
+  if (theta_ <= 0.0) return rng->Uniform(n_);
+  const double u = rng->NextDouble();
+  const double uz = u * zetan_;
+  if (uz < 1.0) return 0;
+  if (uz < 1.0 + std::pow(0.5, theta_)) return 1;
+  const uint64_t rank = static_cast<uint64_t>(
+      static_cast<double>(n_) * std::pow(eta_ * u - eta_ + 1.0, alpha_));
+  return std::min(rank, n_ - 1);
 }
 
 }  // namespace temporadb

@@ -43,6 +43,29 @@ class Random {
   uint64_t state_;
 };
 
+/// Zipf-distributed rank sampler over [0, n) with skew `theta` in [0, 1)
+/// (the YCSB / Gray et al. rejection-free formulation).  Rank 0 is the
+/// hottest key; `theta = 0` degenerates to uniform and `theta ≈ 0.99` is
+/// the classic hot-key skew.  Construction is O(n) (harmonic-sum
+/// precomputation); `Sample` is O(1) and consumes exactly one draw from
+/// the passed generator, so seeded streams stay reproducible.
+class Zipf {
+ public:
+  Zipf(uint64_t n, double theta);
+
+  uint64_t Sample(Random* rng) const;
+
+  uint64_t n() const { return n_; }
+  double theta() const { return theta_; }
+
+ private:
+  uint64_t n_ = 1;
+  double theta_ = 0.0;
+  double zetan_ = 1.0;   // Generalized harmonic number H_{n,theta}.
+  double alpha_ = 0.0;   // 1 / (1 - theta).
+  double eta_ = 0.0;
+};
+
 }  // namespace temporadb
 
 #endif  // TEMPORADB_COMMON_RANDOM_H_

@@ -1,0 +1,300 @@
+#include "workload/generator.h"
+
+#include "common/chronon.h"
+#include "common/date.h"
+
+namespace temporadb {
+namespace workload {
+namespace {
+
+// std::string{} first operands: the const char* overload of operator+
+// trips GCC 12's -Wrestrict false positive (GCC PR105329) under -Werror.
+std::string DayLit(int64_t day) {
+  return std::string("\"") + Date(Chronon(day)).ToString() + "\"";
+}
+
+std::string IntLit(uint64_t v) { return std::to_string(v); }
+
+std::string StrLit(const std::string& s) {
+  return std::string("\"") + s + "\"";
+}
+
+std::string DeptName(size_t i) { return std::string("d") + std::to_string(i); }
+
+std::string HeadName(uint64_t i) { return std::string("h") + std::to_string(i); }
+
+// A valid clause `valid from "<from>" to "<to|inf>"`.
+std::string ValidClause(int64_t from, int64_t to_or_negative_for_inf) {
+  std::string out = " valid from " + DayLit(from) + " to ";
+  out += to_or_negative_for_inf < 0 ? "\"inf\"" : DayLit(to_or_negative_for_inf);
+  return out;
+}
+
+int64_t Anchor(Random* rng, const WorkloadOptions& opts, int64_t max_day) {
+  if (max_day <= opts.start_day) return opts.start_day;
+  return opts.start_day +
+         static_cast<int64_t>(
+             rng->Uniform(static_cast<uint64_t>(max_day - opts.start_day + 1)));
+}
+
+}  // namespace
+
+const char* QueryClassName(QueryClass cls) {
+  switch (cls) {
+    case QueryClass::kAudit:
+      return "audit";
+    case QueryClass::kStab:
+      return "stab";
+    case QueryClass::kWhenJoin:
+      return "when_join";
+  }
+  return "unknown";
+}
+
+std::vector<WorkloadOp> WorkloadDdl(const WorkloadOptions& opts) {
+  const int64_t day = opts.start_day;
+  std::vector<WorkloadOp> ops;
+  ops.push_back(
+      {day, "create static relation departments (dept = string, head = string)"});
+  ops.push_back(
+      {day, "create rollback relation headcount (dept = string, n = int)"});
+  ops.push_back(
+      {day, "create historical relation assignments (emp = int, dept = string)"});
+  ops.push_back(
+      {day, "create temporal relation salaries (emp = int, amount = int)"});
+  ops.push_back({day, "create index on departments (dept)"});
+  ops.push_back({day, "create index on headcount (dept)"});
+  ops.push_back({day, "create index on assignments (emp)"});
+  ops.push_back({day, "create index on salaries (emp)"});
+  ops.push_back({day, "range of d is departments"});
+  ops.push_back({day, "range of hc is headcount"});
+  ops.push_back({day, "range of a is assignments"});
+  ops.push_back({day, "range of s is salaries"});
+  return ops;
+}
+
+uint64_t DigestOp(uint64_t h, const WorkloadOp& op) {
+  const auto mix = [&h](const unsigned char* p, size_t n) {
+    for (size_t i = 0; i < n; ++i) {
+      h ^= p[i];
+      h *= 1099511628211ULL;
+    }
+  };
+  unsigned char day_bytes[8];
+  uint64_t day = static_cast<uint64_t>(op.day);
+  for (size_t i = 0; i < 8; ++i) {
+    day_bytes[i] = static_cast<unsigned char>(day >> (8 * i));
+  }
+  mix(day_bytes, sizeof(day_bytes));
+  mix(reinterpret_cast<const unsigned char*>(op.stmt.data()), op.stmt.size());
+  return h;
+}
+
+std::string MakeQuery(QueryClass cls, Random* rng, const WorkloadOptions& opts,
+                      int64_t max_day) {
+  switch (cls) {
+    case QueryClass::kAudit: {
+      // Audit sweep: the database state as it was *recorded* at the anchor
+      // day — what did we believe then?  Rollback and temporal relations
+      // carry transaction time, so they take `as of`.
+      const int64_t as_of = Anchor(rng, opts, max_day);
+      switch (rng->Uniform(3)) {
+        case 0:
+          return "retrieve (hc.dept, hc.n) as of " + DayLit(as_of);
+        case 1:
+          return "retrieve (s.emp, s.amount) as of " + DayLit(as_of);
+        default:
+          return "retrieve (s.emp, s.amount) where s.amount < " +
+                 IntLit(40000 + rng->Uniform(100000)) + " as of " +
+                 DayLit(as_of);
+      }
+    }
+    case QueryClass::kStab: {
+      // Valid-timeslice stab: who held what on the anchor day (in
+      // reality), per the current — or an audited — transaction state.
+      const int64_t at = Anchor(rng, opts, max_day);
+      switch (rng->Uniform(3)) {
+        case 0:
+          return "retrieve (s.emp, s.amount) when s overlap " + DayLit(at);
+        case 1:
+          return "retrieve (a.emp, a.dept) when a overlap " + DayLit(at);
+        default: {
+          const int64_t as_of = Anchor(rng, opts, max_day);
+          return "retrieve (s.emp, s.amount) when s overlap " + DayLit(at) +
+                 " as of " + DayLit(as_of);
+        }
+      }
+    }
+    case QueryClass::kWhenJoin: {
+      // Long-range when-join: salary spans joined to the assignment spans
+      // they overlap, over a random employee band.  Most bands land in
+      // the cold Zipf tail; bands near rank 0 pair the hottest keys'
+      // whole histories against each other and form the latency tail.
+      // No `as of`: the historical participant has no transaction time.
+      const uint64_t span = opts.employees / 16 > 8 ? opts.employees / 16 : 8;
+      const uint64_t lo = rng->Uniform(opts.employees);
+      const uint64_t hi = lo + 1 + rng->Uniform(span);
+      std::string q = "retrieve (s.emp, s.amount, a.dept) where s.emp = a.emp";
+      q += " and s.emp >= " + IntLit(lo);
+      q += " and s.emp < " + IntLit(hi);
+      q += " when s overlap a";
+      return q;
+    }
+  }
+  return "retrieve (s.emp)";
+}
+
+WorkloadGenerator::WorkloadGenerator(const WorkloadOptions& opts)
+    : opts_(opts),
+      rng_(opts.seed),
+      emp_zipf_(opts.employees > 0 ? opts.employees : 1, opts.zipf_theta),
+      day_(opts.start_day) {}
+
+std::vector<WorkloadOp> WorkloadGenerator::SeedOps() {
+  std::vector<WorkloadOp> ops;
+  ops.reserve(2 * opts_.departments + 2 * opts_.employees);
+  for (size_t i = 0; i < opts_.departments; ++i) {
+    ops.push_back({day_, "append to departments (dept = " +
+                             StrLit(DeptName(i)) + ", head = " +
+                             StrLit(HeadName(rng_.Uniform(1000))) + ")"});
+  }
+  const uint64_t per_dept =
+      opts_.departments > 0 ? opts_.employees / opts_.departments : 0;
+  for (size_t i = 0; i < opts_.departments; ++i) {
+    ops.push_back({day_, "append to headcount (dept = " + StrLit(DeptName(i)) +
+                             ", n = " + IntLit(per_dept) + ")"});
+  }
+  for (size_t e = 0; e < opts_.employees; ++e) {
+    // Advance the clock a little as the corpus loads, so even the seed
+    // spans several transaction-time epochs.
+    if (e % 64 == 63) ++day_;
+    const uint64_t amount = 30000 + rng_.Uniform(120000);
+    ops.push_back({day_, "append to salaries (emp = " + IntLit(e) +
+                             ", amount = " + IntLit(amount) + ")" +
+                             ValidClause(day_, -1)});
+    const size_t dept = opts_.departments > 0 ? e % opts_.departments : 0;
+    ops.push_back({day_, "append to assignments (emp = " + IntLit(e) +
+                             ", dept = " + StrLit(DeptName(dept)) + ")" +
+                             ValidClause(day_, -1)});
+  }
+  return ops;
+}
+
+bool WorkloadGenerator::Next(WorkloadOp* op) {
+  if (emitted_ >= opts_.ops) return false;
+  ++emitted_;
+  day_ += static_cast<int64_t>(rng_.Uniform(2));  // 0..1: dense timeline.
+  const uint64_t r = rng_.Uniform(100);
+  if (r < 55) {
+    *op = SalariesOp();
+  } else if (r < 80) {
+    *op = AssignmentsOp();
+  } else if (r < 92) {
+    *op = HeadcountOp();
+  } else {
+    *op = DepartmentsOp();
+  }
+  return true;
+}
+
+WorkloadOp WorkloadGenerator::SalariesOp() {
+  const uint64_t emp = emp_zipf_.Sample(&rng_);
+  const uint64_t amount = 30000 + rng_.Uniform(120000);
+  const std::string who = " where s.emp = " + IntLit(emp);
+  const uint64_t sub = rng_.Uniform(100);
+  std::string stmt;
+  if (sub < opts_.retro_percent) {
+    // Retroactive correction: payroll re-states a window months to years
+    // in the past.  The transaction-time history keeps what was believed
+    // before; `as of` audits must still see it.
+    const int64_t from = day_ - 180 - static_cast<int64_t>(rng_.Uniform(900));
+    const int64_t to = from + 30 + static_cast<int64_t>(rng_.Uniform(300));
+    stmt = "replace s (amount = " + IntLit(amount) + ")" +
+           ValidClause(from, to) + who;
+  } else if (sub < opts_.retro_percent + opts_.delete_percent) {
+    // Termination (from a recent day onward) or a retroactive carve-out.
+    const int64_t from = day_ - static_cast<int64_t>(rng_.Uniform(365));
+    const int64_t to = rng_.OneIn(2)
+                           ? -1
+                           : from + 1 + static_cast<int64_t>(rng_.Uniform(120));
+    stmt = "delete s" + ValidClause(from, to) + who;
+  } else if (sub < opts_.retro_percent + opts_.delete_percent + 12ULL) {
+    // (Re-)hire: a fresh salary row, sometimes bounded (a fixed-term
+    // contract), sometimes open-ended.
+    const int64_t from = day_ - static_cast<int64_t>(rng_.Uniform(10));
+    const int64_t to = rng_.OneIn(3)
+                           ? -1
+                           : from + 1 + static_cast<int64_t>(rng_.Uniform(400));
+    stmt = "append to salaries (emp = " + IntLit(emp) + ", amount = " +
+           IntLit(amount) + ")" + ValidClause(from, to);
+  } else {
+    // The common case: a raise effective (roughly) now, onward.
+    const int64_t from = day_ - static_cast<int64_t>(rng_.Uniform(10));
+    stmt = "replace s (amount = " + IntLit(amount) + ")" +
+           ValidClause(from, -1) + who;
+  }
+  return {day_, stmt};
+}
+
+WorkloadOp WorkloadGenerator::AssignmentsOp() {
+  const uint64_t emp = emp_zipf_.Sample(&rng_);
+  const std::string dept =
+      StrLit(DeptName(rng_.Uniform(opts_.departments > 0 ? opts_.departments : 1)));
+  const std::string who = " where a.emp = " + IntLit(emp);
+  const uint64_t sub = rng_.Uniform(100);
+  std::string stmt;
+  if (sub < 2ULL * opts_.retro_percent) {
+    // Backdated transfer: HR records the move months after the fact.
+    const int64_t from = day_ - 90 - static_cast<int64_t>(rng_.Uniform(540));
+    const int64_t to = from + 30 + static_cast<int64_t>(rng_.Uniform(180));
+    stmt = "replace a (dept = " + dept + ")" + ValidClause(from, to) + who;
+  } else if (sub < 2ULL * opts_.retro_percent + opts_.delete_percent) {
+    const int64_t from = day_ - static_cast<int64_t>(rng_.Uniform(180));
+    const int64_t to = rng_.OneIn(2)
+                           ? -1
+                           : from + 1 + static_cast<int64_t>(rng_.Uniform(90));
+    stmt = "delete a" + ValidClause(from, to) + who;
+  } else if (rng_.OneIn(5)) {
+    // A secondary (concurrent) assignment span.
+    const int64_t from = day_ - static_cast<int64_t>(rng_.Uniform(10));
+    const int64_t to = from + 1 + static_cast<int64_t>(rng_.Uniform(240));
+    stmt = "append to assignments (emp = " + IntLit(emp) + ", dept = " + dept +
+           ")" + ValidClause(from, to);
+  } else {
+    // Transfer effective now, onward.
+    const int64_t from = day_ - static_cast<int64_t>(rng_.Uniform(5));
+    stmt = "replace a (dept = " + dept + ")" + ValidClause(from, -1) + who;
+  }
+  // Historical DML is an in-place correction: fenced (appends ride along so
+  // the relation's op order survives deferral).
+  return {day_, stmt, /*fenced=*/true};
+}
+
+WorkloadOp WorkloadGenerator::HeadcountOp() {
+  const std::string dept =
+      StrLit(DeptName(rng_.Uniform(opts_.departments > 0 ? opts_.departments : 1)));
+  const uint64_t n = rng_.Uniform(500);
+  const uint64_t sub = rng_.Uniform(100);
+  std::string stmt;
+  if (sub < 8) {
+    // Reorg: the department's headcount row disappears (and the rollback
+    // history remembers that it once existed).
+    stmt = "delete hc where hc.dept = " + dept;
+  } else if (sub < 16) {
+    stmt = "append to headcount (dept = " + dept + ", n = " + IntLit(n) + ")";
+  } else {
+    stmt = "replace hc (n = " + IntLit(n) + ") where hc.dept = " + dept;
+  }
+  return {day_, stmt};
+}
+
+WorkloadOp WorkloadGenerator::DepartmentsOp() {
+  const std::string dept =
+      StrLit(DeptName(rng_.Uniform(opts_.departments > 0 ? opts_.departments : 1)));
+  const std::string head = StrLit(HeadName(rng_.Uniform(1000)));
+  return {day_, "replace d (head = " + head + ") where d.dept = " + dept,
+          /*fenced=*/true};
+}
+
+}  // namespace workload
+}  // namespace temporadb

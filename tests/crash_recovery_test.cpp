@@ -18,21 +18,15 @@
 #include "common/random.h"
 #include "core/database.h"
 #include "storage/fault_injection.h"
-#include "temporal/coalesce.h"
+#include "tests/shadow_history.h"
 
 namespace temporadb {
 namespace {
 
-// One workload step: an optional clock date, a TQuel statement, and whether
-// a checkpoint follows.  By convention step 0 creates the relation and
-// step 1 declares the tuple variable range (ranges are per-session and must
-// be re-declared after recovery).
-struct Step {
-  std::string date;
-  std::string stmt;
-  bool checkpoint_after = false;
-  bool compact = false;
-};
+// One workload step; the shadow machinery (replay, canonical content,
+// equivalence) lives in tests/shadow_history.h, shared with the workload
+// differential driver.
+using Step = testutil::ShadowStep;
 
 // The paper's Figure-8 faculty history (BuildTemporalFaculty), with a plain
 // checkpoint mid-history and a compacting one near the end so crash points
@@ -135,38 +129,16 @@ std::unique_ptr<Database> BuildShadow(ManualClock* clock,
   DatabaseOptions options;
   options.clock = clock;
   auto db = std::move(*Database::Open(options));
-  for (size_t i = 0; i < acked; ++i) {
-    if (!steps[i].date.empty()) {
-      EXPECT_TRUE(clock->SetDate(steps[i].date).ok());
-    }
-    Result<tquel::ExecResult> r = db->Execute(steps[i].stmt);
-    EXPECT_TRUE(r.ok()) << steps[i].stmt;
-  }
+  Status s = testutil::ApplyShadowSteps(db.get(), clock, steps, acked);
+  EXPECT_TRUE(s.ok()) << s.ToString();
   return db;
-}
-
-std::vector<BitemporalTuple> CanonicalTuples(Database* db,
-                                             const std::string& name) {
-  Result<StoredRelation*> rel = db->GetRelation(name);
-  EXPECT_TRUE(rel.ok()) << name;
-  if (!rel.ok()) return {};
-  std::vector<BitemporalTuple> tuples;
-  (*rel)->store()->ForEach(
-      [&](RowId, const BitemporalTuple& t) { tuples.push_back(t); });
-  return Coalesce(std::move(tuples));
 }
 
 // The recovered database must hold the same relations with the same
 // coalesced bitemporal content as the shadow.
 void ExpectEquivalent(Database* recovered, Database* shadow) {
-  std::vector<RelationInfo> a = recovered->ListRelations();
-  std::vector<RelationInfo> b = shadow->ListRelations();
-  ASSERT_EQ(a.size(), b.size());
-  for (const RelationInfo& info : b) {
-    EXPECT_EQ(CanonicalTuples(recovered, info.name),
-              CanonicalTuples(shadow, info.name))
-        << "relation " << info.name;
-  }
+  std::string diff;
+  EXPECT_TRUE(testutil::EquivalentDatabases(recovered, shadow, &diff)) << diff;
 }
 
 // Systematic sweep: dry-run the workload to count sync barriers, then crash

@@ -1,0 +1,114 @@
+#ifndef TEMPORADB_TESTS_SHADOW_HISTORY_H_
+#define TEMPORADB_TESTS_SHADOW_HISTORY_H_
+
+// In-memory shadow-history oracle, shared by the crash-recovery sweeps
+// (tests/crash_recovery_test.cpp) and the workload differential driver
+// (src/workload/driver.cpp).  The pattern: replay the acknowledged prefix
+// of a deterministic statement stream into a second, independently-clocked
+// in-memory database, then demand the system under test expose the same
+// relations with the same *coalesced* bitemporal content.  Coalescing
+// before comparison makes the check representation-independent: the shadow
+// may fragment value-equivalent versions differently (checkpoint
+// compaction, partitioning, correction order) without that counting as a
+// divergence.
+//
+// Header-only and gtest-free so that non-test harnesses (the workload
+// driver, benches) can link it without pulling in a test framework.
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/database.h"
+#include "temporal/coalesce.h"
+#include "txn/clock.h"
+
+namespace temporadb {
+namespace testutil {
+
+/// One step of a deterministic workload: an optional clock date, a TQuel
+/// statement, and whether a checkpoint follows.  By convention step 0
+/// creates the relation and step 1 declares the tuple-variable range
+/// (ranges are per-session and must be re-declared after recovery).
+struct ShadowStep {
+  std::string date;
+  std::string stmt;
+  bool checkpoint_after = false;
+  bool compact = false;
+};
+
+/// Replays `steps[0..acked)` into `db`, setting `clock` to each step's date
+/// first.  Checkpoint markers are ignored: the shadow is the logical
+/// history, not the storage layout.  Returns the first failure, annotated
+/// with the offending statement.
+inline Status ApplyShadowSteps(Database* db, ManualClock* clock,
+                               const std::vector<ShadowStep>& steps,
+                               size_t acked) {
+  const size_t n = acked < steps.size() ? acked : steps.size();
+  for (size_t i = 0; i < n; ++i) {
+    if (!steps[i].date.empty()) {
+      TDB_RETURN_IF_ERROR(clock->SetDate(steps[i].date));
+    }
+    Result<tquel::ExecResult> r = db->Execute(steps[i].stmt);
+    if (!r.ok()) {
+      return Status::InvalidArgument("shadow step " + std::to_string(i) +
+                                     " failed: " + r.status().ToString() +
+                                     " [" + steps[i].stmt + "]");
+    }
+  }
+  return Status::OK();
+}
+
+/// The coalesced canonical bitemporal content of one relation: every stored
+/// version, value-adjacent fragments merged.
+inline Result<std::vector<BitemporalTuple>> CanonicalHistory(
+    Database* db, const std::string& name) {
+  Result<StoredRelation*> rel = db->GetRelation(name);
+  if (!rel.ok()) return rel.status();
+  std::vector<BitemporalTuple> tuples;
+  (*rel)->store()->ForEach(
+      [&](RowId, const BitemporalTuple& t) { tuples.push_back(t); });
+  return Coalesce(std::move(tuples));
+}
+
+/// True when both databases hold the same relations with identical
+/// coalesced bitemporal content.  On divergence fills `*diff` (if non-null)
+/// with the first differing relation and tuple.
+inline bool EquivalentDatabases(Database* a, Database* b, std::string* diff) {
+  std::vector<RelationInfo> ra = a->ListRelations();
+  std::vector<RelationInfo> rb = b->ListRelations();
+  if (ra.size() != rb.size()) {
+    if (diff != nullptr) {
+      *diff = "relation count: " + std::to_string(ra.size()) + " vs " +
+              std::to_string(rb.size());
+    }
+    return false;
+  }
+  for (const RelationInfo& info : rb) {
+    Result<std::vector<BitemporalTuple>> ca = CanonicalHistory(a, info.name);
+    Result<std::vector<BitemporalTuple>> cb = CanonicalHistory(b, info.name);
+    if (!ca.ok() || !cb.ok()) {
+      if (diff != nullptr) *diff = "relation " + info.name + " missing";
+      return false;
+    }
+    if (*ca == *cb) continue;
+    if (diff != nullptr) {
+      *diff = "relation " + info.name + ": " + std::to_string(ca->size()) +
+              " vs " + std::to_string(cb->size()) + " coalesced tuples";
+      const size_t n = ca->size() < cb->size() ? ca->size() : cb->size();
+      for (size_t i = 0; i < n; ++i) {
+        if ((*ca)[i] == (*cb)[i]) continue;
+        *diff += "; first divergence at " + std::to_string(i) + ": " +
+                 (*ca)[i].ToString() + " vs " + (*cb)[i].ToString();
+        break;
+      }
+    }
+    return false;
+  }
+  return true;
+}
+
+}  // namespace testutil
+}  // namespace temporadb
+
+#endif  // TEMPORADB_TESTS_SHADOW_HISTORY_H_
