@@ -120,6 +120,20 @@ class Chronon {
 constexpr Chronon MinChronon(Chronon a, Chronon b) { return a < b ? a : b; }
 constexpr Chronon MaxChronon(Chronon a, Chronon b) { return a < b ? b : a; }
 
+/// Signed distance `to - from` in chronons, saturating at the `Rep` range
+/// instead of overflowing — `Forever() - Beginning()` is not representable,
+/// and a naive `days()` difference there is signed-overflow UB.  This is
+/// the sanctioned home for chronon differencing: call it instead of
+/// subtracting `days()` values at a use site.
+constexpr Chronon::Rep ChrononDistance(Chronon from, Chronon to) {
+  Chronon::Rep diff = 0;
+  if (__builtin_sub_overflow(to.days(), from.days(), &diff)) {
+    return to.days() >= from.days() ? Chronon::kForeverRep
+                                    : Chronon::kBeginningRep;
+  }
+  return diff;
+}
+
 }  // namespace temporadb
 
 #endif  // TEMPORADB_COMMON_CHRONON_H_

@@ -78,9 +78,11 @@ class Period {
     return begin_.IsFinite() && end_ == begin_.Next();
   }
 
-  /// Number of chronons covered; unspecified for unbounded periods.
+  /// Number of chronons covered; saturates at `Chronon::kForeverRep` for
+  /// unbounded periods (e.g. `All()`, where a raw `days()` difference
+  /// would be signed-overflow UB).
   constexpr Chronon::Rep Duration() const {
-    return IsEmpty() ? 0 : end_.days() - begin_.days();
+    return IsEmpty() ? 0 : ChrononDistance(begin_, end_);
   }
 
   /// Membership: `begin <= t < end`.

@@ -170,7 +170,11 @@ Status WorkloadDriver::RunSegment(size_t n_ops, size_t segment) {
   const SteadyClock::time_point seg_t0 = SteadyClock::now();
   if (nr > 0) {
     pins.reset(new std::atomic<uint64_t>[nr]);
-    for (size_t i = 0; i < nr; ++i) pins[i].store(0);
+    // Relaxed: initialization before the spawn below; thread creation
+    // publishes it to the readers.
+    for (size_t i = 0; i < nr; ++i) {
+      pins[i].store(0, std::memory_order_relaxed);
+    }
     for (size_t i = 0; i < nr; ++i) {
       readers.emplace_back([this, i, segment, horizon, &stop, &pins,
                             &stats] {

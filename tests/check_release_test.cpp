@@ -1,0 +1,36 @@
+// TDB_INVARIANT_CHECK's whole contract is that it survives release builds;
+// this binary is compiled with NDEBUG forced on (see tests/CMakeLists.txt)
+// and proves (a) the check still aborts with its diagnostic, and (b) a bare
+// assert() in the same TU compiles away — exactly the difference rule 5
+// (invariant-check) of tools/tdb_lint.py exists to police.
+
+#include <cassert>
+
+#include <gtest/gtest.h>
+
+#include "common/check.h"
+
+#ifndef NDEBUG
+#error "check_release_test must be compiled with NDEBUG; see tests/CMakeLists.txt"
+#endif
+
+namespace temporadb {
+namespace {
+
+TEST(CheckReleaseDeathTest, InvariantCheckFiresUnderNdebug) {
+  EXPECT_DEATH(TDB_INVARIANT_CHECK(1 == 2, "must fire in release builds"),
+               "temporadb invariant violated");
+}
+
+TEST(CheckReleaseTest, PassingInvariantIsSilent) {
+  TDB_INVARIANT_CHECK(2 + 2 == 4, "never fires");
+}
+
+TEST(CheckReleaseTest, BareAssertCompilesOutUnderNdebug) {
+  bool evaluated = false;
+  assert((evaluated = true));
+  EXPECT_FALSE(evaluated);
+}
+
+}  // namespace
+}  // namespace temporadb

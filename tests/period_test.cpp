@@ -23,6 +23,16 @@ TEST(Period, EmptyWhenBeginNotBeforeEnd) {
   EXPECT_EQ(Period(C(6), C(5)).Duration(), 0);
 }
 
+TEST(Period, DurationSaturatesOnUnboundedPeriods) {
+  // Regression: ∞ − -∞ used to be computed as a raw days() difference,
+  // which is signed-overflow UB for All().  Duration now saturates.
+  EXPECT_EQ(Period::All().Duration(), Chronon::kForeverRep);
+  EXPECT_EQ(Period::From(C(0)).Duration(), Chronon::kForeverRep);
+  EXPECT_EQ(Period(Chronon::Beginning(), C(0)).Duration(),
+            Chronon::kForeverRep);
+  EXPECT_EQ(Period(C(-5), C(5)).Duration(), 10);
+}
+
 TEST(Period, MakeValidates) {
   EXPECT_TRUE(Period::Make(C(1), C(2)).has_value());
   EXPECT_TRUE(Period::Make(C(2), C(2)).has_value());

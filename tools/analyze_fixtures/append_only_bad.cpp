@@ -1,0 +1,42 @@
+// tdb-analyze-fixture: treat-as=src/temporal/rollback_relation.cpp rules=append-only
+// Seeded violations: history-destroying VersionStore mutations reached from
+// rollback-relation code, both directly and laundered through a wrapper —
+// the aliasing evasion the regex lint cannot see.
+#include "fixture_support.h"
+
+namespace temporadb {
+
+class VersionStore {
+ public:
+  void Append(int64_t v);
+  void RawCloseTxn(uint64_t row);
+  void PhysicalDelete(uint64_t row);
+  void CorrectErase(uint64_t row);
+};
+
+namespace {
+
+// A wrapper with an innocent name: the call graph must still resolve the
+// callee symbol through it.
+void ScrubHelper(VersionStore* store, uint64_t row) {
+  store->PhysicalDelete(row);  // EXPECT(append-only): PhysicalDelete
+}
+
+}  // namespace
+
+class RollbackRelation {
+ public:
+  void Vacuum(uint64_t row);
+  void Drop(uint64_t row);
+  VersionStore* store_ = nullptr;
+};
+
+void RollbackRelation::Vacuum(uint64_t row) {  // EXPECT(append-only): via ScrubHelper
+  ScrubHelper(store_, row);
+}
+
+void RollbackRelation::Drop(uint64_t row) {
+  store_->CorrectErase(row);  // EXPECT(append-only): CorrectErase
+}
+
+}  // namespace temporadb

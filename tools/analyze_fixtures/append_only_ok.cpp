@@ -1,0 +1,33 @@
+// tdb-analyze-fixture: treat-as=src/temporal/rollback_relation.cpp rules=append-only
+// Clean control: rollback code using only the append-only mutation set,
+// plus a free function that *shares a forbidden name* but is not a
+// VersionStore member — the symbol check must not fire on spelling alone.
+#include "fixture_support.h"
+
+namespace temporadb {
+
+class VersionStore {
+ public:
+  void Append(int64_t v);
+  void RawCloseTxn(uint64_t row);
+};
+
+// Same spelling as the forbidden mutation, different symbol: a regex trips
+// on this, the AST rule must not.
+void PhysicalDelete(uint64_t bytes);
+
+class RollbackRelation {
+ public:
+  void Insert(int64_t v);
+  void Close(uint64_t row);
+  void TrimLog(uint64_t bytes);
+  VersionStore* store_ = nullptr;
+};
+
+void RollbackRelation::Insert(int64_t v) { store_->Append(v); }
+
+void RollbackRelation::Close(uint64_t row) { store_->RawCloseTxn(row); }
+
+void RollbackRelation::TrimLog(uint64_t bytes) { PhysicalDelete(bytes); }
+
+}  // namespace temporadb

@@ -1,0 +1,17 @@
+// tdb-analyze-fixture: treat-as=src/rel/temporal_ops.cpp rules=chronon-arith
+// Seeded violations: raw int64 arithmetic on chronon-typed operands in a
+// file outside the sanctioned set — each one a fresh chance to re-derive
+// the pre-saturation overflow UB.
+#include "fixture_support.h"
+
+namespace temporadb {
+
+int64_t SpanBroken(const Chronon& a, const Chronon& b) {
+  int64_t span = a.days() - b.days();  // EXPECT(chronon-arith): raw int64 '-'
+  Chronon::Rep r = b.days();
+  r += 7;  // EXPECT(chronon-arith): raw int64 '+='
+  int64_t pad = Chronon::kForeverRep - 1;  // EXPECT(chronon-arith): raw int64 '-'
+  return span + pad + r;  // EXPECT(chronon-arith): raw int64 '+'
+}
+
+}  // namespace temporadb

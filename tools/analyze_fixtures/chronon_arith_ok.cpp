@@ -1,0 +1,26 @@
+// tdb-analyze-fixture: treat-as=src/rel/temporal_ops.cpp rules=chronon-arith
+// Clean control: comparisons on chronon values (not arithmetic), pointer
+// arithmetic forming column windows (address math, not chronon math), and
+// plain int64 arithmetic with no chronon operand.
+#include "fixture_support.h"
+
+namespace temporadb {
+
+struct Columns {
+  std::vector<int64_t> col_tt_end_;
+};
+
+bool Before(const Chronon& a, const Chronon& b) {
+  return a.days() < b.days();
+}
+
+const int64_t* Window(Columns& c, size_t begin) {
+  // Address math over a chronon column: the value domain is untouched.
+  return c.col_tt_end_.data() + begin;
+}
+
+int64_t PlainMath(int64_t rows, int64_t width) {
+  return rows * width + 1;
+}
+
+}  // namespace temporadb

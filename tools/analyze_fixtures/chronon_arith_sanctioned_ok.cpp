@@ -1,0 +1,15 @@
+// tdb-analyze-fixture: treat-as=src/common/chronon.h rules=chronon-arith
+// Clean control: the identical raw rep arithmetic is legal inside the
+// sanctioned chronon implementation file — this is where the saturating
+// operators live.
+#include "fixture_support.h"
+
+namespace temporadb {
+
+int64_t SaturatingSpan(const Chronon& a, const Chronon& b) {
+  int64_t span = a.days() - b.days();
+  if (span > Chronon::kForeverRep - 1) span = Chronon::kForeverRep - 1;
+  return span;
+}
+
+}  // namespace temporadb

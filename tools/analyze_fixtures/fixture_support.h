@@ -1,0 +1,108 @@
+// Self-contained stand-ins for the repo types the analyzer rules key on.
+// Fixtures parse with NO system headers (the self-test must run on a bare
+// libclang with no libstdc++ install), so everything std-shaped the rules
+// recognize — atomics, memory orders, move — is declared here with the
+// same *names and shapes* the analyzer matches on.  Declarations only
+// where possible: bodies would themselves be subject to the rules.
+#ifndef TDB_ANALYZE_FIXTURE_SUPPORT_H_
+#define TDB_ANALYZE_FIXTURE_SUPPORT_H_
+
+typedef long long int64_t;
+typedef unsigned long long uint64_t;
+typedef unsigned int uint32_t;
+typedef unsigned long size_t;
+
+namespace std {
+
+enum memory_order {
+  memory_order_relaxed,
+  memory_order_consume,
+  memory_order_acquire,
+  memory_order_release,
+  memory_order_acq_rel,
+  memory_order_seq_cst,
+};
+
+template <class T>
+struct atomic {
+  atomic() = default;
+  T load(memory_order order = memory_order_seq_cst) const;
+  void store(T v, memory_order order = memory_order_seq_cst);
+  T exchange(T v, memory_order order = memory_order_seq_cst);
+  T fetch_add(T v, memory_order order = memory_order_seq_cst);
+  T fetch_sub(T v, memory_order order = memory_order_seq_cst);
+  T operator=(T v);
+  T operator++(int);
+  T operator--(int);
+};
+
+template <class T>
+struct atomic_ref {
+  explicit atomic_ref(T& obj);
+  T load(memory_order order = memory_order_seq_cst) const;
+  void store(T v, memory_order order = memory_order_seq_cst);
+};
+
+template <class T>
+T&& move(T& v);
+
+template <class T>
+struct vector {
+  void push_back(const T& v);
+  void pop_back();
+  void clear();
+  T& operator[](size_t i);
+  const T& operator[](size_t i) const;
+  T* data();
+  const T* data() const;
+  size_t size() const;
+};
+
+}  // namespace std
+
+namespace temporadb {
+
+class Status {
+ public:
+  static Status OK();
+  bool ok() const;
+};
+
+template <class T>
+class Result {
+ public:
+  Result(T v);
+  Result(Status s);
+  bool ok() const;
+  const Status& status() const;
+  T& value();
+};
+
+class Chronon {
+ public:
+  using Rep = int64_t;
+  static constexpr Rep kForeverRep = 9223372036854775807LL;
+  static constexpr Rep kBeginningRep = -9223372036854775807LL - 1;
+  constexpr explicit Chronon(Rep d) : days_(d) {}
+  constexpr Rep days() const { return days_; }
+
+ private:
+  Rep days_;
+};
+
+// Element-atomic wrappers, declaration-only: the conformance rule checks
+// *definitions*, which the wrapper fixtures provide themselves.
+namespace mvcc {
+int64_t LoadAcquire(const int64_t* p);
+int64_t LoadRelaxed(const int64_t* p);
+uint64_t LoadAcquire(const uint64_t* p);
+uint64_t LoadRelaxed(const uint64_t* p);
+void StoreRelease(int64_t* p, int64_t v);
+void StoreRelaxed(int64_t* p, int64_t v);
+void StoreRelease(uint64_t* p, uint64_t v);
+void StoreRelaxed(uint64_t* p, uint64_t v);
+}  // namespace mvcc
+
+}  // namespace temporadb
+
+#endif  // TDB_ANALYZE_FIXTURE_SUPPORT_H_

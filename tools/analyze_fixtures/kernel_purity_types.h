@@ -1,0 +1,23 @@
+// Boxed/virtual types used by the kernel-purity fixtures.  They live in
+// this separate header so the *uses* inside the treated-as-kernel fixture
+// are flagged, not these declarations themselves.
+#ifndef TDB_ANALYZE_FIXTURE_KERNEL_PURITY_TYPES_H_
+#define TDB_ANALYZE_FIXTURE_KERNEL_PURITY_TYPES_H_
+
+#include "fixture_support.h"
+
+namespace temporadb {
+
+class Period {
+ public:
+  bool Overlaps(const Period& other) const;
+};
+
+struct Comparator {
+  virtual bool LessThan(int64_t a, int64_t b) const;
+  virtual ~Comparator();
+};
+
+}  // namespace temporadb
+
+#endif  // TDB_ANALYZE_FIXTURE_KERNEL_PURITY_TYPES_H_

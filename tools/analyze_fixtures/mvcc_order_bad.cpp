@@ -1,0 +1,43 @@
+// tdb-analyze-fixture: treat-as=src/core/database.cpp rules=mvcc-memory-order
+// Seeded violations: defaulted seq_cst, wrong ordering for a sanctioned
+// MVCC site, implicit-seq_cst operator sugar, and an mvcc:: wrapper whose
+// body contradicts its name.
+#include "fixture_support.h"
+
+namespace temporadb {
+
+struct MvccState {
+  std::atomic<uint64_t> publish_word;
+  std::atomic<uint64_t> commit_seq;
+  std::atomic<int64_t> last_commit_ts;
+  std::atomic<int64_t> active_snapshots;
+  std::atomic<int64_t> correcting;
+};
+
+struct PartitionSynopsis {
+  uint64_t current_rows = 0;
+};
+
+void PublishBroken(MvccState* mv, std::atomic<bool>& stop,
+                   PartitionSynopsis& s) {
+  mv->publish_word.fetch_add(1);  // EXPECT(mvcc-memory-order): publish_word
+  mv->commit_seq.fetch_add(1, std::memory_order_relaxed);  // EXPECT(mvcc-memory-order): commit_seq
+  mv->last_commit_ts.store(7, std::memory_order_relaxed);  // EXPECT(mvcc-memory-order): last_commit_ts
+  mv->active_snapshots.load(std::memory_order_acquire);  // EXPECT(mvcc-memory-order): active_snapshots
+  stop.store(true);  // EXPECT(mvcc-memory-order): defaulted
+  stop = false;  // EXPECT(mvcc-memory-order): implicit seq_cst
+  // The currency decrement must release-publish; relaxed breaks the
+  // "acquire current_rows, then trust the maxes" reader protocol.
+  mvcc::StoreRelaxed(&s.current_rows, 0);  // EXPECT(mvcc-memory-order): current_rows
+}
+
+// Wrapper-name-vs-body conformance: the name promises acquire.
+namespace mvcc {
+inline int64_t LoadAcquire(const volatile int64_t* p) {  // EXPECT(mvcc-memory-order): LoadAcquire
+  int64_t v = *p;
+  (void)std::memory_order_relaxed;
+  return v;
+}
+}  // namespace mvcc
+
+}  // namespace temporadb

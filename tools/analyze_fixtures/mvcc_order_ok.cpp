@@ -1,0 +1,56 @@
+// tdb-analyze-fixture: treat-as=src/core/database.cpp rules=mvcc-memory-order
+// Clean control: the sanctioned protocol orderings for every tracked site,
+// explicit orders on untracked atomics, a conforming wrapper body, and a
+// non-atomic class with an atomic-shaped method name.
+#include "fixture_support.h"
+
+namespace temporadb {
+
+struct MvccState {
+  std::atomic<uint64_t> publish_word;
+  std::atomic<uint64_t> commit_seq;
+  std::atomic<int64_t> last_commit_ts;
+  std::atomic<int64_t> active_snapshots;
+  std::atomic<int64_t> correcting;
+};
+
+struct PartitionSynopsis {
+  int64_t max_finite_tt_end = 0;
+  uint64_t current_rows = 0;
+};
+
+void PublishProtocol(MvccState* mv, std::atomic<bool>& stop,
+                     PartitionSynopsis& s) {
+  mv->publish_word.fetch_add(1, std::memory_order_seq_cst);
+  mv->commit_seq.fetch_add(1, std::memory_order_release);
+  mv->last_commit_ts.store(7, std::memory_order_release);
+  (void)mv->publish_word.load(std::memory_order_acquire);
+  (void)mv->commit_seq.load(std::memory_order_acquire);
+  (void)mv->last_commit_ts.load(std::memory_order_acquire);
+  mv->active_snapshots.fetch_add(1, std::memory_order_seq_cst);
+  (void)mv->active_snapshots.load(std::memory_order_seq_cst);
+  mv->correcting.store(1, std::memory_order_seq_cst);
+  stop.store(true, std::memory_order_relaxed);
+  (void)stop.load(std::memory_order_relaxed);
+  mvcc::StoreRelaxed(&s.max_finite_tt_end, 9);
+  mvcc::StoreRelease(&s.current_rows,
+                     mvcc::LoadRelaxed(&s.current_rows) - 1);
+  (void)mvcc::LoadAcquire(&s.current_rows);
+}
+
+// Not an atomic: a defaulted argument on a lookalike method is fine.
+class Settings {
+ public:
+  int load(int fallback = 0) const;
+};
+
+int ReadSettings(const Settings& cfg) { return cfg.load(); }
+
+namespace mvcc {
+inline void StoreRelease(volatile int64_t* p, int64_t v) {
+  std::atomic_ref<volatile int64_t> ref(*p);
+  ref.store(v, std::memory_order_release);
+}
+}  // namespace mvcc
+
+}  // namespace temporadb

@@ -1,0 +1,33 @@
+// tdb-analyze-fixture: treat-as=src/core/database.cpp rules=result-discipline
+// Seeded violations: value() with no ok() check in the function (the
+// assert inside value() compiles out under NDEBUG), and a discarded call
+// whose Status& return launders away [[nodiscard]].
+#include "fixture_support.h"
+
+namespace temporadb {
+
+Result<int> Fetch();
+Status& MutableStatus();
+
+int UncheckedValue() {
+  Result<int> r = Fetch();
+  return r.value();  // EXPECT(result-discipline): no ok() check
+}
+
+int UncheckedMovedValue() {
+  Result<int> r = Fetch();
+  return std::move(r).value();  // EXPECT(result-discipline): no ok() check
+}
+
+int WrongObjectChecked() {
+  Result<int> guard = Fetch();
+  Result<int> r = Fetch();
+  if (!guard.ok()) return 0;
+  return r.value();  // EXPECT(result-discipline): no ok() check
+}
+
+void DroppedStatusReference() {
+  MutableStatus();  // EXPECT(result-discipline): Status&
+}
+
+}  // namespace temporadb

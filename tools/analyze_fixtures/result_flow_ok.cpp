@@ -1,0 +1,39 @@
+// tdb-analyze-fixture: treat-as=src/core/database.cpp rules=result-discipline
+// Clean control: every value() paired with an ok() check on the same
+// object (directly, through std::move, and through an assign-or-return
+// macro), and a checked Status& use.
+#include "fixture_support.h"
+
+#define FIX_ASSIGN_OR_RETURN(lhs, rexpr)          \
+  auto fix_tmp = (rexpr);                         \
+  if (!fix_tmp.ok()) return 0;                    \
+  lhs = std::move(fix_tmp).value()
+
+namespace temporadb {
+
+Result<int> Fetch();
+Status& MutableStatus();
+
+int GuardedValue() {
+  Result<int> r = Fetch();
+  if (!r.ok()) return 0;
+  return r.value();
+}
+
+int GuardedMovedValue() {
+  Result<int> r = Fetch();
+  if (!r.ok()) return 0;
+  return std::move(r).value();
+}
+
+int MacroGuardedValue() {
+  int out = 0;
+  FIX_ASSIGN_OR_RETURN(out, Fetch());
+  return out;
+}
+
+int CheckedStatusReference() {
+  return MutableStatus().ok() ? 1 : 0;
+}
+
+}  // namespace temporadb

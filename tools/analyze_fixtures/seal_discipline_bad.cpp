@@ -1,0 +1,43 @@
+// tdb-analyze-fixture: treat-as=src/temporal/version_store.cpp rules=seal-discipline
+// Seeded violations: every class of sealed-partition mutation performed
+// from an unsanctioned member function.
+#include "fixture_support.h"
+
+namespace temporadb {
+
+struct PartitionSynopsis {
+  uint64_t begin_row = 0;
+  uint64_t end_row = 0;
+  int64_t max_finite_tt_end = 0;
+  uint64_t current_rows = 0;
+  uint64_t last_close_seq = 0;
+};
+
+class VersionStore {
+ public:
+  void EvictStale(size_t i);
+  void TouchRow(size_t row, int64_t tt_end);
+
+ private:
+  std::vector<PartitionSynopsis> sealed_;
+  size_t sealed_rows_ = 0;
+  std::atomic<uint64_t> sealed_count_;
+  std::vector<int64_t> col_tt_end_;
+};
+
+void VersionStore::EvictStale(size_t i) {
+  PartitionSynopsis fresh;
+  sealed_.pop_back();  // EXPECT(seal-discipline): sealed_.pop_back
+  sealed_[i] = fresh;  // EXPECT(seal-discipline): sealed-directory write
+  sealed_rows_ = 0;  // EXPECT(seal-discipline): sealed_rows_
+  sealed_count_.store(0, std::memory_order_release);  // EXPECT(seal-discipline): sealed_count_.store
+}
+
+void VersionStore::TouchRow(size_t row, int64_t tt_end) {
+  PartitionSynopsis& s = sealed_[row];
+  mvcc::StoreRelease(&s.current_rows, 0);  // EXPECT(seal-discipline): current_rows
+  mvcc::StoreRelaxed(&s.last_close_seq, 1);  // EXPECT(seal-discipline): last_close_seq
+  mvcc::StoreRelease(&col_tt_end_[row], tt_end);  // EXPECT(seal-discipline): col_tt_end_
+}
+
+}  // namespace temporadb

@@ -1,0 +1,96 @@
+// tdb-analyze-fixture: treat-as=src/temporal/version_store.cpp rules=seal-discipline
+// Clean control: the identical mutations performed from the sanctioned
+// entry points, plus lookalike members on another class that must not trip
+// the rule.
+#include "fixture_support.h"
+
+namespace temporadb {
+
+struct PartitionSynopsis {
+  uint64_t begin_row = 0;
+  uint64_t end_row = 0;
+  int64_t max_finite_tt_end = 0;
+  uint64_t current_rows = 0;
+  uint64_t last_close_seq = 0;
+};
+
+class VersionStore {
+ public:
+  void MaybeSealHot();
+  void RawUnappend();
+  void CompactTombstones();
+  void RepatchSealedSynopsis(size_t i);
+  void OnRowClosed(size_t row, int64_t tt_end, uint64_t stamp);
+  void OnRowReopened(size_t row);
+  void RawCloseTxn(size_t row, int64_t tt_end);
+  void RawReopenTxn(size_t row, int64_t old_end);
+
+ private:
+  std::vector<PartitionSynopsis> sealed_;
+  size_t sealed_rows_ = 0;
+  std::atomic<uint64_t> sealed_count_;
+  std::vector<int64_t> col_tt_end_;
+  std::vector<uint64_t> col_close_seq_;
+};
+
+void VersionStore::MaybeSealHot() {
+  PartitionSynopsis p;
+  sealed_.push_back(p);
+  sealed_rows_ = sealed_.size();
+  sealed_count_.store(sealed_.size(), std::memory_order_release);
+}
+
+void VersionStore::RawUnappend() {
+  sealed_.pop_back();
+  sealed_count_.store(sealed_.size(), std::memory_order_release);
+}
+
+void VersionStore::CompactTombstones() {
+  sealed_.clear();
+  sealed_rows_ = 0;
+  sealed_count_.store(0, std::memory_order_release);
+}
+
+void VersionStore::RepatchSealedSynopsis(size_t i) {
+  PartitionSynopsis fresh;
+  fresh.begin_row = sealed_[i].begin_row;
+  sealed_[i] = fresh;
+}
+
+void VersionStore::OnRowClosed(size_t row, int64_t tt_end, uint64_t stamp) {
+  PartitionSynopsis& s = sealed_[row];
+  mvcc::StoreRelaxed(&s.max_finite_tt_end, tt_end);
+  mvcc::StoreRelaxed(&s.last_close_seq, stamp);
+  mvcc::StoreRelease(&s.current_rows, mvcc::LoadRelaxed(&s.current_rows) - 1);
+}
+
+void VersionStore::OnRowReopened(size_t row) {
+  PartitionSynopsis& s = sealed_[row];
+  mvcc::StoreRelease(&s.current_rows, mvcc::LoadRelaxed(&s.current_rows) + 1);
+}
+
+void VersionStore::RawCloseTxn(size_t row, int64_t tt_end) {
+  mvcc::StoreRelaxed(&col_close_seq_[row], 1);
+  mvcc::StoreRelease(&col_tt_end_[row], tt_end);
+}
+
+void VersionStore::RawReopenTxn(size_t row, int64_t old_end) {
+  mvcc::StoreRelease(&col_tt_end_[row], old_end);
+}
+
+// A different class with coincidentally-named members: the rule keys on
+// the resolved declaration's name inside the version-store TU, and these
+// writes stay legal anywhere.
+class ScratchIndex {
+ public:
+  void Rebuild() {
+    rows_ = 0;
+    counters_.push_back(0);
+  }
+
+ private:
+  size_t rows_ = 0;
+  std::vector<uint64_t> counters_;
+};
+
+}  // namespace temporadb

@@ -1,0 +1,21 @@
+// tdb-analyze-fixture: treat-as=src/rel/temporal_ops.cpp rules=chronon-arith
+// Suppression policy: a reasoned tdb-analyze-allow silences exactly its
+// rule on its line; a reason-less one silences nothing and is itself a
+// finding.
+#include "fixture_support.h"
+
+namespace temporadb {
+
+int64_t SuppressedSpan(const Chronon& a, const Chronon& b) {
+  // tdb-analyze-allow(chronon-arith): bounded by caller to finite chronons
+  return a.days() - b.days();
+}
+
+int64_t BadSuppressionSpan(const Chronon& a, const Chronon& b) {
+  // tdb-analyze-allow(chronon-arith):
+  return a.days() - b.days();  // EXPECT(chronon-arith): raw int64 '-'
+}
+// The reason-less comment above is itself reported:
+// EXPECT-LINE(15, bad-suppression): without a reason
+
+}  // namespace temporadb

@@ -1,0 +1,53 @@
+#!/usr/bin/env python3
+"""Annotates CI logs: re-emits `file:line: rule-name: message` findings as
+GitHub Actions workflow commands so they surface inline on the PR diff.
+
+Usage (as a filter around any tool that emits the shared finding format —
+tools/tdb_analyze.py and tools/tdb_lint.py both do):
+
+    python3 tools/tdb_analyze.py -p build | python3 tools/ci_annotate.py
+
+Every input line is passed through unchanged; lines matching the shared
+format additionally produce a `::error file=...,line=...,title=...::`
+command.  The exit status mirrors the producer's verdict: 1 if any finding
+was seen, else 0 — so `set -o pipefail` is not needed for the annotation
+step to gate the job.
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+
+FINDING = re.compile(r"^(?P<file>[^:\s][^:]*):(?P<line>\d+): "
+                     r"(?P<rule>[a-z0-9-]+): (?P<msg>.+)$")
+
+
+def escape_property(s: str) -> str:
+    """Workflow-command property escaping per the Actions toolkit."""
+    return (s.replace("%", "%25").replace("\r", "%0D").replace("\n", "%0A")
+            .replace(":", "%3A").replace(",", "%2C"))
+
+
+def escape_data(s: str) -> str:
+    return s.replace("%", "%25").replace("\r", "%0D").replace("\n", "%0A")
+
+
+def main() -> int:
+    findings = 0
+    for line in sys.stdin:
+        line = line.rstrip("\n")
+        print(line)
+        m = FINDING.match(line)
+        if not m:
+            continue
+        findings += 1
+        print(f"::error file={escape_property(m.group('file'))},"
+              f"line={m.group('line')},"
+              f"title={escape_property(m.group('rule'))}::"
+              f"{escape_data(m.group('msg'))}")
+    return 1 if findings else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -13,18 +13,52 @@ set -euo pipefail
 BUILD_DIR="${1:-build}"
 REPO_ROOT="$(cd "$(dirname "$0")/.." && pwd)"
 
-if [[ ! -f "$BUILD_DIR/compile_commands.json" ]]; then
-  echo "error: $BUILD_DIR/compile_commands.json not found;" \
+DB="$BUILD_DIR/compile_commands.json"
+if [[ ! -f "$DB" ]]; then
+  echo "error: $DB not found;" \
        "configure first: cmake -B $BUILD_DIR -S ." >&2
+  exit 2
+fi
+
+# A database older than the build configuration silently tidies with stale
+# flags (or misses newly added TUs entirely) — refuse rather than degrade.
+if [[ "$REPO_ROOT/CMakeLists.txt" -nt "$DB" ]]; then
+  echo "error: $DB is older than CMakeLists.txt; reconfigure:" \
+       "cmake -B $BUILD_DIR -S ." >&2
+  exit 2
+fi
+
+# Library sources only: tests and benches are scaffolding, and gtest/
+# benchmark macros expand into code the checks were not written for.
+mapfile -t SOURCES < <(find "$REPO_ROOT/src" -name '*.cpp' | sort)
+
+# Every src/ TU must be in the database; a missing entry means clang-tidy
+# would quietly skip it (or guess flags), so that is an error too.
+MISSING="$(python3 - "$DB" "${SOURCES[@]}" <<'PY'
+import json, os, sys
+db_path, sources = sys.argv[1], sys.argv[2:]
+with open(db_path) as fh:
+    entries = json.load(fh)
+known = set()
+for e in entries:
+    f = e["file"]
+    if not os.path.isabs(f):
+        f = os.path.join(e.get("directory", ""), f)
+    known.add(os.path.realpath(f))
+for s in sources:
+    if os.path.realpath(s) not in known:
+        print(s)
+PY
+)"
+if [[ -n "$MISSING" ]]; then
+  echo "error: compile_commands.json is incomplete; these src/ TUs have" \
+       "no entry (stale configure? reconfigure: cmake -B $BUILD_DIR -S .):" >&2
+  printf '  %s\n' $MISSING >&2
   exit 2
 fi
 
 TIDY="${CLANG_TIDY:-clang-tidy}"
 JOBS="$(nproc 2>/dev/null || echo 4)"
-
-# Library sources only: tests and benches are scaffolding, and gtest/
-# benchmark macros expand into code the checks were not written for.
-mapfile -t SOURCES < <(find "$REPO_ROOT/src" -name '*.cpp' | sort)
 
 printf '%s\n' "${SOURCES[@]}" \
   | xargs -P "$JOBS" -n 8 "$TIDY" -p "$BUILD_DIR" --quiet

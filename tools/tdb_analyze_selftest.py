@@ -1,0 +1,238 @@
+#!/usr/bin/env python3
+"""Self-test for tools/tdb_analyze.py.
+
+Two layers:
+
+1. Pure-python checks (always run, no clang needed): suppression-comment
+   parsing, the shared `file:line: rule-name: message` output format
+   (including byte-parity with tdb_lint.py's formatter), compile-command
+   flag cleaning, and the content-keyed parse cache round-trip.
+
+2. Fixture checks (need libclang): every `tools/analyze_fixtures/*.cpp`
+   declares, on its first line, how it must be analyzed —
+
+       // tdb-analyze-fixture: treat-as=<repo-rel-path> rules=<r1,r2>
+
+   and marks its seeded violations with
+
+       // EXPECT(rule): message-substring          (finding on this line)
+       // EXPECT-LINE(N, rule): message-substring  (finding on line N)
+
+   The analyzer must report EVERY expectation (zero false negatives on
+   fixtures — this is the acceptance bar) and NOTHING else (zero false
+   positives on fixtures).
+
+Without libclang the fixture layer is skipped with a notice and the exit
+is 0, so the self-test can run in minimal environments; CI passes
+`--require-clang`, turning the skip into a failure.
+"""
+
+from __future__ import annotations
+
+import argparse
+import re
+import sys
+import tempfile
+from pathlib import Path
+
+TOOLS = Path(__file__).resolve().parent
+FIXTURES = TOOLS / "analyze_fixtures"
+sys.path.insert(0, str(TOOLS))
+
+import tdb_analyze  # noqa: E402
+import tdb_lint  # noqa: E402
+
+DIRECTIVE_RE = re.compile(
+    r"//\s*tdb-analyze-fixture:\s*treat-as=(\S+)\s+rules=(\S+)")
+EXPECT_RE = re.compile(r"//\s*EXPECT\(([a-z0-9-]+)\):\s*(.+?)\s*$")
+EXPECT_LINE_RE = re.compile(
+    r"//\s*EXPECT-LINE\((\d+),\s*([a-z0-9-]+)\):\s*(.+?)\s*$")
+
+FINDING_LINE_RE = re.compile(r"^[^:]+:\d+: [a-z0-9-]+: .+$")
+
+failures: list[str] = []
+
+
+def check(cond: bool, what: str):
+    if cond:
+        print(f"  ok: {what}")
+    else:
+        failures.append(what)
+        print(f"  FAIL: {what}")
+
+
+# ---------------------------------------------------------------------------
+# Layer 1: pure-python
+# ---------------------------------------------------------------------------
+
+def test_suppression_parsing():
+    print("suppression parsing:")
+    text = "\n".join([
+        "int a;",
+        "// tdb-analyze-allow(chronon-arith): caller guarantees finite",
+        "int b;",
+        "int c;  // tdb-analyze-allow(kernel-purity): scratch is stack-like",
+        "// tdb-analyze-allow(append-only):",
+        "int d;",
+    ])
+    allowed, bad = tdb_analyze.scan_suppressions(text)
+    check((2, "chronon-arith") in allowed and (3, "chronon-arith") in allowed,
+          "reasoned suppression covers its own and the next line")
+    check((4, "kernel-purity") in allowed,
+          "trailing same-line suppression is recognized")
+    check((3, "kernel-purity") not in allowed,
+          "suppression is per-rule, not blanket")
+    check(bad == [(5, "append-only")],
+          "reason-less suppression is reported, not honored")
+    check((5, "append-only") not in allowed and
+          (6, "append-only") not in allowed,
+          "reason-less suppression silences nothing")
+
+
+def test_output_format():
+    print("output format:")
+    f = tdb_analyze.Finding("src/x.cpp", 12, "kernel-purity", "boxed Value")
+    check(str(f) == "src/x.cpp:12: kernel-purity: boxed Value",
+          "analyzer finding renders as file:line: rule-name: message")
+    check(FINDING_LINE_RE.match(str(f)) is not None,
+          "analyzer finding matches the machine-parseable pattern")
+    lint_line = tdb_lint.format_finding("src/y.h", 3, "append-only", "bad")
+    check(lint_line == "src/y.h:3: append-only: bad",
+          "lint formatter emits the identical shared format")
+    check(FINDING_LINE_RE.match(lint_line) is not None,
+          "lint finding matches the machine-parseable pattern")
+
+
+def test_clean_args():
+    print("compile-command flag cleaning:")
+    args = ["/usr/bin/c++", "-I/inc", "-std=gnu++20", "-o",
+            "CMakeFiles/x.o", "-c", "/repo/src/a/foo.cpp"]
+    out = tdb_analyze.clean_args(args, "/repo/src/a/foo.cpp")
+    check(out == ["-I/inc", "-std=gnu++20"],
+          "compiler, -c/-o, and the source path are stripped")
+
+
+def test_cache_roundtrip():
+    print("parse cache:")
+    with tempfile.TemporaryDirectory() as td:
+        tdp = Path(td)
+        dep = tdp / "dep.h"
+        dep.write_text("int x;\n")
+        cache = tdp / "cache"
+        key = tdb_analyze.tu_cache_key(["-std=c++20"], b"int main(){}",
+                                       {"kernel-purity"})
+        key2 = tdb_analyze.tu_cache_key(["-std=c++20"], b"int main(){}",
+                                        {"kernel-purity"})
+        key3 = tdb_analyze.tu_cache_key(["-std=c++20"], b"int main(){ }",
+                                        {"kernel-purity"})
+        key4 = tdb_analyze.tu_cache_key(["-std=c++20"], b"int main(){}",
+                                        {"append-only"})
+        check(key == key2, "cache key is deterministic")
+        check(key != key3, "cache key changes with file content")
+        check(key != key4, "cache key changes with the rule set")
+        findings = [tdb_analyze.Finding("src/x.cpp", 1, "kernel-purity", "m")]
+        sha = tdb_analyze.file_sha(str(dep))
+        tdb_analyze.cache_store(cache, key, {str(dep): sha}, findings)
+        hit = tdb_analyze.cache_lookup(cache, key)
+        check(hit == [["src/x.cpp", 1, "kernel-purity", "m"]],
+              "cache hit replays stored findings")
+        dep.write_text("int y;\n")
+        check(tdb_analyze.cache_lookup(cache, key) is None,
+              "editing a dependency header invalidates the entry")
+
+
+# ---------------------------------------------------------------------------
+# Layer 2: fixtures (libclang)
+# ---------------------------------------------------------------------------
+
+def parse_fixture(path: Path):
+    text = path.read_text()
+    first = text.splitlines()[0] if text else ""
+    m = DIRECTIVE_RE.search(first)
+    if not m:
+        raise ValueError(f"{path.name}: missing tdb-analyze-fixture "
+                         "directive on line 1")
+    treat_as, rules = m.group(1), set(m.group(2).split(","))
+    expects = []  # (line, rule, substring)
+    for lineno, line in enumerate(text.splitlines(), 1):
+        em = EXPECT_RE.search(line)
+        if em:
+            expects.append((lineno, em.group(1), em.group(2)))
+        lm = EXPECT_LINE_RE.search(line)
+        if lm:
+            expects.append((int(lm.group(1)), lm.group(2), lm.group(3)))
+    return treat_as, rules, expects, text
+
+
+def run_fixture(index, path: Path) -> None:
+    treat_as, rules, expects, text = parse_fixture(path)
+    flags = ["-x", "c++", "-std=c++17", f"-I{FIXTURES}"]
+    findings, _ = tdb_analyze.analyze_one(
+        index, str(path), flags, treat_as, rules, tdb_analyze.REPO, None)
+    findings = tdb_analyze.dedupe_sorted(
+        tdb_analyze.apply_suppressions(findings, {treat_as: text}))
+    print(f"fixture {path.name} ({len(findings)} finding(s), "
+          f"{len(expects)} expected):")
+
+    unmatched_findings = list(findings)
+    for line, rule, substr in expects:
+        hit = next((f for f in unmatched_findings
+                    if f.line == line and f.rule == rule
+                    and substr in f.message), None)
+        if hit is not None:
+            unmatched_findings.remove(hit)
+        check(hit is not None,
+              f"{path.name}:{line} expects {rule} ~ {substr!r} "
+              "(false negative if missing)")
+    for f in unmatched_findings:
+        check(False, f"{path.name}: unexpected finding (false positive): {f}")
+
+
+def run_fixtures(require_clang: bool) -> None:
+    ci = tdb_analyze.load_cindex()
+    if ci is None:
+        msg = (f"libclang unavailable "
+               f"({tdb_analyze.cindex_unavailable_reason()}); "
+               "fixture layer skipped")
+        if require_clang:
+            failures.append(msg)
+            print(f"FAIL: {msg} but --require-clang was given")
+        else:
+            print(f"skip: {msg}")
+        return
+    index = ci.Index.create()
+    fixtures = sorted(FIXTURES.glob("*.cpp"))
+    if not fixtures:
+        failures.append("no fixtures found")
+        return
+    for path in fixtures:
+        try:
+            run_fixture(index, path)
+        except Exception as e:  # parse error in a fixture is a test failure
+            failures.append(f"{path.name}: {e}")
+            print(f"  FAIL: {path.name}: {e}")
+
+
+def main(argv=None) -> int:
+    ap = argparse.ArgumentParser()
+    ap.add_argument("--require-clang", action="store_true",
+                    help="fail (instead of skip) when libclang is missing")
+    args = ap.parse_args(argv)
+
+    test_suppression_parsing()
+    test_output_format()
+    test_clean_args()
+    test_cache_roundtrip()
+    run_fixtures(args.require_clang)
+
+    if failures:
+        print(f"\ntdb_analyze_selftest: {len(failures)} failure(s)")
+        for f in failures:
+            print(f"  - {f}")
+        return 1
+    print("\ntdb_analyze_selftest: OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

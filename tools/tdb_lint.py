@@ -46,13 +46,23 @@ express, because they are properties of *this* codebase's discipline:
      else would mutate a sealed partition without repatching its synopsis
      (silently unsounding pruning) or race pinned snapshot readers.
 
+Findings are emitted in the `file:line: rule-name: message` format shared
+with tools/tdb_analyze.py, so one consumer (CI annotation, editors) parses
+both.  Rules 2, 4 and 6 have exact AST-level implementations in
+tdb_analyze.py; `--ast auto` (the default) delegates them there when
+libclang and compile_commands.json are available and falls back to the
+regex versions here otherwise, `--ast on` requires the delegation, and
+`--ast off` forces the regex path.
+
 Exit status 0 when clean; 1 with one line per violation otherwise.
 Run from anywhere: paths are resolved relative to the repo root.
 """
 
 from __future__ import annotations
 
+import argparse
 import re
+import subprocess
 import sys
 from pathlib import Path
 
@@ -62,9 +72,13 @@ SRC = REPO / "src"
 errors: list[str] = []
 
 
+def format_finding(rel: object, lineno: int, rule: str, msg: str) -> str:
+    """The one true finding format, byte-identical to tdb_analyze.py's."""
+    return f"{rel}:{lineno}: {rule}: {msg}"
+
+
 def err(path: Path, lineno: int, rule: str, msg: str) -> None:
-    rel = path.relative_to(REPO)
-    errors.append(f"{rel}:{lineno}: [{rule}] {msg}")
+    errors.append(format_finding(path.relative_to(REPO), lineno, rule, msg))
 
 
 def strip_comments(text: str) -> str:
@@ -414,19 +428,81 @@ def check_seal_discipline() -> None:
             current = None
 
 
-def main() -> int:
+# --------------------------------------------------------------------------
+# AST delegation: rules 2/4/6 have exact semantic implementations in
+# tdb_analyze.py (resolved symbols instead of spellings, so wrappers and
+# aliases are caught).  When the analyzer can run, its verdict replaces the
+# regex one; the regex path stays as the zero-dependency fallback.
+# --------------------------------------------------------------------------
+
+AST_DELEGATED_RULES = "append-only,seal-discipline,kernel-purity"
+FINDING_LINE = re.compile(r"^[^:]+:\d+: [a-z0-9-]+: .+$")
+
+
+def delegate_to_ast(build_dir: str) -> tuple[bool, str]:
+    """Runs tdb_analyze.py over the delegated rules.  On success (analyzer
+    ran, clean or with findings) appends its findings to `errors` and
+    returns (True, "").  Returns (False, reason) when the analyzer cannot
+    run here (no libclang, no compile_commands.json, ...)."""
+
+    cmd = [sys.executable, str(REPO / "tools" / "tdb_analyze.py"),
+           "-p", build_dir, "--rules", AST_DELEGATED_RULES]
+    try:
+        proc = subprocess.run(cmd, capture_output=True, text=True,
+                              cwd=REPO, check=False)
+    except OSError as e:
+        return False, f"could not launch tdb_analyze.py: {e}"
+    if proc.returncode in (0, 1):
+        errors.extend(line for line in proc.stdout.splitlines()
+                      if FINDING_LINE.match(line))
+        return True, ""
+    detail = (proc.stderr.strip() or proc.stdout.strip() or
+              "no diagnostic").splitlines()[-1]
+    return False, f"tdb_analyze.py exited {proc.returncode} ({detail})"
+
+
+def main(argv: list[str] | None = None) -> int:
+    ap = argparse.ArgumentParser(
+        description="temporadb-specific static lint")
+    ap.add_argument(
+        "--ast", choices=("auto", "on", "off"), default="auto",
+        help="delegate rules 2/4/6 (append-only, seal-discipline, "
+             "kernel-purity) to the AST analyzer: 'auto' uses it when "
+             "libclang and compile_commands.json are available, 'on' "
+             "fails if they are not, 'off' forces the regex path")
+    ap.add_argument(
+        "-p", "--build-dir", default=str(REPO / "build"), metavar="DIR",
+        help="build directory containing compile_commands.json for the "
+             "AST delegation (default: build)")
+    args = ap.parse_args(argv)
+
+    delegated = False
+    if args.ast != "off":
+        delegated, why = delegate_to_ast(args.build_dir)
+        if not delegated:
+            if args.ast == "on":
+                print(f"tdb_lint: --ast on, but the AST analyzer cannot "
+                      f"run: {why}", file=sys.stderr)
+                return 2
+            print(f"tdb_lint: note: AST delegation unavailable ({why}); "
+                  "rules 2/4/6 use the regex fallback", file=sys.stderr)
+
     check_mutex_wrapper()
-    check_append_only()
+    if not delegated:
+        check_append_only()
     check_clause_matrix()
-    check_kernel_purity()
+    if not delegated:
+        check_kernel_purity()
     check_invariant_checks()
-    check_seal_discipline()
+    if not delegated:
+        check_seal_discipline()
     if errors:
         for e in errors:
             print(e)
         print(f"tdb_lint: {len(errors)} violation(s)")
         return 1
-    print("tdb_lint: OK")
+    print("tdb_lint: OK"
+          + (" (rules 2/4/6 via tdb_analyze)" if delegated else ""))
     return 0
 
 
